@@ -1,0 +1,51 @@
+//! Ablation benches: regenerate the microarchitectural ablation table
+//! (printing it once) and time each variant's sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedepth_bench::bench_config;
+use pipedepth_experiments::ablation::{self, Variant};
+use pipedepth_sim::Engine;
+use pipedepth_trace::TraceGenerator;
+use pipedepth_workloads::{suite_class, WorkloadClass};
+use std::hint::black_box;
+
+fn bench_ablation_table(c: &mut Criterion) {
+    let cfg = bench_config();
+    let w = suite_class(WorkloadClass::Modern)
+        .into_iter()
+        .next()
+        .expect("modern class populated");
+    println!("{}", ablation::run(&w, &cfg));
+    c.bench_function("ablation_full_table", |b| {
+        b.iter(|| black_box(ablation::run(&w, &cfg)))
+    });
+}
+
+fn bench_variant_engines(c: &mut Criterion) {
+    let w = suite_class(WorkloadClass::Modern)
+        .into_iter()
+        .next()
+        .expect("modern class populated");
+    let mut group = c.benchmark_group("variant_engine");
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut engine = Engine::new(variant.config(12));
+                    let mut gen = TraceGenerator::new(w.model, w.trace_seed);
+                    black_box(engine.run(&mut gen, 30_000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation_table, bench_variant_engines
+}
+criterion_main!(ablations);

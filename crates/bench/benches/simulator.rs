@@ -1,0 +1,107 @@
+//! Simulator micro-benchmarks: engine throughput across depths and
+//! workload classes, plus the cache and predictor substrates in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipedepth_sim::cache::Hierarchy;
+use pipedepth_sim::predictor::Gshare;
+use pipedepth_sim::{CacheConfig, Engine, PredictorConfig, SimConfig};
+use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use std::hint::black_box;
+
+fn bench_engine_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    for depth in [2u32, 8, 16, 25] {
+        group.bench_with_input(BenchmarkId::new("specint", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut engine = Engine::new(SimConfig::paper(depth));
+                let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 1);
+                black_box(engine.run(&mut gen, N))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_by_class");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    for (name, model) in [
+        ("legacy", WorkloadModel::legacy_like()),
+        ("specint", WorkloadModel::spec_int_like()),
+        ("modern", WorkloadModel::modern_like()),
+        ("fp", WorkloadModel::spec_fp_like()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = Engine::new(SimConfig::paper(12));
+                let mut gen = TraceGenerator::new(model, 1);
+                black_box(engine.run(&mut gen, N))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    const N: usize = 100_000;
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("modern", |b| {
+        b.iter(|| {
+            let mut gen = TraceGenerator::new(WorkloadModel::modern_like(), 7);
+            black_box(gen.take_vec(N))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    const N: u64 = 200_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("hierarchy_streaming", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(CacheConfig::default());
+            let mut hits = 0u64;
+            for i in 0..N {
+                if h.access(black_box(i * 8 % (1 << 22))) == pipedepth_sim::cache::AccessResult::L1
+                {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor");
+    const N: u64 = 500_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("gshare_observe", |b| {
+        b.iter(|| {
+            let mut bp = Gshare::new(PredictorConfig::default());
+            let mut x = 0x1234_5678u64;
+            for _ in 0..N {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                bp.observe(black_box(x & 0xFFF0), (x >> 60) & 3 != 0);
+            }
+            black_box(bp.miss_rate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_depths, bench_engine_classes, bench_trace_generation,
+              bench_cache, bench_predictor
+}
+criterion_main!(simulator);

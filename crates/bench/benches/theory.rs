@@ -1,0 +1,89 @@
+//! Theory micro-benchmarks: the cost of the analytic machinery — metric
+//! evaluation, closed-form vs numeric optima, and the polynomial root
+//! finders that back them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipedepth_core::{
+    analytic_optimum, closed_form_optimum, crossover_exponent, numeric_optimum, paper_quartic,
+    power_capped_design, ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams,
+    WorkloadParams,
+};
+use pipedepth_math::roots::{durand_kerner, real_roots, solve_cubic};
+use pipedepth_math::Polynomial;
+use std::hint::black_box;
+
+fn ungated() -> PipelineModel {
+    PipelineModel::new(
+        TechParams::paper(),
+        WorkloadParams::typical(),
+        PowerParams::paper(),
+    )
+}
+
+fn gated() -> PipelineModel {
+    PipelineModel::new(
+        TechParams::paper(),
+        WorkloadParams::typical(),
+        PowerParams::paper().with_gating(ClockGating::complete()),
+    )
+}
+
+fn bench_metric_eval(c: &mut Criterion) {
+    let model = gated();
+    c.bench_function("metric_eval_single_depth", |b| {
+        b.iter(|| black_box(model.metric(black_box(7.5), MetricExponent::BIPS3_PER_WATT)))
+    });
+}
+
+fn bench_optima(c: &mut Criterion) {
+    let u = ungated();
+    let g = gated();
+    let m3 = MetricExponent::BIPS3_PER_WATT;
+    c.bench_function("optimum_numeric_gated", |b| {
+        b.iter(|| black_box(numeric_optimum(&g, m3)))
+    });
+    c.bench_function("optimum_cubic_exact", |b| {
+        b.iter(|| black_box(analytic_optimum(&u, m3)))
+    });
+    c.bench_function("optimum_closed_form_eq7", |b| {
+        b.iter(|| black_box(closed_form_optimum(&u, m3)))
+    });
+}
+
+fn bench_polynomials(c: &mut Criterion) {
+    let u = ungated();
+    let quartic = paper_quartic(&u, MetricExponent::BIPS3_PER_WATT).unwrap();
+    c.bench_function("quartic_real_roots", |b| {
+        b.iter(|| black_box(real_roots(black_box(&quartic))))
+    });
+    c.bench_function("durand_kerner_quartic", |b| {
+        b.iter(|| black_box(durand_kerner(black_box(&quartic))))
+    });
+    c.bench_function("cubic_closed_form", |b| {
+        b.iter(|| black_box(solve_cubic(1.0, -6.0, 11.0, -6.0)))
+    });
+    let poly = Polynomial::new(vec![1.0, -2.0, 0.5, 3.0, -0.25]);
+    c.bench_function("poly_eval_horner", |b| {
+        b.iter(|| black_box(poly.eval(black_box(3.7))))
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let g = gated();
+    c.bench_function("crossover_exponent", |b| {
+        b.iter(|| black_box(crossover_exponent(&g, 2.0)))
+    });
+    let budget = g.power().total_power(10.0);
+    c.bench_function("power_capped_design", |b| {
+        b.iter(|| black_box(power_capped_design(&g, black_box(budget))))
+    });
+}
+
+criterion_group!(
+    theory,
+    bench_metric_eval,
+    bench_optima,
+    bench_polynomials,
+    bench_extensions
+);
+criterion_main!(theory);

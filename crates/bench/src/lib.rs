@@ -1,0 +1,32 @@
+//! Benchmark harness support for the `pipedepth` workspace.
+//!
+//! The Criterion benches in `benches/` regenerate every figure of the
+//! paper (printing the measured rows next to the paper's reported values)
+//! and measure the throughput of the simulator and theory substrates.
+
+use pipedepth_experiments::sweep::RunConfig;
+
+/// The reduced simulation sizing used inside timed benchmark loops, chosen
+/// so a figure regeneration stays affordable per iteration while preserving
+/// every qualitative result.
+pub fn bench_config() -> RunConfig {
+    RunConfig {
+        warmup: 10_000,
+        instructions: 20_000,
+        depths: (2..=24).step_by(2).collect(),
+        ..RunConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_light_but_covers_range() {
+        let cfg = bench_config();
+        assert!(cfg.instructions <= 20_000, "keep benches affordable");
+        assert_eq!(cfg.depths.first(), Some(&2));
+        assert!(*cfg.depths.last().unwrap() >= 20);
+    }
+}

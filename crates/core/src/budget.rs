@@ -1,0 +1,227 @@
+//! The power-budget design strategy.
+//!
+//! The paper's introduction contrasts two strategies: optimise a combined
+//! metric (the paper's subject, [`crate::optimum`]), or "design for the
+//! best possible performance, subject to the constraint that the power be
+//! just below some maximum value". This module implements the second
+//! strategy on the same model, plus the power–performance frontier that
+//! connects the two views.
+
+use crate::metric::PipelineModel;
+use crate::optimum::DEPTH_RANGE;
+use pipedepth_math::roots::bisect;
+
+/// One design point of the power–performance frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// Pipeline depth.
+    pub depth: f64,
+    /// Throughput (instructions per FO4, ∝ BIPS).
+    pub throughput: f64,
+    /// Total power.
+    pub power: f64,
+}
+
+/// The outcome of a power-capped design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetedDesign {
+    /// The best-performance depth whose power meets the budget.
+    Feasible(FrontierPoint),
+    /// Even the shallowest design exceeds the budget.
+    Infeasible {
+        /// Power of the cheapest (1-stage) design.
+        minimum_power: f64,
+    },
+    /// The budget is loose enough that the unconstrained performance
+    /// optimum fits inside it.
+    Unconstrained(FrontierPoint),
+}
+
+impl BudgetedDesign {
+    /// The selected depth, if any design is feasible.
+    pub fn depth(&self) -> Option<f64> {
+        match self {
+            BudgetedDesign::Feasible(p) | BudgetedDesign::Unconstrained(p) => Some(p.depth),
+            BudgetedDesign::Infeasible { .. } => None,
+        }
+    }
+}
+
+fn point_at(model: &PipelineModel, depth: f64) -> FrontierPoint {
+    FrontierPoint {
+        depth,
+        throughput: model.perf().throughput(depth),
+        power: model.power().total_power(depth),
+    }
+}
+
+/// Chooses the best-performance pipeline depth whose total power does not
+/// exceed `budget` — the paper's alternative design strategy.
+///
+/// Performance is unimodal in depth (peaking at the Eq. 2 optimum) and
+/// power increases monotonically, so the constrained optimum is either the
+/// unconstrained performance peak (if affordable) or the deepest design on
+/// the rising branch whose power equals the budget.
+///
+/// # Panics
+///
+/// Panics unless `budget > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{power_capped_design, BudgetedDesign, PipelineModel,
+///                      PowerParams, TechParams, WorkloadParams};
+///
+/// let model = PipelineModel::new(
+///     TechParams::paper(),
+///     WorkloadParams::typical(),
+///     PowerParams::paper(),
+/// );
+/// // A tight budget forces a shallower-than-optimal pipeline.
+/// let perf_opt = model.perf().optimum_depth();
+/// let tight = model.power().total_power(perf_opt) * 0.5;
+/// match power_capped_design(&model, tight) {
+///     BudgetedDesign::Feasible(p) => assert!(p.depth < perf_opt),
+///     other => panic!("expected a feasible capped design, got {other:?}"),
+/// }
+/// ```
+pub fn power_capped_design(model: &PipelineModel, budget: f64) -> BudgetedDesign {
+    assert!(budget > 0.0, "power budget must be positive");
+    let (lo, hi) = DEPTH_RANGE;
+    let perf_opt = model.perf().optimum_depth().clamp(lo, hi);
+
+    if model.power().total_power(perf_opt) <= budget {
+        return BudgetedDesign::Unconstrained(point_at(model, perf_opt));
+    }
+    if model.power().total_power(lo) > budget {
+        return BudgetedDesign::Infeasible {
+            minimum_power: model.power().total_power(lo),
+        };
+    }
+    // Power is monotone increasing in depth: find where it meets the budget
+    // on [lo, perf_opt].
+    let crossing = bisect(
+        |p| model.power().total_power(p) - budget,
+        lo,
+        perf_opt,
+        1e-10,
+    )
+    .expect("monotone power crosses the budget in range");
+    BudgetedDesign::Feasible(point_at(model, crossing))
+}
+
+/// Samples the power–performance frontier over the searchable depth range:
+/// `(depth, throughput, power)` for `steps + 1` equally spaced depths.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn frontier(model: &PipelineModel, steps: usize) -> Vec<FrontierPoint> {
+    assert!(steps > 0, "need at least one step");
+    let (lo, hi) = DEPTH_RANGE;
+    (0..=steps)
+        .map(|i| point_at(model, lo + (hi - lo) * i as f64 / steps as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ClockGating, PowerParams, TechParams, WorkloadParams};
+
+    fn model() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper(),
+        )
+    }
+
+    #[test]
+    fn loose_budget_is_unconstrained() {
+        let m = model();
+        let perf_opt = m.perf().optimum_depth();
+        let loose = m.power().total_power(perf_opt) * 10.0;
+        match power_capped_design(&m, loose) {
+            BudgetedDesign::Unconstrained(p) => {
+                assert!((p.depth - perf_opt).abs() < 1e-9);
+            }
+            other => panic!("expected unconstrained, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_budget_hits_the_cap_exactly() {
+        let m = model();
+        let perf_opt = m.perf().optimum_depth();
+        let budget = m.power().total_power(perf_opt) * 0.6;
+        match power_capped_design(&m, budget) {
+            BudgetedDesign::Feasible(p) => {
+                assert!(p.depth < perf_opt);
+                assert!((p.power - budget).abs() < 1e-6 * budget);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_budget_reported() {
+        let m = model();
+        let tiny = m.power().total_power(1.0) * 0.5;
+        assert!(matches!(
+            power_capped_design(&m, tiny),
+            BudgetedDesign::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn tighter_budgets_mean_shallower_designs() {
+        let m = model();
+        let perf_opt = m.perf().optimum_depth();
+        let base = m.power().total_power(perf_opt);
+        let mut last = f64::INFINITY;
+        for frac in [0.9, 0.7, 0.5, 0.3] {
+            let d = power_capped_design(&m, base * frac)
+                .depth()
+                .expect("feasible");
+            assert!(d < last, "budget {frac}: {d} should shrink");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn frontier_power_is_monotone() {
+        let pts = frontier(&model(), 64);
+        for w in pts.windows(2) {
+            assert!(w[1].power > w[0].power);
+        }
+    }
+
+    #[test]
+    fn frontier_throughput_peaks_at_perf_optimum() {
+        let m = model();
+        let pts = frontier(&m, 256);
+        let best = pts
+            .iter()
+            .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).unwrap())
+            .unwrap();
+        assert!((best.depth - m.perf().optimum_depth()).abs() < 0.5);
+    }
+
+    #[test]
+    fn gated_machine_affords_deeper_designs() {
+        // Under the same budget, the gated machine (cheaper dynamic power)
+        // can run a deeper pipeline.
+        let ungated = model();
+        let gated = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::Complete { kappa: 0.3 }),
+        );
+        let budget = ungated.power().total_power(8.0);
+        let d_u = power_capped_design(&ungated, budget).depth().unwrap();
+        let d_g = power_capped_design(&gated, budget).depth().unwrap();
+        assert!(d_g > d_u, "gated {d_g} vs ungated {d_u}");
+    }
+}

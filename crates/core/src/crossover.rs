@@ -1,0 +1,179 @@
+//! Crossover analysis: at what metric exponent does pipelining start to
+//! pay?
+//!
+//! The paper shows the family `BIPS^m/W` divides at thresholds in `m`:
+//! below them the optimum is an unpipelined design, above them a pipelined
+//! one (necessary condition `m > β`; `m > β + 1` when leakage is
+//! negligible). This module locates the *exact* crossover exponent for a
+//! concrete model by bisection, and the depth at which the pipeline first
+//! becomes worthwhile.
+
+use crate::metric::PipelineModel;
+use crate::optimum::{numeric_optimum, Optimum};
+use crate::params::MetricExponent;
+
+/// Search range for the crossover exponent.
+const M_RANGE: (f64, f64) = (0.5, 24.0);
+
+/// The crossover point of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossover {
+    /// Smallest metric exponent with a pipelined (depth > threshold)
+    /// optimum.
+    pub exponent: f64,
+    /// The optimum depth just above the crossover.
+    pub onset_depth: f64,
+}
+
+/// Whether metric exponent `m` yields a pipelined optimum deeper than
+/// `min_depth` stages.
+fn pipelined_at(model: &PipelineModel, m: f64, min_depth: f64) -> Option<f64> {
+    match numeric_optimum(model, MetricExponent::new(m)) {
+        Optimum::Pipelined { depth, .. } if depth >= min_depth => Some(depth),
+        _ => None,
+    }
+}
+
+/// Finds the smallest metric exponent whose optimum is a pipeline of at
+/// least `min_depth` stages (use 2.0 for "a real pipeline"; values very
+/// close to 1 are indistinguishable from the unpipelined design).
+///
+/// Returns `None` if even `m = 24` does not pipeline (e.g. β ≥ 24 — not a
+/// physical configuration) or if the model pipelines already at the bottom
+/// of the search range.
+///
+/// # Panics
+///
+/// Panics unless `min_depth > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{crossover_exponent, PipelineModel, PowerParams,
+///                      TechParams, WorkloadParams};
+///
+/// let model = PipelineModel::new(
+///     TechParams::paper(),
+///     WorkloadParams::typical(),
+///     PowerParams::paper(),
+/// );
+/// let cross = crossover_exponent(&model, 2.0).expect("crossover exists");
+/// // BIPS/W (m=1) never pipelines; BIPS³/W does: the threshold is between.
+/// assert!(cross.exponent > 1.0 && cross.exponent < 3.0);
+/// ```
+pub fn crossover_exponent(model: &PipelineModel, min_depth: f64) -> Option<Crossover> {
+    assert!(min_depth > 1.0, "minimum depth must exceed one stage");
+    let (mut lo, mut hi) = M_RANGE;
+    if pipelined_at(model, lo, min_depth).is_some() {
+        return None; // already pipelined at the smallest exponent
+    }
+    pipelined_at(model, hi, min_depth)?;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if pipelined_at(model, mid, min_depth).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let onset_depth = pipelined_at(model, hi, min_depth)?;
+    Some(Crossover {
+        exponent: hi,
+        onset_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ClockGating, PowerParams, TechParams, WorkloadParams};
+
+    fn model_with(power: PowerParams) -> PipelineModel {
+        PipelineModel::new(TechParams::paper(), WorkloadParams::typical(), power)
+    }
+
+    #[test]
+    fn crossover_between_m2_and_m3_for_defaults() {
+        // BIPS²/W barely fails, BIPS³/W clearly succeeds with paper
+        // parameters, so the crossover lies between 2-ish and 3.
+        let cross = crossover_exponent(&model_with(PowerParams::paper()), 2.0).unwrap();
+        assert!(
+            cross.exponent > 1.5 && cross.exponent < 3.0,
+            "crossover at m = {}",
+            cross.exponent
+        );
+        assert!(cross.onset_depth >= 2.0);
+    }
+
+    #[test]
+    fn crossover_exceeds_beta() {
+        // The paper's necessary condition m > β.
+        for beta in [1.0, 1.3, 1.6] {
+            let power = PowerParams::paper().with_latch_growth(beta);
+            let cross = crossover_exponent(&model_with(power), 2.0).unwrap();
+            assert!(
+                cross.exponent > beta,
+                "β = {beta}: crossover {}",
+                cross.exponent
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_grows_with_beta() {
+        let at = |beta| {
+            crossover_exponent(
+                &model_with(PowerParams::paper().with_latch_growth(beta)),
+                2.0,
+            )
+            .unwrap()
+            .exponent
+        };
+        assert!(at(1.6) > at(1.3));
+        assert!(at(1.3) > at(1.0));
+    }
+
+    #[test]
+    fn near_zero_leakage_needs_roughly_beta_plus_one() {
+        // With P_l → 0 the exact condition from the cubic's constant term
+        // is m > β + 1 (for an optimum anywhere above a single stage).
+        let tech = TechParams::paper();
+        let power = PowerParams::with_leakage_fraction(0.001, &tech, 10.0);
+        let beta = power.latch_growth;
+        let cross = crossover_exponent(&model_with(power), 1.2).unwrap();
+        assert!(
+            (cross.exponent - (beta + 1.0)).abs() < 0.35,
+            "crossover {} vs β+1 = {}",
+            cross.exponent,
+            beta + 1.0
+        );
+    }
+
+    #[test]
+    fn gating_lowers_the_crossover_or_close() {
+        // Gating removes the frequency term from power, making pipelining
+        // pay at smaller m than the leakage-free ungated machine.
+        let ungated = crossover_exponent(&model_with(PowerParams::paper()), 2.0)
+            .unwrap()
+            .exponent;
+        let gated = crossover_exponent(
+            &model_with(PowerParams::paper().with_gating(ClockGating::complete())),
+            2.0,
+        )
+        .unwrap()
+        .exponent;
+        // Either direction is parameter-dependent, but both must sit in the
+        // same physical band above β.
+        assert!(gated > 1.3 && gated < 4.0, "gated crossover {gated}");
+        assert!(
+            ungated > 1.3 && ungated < 4.0,
+            "ungated crossover {ungated}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum depth")]
+    fn min_depth_validated() {
+        let _ = crossover_exponent(&model_with(PowerParams::paper()), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Energy-metric duals of the BIPS^m/W family.
+//!
+//! The metrics the paper studies are reciprocals of the classic
+//! energy–delay products:
+//!
+//! * `BIPS/W  = 1 / EPI`   (energy per instruction),
+//! * `BIPS²/W ∝ 1 / EDP`   (energy–delay product),
+//! * `BIPS³/W ∝ 1 / ED²P`  (energy–delay² product).
+//!
+//! This module exposes the energy view directly; optimising `ED^{m−1}P`
+//! *minimisation* is identical to optimising `BIPS^m/W` maximisation, a
+//! correspondence the tests pin down.
+
+use crate::metric::PipelineModel;
+use crate::optimum::DEPTH_RANGE;
+use pipedepth_math::optimize;
+
+/// Energy per instruction at depth `p`: `P_T(p) · τ(p)` (arbitrary units).
+pub fn energy_per_instruction(model: &PipelineModel, depth: f64) -> f64 {
+    model.power().total_power(depth) * model.perf().time_per_instruction(depth)
+}
+
+/// The energy–delay^k product per instruction at depth `p`:
+/// `EPI · τ^k`. `k = 0` is EPI, `k = 1` EDP, `k = 2` ED²P.
+///
+/// # Panics
+///
+/// Panics if `k` is negative.
+pub fn energy_delay_product(model: &PipelineModel, depth: f64, k: f64) -> f64 {
+    assert!(k >= 0.0, "delay exponent must be non-negative");
+    energy_per_instruction(model, depth) * model.perf().time_per_instruction(depth).powf(k)
+}
+
+/// Minimises `ED^kP` over the searchable depth range.
+///
+/// Returns `(depth, value)`; the depth may sit on the boundary when no
+/// interior minimum exists (the EPI case).
+pub fn minimize_energy_delay(model: &PipelineModel, k: f64) -> (f64, f64) {
+    let (lo, hi) = DEPTH_RANGE;
+    let max = optimize::maximize(|p| -energy_delay_product(model, p, k).ln(), lo, hi, 512);
+    (max.x, energy_delay_product(model, max.x, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimum::numeric_optimum;
+    use crate::params::{ClockGating, MetricExponent, PowerParams, TechParams, WorkloadParams};
+
+    fn model() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        )
+    }
+
+    #[test]
+    fn edp_is_reciprocal_of_metric() {
+        let m = model();
+        for depth in [3.0, 8.0, 15.0] {
+            for (k, exp) in [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)] {
+                let ed = energy_delay_product(&m, depth, k);
+                let bips = m.metric(depth, MetricExponent::new(exp));
+                assert!(
+                    (ed * bips - 1.0).abs() < 1e-9,
+                    "ED^{k}P × BIPS^{exp}/W must equal 1, got {}",
+                    ed * bips
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimizing_ed2p_matches_maximizing_bips3_per_watt() {
+        let m = model();
+        let (ed_depth, _) = minimize_energy_delay(&m, 2.0);
+        let bips_depth = numeric_optimum(&m, MetricExponent::BIPS3_PER_WATT)
+            .depth()
+            .expect("optimum exists");
+        assert!(
+            (ed_depth - bips_depth).abs() < 1e-3 * bips_depth,
+            "ED²P at {ed_depth} vs BIPS³/W at {bips_depth}"
+        );
+    }
+
+    #[test]
+    fn epi_minimised_at_the_shallowest_design() {
+        // EPI is the dual of BIPS/W: no pipelined optimum.
+        let (depth, _) = minimize_energy_delay(&model(), 0.0);
+        assert!(depth < 1.5, "EPI minimum at {depth}");
+    }
+
+    #[test]
+    fn energy_positive_and_finite() {
+        let m = model();
+        for depth in 1..=40 {
+            let e = energy_per_instruction(&m, depth as f64);
+            assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_exponent_rejected() {
+        let _ = energy_delay_product(&model(), 8.0, -1.0);
+    }
+}

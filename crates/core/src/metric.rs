@@ -1,0 +1,201 @@
+//! The general power/performance metric (the paper's Eq. 4):
+//!
+//! ```text
+//! Metric_m(p) = ( (T/N_I)^m · P_T )⁻¹   ∝   BIPS^m / W
+//! ```
+
+use crate::params::{MetricExponent, PowerParams, TechParams, WorkloadParams};
+use crate::perf::PerfModel;
+use crate::power::PowerModel;
+
+/// The combined power/performance model whose maximum over pipeline depth
+/// the paper characterises.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams};
+///
+/// let model = PipelineModel::new(
+///     TechParams::paper(),
+///     WorkloadParams::typical(),
+///     PowerParams::paper(),
+/// );
+/// let m3 = model.metric(7.0, MetricExponent::BIPS3_PER_WATT);
+/// assert!(m3 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineModel {
+    power: PowerModel,
+}
+
+impl PipelineModel {
+    /// Assembles the full model from its three parameter groups.
+    pub fn new(tech: TechParams, workload: WorkloadParams, power: PowerParams) -> Self {
+        let perf = PerfModel::new(tech, workload);
+        PipelineModel {
+            power: PowerModel::new(perf, power),
+        }
+    }
+
+    /// Builds from an existing power model.
+    pub fn from_power_model(power: PowerModel) -> Self {
+        PipelineModel { power }
+    }
+
+    /// The performance sub-model.
+    pub fn perf(&self) -> &PerfModel {
+        self.power.perf()
+    }
+
+    /// The power sub-model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Technology parameters.
+    pub fn tech(&self) -> &TechParams {
+        self.power.tech()
+    }
+
+    /// Workload parameters.
+    pub fn workload(&self) -> &WorkloadParams {
+        self.perf().workload()
+    }
+
+    /// Power parameters.
+    pub fn power_params(&self) -> &PowerParams {
+        self.power.params()
+    }
+
+    /// The metric `BIPS^m/W` at depth `p` (within an arbitrary overall
+    /// scale: BIPS here is instructions per FO4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not positive.
+    pub fn metric(&self, depth: f64, m: MetricExponent) -> f64 {
+        let tau = self.perf().time_per_instruction(depth);
+        let p_t = self.power.total_power(depth);
+        1.0 / (tau.powf(m.get()) * p_t)
+    }
+
+    /// Natural log of the metric — numerically friendlier for wide `m`.
+    pub fn log_metric(&self, depth: f64, m: MetricExponent) -> f64 {
+        let tau = self.perf().time_per_instruction(depth);
+        let p_t = self.power.total_power(depth);
+        -(m.get() * tau.ln() + p_t.ln())
+    }
+
+    /// Samples the metric over a depth range (inclusive, `steps` intervals).
+    ///
+    /// Returns `(depths, metric values)` ready for fitting or plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, non-positive, or `steps == 0`.
+    pub fn metric_curve(
+        &self,
+        lo: f64,
+        hi: f64,
+        steps: usize,
+        m: MetricExponent,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert!(
+            lo > 0.0 && hi > lo,
+            "depth range must be positive and non-empty"
+        );
+        assert!(steps > 0, "need at least one step");
+        let mut xs = Vec::with_capacity(steps + 1);
+        let mut ys = Vec::with_capacity(steps + 1);
+        for i in 0..=steps {
+            let p = lo + (hi - lo) * i as f64 / steps as f64;
+            xs.push(p);
+            ys.push(self.metric(p, m));
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ClockGating;
+
+    fn model() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper(),
+        )
+    }
+
+    #[test]
+    fn log_metric_consistent_with_metric() {
+        let m = model();
+        for p in [2.0, 7.0, 20.0] {
+            let lin = m.metric(p, MetricExponent::BIPS3_PER_WATT).ln();
+            let log = m.log_metric(p, MetricExponent::BIPS3_PER_WATT);
+            assert!((lin - log).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bips_per_watt_monotone_decreasing() {
+        // m = 1 has no pipelined optimum: the metric only falls with depth.
+        let m = model();
+        let (_, ys) = m.metric_curve(1.0, 30.0, 29, MetricExponent::BIPS_PER_WATT);
+        for w in ys.windows(2) {
+            assert!(w[1] < w[0], "BIPS/W should fall monotonically");
+        }
+    }
+
+    #[test]
+    fn bips2_per_watt_no_interior_peak() {
+        // m = 2 with the default parameters also optimises at a single stage.
+        let m = model();
+        let (_, ys) = m.metric_curve(1.0, 30.0, 29, MetricExponent::BIPS2_PER_WATT);
+        let best = ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0, "BIPS²/W should peak at the shallowest design");
+    }
+
+    #[test]
+    fn bips3_gated_has_interior_peak() {
+        let gated = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        );
+        let (xs, ys) = gated.metric_curve(1.0, 30.0, 290, MetricExponent::BIPS3_PER_WATT);
+        let best = ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak = xs[best];
+        assert!(peak > 2.0 && peak < 20.0, "peak at {peak}");
+    }
+
+    #[test]
+    fn metric_positive_everywhere() {
+        let m = model();
+        for p in 1..=30 {
+            assert!(m.metric(p as f64, MetricExponent::BIPS3_PER_WATT) > 0.0);
+        }
+    }
+
+    #[test]
+    fn curve_endpoints_match_direct_evaluation() {
+        let m = model();
+        let (xs, ys) = m.metric_curve(2.0, 25.0, 23, MetricExponent::BIPS3_PER_WATT);
+        assert_eq!(xs.len(), 24);
+        assert!((ys[0] - m.metric(2.0, MetricExponent::BIPS3_PER_WATT)).abs() < 1e-15);
+        assert!((ys[23] - m.metric(25.0, MetricExponent::BIPS3_PER_WATT)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,557 @@
+//! The optimality condition `d Metric/dp = 0` in analytic form.
+//!
+//! For the non-gated (and partially gated) power model the condition is a
+//! polynomial in `p`. With `u = t_o·p + t_p`, `K = α·γ·N_H/N_I` and
+//! `D = f_cg·P_d`, clearing denominators of
+//! `m·τ'/τ + β/p + D·t_p/(u·(D·p + P_l·u)) = 0` yields the exact **cubic**
+//!
+//! ```text
+//! E(p) = m(K·t_o·p² − t_p)(D·p + P_l·u)
+//!      + β·u(1 + K·p)(D·p + P_l·u)
+//!      + D·t_p·p(1 + K·p)
+//! ```
+//!
+//! Multiplying by `u` gives the paper's **quartic** (its Eq. 5), which
+//! carries the extra exact root `p = −t_p/t_o` (Eq. 6a). The root
+//! `p = −t_p·P_l/(D + t_o·P_l)` (Eq. 6b) is approximate, exactly as the
+//! paper observes. Dividing the cubic by `(D·p + P_l·u)` and linearising the
+//! remainder produces the paper's quadratic approximation (Eq. 7).
+
+use crate::metric::PipelineModel;
+use crate::params::{ClockGating, MetricExponent};
+use pipedepth_math::roots::solve_quadratic;
+use pipedepth_math::Polynomial;
+
+/// Raw ingredients of the optimality polynomials, extracted from a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ingredients {
+    m: f64,
+    beta: f64,
+    t_p: f64,
+    t_o: f64,
+    /// `K = α·γ·N_H/N_I`.
+    k: f64,
+    alpha: f64,
+    /// Effective dynamic factor `D = f_cg·P_d`.
+    d: f64,
+    p_l: f64,
+}
+
+fn ingredients(model: &PipelineModel, m: MetricExponent) -> Option<Ingredients> {
+    let d = match model.power_params().gating {
+        ClockGating::None => model.power_params().dynamic,
+        ClockGating::Partial(f_cg) => f_cg * model.power_params().dynamic,
+        // Complete gating makes the power model non-polynomial in p; the
+        // polynomial machinery does not apply.
+        ClockGating::Complete { .. } => return None,
+    };
+    let tech = model.tech();
+    let w = model.workload();
+    Some(Ingredients {
+        m: m.get(),
+        beta: model.power_params().latch_growth,
+        t_p: tech.logic_depth.get(),
+        t_o: tech.latch_overhead.get(),
+        k: w.hazard_product(),
+        alpha: w.alpha,
+        d,
+        p_l: model.power_params().leakage,
+    })
+}
+
+/// The exact cubic optimality polynomial `E(p)` for a non- or partially
+/// gated model.
+///
+/// Its positive real root is the optimum pipeline depth. Returns `None` for
+/// [`ClockGating::Complete`], whose optimality condition is not polynomial —
+/// use [`metric_slope`] with a numeric root finder instead.
+pub fn optimality_cubic(model: &PipelineModel, m: MetricExponent) -> Option<Polynomial> {
+    let ing = ingredients(model, m)?;
+    let u = Polynomial::new(vec![ing.t_p, ing.t_o]);
+    // D·p + P_l·u
+    let denom = Polynomial::new(vec![0.0, ing.d]) + u.scale(ing.p_l);
+    // 1 + K·p
+    let one_kp = Polynomial::new(vec![1.0, ing.k]);
+    // K·t_o·p² − t_p
+    let tau_num = Polynomial::new(vec![-ing.t_p, 0.0, ing.k * ing.t_o]);
+
+    let term1 = (&tau_num * &denom).scale(ing.m);
+    let term2 = (&(&u * &one_kp) * &denom).scale(ing.beta);
+    let term3 = (Polynomial::new(vec![0.0, ing.d * ing.t_p]) * one_kp.clone()).scale(1.0);
+    Some(term1 + term2 + term3)
+}
+
+/// The paper's quartic form of the optimality condition (its Eq. 5):
+/// the exact cubic multiplied by `u = t_o·p + t_p`.
+///
+/// Plotting this polynomial reproduces the paper's Fig. 1: four real zero
+/// crossings, a single positive one, plus the stationary spurious roots of
+/// Eqs. 6a/6b. Returns `None` for complete clock gating.
+pub fn paper_quartic(model: &PipelineModel, m: MetricExponent) -> Option<Polynomial> {
+    let cubic = optimality_cubic(model, m)?;
+    let t = model.tech();
+    let u = Polynomial::new(vec![t.logic_depth.get(), t.latch_overhead.get()]);
+    Some(cubic * u)
+}
+
+/// The paper's Eq. 6a: the exact spurious root `p = −t_p/t_o` introduced by
+/// forming the quartic.
+pub fn spurious_root_6a(model: &PipelineModel) -> f64 {
+    let t = model.tech();
+    -t.logic_depth.get() / t.latch_overhead.get()
+}
+
+/// The paper's Eq. 6b: the approximate spurious root
+/// `p = −t_p·P_l/(D + t_o·P_l)`.
+///
+/// Returns `None` for complete clock gating (no polynomial form) or when
+/// both `D` and `P_l` are zero.
+pub fn spurious_root_6b(model: &PipelineModel, m: MetricExponent) -> Option<f64> {
+    let ing = ingredients(model, m)?;
+    let denom = ing.d + ing.t_o * ing.p_l;
+    (denom != 0.0).then(|| -ing.t_p * ing.p_l / denom)
+}
+
+/// Coefficients `(B2, B1, B0)` of the paper's quadratic approximation
+/// (Eq. 7/8), in the α-scaled form the paper prints:
+///
+/// ```text
+/// B2 = (β + m)·γ·h·t_o
+/// B1 = β·γ·h·t_p + β·t_o/α + D·γ·h·t_p/(D + t_o·P_l)
+/// B0 = (β − m)·t_p/α + D·t_p/(α(D + t_o·P_l))
+/// ```
+///
+/// Returns `None` for complete clock gating.
+pub fn quadratic_coefficients(model: &PipelineModel, m: MetricExponent) -> Option<(f64, f64, f64)> {
+    let ing = ingredients(model, m)?;
+    let gh = ing.k / ing.alpha; // γ·h
+    let mix = ing.d / (ing.d + ing.t_o * ing.p_l);
+    let b2 = (ing.beta + ing.m) * gh * ing.t_o;
+    let b1 = ing.beta * gh * ing.t_p + ing.beta * ing.t_o / ing.alpha + mix * gh * ing.t_p;
+    let b0 = (ing.beta - ing.m) * ing.t_p / ing.alpha + mix * ing.t_p / ing.alpha;
+    Some((b2, b1, b0))
+}
+
+/// The positive root of the paper's quadratic approximation — the
+/// closed-form optimum pipeline depth of Eq. 7.
+///
+/// Returns `None` when no positive root exists (the optimum is an
+/// unpipelined, single-stage design — the paper's BIPS/W and BIPS²/W cases)
+/// or for complete clock gating.
+pub fn quadratic_optimum(model: &PipelineModel, m: MetricExponent) -> Option<f64> {
+    let (b2, b1, b0) = quadratic_coefficients(model, m)?;
+    solve_quadratic(b2, b1, b0).into_iter().find(|&r| r > 0.0)
+}
+
+/// The positive root of the exact cubic optimality polynomial.
+///
+/// Returns `None` when every real root is non-positive (no pipelined
+/// optimum) or for complete clock gating.
+pub fn cubic_optimum(model: &PipelineModel, m: MetricExponent) -> Option<f64> {
+    let cubic = optimality_cubic(model, m)?;
+    pipedepth_math::roots::real_roots(&cubic)
+        .into_iter()
+        .find(|&r| r > 0.0)
+}
+
+/// Analytic slope of the log-metric, `d ln Metric / dp`, valid for **all**
+/// gating modes (the complete-gating case is handled with the paper's
+/// `f_cg·f_s → κ/τ` substitution).
+///
+/// The optimum depth is the positive zero of this function; it is positive
+/// below the optimum and negative above it.
+pub fn metric_slope(model: &PipelineModel, depth: f64, m: MetricExponent) -> f64 {
+    assert!(depth > 0.0, "pipeline depth must be positive");
+    let perf = model.perf();
+    let tau = perf.time_per_instruction(depth);
+    let dtau = perf.time_derivative(depth);
+    let beta = model.power_params().latch_growth;
+    let p_d = model.power_params().dynamic;
+    let p_l = model.power_params().leakage;
+    let tech = model.tech();
+
+    let power_slope = match model.power_params().gating {
+        ClockGating::None | ClockGating::Partial(_) => {
+            let f_cg = match model.power_params().gating {
+                ClockGating::Partial(f) => f,
+                _ => 1.0,
+            };
+            let u = tech.latch_overhead.get() * depth + tech.logic_depth.get();
+            let f_s = depth / u;
+            let df_s = tech.logic_depth.get() / (u * u);
+            beta / depth + f_cg * p_d * df_s / (f_cg * f_s * p_d + p_l)
+        }
+        ClockGating::Complete { kappa } => {
+            let w = kappa * p_d / (kappa * p_d + tau * p_l);
+            beta / depth - w * dtau / tau
+        }
+    };
+    -(m.get() * dtau / tau + power_slope)
+}
+
+/// Closed-form approximation of the **gated** optimum: freezing the
+/// leakage weight `w = κP_d/(κP_d + τ·P_l)` at a reference depth turns the
+/// gated condition `(m − w)·τ'/τ + β/p = 0` into a quadratic
+///
+/// ```text
+/// [(m − w)·K·t_o + β·K·t_o]·p² + β·(t_o + K·t_p)·p + (β − (m − w))·t_p = 0
+/// ```
+///
+/// (with `K = α·γ·N_H/N_I`). This extends the paper's Eq. 7 to the
+/// clock-gated case it only treats numerically. Returns `None` when the
+/// model is not completely gated or no positive root exists.
+pub fn gated_quadratic_optimum(
+    model: &PipelineModel,
+    m: MetricExponent,
+    ref_depth: f64,
+) -> Option<f64> {
+    let ClockGating::Complete { kappa } = model.power_params().gating else {
+        return None;
+    };
+    assert!(ref_depth > 0.0, "reference depth must be positive");
+    let tech = model.tech();
+    let w_params = model.workload();
+    let k = w_params.hazard_product();
+    let t_p = tech.logic_depth.get();
+    let t_o = tech.latch_overhead.get();
+    let beta = model.power_params().latch_growth;
+    let p_d = model.power_params().dynamic;
+    let p_l = model.power_params().leakage;
+    let tau_ref = model.perf().time_per_instruction(ref_depth);
+    let w = kappa * p_d / (kappa * p_d + tau_ref * p_l);
+    let m_eff = m.get() - w;
+
+    let a = (m_eff + beta) * k * t_o;
+    let b = beta * (t_o + k * t_p);
+    let c = (beta - m_eff) * t_p;
+    solve_quadratic(a, b, c).into_iter().find(|&r| r > 0.0)
+}
+
+/// Condition for a pipelined optimum to be *possible* at all: the paper's
+/// `m > β` requirement, read off the quartic's constant term
+/// `A₀ ∝ (β − m)·t_p³·P_l`.
+pub fn necessary_condition(model: &PipelineModel, m: MetricExponent) -> bool {
+    m.get() > model.power_params().latch_growth
+}
+
+/// The stronger condition that applies when leakage is negligible: with
+/// `P_l = 0` the exact cubic's constant term is `(β + 1 − m)·t_p·D`, so a
+/// pipelined optimum additionally requires `m > β + 1`.
+///
+/// (The paper quotes `m > 2β` from its A₃ coefficient; for the β ≈ 1.1–1.3
+/// regime both thresholds exclude BIPS/W and BIPS²/W and admit BIPS³/W.)
+pub fn zero_leakage_condition(model: &PipelineModel, m: MetricExponent) -> bool {
+    m.get() > model.power_params().latch_growth + 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{PowerParams, TechParams, WorkloadParams};
+    use pipedepth_math::roots::real_roots;
+
+    const M3: MetricExponent = MetricExponent::BIPS3_PER_WATT;
+
+    fn model() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper(),
+        )
+    }
+
+    /// Numerical slope of the log-metric via central differences.
+    fn numeric_slope(model: &PipelineModel, p: f64, m: MetricExponent) -> f64 {
+        let h = 1e-6 * p;
+        (model.log_metric(p + h, m) - model.log_metric(p - h, m)) / (2.0 * h)
+    }
+
+    #[test]
+    fn cubic_is_degree_three() {
+        let c = optimality_cubic(&model(), M3).unwrap();
+        assert_eq!(c.degree(), Some(3));
+    }
+
+    #[test]
+    fn quartic_is_degree_four() {
+        let q = paper_quartic(&model(), M3).unwrap();
+        assert_eq!(q.degree(), Some(4));
+    }
+
+    #[test]
+    fn cubic_root_matches_metric_slope_zero() {
+        let m = model();
+        let p = cubic_optimum(&m, M3).expect("m=3, β=1.3 has an optimum");
+        assert!(metric_slope(&m, p, M3).abs() < 1e-9, "slope at root");
+    }
+
+    #[test]
+    fn metric_slope_matches_numeric_derivative_ungated() {
+        let m = model();
+        for p in [2.0, 5.0, 9.0, 18.0] {
+            let an = metric_slope(&m, p, M3);
+            let nm = numeric_slope(&m, p, M3);
+            assert!(
+                (an - nm).abs() < 1e-5 * an.abs().max(1.0),
+                "at {p}: {an} vs {nm}"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_slope_matches_numeric_derivative_gated() {
+        let m = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        );
+        for p in [2.0, 5.0, 9.0, 18.0] {
+            let an = metric_slope(&m, p, M3);
+            let nm = numeric_slope(&m, p, M3);
+            assert!(
+                (an - nm).abs() < 1e-5 * an.abs().max(1.0),
+                "at {p}: {an} vs {nm}"
+            );
+        }
+    }
+
+    #[test]
+    fn quartic_carries_spurious_root_6a() {
+        let m = model();
+        let q = paper_quartic(&m, M3).unwrap();
+        let r6a = spurious_root_6a(&m);
+        assert!(
+            (r6a + 56.0).abs() < 1e-12,
+            "paper technology: −t_p/t_o = −56"
+        );
+        let scale: f64 = q.coeffs().iter().fold(1.0f64, |a, c| a.max(c.abs()));
+        assert!(
+            q.eval(r6a).abs() < 1e-6 * scale * r6a.abs().powi(4),
+            "quartic({r6a}) = {}",
+            q.eval(r6a)
+        );
+    }
+
+    #[test]
+    fn root_6b_is_small_and_negative() {
+        let m = model();
+        let r = spurious_root_6b(&m, M3).unwrap();
+        assert!(r < 0.0 && r > -2.0, "Eq. 6b root near −0.5, got {r}");
+    }
+
+    /// Distance from Eq. 6b's prediction to the nearest true quartic root,
+    /// relative to the root's magnitude.
+    fn root_6b_relative_error(m: &PipelineModel) -> f64 {
+        let q = paper_quartic(m, M3).unwrap();
+        let roots = real_roots(&q);
+        let r6b = spurious_root_6b(m, M3).unwrap();
+        let closest = roots
+            .iter()
+            .cloned()
+            .min_by(|a, b| (a - r6b).abs().partial_cmp(&(b - r6b).abs()).unwrap())
+            .unwrap();
+        (closest - r6b).abs() / closest.abs().max(0.5)
+    }
+
+    #[test]
+    fn root_6b_tracks_a_true_root() {
+        // Eq. 6b is an approximate root; the paper quotes <5% deviation for
+        // its parameters. The approximation degrades when P_l·t_p is
+        // comparable to D·p (our default 15%-leakage point), so we assert a
+        // loose bound here and tightness at low leakage below.
+        assert!(root_6b_relative_error(&model()) < 0.6);
+    }
+
+    #[test]
+    fn negative_roots_are_stationary_under_workload_changes() {
+        // The paper's observation from replotting Fig. 1: the two roots
+        // described by Eqs. 6a/6b "are largely stationary and not dependent
+        // on the other parameters". Vary the workload by 2× and check the
+        // negative roots barely move while the positive root moves a lot.
+        let base = model();
+        let varied = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::new(3.0, 0.45, 0.25),
+            PowerParams::paper(),
+        );
+        let rb = real_roots(&paper_quartic(&base, M3).unwrap());
+        let rv = real_roots(&paper_quartic(&varied, M3).unwrap());
+        assert_eq!(rb.len(), 4);
+        assert_eq!(rv.len(), 4);
+        // Most negative root (Eq. 6a) is pinned at −t_p/t_o exactly.
+        assert!((rb[0] - rv[0]).abs() < 1e-6);
+        // Small negative root (near Eq. 6b) moves by far less than the
+        // positive optimum does.
+        let small_b = rb
+            .iter()
+            .cloned()
+            .filter(|&r| r < 0.0)
+            .fold(f64::MIN, f64::max);
+        let small_v = rv
+            .iter()
+            .cloned()
+            .filter(|&r| r < 0.0)
+            .fold(f64::MIN, f64::max);
+        let pos_b = rb[3];
+        let pos_v = rv[3];
+        let neg_shift = (small_b - small_v).abs();
+        let pos_shift = (pos_b - pos_v).abs();
+        assert!(
+            neg_shift < 0.3 * pos_shift,
+            "negative root shift {neg_shift} vs positive {pos_shift}"
+        );
+    }
+
+    #[test]
+    fn quartic_has_four_real_roots_one_positive() {
+        // The paper's Fig. 1: all four roots real, exactly one positive.
+        let q = paper_quartic(&model(), M3).unwrap();
+        let roots = real_roots(&q);
+        assert_eq!(roots.len(), 4, "roots: {roots:?}");
+        let positive: Vec<_> = roots.iter().filter(|&&r| r > 0.0).collect();
+        assert_eq!(positive.len(), 1, "roots: {roots:?}");
+    }
+
+    #[test]
+    fn quadratic_underestimates_but_tracks_cubic() {
+        // Eq. 7 drops the P_l·t_p part of the (D·p + P_l·u) factor, which
+        // biases the root shallow; at our default (shallow-optimum) point
+        // the bias is tens of percent. It must still give the right order.
+        let m = model();
+        let exact = cubic_optimum(&m, M3).unwrap();
+        let approx = quadratic_optimum(&m, M3).unwrap();
+        assert!(approx <= exact, "dropping a positive term biases shallow");
+        assert!(
+            (exact - approx).abs() < 0.45 * exact,
+            "exact {exact} vs quadratic {approx}"
+        );
+    }
+
+    #[test]
+    fn quadratic_tightens_for_deep_optima() {
+        // In the paper's regime (optimum ≈ 5–9 stages, so D·p ≫ P_l·t_p)
+        // the quadratic is accurate to a few percent.
+        let m = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::new(1.2, 0.2, 0.12),
+            PowerParams::with_leakage_fraction(0.03, &TechParams::paper(), 10.0),
+        );
+        let exact = cubic_optimum(&m, M3).unwrap();
+        let approx = quadratic_optimum(&m, M3).unwrap();
+        assert!(
+            exact > 4.0,
+            "this config should have a deep optimum, got {exact}"
+        );
+        assert!(
+            (exact - approx).abs() < 0.10 * exact,
+            "exact {exact} vs quadratic {approx}"
+        );
+    }
+
+    #[test]
+    fn no_optimum_for_bips_per_watt() {
+        let m = model();
+        assert!(quadratic_optimum(&m, MetricExponent::BIPS_PER_WATT).is_none());
+        assert!(cubic_optimum(&m, MetricExponent::BIPS_PER_WATT).is_none());
+    }
+
+    #[test]
+    fn no_optimum_for_bips2_per_watt_with_paper_params() {
+        // "the particular parameters have moved this optimum point below 1"
+        let m = model();
+        let q = quadratic_optimum(&m, MetricExponent::BIPS2_PER_WATT);
+        assert!(q.is_none() || q.unwrap() < 1.5, "got {q:?}");
+    }
+
+    #[test]
+    fn conditions_track_m_and_beta() {
+        let m = model();
+        assert!(necessary_condition(&m, M3));
+        assert!(!necessary_condition(&m, MetricExponent::BIPS_PER_WATT));
+        assert!(zero_leakage_condition(&m, M3));
+        assert!(!zero_leakage_condition(&m, MetricExponent::BIPS2_PER_WATT));
+    }
+
+    #[test]
+    fn beta_above_m_kills_optimum() {
+        // β > 2 pushes even BIPS³/W to an unpipelined optimum once β ≥ m
+        // (Fig. 9's discussion: "if β becomes larger than 2, the theory
+        // points to the optimum as a single stage design").
+        let m = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_latch_growth(3.2),
+        );
+        assert!(cubic_optimum(&m, M3).is_none());
+    }
+
+    #[test]
+    fn gated_quadratic_tracks_numeric_optimum() {
+        use crate::optimum::numeric_optimum;
+        let gated = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::Complete { kappa: 0.3 }),
+        );
+        let numeric = numeric_optimum(&gated, M3).depth().unwrap();
+        // Evaluate the frozen-w quadratic at the numeric optimum itself —
+        // the self-consistent reference point.
+        let approx = gated_quadratic_optimum(&gated, M3, numeric).unwrap();
+        assert!(
+            (approx - numeric).abs() < 0.15 * numeric,
+            "quadratic {approx} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn gated_quadratic_requires_complete_gating() {
+        assert!(gated_quadratic_optimum(&model(), M3, 8.0).is_none());
+    }
+
+    #[test]
+    fn gated_quadratic_deepens_with_leakage() {
+        // More leakage shrinks w, raising m_eff toward m: deeper optimum —
+        // the closed-form restatement of Fig. 8.
+        let at = |leak: f64| {
+            let power = PowerParams::with_leakage_fraction(leak, &TechParams::paper(), 10.0)
+                .with_gating(ClockGating::Complete { kappa: 0.3 });
+            let m = PipelineModel::new(TechParams::paper(), WorkloadParams::typical(), power);
+            gated_quadratic_optimum(&m, M3, 8.0).unwrap()
+        };
+        assert!(at(0.5) > at(0.15));
+        assert!(at(0.15) > at(0.02));
+    }
+
+    #[test]
+    fn complete_gating_has_no_polynomial_form() {
+        let gated = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        );
+        assert!(optimality_cubic(&gated, M3).is_none());
+        assert!(paper_quartic(&gated, M3).is_none());
+        assert!(quadratic_optimum(&gated, M3).is_none());
+    }
+
+    #[test]
+    fn partial_gating_scales_into_polynomial() {
+        let part = PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::Partial(0.4)),
+        );
+        let p_part = cubic_optimum(&part, M3).unwrap();
+        let p_full = cubic_optimum(&model(), M3).unwrap();
+        // Less switching power ⇒ deeper optimum.
+        assert!(p_part > p_full, "{p_part} vs {p_full}");
+    }
+
+    #[test]
+    fn slope_positive_below_negative_above_optimum() {
+        let m = model();
+        let p_opt = cubic_optimum(&m, M3).unwrap();
+        assert!(metric_slope(&m, p_opt * 0.5, M3) > 0.0);
+        assert!(metric_slope(&m, p_opt * 2.0, M3) < 0.0);
+    }
+}

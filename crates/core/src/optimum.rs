@@ -1,0 +1,305 @@
+//! Unified optimum-depth solving.
+//!
+//! Three independent routes to the optimum pipeline depth are provided and
+//! cross-checked in tests:
+//!
+//! 1. **numeric** — golden-section maximisation of the raw metric (works for
+//!    every gating mode; this is the reference);
+//! 2. **cubic** — positive root of the exact optimality cubic (non-/partial
+//!    gating);
+//! 3. **quadratic** — the paper's Eq. 7 closed form (non-/partial gating,
+//!    approximate).
+
+use crate::metric::PipelineModel;
+use crate::optimality;
+use crate::params::MetricExponent;
+use pipedepth_math::optimize;
+
+/// Depth range the solver searches. The paper simulates 2–25 stages; we
+/// search a slightly wider continuous range so theory optima outside the
+/// simulated window are still reported.
+pub const DEPTH_RANGE: (f64, f64) = (1.0, 60.0);
+
+/// The outcome of an optimum-depth computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimum {
+    /// An interior optimum exists at the given depth (stages).
+    Pipelined {
+        /// Optimal pipeline depth in stages (continuous).
+        depth: f64,
+        /// Metric value at the optimum.
+        metric: f64,
+    },
+    /// The metric is maximised at the shallowest design: no pipelining.
+    ///
+    /// This is the paper's outcome for BIPS/W and (with its parameters)
+    /// BIPS²/W.
+    Unpipelined {
+        /// Metric value at depth 1.
+        metric: f64,
+    },
+    /// The metric is still rising at the top of the search range — the
+    /// power term is too weak to turn the curve over (performance-only
+    /// behaviour within the window).
+    DeeperThanRange {
+        /// Metric value at the top of the range.
+        metric: f64,
+    },
+}
+
+impl Optimum {
+    /// The optimal depth if an interior optimum exists.
+    pub fn depth(&self) -> Option<f64> {
+        match self {
+            Optimum::Pipelined { depth, .. } => Some(*depth),
+            _ => None,
+        }
+    }
+
+    /// The metric value at the reported design point.
+    pub fn metric(&self) -> f64 {
+        match self {
+            Optimum::Pipelined { metric, .. }
+            | Optimum::Unpipelined { metric }
+            | Optimum::DeeperThanRange { metric } => *metric,
+        }
+    }
+}
+
+/// Finds the optimum pipeline depth by direct numeric maximisation of the
+/// metric over [`DEPTH_RANGE`]. Works for every gating mode.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{numeric_optimum, MetricExponent, PipelineModel,
+///                      PowerParams, TechParams, WorkloadParams, ClockGating};
+///
+/// let gated = PipelineModel::new(
+///     TechParams::paper(),
+///     WorkloadParams::typical(),
+///     PowerParams::paper().with_gating(ClockGating::complete()),
+/// );
+/// let opt = numeric_optimum(&gated, MetricExponent::BIPS3_PER_WATT);
+/// assert!(opt.depth().is_some());
+/// ```
+pub fn numeric_optimum(model: &PipelineModel, m: MetricExponent) -> Optimum {
+    let (lo, hi) = DEPTH_RANGE;
+    let max = optimize::maximize(|p| model.log_metric(p, m), lo, hi, 512);
+    let metric = max.value.exp();
+    if max.interior {
+        Optimum::Pipelined {
+            depth: max.x,
+            metric,
+        }
+    } else if max.x <= lo + (hi - lo) * 1e-6 {
+        Optimum::Unpipelined { metric }
+    } else {
+        Optimum::DeeperThanRange { metric }
+    }
+}
+
+/// Finds the optimum by the exact cubic (non-/partial gating) and falls back
+/// to [`numeric_optimum`] for complete gating.
+pub fn analytic_optimum(model: &PipelineModel, m: MetricExponent) -> Optimum {
+    match optimality::cubic_optimum(model, m) {
+        Some(depth) if depth >= 1.0 => Optimum::Pipelined {
+            depth,
+            metric: model.metric(depth, m),
+        },
+        Some(_) => Optimum::Unpipelined {
+            metric: model.metric(1.0, m),
+        },
+        None => {
+            if optimality::optimality_cubic(model, m).is_some() {
+                // Polynomial existed but no positive root: boundary optimum.
+                Optimum::Unpipelined {
+                    metric: model.metric(1.0, m),
+                }
+            } else {
+                numeric_optimum(model, m)
+            }
+        }
+    }
+}
+
+/// The paper's Eq. 7 closed-form optimum (quadratic approximation), when it
+/// applies and yields a physical (≥ 1 stage) depth.
+pub fn closed_form_optimum(model: &PipelineModel, m: MetricExponent) -> Option<f64> {
+    optimality::quadratic_optimum(model, m).filter(|&p| p >= 1.0)
+}
+
+/// Full report comparing every solution route for one model and metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimumReport {
+    /// The metric exponent analysed.
+    pub m: MetricExponent,
+    /// Reference numeric optimum.
+    pub numeric: Optimum,
+    /// Exact-cubic route (equals numeric for complete gating).
+    pub analytic: Optimum,
+    /// Paper's Eq. 7 closed form, when applicable.
+    pub closed_form: Option<f64>,
+    /// Performance-only optimum (Eq. 2), for context.
+    pub perf_only: f64,
+    /// Cycle time (FO4/stage) at the numeric optimum design point, when an
+    /// interior optimum exists.
+    pub cycle_time_fo4: Option<f64>,
+}
+
+impl std::fmt::Display for OptimumReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "optimum report for {}", self.m)?;
+        match self.numeric {
+            Optimum::Pipelined { depth, .. } => {
+                writeln!(
+                    f,
+                    "  numeric optimum : {depth:.2} stages ({:.1} FO4/stage)",
+                    self.cycle_time_fo4.unwrap_or(f64::NAN)
+                )?;
+            }
+            Optimum::Unpipelined { .. } => writeln!(f, "  numeric optimum : unpipelined")?,
+            Optimum::DeeperThanRange { .. } => {
+                writeln!(f, "  numeric optimum : beyond the search range")?
+            }
+        }
+        if let Some(d) = self.analytic.depth() {
+            writeln!(f, "  analytic (cubic): {d:.2} stages")?;
+        }
+        if let Some(d) = self.closed_form {
+            writeln!(f, "  Eq. 7 closed    : {d:.2} stages")?;
+        }
+        writeln!(f, "  perf-only Eq. 2 : {:.2} stages", self.perf_only)
+    }
+}
+
+/// Produces an [`OptimumReport`] for a model/metric pair.
+pub fn report(model: &PipelineModel, m: MetricExponent) -> OptimumReport {
+    let numeric = numeric_optimum(model, m);
+    let analytic = analytic_optimum(model, m);
+    let closed_form = closed_form_optimum(model, m);
+    let cycle_time_fo4 = numeric.depth().map(|p| model.tech().cycle_time(p));
+    OptimumReport {
+        m,
+        numeric,
+        analytic,
+        closed_form,
+        perf_only: model.perf().optimum_depth(),
+        cycle_time_fo4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ClockGating, PowerParams, TechParams, WorkloadParams};
+
+    const M3: MetricExponent = MetricExponent::BIPS3_PER_WATT;
+
+    fn ungated() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper(),
+        )
+    }
+
+    fn gated() -> PipelineModel {
+        PipelineModel::new(
+            TechParams::paper(),
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        )
+    }
+
+    #[test]
+    fn numeric_and_analytic_agree_ungated() {
+        let m = ungated();
+        let n = numeric_optimum(&m, M3).depth().unwrap();
+        let a = analytic_optimum(&m, M3).depth().unwrap();
+        assert!((n - a).abs() < 1e-4 * n, "numeric {n} vs analytic {a}");
+    }
+
+    #[test]
+    fn numeric_and_analytic_agree_gated() {
+        let m = gated();
+        let n = numeric_optimum(&m, M3).depth().unwrap();
+        let a = analytic_optimum(&m, M3).depth().unwrap();
+        assert!((n - a).abs() < 1e-6 * n.max(1.0));
+    }
+
+    #[test]
+    fn bips_per_watt_is_unpipelined() {
+        let m = ungated();
+        assert!(matches!(
+            numeric_optimum(&m, MetricExponent::BIPS_PER_WATT),
+            Optimum::Unpipelined { .. }
+        ));
+        assert!(matches!(
+            analytic_optimum(&m, MetricExponent::BIPS_PER_WATT),
+            Optimum::Unpipelined { .. }
+        ));
+    }
+
+    #[test]
+    fn gating_deepens_the_optimum() {
+        // The paper: "Clock gating pushes the optimum to deeper pipelines."
+        let pu = numeric_optimum(&ungated(), M3).depth().unwrap();
+        let pg = numeric_optimum(&gated(), M3).depth().unwrap();
+        assert!(pg > pu, "gated {pg} should exceed ungated {pu}");
+    }
+
+    #[test]
+    fn power_always_shortens_vs_perf_only() {
+        // "Consideration of power always leads to shorter pipelines."
+        for model in [ungated(), gated()] {
+            let r = report(&model, M3);
+            if let Some(d) = r.numeric.depth() {
+                assert!(d < r.perf_only, "{d} vs perf-only {}", r.perf_only);
+            }
+        }
+    }
+
+    #[test]
+    fn report_cycle_time_consistent() {
+        let r = report(&gated(), M3);
+        let d = r.numeric.depth().unwrap();
+        let t = r.cycle_time_fo4.unwrap();
+        assert!((t - (2.5 + 140.0 / d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_m_gives_deeper_optimum() {
+        let m3 = numeric_optimum(&gated(), M3).depth().unwrap();
+        let m6 = numeric_optimum(&gated(), MetricExponent::new(6.0))
+            .depth()
+            .unwrap();
+        assert!(m6 > m3);
+    }
+
+    #[test]
+    fn huge_m_approaches_perf_only_optimum() {
+        let model = gated();
+        let m_inf = numeric_optimum(&model, MetricExponent::new(500.0))
+            .depth()
+            .unwrap();
+        let perf = model.perf().optimum_depth();
+        assert!(
+            (m_inf - perf).abs() < 0.05 * perf,
+            "m→∞ {m_inf} vs Eq. 2 {perf}"
+        );
+    }
+
+    #[test]
+    fn optimum_accessors() {
+        let o = Optimum::Pipelined {
+            depth: 7.0,
+            metric: 0.5,
+        };
+        assert_eq!(o.depth(), Some(7.0));
+        assert_eq!(o.metric(), 0.5);
+        let u = Optimum::Unpipelined { metric: 0.1 };
+        assert_eq!(u.depth(), None);
+        assert_eq!(u.metric(), 0.1);
+    }
+}

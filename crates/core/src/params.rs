@@ -1,0 +1,473 @@
+//! Parameter types for the power/performance pipeline-depth model.
+//!
+//! The paper's model is governed by three parameter groups:
+//!
+//! * **technology** — total logic depth `t_p` and per-stage latch overhead
+//!   `t_o`, both in FO4 inverter delays ([`TechParams`]);
+//! * **workload** — the superscalar utilisation `α`, the hazard fraction
+//!   `γ`, and the hazard rate `N_H/N_I` ([`WorkloadParams`]);
+//! * **power** — per-latch dynamic and leakage power, latches per stage,
+//!   the latch-growth exponent `β`, and the clock-gating mode
+//!   ([`PowerParams`], [`ClockGating`]).
+
+use std::fmt;
+
+/// Number of FO4 (fan-out-of-4 inverter) delays — the technology-independent
+/// unit of time used throughout the paper.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::Fo4;
+/// let cycle = Fo4::new(22.5);
+/// assert_eq!(cycle.get(), 22.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fo4(f64);
+
+impl Fo4 {
+    /// Wraps a delay expressed in FO4 units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "FO4 delay must be a finite non-negative number, got {value}"
+        );
+        Fo4(value)
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fo4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} FO4", self.0)
+    }
+}
+
+impl From<f64> for Fo4 {
+    fn from(v: f64) -> Self {
+        Fo4::new(v)
+    }
+}
+
+/// Technology parameters: the total processor logic depth and the latch
+/// overhead added by each pipeline boundary.
+///
+/// Paper defaults: `t_p = 140` FO4, `t_o = 2.5` FO4 ("chosen to represent a
+/// particular technology", Section 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Total logic delay of the processor, `t_p` (FO4).
+    pub logic_depth: Fo4,
+    /// Latch (pipeline-register) overhead per stage, `t_o` (FO4).
+    pub latch_overhead: Fo4,
+}
+
+impl TechParams {
+    /// The paper's technology point: `t_p = 140`, `t_o = 2.5` FO4.
+    pub fn paper() -> Self {
+        TechParams {
+            logic_depth: Fo4::new(140.0),
+            latch_overhead: Fo4::new(2.5),
+        }
+    }
+
+    /// Creates technology parameters from raw FO4 numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logic_depth` is not strictly positive (a processor with no
+    /// logic cannot be pipelined) or `latch_overhead` is not positive.
+    pub fn new(logic_depth: f64, latch_overhead: f64) -> Self {
+        assert!(logic_depth > 0.0, "logic depth must be positive");
+        assert!(latch_overhead > 0.0, "latch overhead must be positive");
+        TechParams {
+            logic_depth: Fo4::new(logic_depth),
+            latch_overhead: Fo4::new(latch_overhead),
+        }
+    }
+
+    /// Cycle time at pipeline depth `p`: `t_s = t_o + t_p / p` (FO4).
+    ///
+    /// This is the paper's "FO4 per stage including latch overhead" design
+    /// point; e.g. the headline 7-stage optimum is `2.5 + 140/7 = 22.5` FO4.
+    pub fn cycle_time(&self, depth: f64) -> f64 {
+        assert!(depth > 0.0, "pipeline depth must be positive");
+        self.latch_overhead.get() + self.logic_depth.get() / depth
+    }
+
+    /// Clock frequency at depth `p` in 1/FO4: `f_s = 1 / t_s`.
+    pub fn frequency(&self, depth: f64) -> f64 {
+        1.0 / self.cycle_time(depth)
+    }
+
+    /// The pipeline depth whose cycle time equals `fo4_per_stage`:
+    /// `p = t_p / (t_s − t_o)`.
+    ///
+    /// Returns `None` when `fo4_per_stage ≤ t_o` (no finite depth reaches it).
+    pub fn depth_for_cycle_time(&self, fo4_per_stage: f64) -> Option<f64> {
+        let logic = fo4_per_stage - self.latch_overhead.get();
+        (logic > 0.0).then(|| self.logic_depth.get() / logic)
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Workload parameters extracted from a single simulation run (or measured
+/// on real hardware): everything the performance model of Eq. 1 needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Average degree of superscalar processing, `α` (instructions that
+    /// issue together on unstalled cycles).
+    pub alpha: f64,
+    /// Weighted average fraction of the pipeline stalled by a hazard, `γ`.
+    pub gamma: f64,
+    /// Hazards per instruction, `N_H / N_I`.
+    pub hazard_rate: f64,
+}
+
+impl WorkloadParams {
+    /// Creates workload parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha ≥ 1` (at least scalar issue), `gamma ∈ (0, 1]`
+    /// and `hazard_rate > 0` — a hazard-free workload has no interior
+    /// optimum and the model's Eq. 2 diverges.
+    pub fn new(alpha: f64, gamma: f64, hazard_rate: f64) -> Self {
+        assert!(alpha >= 1.0, "superscalar degree must be at least 1");
+        assert!(
+            gamma > 0.0 && gamma <= 1.0,
+            "hazard pipeline fraction must be in (0, 1]"
+        );
+        assert!(hazard_rate > 0.0, "hazard rate must be positive");
+        WorkloadParams {
+            alpha,
+            gamma,
+            hazard_rate,
+        }
+    }
+
+    /// A typical workload: the product `α·γ·N_H/N_I ≈ 0.108` puts the
+    /// performance-only optimum near the paper's 22–23 stages for the
+    /// default technology.
+    pub fn typical() -> Self {
+        WorkloadParams::new(2.0, 0.30, 0.18)
+    }
+
+    /// The product `α·γ·N_H/N_I` that controls the performance-only optimum.
+    pub fn hazard_product(&self) -> f64 {
+        self.alpha * self.gamma * self.hazard_rate
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Clock-gating mode of the power model (Eq. 3 and Section 2's discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ClockGating {
+    /// No gating: every latch switches every cycle (`f_cg = 1`).
+    #[default]
+    None,
+    /// Partial gating: a fixed fraction of latches switch each cycle
+    /// (`f_cg` constant in `(0, 1)`).
+    Partial(f64),
+    /// Complete fine-grained gating: latches switch only with work, so
+    /// `f_cg·f_s → κ·(T/N_I)⁻¹` — effective switching is proportional to
+    /// performance. `kappa` is the per-instruction switching constant.
+    Complete {
+        /// Proportionality constant `κ` (dimensionless switching activity
+        /// per instruction).
+        kappa: f64,
+    },
+}
+
+impl ClockGating {
+    /// Convenience constructor for [`ClockGating::Complete`] with `κ = 1`.
+    pub fn complete() -> Self {
+        ClockGating::Complete { kappa: 1.0 }
+    }
+}
+
+/// Power-model parameters (the paper's Eq. 3).
+///
+/// `P_d` and `P_l` are *per-latch* powers; total latch count is
+/// `N_L · p^β`. Note the units: `P_d` multiplies a frequency (1/FO4), so it
+/// is an energy per switch, while `P_l` is a power. Only their ratio and the
+/// overall scale matter to the optimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Dynamic (switching) energy per latch per clock, `P_d`.
+    pub dynamic: f64,
+    /// Leakage power per latch, `P_l`.
+    pub leakage: f64,
+    /// Latches per pipeline stage at depth 1, `N_L`.
+    pub latches_per_stage: f64,
+    /// Latch-growth exponent `β`: total latches scale as `p^β`. The paper
+    /// uses 1.1 for the whole processor and observes 1.3 for individual
+    /// units; the theory-vs-simulation comparisons use 1.3.
+    pub latch_growth: f64,
+    /// Clock-gating mode.
+    pub gating: ClockGating,
+}
+
+impl PowerParams {
+    /// The paper's default power point: `β = 1.3`, no gating, and leakage
+    /// set to 15% of total power at the 10-stage reference depth of the
+    /// default technology.
+    pub fn paper() -> Self {
+        Self::with_leakage_fraction(0.15, &TechParams::paper(), 10.0)
+    }
+
+    /// Builds power parameters with `P_d = 1` and `P_l` chosen so leakage
+    /// accounts for `fraction` of total (non-gated) power at reference depth
+    /// `ref_depth`:
+    ///
+    /// `P_l / (f_s(p_ref)·P_d + P_l) = fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction ∈ [0, 1)` and `ref_depth > 0`.
+    pub fn with_leakage_fraction(fraction: f64, tech: &TechParams, ref_depth: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "leakage fraction must be in [0, 1)"
+        );
+        assert!(ref_depth > 0.0, "reference depth must be positive");
+        let dynamic = 1.0;
+        let f_ref = tech.frequency(ref_depth);
+        let leakage = fraction / (1.0 - fraction) * f_ref * dynamic;
+        PowerParams {
+            dynamic,
+            leakage,
+            latches_per_stage: 1.0,
+            latch_growth: 1.3,
+            gating: ClockGating::None,
+        }
+    }
+
+    /// Returns a copy with a different latch-growth exponent `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not positive.
+    pub fn with_latch_growth(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0, "latch growth exponent must be positive");
+        self.latch_growth = beta;
+        self
+    }
+
+    /// Returns a copy with the given gating mode.
+    pub fn with_gating(mut self, gating: ClockGating) -> Self {
+        if let ClockGating::Partial(f) = gating {
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "partial gating factor must be in (0, 1]"
+            );
+        }
+        if let ClockGating::Complete { kappa } = gating {
+            assert!(kappa > 0.0, "gating kappa must be positive");
+        }
+        self.gating = gating;
+        self
+    }
+
+    /// Total latch count at depth `p`: `N_L · p^β`.
+    pub fn latch_count(&self, depth: f64) -> f64 {
+        assert!(depth > 0.0, "pipeline depth must be positive");
+        self.latches_per_stage * depth.powf(self.latch_growth)
+    }
+
+    /// The leakage fraction of non-gated power at depth `p` for technology
+    /// `tech` (useful to report what a parameter set means).
+    pub fn leakage_fraction_at(&self, tech: &TechParams, depth: f64) -> f64 {
+        let dyn_p = tech.frequency(depth) * self.dynamic;
+        self.leakage / (dyn_p + self.leakage)
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The exponent `m` of the power/performance metric `BIPS^m / W` (Eq. 4).
+///
+/// `m = 1, 2, 3` are the metrics debated in the literature; `m → ∞`
+/// corresponds to performance-only optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct MetricExponent(f64);
+
+impl MetricExponent {
+    /// `BIPS/W` (energy per instruction).
+    pub const BIPS_PER_WATT: MetricExponent = MetricExponent(1.0);
+    /// `BIPS²/W` (energy–delay product).
+    pub const BIPS2_PER_WATT: MetricExponent = MetricExponent(2.0);
+    /// `BIPS³/W` (energy–delay² product, the paper's headline metric).
+    pub const BIPS3_PER_WATT: MetricExponent = MetricExponent(3.0);
+
+    /// Creates an arbitrary metric exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m > 0`.
+    pub fn new(m: f64) -> Self {
+        assert!(m > 0.0 && m.is_finite(), "metric exponent must be positive");
+        MetricExponent(m)
+    }
+
+    /// The wrapped exponent.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MetricExponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 1.0 {
+            write!(f, "BIPS/W")
+        } else {
+            write!(f, "BIPS^{}/W", self.0)
+        }
+    }
+}
+
+impl From<f64> for MetricExponent {
+    fn from(m: f64) -> Self {
+        MetricExponent::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cycle_times_match_headline_numbers() {
+        let tech = TechParams::paper();
+        // 7 stages → 22.5 FO4; 22 stages → ≈8.86 FO4; 8 stages → 20 FO4.
+        assert!((tech.cycle_time(7.0) - 22.5).abs() < 1e-12);
+        assert!((tech.cycle_time(8.0) - 20.0).abs() < 1e-12);
+        assert!((tech.cycle_time(22.0) - 8.863).abs() < 1e-2);
+    }
+
+    #[test]
+    fn depth_for_cycle_time_inverts_cycle_time() {
+        let tech = TechParams::paper();
+        for p in [2.0, 7.0, 14.5, 25.0] {
+            let ts = tech.cycle_time(p);
+            let back = tech.depth_for_cycle_time(ts).unwrap();
+            assert!((back - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn depth_for_unreachable_cycle_time() {
+        let tech = TechParams::paper();
+        assert!(tech.depth_for_cycle_time(2.5).is_none());
+        assert!(tech.depth_for_cycle_time(1.0).is_none());
+    }
+
+    #[test]
+    fn frequency_is_reciprocal_of_cycle_time() {
+        let tech = TechParams::paper();
+        assert!((tech.frequency(10.0) * tech.cycle_time(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = TechParams::paper().cycle_time(0.0);
+    }
+
+    #[test]
+    fn workload_hazard_product() {
+        let w = WorkloadParams::new(2.0, 0.3, 0.18);
+        assert!((w.hazard_product() - 0.108).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "superscalar degree")]
+    fn alpha_below_one_rejected() {
+        let _ = WorkloadParams::new(0.5, 0.3, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hazard rate")]
+    fn zero_hazard_rate_rejected() {
+        let _ = WorkloadParams::new(2.0, 0.3, 0.0);
+    }
+
+    #[test]
+    fn leakage_fraction_roundtrips() {
+        let tech = TechParams::paper();
+        for frac in [0.0, 0.15, 0.5, 0.9] {
+            let pw = PowerParams::with_leakage_fraction(frac, &tech, 10.0);
+            let measured = pw.leakage_fraction_at(&tech, 10.0);
+            assert!(
+                (measured - frac).abs() < 1e-12,
+                "fraction {frac} measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn latch_count_grows_superlinearly() {
+        let pw = PowerParams::paper();
+        let n10 = pw.latch_count(10.0);
+        let n20 = pw.latch_count(20.0);
+        // β = 1.3 ⇒ doubling depth multiplies latches by 2^1.3 ≈ 2.46.
+        assert!((n20 / n10 - 2f64.powf(1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "leakage fraction")]
+    fn full_leakage_rejected() {
+        let _ = PowerParams::with_leakage_fraction(1.0, &TechParams::paper(), 10.0);
+    }
+
+    #[test]
+    fn gating_builder_validates() {
+        let pw = PowerParams::paper().with_gating(ClockGating::Partial(0.5));
+        assert_eq!(pw.gating, ClockGating::Partial(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "partial gating factor")]
+    fn bad_partial_gating_rejected() {
+        let _ = PowerParams::paper().with_gating(ClockGating::Partial(0.0));
+    }
+
+    #[test]
+    fn metric_exponent_display() {
+        assert_eq!(MetricExponent::BIPS_PER_WATT.to_string(), "BIPS/W");
+        assert_eq!(MetricExponent::BIPS3_PER_WATT.to_string(), "BIPS^3/W");
+    }
+
+    #[test]
+    #[should_panic(expected = "metric exponent")]
+    fn nonpositive_metric_exponent_rejected() {
+        let _ = MetricExponent::new(0.0);
+    }
+
+    #[test]
+    fn fo4_display() {
+        assert_eq!(Fo4::new(22.5).to_string(), "22.5 FO4");
+    }
+}

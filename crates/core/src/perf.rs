@@ -1,0 +1,185 @@
+//! The performance model (the paper's Eq. 1, from Hartstein & Puzak,
+//! ISCA 2002) and its performance-only optimum (Eq. 2).
+//!
+//! Time per instruction at pipeline depth `p` decomposes into a busy term —
+//! instructions flowing through at the superscalar rate `α` — and a
+//! not-busy term — each hazard stalling a fraction `γ` of the pipeline:
+//!
+//! ```text
+//! T/N_I = (1/α)(t_o + t_p/p)  +  γ·(N_H/N_I)·(t_o·p + t_p)
+//! ```
+
+use crate::params::{TechParams, WorkloadParams};
+
+/// The analytic performance model: Eq. 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{PerfModel, TechParams, WorkloadParams};
+///
+/// let perf = PerfModel::new(TechParams::paper(), WorkloadParams::typical());
+/// let p_opt = perf.optimum_depth();
+/// // The paper's performance-only optimum is ≈22 stages.
+/// assert!(p_opt > 20.0 && p_opt < 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    tech: TechParams,
+    workload: WorkloadParams,
+}
+
+impl PerfModel {
+    /// Creates the model from technology and workload parameters.
+    pub fn new(tech: TechParams, workload: WorkloadParams) -> Self {
+        PerfModel { tech, workload }
+    }
+
+    /// Technology parameters.
+    pub fn tech(&self) -> &TechParams {
+        &self.tech
+    }
+
+    /// Workload parameters.
+    pub fn workload(&self) -> &WorkloadParams {
+        &self.workload
+    }
+
+    /// Time per instruction `τ(p) = T/N_I` in FO4 (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not positive.
+    pub fn time_per_instruction(&self, depth: f64) -> f64 {
+        self.busy_time(depth) + self.hazard_time(depth)
+    }
+
+    /// The busy (pipeline-flowing) component `(1/α)(t_o + t_p/p)`.
+    pub fn busy_time(&self, depth: f64) -> f64 {
+        self.tech.cycle_time(depth) / self.workload.alpha
+    }
+
+    /// The hazard-stall component `γ·(N_H/N_I)·(t_o·p + t_p)`.
+    ///
+    /// A hazard drains a `γ` fraction of the pipeline; the full pipeline
+    /// drain time is `p` cycles of `t_s = t_o + t_p/p`, i.e. `t_o·p + t_p`.
+    pub fn hazard_time(&self, depth: f64) -> f64 {
+        assert!(depth > 0.0, "pipeline depth must be positive");
+        let w = &self.workload;
+        let t = &self.tech;
+        w.gamma * w.hazard_rate * (t.latch_overhead.get() * depth + t.logic_depth.get())
+    }
+
+    /// Performance in instructions per FO4: `(T/N_I)⁻¹`, proportional to
+    /// BIPS within the technology's absolute time scale.
+    pub fn throughput(&self, depth: f64) -> f64 {
+        1.0 / self.time_per_instruction(depth)
+    }
+
+    /// Derivative `dτ/dp = (αγ·(N_H/N_I)·t_o·p² − t_p) / (α·p²)`.
+    pub fn time_derivative(&self, depth: f64) -> f64 {
+        assert!(depth > 0.0, "pipeline depth must be positive");
+        let w = &self.workload;
+        let t = &self.tech;
+        let num = w.hazard_product() * t.latch_overhead.get() * depth * depth - t.logic_depth.get();
+        num / (w.alpha * depth * depth)
+    }
+
+    /// The performance-only optimum (Eq. 2):
+    /// `p_opt = sqrt( t_p / (α·γ·(N_H/N_I)·t_o) )`.
+    pub fn optimum_depth(&self) -> f64 {
+        let t = &self.tech;
+        (t.logic_depth.get() / (self.workload.hazard_product() * t.latch_overhead.get())).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerfModel {
+        PerfModel::new(TechParams::paper(), WorkloadParams::typical())
+    }
+
+    #[test]
+    fn optimum_matches_closed_form() {
+        let m = model();
+        let p = m.optimum_depth();
+        // Derivative vanishes at the optimum.
+        assert!(m.time_derivative(p).abs() < 1e-12);
+        // And is negative (improving) below, positive above.
+        assert!(m.time_derivative(p * 0.5) < 0.0);
+        assert!(m.time_derivative(p * 2.0) > 0.0);
+    }
+
+    #[test]
+    fn typical_workload_optimum_near_paper() {
+        // The paper's performance-only optimum is 22 stages (8.9 FO4).
+        let p = model().optimum_depth();
+        assert!(p > 20.0 && p < 25.0, "got {p}");
+    }
+
+    #[test]
+    fn time_is_sum_of_components() {
+        let m = model();
+        for p in [2.0, 7.0, 22.0] {
+            let total = m.time_per_instruction(p);
+            assert!((total - m.busy_time(p) - m.hazard_time(p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn throughput_peaks_at_optimum() {
+        let m = model();
+        let p = m.optimum_depth();
+        let at = m.throughput(p);
+        assert!(at > m.throughput(p - 5.0));
+        assert!(at > m.throughput(p + 5.0));
+    }
+
+    #[test]
+    fn more_hazards_shift_optimum_shallower() {
+        let base = model().optimum_depth();
+        let hazy = PerfModel::new(TechParams::paper(), WorkloadParams::new(2.0, 0.30, 0.36))
+            .optimum_depth();
+        assert!(hazy < base);
+    }
+
+    #[test]
+    fn more_superscalar_shifts_optimum_shallower() {
+        let narrow = PerfModel::new(TechParams::paper(), WorkloadParams::new(1.0, 0.30, 0.18));
+        let wide = PerfModel::new(TechParams::paper(), WorkloadParams::new(4.0, 0.30, 0.18));
+        assert!(wide.optimum_depth() < narrow.optimum_depth());
+    }
+
+    #[test]
+    fn larger_logic_ratio_means_deeper_pipelines() {
+        // As t_p/t_o increases there is more opportunity for pipelining.
+        let small = PerfModel::new(TechParams::new(70.0, 2.5), WorkloadParams::typical());
+        let large = PerfModel::new(TechParams::new(280.0, 2.5), WorkloadParams::typical());
+        assert!(large.optimum_depth() > small.optimum_depth());
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let m = model();
+        for p in [3.0, 8.0, 15.0, 24.0] {
+            let h = 1e-6;
+            let fd = (m.time_per_instruction(p + h) - m.time_per_instruction(p - h)) / (2.0 * h);
+            let an = m.time_derivative(p);
+            assert!(
+                (fd - an).abs() < 1e-6 * an.abs().max(1.0),
+                "at {p}: {fd} vs {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_time_scales_with_depth() {
+        let m = model();
+        // Hazard drain time grows linearly in p.
+        let d1 = m.hazard_time(10.0) - m.hazard_time(5.0);
+        let d2 = m.hazard_time(15.0) - m.hazard_time(10.0);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+}

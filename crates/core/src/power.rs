@@ -1,0 +1,177 @@
+//! The analytic power model (the paper's Eq. 3, after Srinivasan et al.,
+//! MICRO 2002).
+//!
+//! Total power is latch-dominated:
+//!
+//! ```text
+//! P_T(p) = (f_cg·f_s·P_d + P_l) · N_L · p^β
+//! ```
+//!
+//! With complete fine-grained clock gating the paper substitutes
+//! `f_cg·f_s → κ·(T/N_I)⁻¹`: latches switch with *work*, so effective
+//! switching is proportional to instruction throughput rather than to the
+//! clock.
+
+use crate::params::{ClockGating, PowerParams, TechParams};
+use crate::perf::PerfModel;
+
+/// The analytic power model: Eq. 3 of the paper.
+///
+/// Owns a [`PerfModel`] because the complete-clock-gating variant needs the
+/// workload's time-per-instruction.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_core::{PowerModel, PerfModel, PowerParams, TechParams, WorkloadParams};
+///
+/// let perf = PerfModel::new(TechParams::paper(), WorkloadParams::typical());
+/// let power = PowerModel::new(perf, PowerParams::paper());
+/// // Deeper pipelines burn strictly more power (higher f, more latches).
+/// assert!(power.total_power(20.0) > power.total_power(5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    perf: PerfModel,
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Creates the power model on top of a performance model.
+    pub fn new(perf: PerfModel, params: PowerParams) -> Self {
+        PowerModel { perf, params }
+    }
+
+    /// The underlying performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Power parameters.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Technology parameters (shared with the performance model).
+    pub fn tech(&self) -> &TechParams {
+        self.perf.tech()
+    }
+
+    /// Effective per-latch switching rate `f_cg·f_s` at depth `p` — the
+    /// frequency-like factor multiplying `P_d` in Eq. 3, after the gating
+    /// mode's substitution.
+    pub fn switching_rate(&self, depth: f64) -> f64 {
+        let f_s = self.tech().frequency(depth);
+        match self.params.gating {
+            ClockGating::None => f_s,
+            ClockGating::Partial(f_cg) => f_cg * f_s,
+            ClockGating::Complete { kappa } => kappa * self.perf.throughput(depth),
+        }
+    }
+
+    /// Dynamic power at depth `p`: `switching_rate·P_d·N_L·p^β`.
+    pub fn dynamic_power(&self, depth: f64) -> f64 {
+        self.switching_rate(depth) * self.params.dynamic * self.params.latch_count(depth)
+    }
+
+    /// Leakage power at depth `p`: `P_l·N_L·p^β`.
+    pub fn leakage_power(&self, depth: f64) -> f64 {
+        self.params.leakage * self.params.latch_count(depth)
+    }
+
+    /// Total power `P_T(p)` (Eq. 3).
+    pub fn total_power(&self, depth: f64) -> f64 {
+        self.dynamic_power(depth) + self.leakage_power(depth)
+    }
+
+    /// Fraction of total power that is leakage at depth `p`.
+    pub fn leakage_share(&self, depth: f64) -> f64 {
+        self.leakage_power(depth) / self.total_power(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WorkloadParams;
+
+    fn base() -> PerfModel {
+        PerfModel::new(TechParams::paper(), WorkloadParams::typical())
+    }
+
+    #[test]
+    fn total_is_dynamic_plus_leakage() {
+        let m = PowerModel::new(base(), PowerParams::paper());
+        for p in [2.0, 8.0, 25.0] {
+            let t = m.total_power(p);
+            assert!((t - m.dynamic_power(p) - m.leakage_power(p)).abs() < 1e-12 * t);
+        }
+    }
+
+    #[test]
+    fn power_increases_with_depth() {
+        let m = PowerModel::new(base(), PowerParams::paper());
+        let mut prev = m.total_power(1.0);
+        for p in 2..=30 {
+            let cur = m.total_power(p as f64);
+            assert!(cur > prev, "power not monotone at p={p}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn partial_gating_scales_dynamic_only() {
+        let no_gate = PowerModel::new(base(), PowerParams::paper());
+        let half = PowerModel::new(
+            base(),
+            PowerParams::paper().with_gating(ClockGating::Partial(0.5)),
+        );
+        let p = 10.0;
+        assert!((half.dynamic_power(p) - 0.5 * no_gate.dynamic_power(p)).abs() < 1e-12);
+        assert_eq!(half.leakage_power(p), no_gate.leakage_power(p));
+    }
+
+    #[test]
+    fn complete_gating_tracks_throughput() {
+        let gated = PowerModel::new(
+            base(),
+            PowerParams::paper().with_gating(ClockGating::Complete { kappa: 2.0 }),
+        );
+        let p = 12.0;
+        let expected = 2.0 * gated.perf().throughput(p);
+        assert!((gated.switching_rate(p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_gating_switches_slower_than_clock_at_depth() {
+        // With κ such that at most ~α instructions complete per cycle and
+        // hazards idle the machine, throughput < α·f_s; per-instruction
+        // switching is below the α-scaled clock rate.
+        let gated = PowerModel::new(
+            base(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        );
+        let p = 15.0;
+        let alpha = gated.perf().workload().alpha;
+        assert!(gated.switching_rate(p) < alpha * gated.tech().frequency(p));
+    }
+
+    #[test]
+    fn leakage_share_grows_with_leakage_parameter() {
+        let tech = TechParams::paper();
+        let small = PowerModel::new(base(), PowerParams::with_leakage_fraction(0.1, &tech, 10.0));
+        let large = PowerModel::new(base(), PowerParams::with_leakage_fraction(0.6, &tech, 10.0));
+        assert!(large.leakage_share(10.0) > small.leakage_share(10.0));
+        assert!((small.leakage_share(10.0) - 0.1).abs() < 1e-12);
+        assert!((large.leakage_share(10.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latch_growth_amplifies_power_scaling() {
+        let lin = PowerModel::new(base(), PowerParams::paper().with_latch_growth(1.0));
+        let sup = PowerModel::new(base(), PowerParams::paper().with_latch_growth(1.8));
+        let ratio_lin = lin.total_power(20.0) / lin.total_power(10.0);
+        let ratio_sup = sup.total_power(20.0) / sup.total_power(10.0);
+        assert!(ratio_sup > ratio_lin);
+    }
+}

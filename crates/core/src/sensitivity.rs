@@ -1,0 +1,301 @@
+//! Sensitivity sweeps over the model's governing parameters.
+//!
+//! These drive the paper's Figs. 8 (leakage) and 9 (latch growth) and the
+//! metric-exponent comparison of Fig. 5, all from the analytic theory with
+//! no simulation required — the property the paper emphasises in its
+//! Discussion section.
+
+use crate::metric::PipelineModel;
+use crate::optimum::{numeric_optimum, Optimum};
+use crate::params::{ClockGating, MetricExponent, PowerParams, TechParams, WorkloadParams};
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// The optimum for that value.
+    pub optimum: Optimum,
+}
+
+/// Base configuration from which sweeps perturb a single parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Technology parameters.
+    pub tech: TechParams,
+    /// Workload parameters.
+    pub workload: WorkloadParams,
+    /// Power parameters (the swept field is overridden per point).
+    pub power: PowerParams,
+    /// Metric exponent.
+    pub m: MetricExponent,
+    /// Reference depth at which leakage fractions are defined.
+    pub ref_depth: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            tech: TechParams::paper(),
+            workload: WorkloadParams::typical(),
+            power: PowerParams::paper(),
+            m: MetricExponent::BIPS3_PER_WATT,
+            ref_depth: 10.0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Builds the model for a given power-parameter override.
+    fn model_with_power(&self, power: PowerParams) -> PipelineModel {
+        PipelineModel::new(self.tech, self.workload, power)
+    }
+}
+
+/// Sweeps the leakage fraction (of total power at the reference depth),
+/// holding dynamic power constant — the paper's Fig. 8 experiment.
+///
+/// Returns one [`SweepPoint`] per requested fraction.
+///
+/// # Panics
+///
+/// Panics if any fraction is outside `[0, 1)`.
+pub fn leakage_sweep(config: &SweepConfig, fractions: &[f64]) -> Vec<SweepPoint> {
+    fractions
+        .iter()
+        .map(|&frac| {
+            let power = PowerParams::with_leakage_fraction(frac, &config.tech, config.ref_depth)
+                .with_latch_growth(config.power.latch_growth)
+                .with_gating(config.power.gating);
+            let model = config.model_with_power(power);
+            SweepPoint {
+                parameter: frac,
+                optimum: numeric_optimum(&model, config.m),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the latch-growth exponent β — the paper's Fig. 9 experiment.
+pub fn latch_growth_sweep(config: &SweepConfig, betas: &[f64]) -> Vec<SweepPoint> {
+    betas
+        .iter()
+        .map(|&beta| {
+            let power = config.power.with_latch_growth(beta);
+            let model = config.model_with_power(power);
+            SweepPoint {
+                parameter: beta,
+                optimum: numeric_optimum(&model, config.m),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the metric exponent m (Fig. 5's BIPS, BIPS³/W, BIPS²/W, BIPS/W
+/// comparison generalised to arbitrary m).
+pub fn metric_exponent_sweep(config: &SweepConfig, ms: &[f64]) -> Vec<SweepPoint> {
+    ms.iter()
+        .map(|&m| {
+            let model = config.model_with_power(config.power);
+            SweepPoint {
+                parameter: m,
+                optimum: numeric_optimum(&model, MetricExponent::new(m)),
+            }
+        })
+        .collect()
+}
+
+/// Compares gated vs ungated optima at otherwise identical parameters.
+///
+/// Returns `(ungated, gated)`.
+pub fn gating_comparison(config: &SweepConfig, kappa: f64) -> (Optimum, Optimum) {
+    let ungated = config.model_with_power(config.power.with_gating(ClockGating::None));
+    let gated = config.model_with_power(config.power.with_gating(ClockGating::Complete { kappa }));
+    (
+        numeric_optimum(&ungated, config.m),
+        numeric_optimum(&gated, config.m),
+    )
+}
+
+/// A two-dimensional sweep over the metric exponent m and the latch-growth
+/// exponent β — the two exponents the paper's Summary singles out as
+/// having "the greatest impact on the optimum design point".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentGrid {
+    /// Metric exponents (rows).
+    pub ms: Vec<f64>,
+    /// Latch-growth exponents (columns).
+    pub betas: Vec<f64>,
+    /// `optima[i][j]` is the optimum depth at `(ms[i], betas[j])`, or
+    /// `None` when the design is unpipelined/boundary.
+    pub optima: Vec<Vec<Option<f64>>>,
+}
+
+impl ExponentGrid {
+    /// The optimum at a grid cell.
+    pub fn at(&self, m_idx: usize, beta_idx: usize) -> Option<f64> {
+        self.optima[m_idx][beta_idx]
+    }
+}
+
+/// Sweeps the (m, β) plane, the joint version of Fig. 9 and the metric
+/// comparison: optimum depth at every combination.
+pub fn exponent_beta_grid(config: &SweepConfig, ms: &[f64], betas: &[f64]) -> ExponentGrid {
+    let optima = ms
+        .iter()
+        .map(|&m| {
+            betas
+                .iter()
+                .map(|&beta| {
+                    let power = config.power.with_latch_growth(beta);
+                    let model = config.model_with_power(power);
+                    numeric_optimum(&model, MetricExponent::new(m)).depth()
+                })
+                .collect()
+        })
+        .collect();
+    ExponentGrid {
+        ms: ms.to_vec(),
+        betas: betas.to_vec(),
+        optima,
+    }
+}
+
+/// Normalised metric curves for a family of leakage fractions, as plotted in
+/// Fig. 8 (each curve scaled to its own maximum).
+pub fn normalized_leakage_curves(
+    config: &SweepConfig,
+    fractions: &[f64],
+    depths: &[f64],
+) -> Vec<(f64, Vec<f64>)> {
+    fractions
+        .iter()
+        .map(|&frac| {
+            let power = PowerParams::with_leakage_fraction(frac, &config.tech, config.ref_depth)
+                .with_latch_growth(config.power.latch_growth)
+                .with_gating(config.power.gating);
+            let model = config.model_with_power(power);
+            let raw: Vec<f64> = depths.iter().map(|&p| model.metric(p, config.m)).collect();
+            let max = raw.iter().cloned().fold(f64::MIN, f64::max);
+            (frac, raw.into_iter().map(|v| v / max).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gated_config() -> SweepConfig {
+        SweepConfig {
+            power: PowerParams::paper().with_gating(ClockGating::complete()),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn leakage_deepens_optimum() {
+        // The paper's Fig. 8: growing leakage pushes the optimum deeper.
+        let pts = leakage_sweep(&gated_config(), &[0.0, 0.15, 0.3, 0.5, 0.9]);
+        let depths: Vec<f64> = pts.iter().filter_map(|p| p.optimum.depth()).collect();
+        assert_eq!(
+            depths.len(),
+            5,
+            "every leakage point should have an optimum"
+        );
+        for w in depths.windows(2) {
+            assert!(w[1] > w[0], "optimum must deepen with leakage: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn leakage_doubles_optimum_from_0_to_90() {
+        // Fig. 8: 7 stages → 14 stages, i.e. roughly doubling.
+        let pts = leakage_sweep(&gated_config(), &[0.0, 0.9]);
+        let d0 = pts[0].optimum.depth().unwrap();
+        let d90 = pts[1].optimum.depth().unwrap();
+        let ratio = d90 / d0;
+        assert!(
+            ratio > 1.5 && ratio < 3.0,
+            "expected ≈2x deepening, got {d0} → {d90}"
+        );
+    }
+
+    #[test]
+    fn beta_shrinks_optimum() {
+        // Fig. 9: larger latch-growth exponent ⇒ shallower optimum.
+        let pts = latch_growth_sweep(&gated_config(), &[1.0, 1.1, 1.3, 1.5, 1.8]);
+        let depths: Vec<f64> = pts
+            .iter()
+            .map(|p| p.optimum.depth().unwrap_or(1.0))
+            .collect();
+        for w in depths.windows(2) {
+            assert!(w[1] < w[0], "optimum must shrink with β: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn huge_beta_unpipelines() {
+        let pts = latch_growth_sweep(&gated_config(), &[4.0]);
+        assert!(pts[0].optimum.depth().is_none_or(|d| d < 2.0));
+    }
+
+    #[test]
+    fn metric_exponent_sweep_is_monotone() {
+        let pts = metric_exponent_sweep(&gated_config(), &[3.0, 4.0, 6.0, 10.0]);
+        let depths: Vec<f64> = pts
+            .iter()
+            .map(|p| p.optimum.depth().unwrap_or(1.0))
+            .collect();
+        for w in depths.windows(2) {
+            assert!(w[1] >= w[0], "deeper with larger m: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn grid_monotone_along_both_axes() {
+        let grid = exponent_beta_grid(&gated_config(), &[2.5, 3.0, 4.0, 6.0], &[1.0, 1.3, 1.6]);
+        // Deeper with m (down columns), shallower with β (across rows).
+        for j in 0..grid.betas.len() {
+            let col: Vec<f64> = (0..grid.ms.len())
+                .map(|i| grid.at(i, j).unwrap_or(1.0))
+                .collect();
+            for w in col.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "column {j}: {col:?}");
+            }
+        }
+        for i in 0..grid.ms.len() {
+            let row: Vec<f64> = (0..grid.betas.len())
+                .map(|j| grid.at(i, j).unwrap_or(1.0))
+                .collect();
+            for w in row.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "row {i}: {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_shape_matches_inputs() {
+        let grid = exponent_beta_grid(&gated_config(), &[3.0, 4.0], &[1.1, 1.3, 1.5]);
+        assert_eq!(grid.optima.len(), 2);
+        assert_eq!(grid.optima[0].len(), 3);
+    }
+
+    #[test]
+    fn gating_comparison_direction() {
+        let (ungated, gated) = gating_comparison(&SweepConfig::default(), 1.0);
+        let du = ungated.depth().unwrap_or(1.0);
+        let dg = gated.depth().unwrap_or(1.0);
+        assert!(dg > du, "gated {dg} vs ungated {du}");
+    }
+
+    #[test]
+    fn normalized_curves_peak_at_one() {
+        let depths: Vec<f64> = (1..=28).map(|p| p as f64).collect();
+        let curves = normalized_leakage_curves(&gated_config(), &[0.0, 0.5], &depths);
+        for (_, ys) in curves {
+            let max = ys.iter().cloned().fold(f64::MIN, f64::max);
+            assert!((max - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the analytic theory over random parameter
+//! space: invariants the paper derives must hold for *every* physical
+//! parameterisation, not just the defaults.
+
+use pipedepth_core::{
+    analytic_optimum, cubic_optimum, metric_slope, numeric_optimum, ClockGating, MetricExponent,
+    PipelineModel, PowerParams, TechParams, WorkloadParams,
+};
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = TechParams> {
+    (60.0f64..300.0, 1.0f64..6.0).prop_map(|(tp, to)| TechParams::new(tp, to))
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadParams> {
+    (1.0f64..4.0, 0.05f64..0.9, 0.02f64..0.5).prop_map(|(a, g, h)| WorkloadParams::new(a, g, h))
+}
+
+fn arb_power() -> impl Strategy<Value = PowerParams> {
+    (0.0f64..0.7, 1.05f64..1.9).prop_map(|(leak, beta)| {
+        PowerParams::with_leakage_fraction(leak, &TechParams::paper(), 10.0).with_latch_growth(beta)
+    })
+}
+
+fn arb_gating() -> impl Strategy<Value = ClockGating> {
+    prop_oneof![
+        Just(ClockGating::None),
+        (0.1f64..1.0).prop_map(ClockGating::Partial),
+        (0.05f64..2.0).prop_map(|kappa| ClockGating::Complete { kappa }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn power_optimum_never_exceeds_perf_optimum(
+        tech in arb_tech(), w in arb_workload(), p in arb_power(), g in arb_gating()
+    ) {
+        let model = PipelineModel::new(tech, w, p.with_gating(g));
+        let perf = model.perf().optimum_depth();
+        if let Some(d) = numeric_optimum(&model, MetricExponent::BIPS3_PER_WATT).depth() {
+            prop_assert!(d <= perf * 1.001, "power-aware {d} vs perf-only {perf}");
+        }
+    }
+
+    #[test]
+    fn optimum_monotone_in_metric_exponent(
+        tech in arb_tech(), w in arb_workload(), p in arb_power()
+    ) {
+        use pipedepth_core::Optimum;
+        let model = PipelineModel::new(tech, w, p);
+        let mut last = 1.0f64;
+        for m in [2.0, 3.0, 4.0, 6.0] {
+            let d = match numeric_optimum(&model, MetricExponent::new(m)) {
+                Optimum::Pipelined { depth, .. } => depth,
+                Optimum::Unpipelined { .. } => 1.0,
+                // Still rising at the search boundary: effectively +∞.
+                Optimum::DeeperThanRange { .. } => f64::INFINITY,
+            };
+            prop_assert!(d + 1e-6 >= last, "m={m}: {d} < previous {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn analytic_matches_numeric_for_polynomial_models(
+        tech in arb_tech(), w in arb_workload(), p in arb_power()
+    ) {
+        // Non-gated models have the exact cubic; it must agree with direct
+        // maximisation whenever an interior optimum exists.
+        let model = PipelineModel::new(tech, w, p);
+        let m3 = MetricExponent::BIPS3_PER_WATT;
+        let numeric = numeric_optimum(&model, m3).depth();
+        let analytic = analytic_optimum(&model, m3).depth();
+        match (numeric, analytic) {
+            (Some(n), Some(a)) => {
+                prop_assert!((n - a).abs() < 1e-3 * n.max(1.0), "numeric {n} vs cubic {a}")
+            }
+            // Boundary cases may disagree about "barely interior" optima
+            // below ~1.5 stages; anything deeper must agree.
+            (Some(n), None) => prop_assert!(n < 2.0, "numeric found {n}, cubic found none"),
+            (None, Some(a)) => prop_assert!(a < 2.0, "cubic found {a}, numeric found none"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn cubic_root_annihilates_the_slope(
+        tech in arb_tech(), w in arb_workload(), p in arb_power()
+    ) {
+        let model = PipelineModel::new(tech, w, p);
+        let m3 = MetricExponent::BIPS3_PER_WATT;
+        if let Some(root) = cubic_optimum(&model, m3) {
+            if root > 0.5 {
+                let slope = metric_slope(&model, root, m3);
+                prop_assert!(slope.abs() < 1e-6, "slope {slope} at root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn metric_positive_and_finite_everywhere(
+        tech in arb_tech(), w in arb_workload(), p in arb_power(), g in arb_gating(),
+        depth in 1.0f64..40.0, m in 0.5f64..8.0
+    ) {
+        let model = PipelineModel::new(tech, w, p.with_gating(g));
+        let v = model.metric(depth, MetricExponent::new(m));
+        prop_assert!(v.is_finite() && v > 0.0, "metric {v}");
+    }
+
+    #[test]
+    fn leakage_growth_never_shrinks_gated_optimum(
+        tech in arb_tech(), w in arb_workload(), kappa in 0.05f64..1.5
+    ) {
+        let optimum_at = |leak: f64| {
+            let p = PowerParams::with_leakage_fraction(leak, &tech, 10.0)
+                .with_gating(ClockGating::Complete { kappa });
+            numeric_optimum(&PipelineModel::new(tech, w, p), MetricExponent::BIPS3_PER_WATT)
+                .depth()
+                .unwrap_or(1.0)
+        };
+        let lo = optimum_at(0.05);
+        let hi = optimum_at(0.6);
+        prop_assert!(hi + 1e-6 >= lo, "leakage shrank the optimum: {lo} -> {hi}");
+    }
+
+    #[test]
+    fn more_hazards_mean_shallower_perf_optimum(
+        tech in arb_tech(), a in 1.0f64..4.0, g in 0.05f64..0.45, h in 0.02f64..0.25
+    ) {
+        let base = PipelineModel::new(tech, WorkloadParams::new(a, g, h), PowerParams::paper());
+        let hazy = PipelineModel::new(tech, WorkloadParams::new(a, g, 2.0 * h), PowerParams::paper());
+        prop_assert!(hazy.perf().optimum_depth() < base.perf().optimum_depth());
+    }
+
+    #[test]
+    fn tau_decomposition_holds(
+        tech in arb_tech(), w in arb_workload(), depth in 1.0f64..40.0
+    ) {
+        let model = PipelineModel::new(tech, w, PowerParams::paper());
+        let perf = model.perf();
+        let total = perf.time_per_instruction(depth);
+        prop_assert!((total - perf.busy_time(depth) - perf.hazard_time(depth)).abs() < 1e-9 * total);
+        prop_assert!(total > 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Regenerates every figure of the paper and writes the comparison report.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pipedepth-experiments --bin repro [-- --quick] [--out DIR]
+//! ```
+//!
+//! Prints each figure's summary to stdout and writes the underlying data
+//! series as CSV files under the output directory (default `results/`).
+
+use pipedepth_experiments::figures::{
+    ext_gating, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, headline,
+};
+use pipedepth_experiments::plot::Chart;
+use pipedepth_experiments::report::csv;
+use pipedepth_experiments::sweep::{sweep_all, RunConfig};
+use pipedepth_experiments::{ablation, issue_policy, paper};
+use pipedepth_workloads::suite;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let config = if quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::default()
+    };
+    println!(
+        "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}",
+        config.instructions, config.warmup, config.depths
+    );
+    let t0 = Instant::now();
+
+    // ---- Analytic-only figures ------------------------------------------
+    let f1 = fig1::run();
+    print!("{f1}");
+    let _ = fs::write(
+        out_dir.join("fig1.csv"),
+        csv("p", &f1.ps, &[("d_metric_dp", &f1.values)]),
+    );
+
+    // Fig. 2 is structural: print the expansion summary compactly.
+    let f2 = fig2::run(25);
+    println!("Fig. 2 — pipeline structure (8-stage machine):");
+    for line in fig2::render_pipeline(&f2.plans[6].1).lines() {
+        println!("  {line}");
+    }
+
+    let f3 = fig3::run();
+    print!("{f3}");
+    let _ = fs::write(
+        out_dir.join("fig3.csv"),
+        csv("depth", &f3.depths, &[("latches", &f3.latches)]),
+    );
+
+    // ---- Simulation sweep over the full suite ---------------------------
+    println!(
+        "\nsweeping {} workloads × {} depths …",
+        suite().len(),
+        config.depths.len()
+    );
+    let curves = sweep_all(&suite(), &config);
+    println!("sweep finished in {:.1?}\n", t0.elapsed());
+
+    // Fig. 4: three panels built from the already-swept representative
+    // curves (first workload of each panel class).
+    let panel_for = |class| {
+        curves
+            .iter()
+            .find(|c| c.workload.class == class)
+            .expect("class present")
+    };
+    let f4 = fig4::Fig4 {
+        panels: [
+            pipedepth_workloads::WorkloadClass::Modern,
+            pipedepth_workloads::WorkloadClass::SpecInt,
+            pipedepth_workloads::WorkloadClass::FloatingPoint,
+        ]
+        .iter()
+        .map(|&c| fig4::panel_from_curve(panel_for(c), &config))
+        .collect(),
+    };
+    print!("{f4}");
+    {
+        // Render panel 4a: g = sim gated, u = sim ungated, t/~ = theory.
+        let p = &f4.panels[0];
+        println!(
+            "  [4a {}] g=sim gated  u=sim ungated  t=theory gated",
+            p.workload.name
+        );
+        let art = Chart::new(&p.depths)
+            .series('t', &p.theory_gated)
+            .series('g', &p.sim_gated)
+            .series('u', &p.sim_ungated)
+            .size(64, 14)
+            .render();
+        println!("{art}");
+    }
+    for (tag, p) in ["4a", "4b", "4c"].iter().zip(&f4.panels) {
+        let _ = fs::write(
+            out_dir.join(format!("fig{tag}.csv")),
+            csv(
+                "depth",
+                &p.depths,
+                &[
+                    ("sim_gated", &p.sim_gated),
+                    ("sim_ungated", &p.sim_ungated),
+                    ("theory_gated", &p.theory_gated),
+                    ("theory_ungated", &p.theory_ungated),
+                ],
+            ),
+        );
+    }
+
+    let f5 = fig5::from_curve(panel_for(pipedepth_workloads::WorkloadClass::Modern));
+    print!("{f5}");
+    {
+        println!("  B=BIPS  3=BIPS³/W  2=BIPS²/W  1=BIPS/W (normalised)");
+        let art = Chart::new(&f5.depths)
+            .series('B', &f5.series[0].values)
+            .series('3', &f5.series[1].values)
+            .series('2', &f5.series[2].values)
+            .series('1', &f5.series[3].values)
+            .size(64, 14)
+            .render();
+        println!("{art}");
+    }
+    {
+        let series: Vec<(&str, &[f64])> = f5
+            .series
+            .iter()
+            .map(|s| (s.label.as_str(), s.values.as_slice()))
+            .collect();
+        let _ = fs::write(out_dir.join("fig5.csv"), csv("depth", &f5.depths, &series));
+    }
+
+    // Per-workload extraction table.
+    {
+        let mut rows = String::from(
+            "workload,class,alpha,gamma,hazard_rate,kappa,memory_time_fo4,serial_fraction\n",
+        );
+        for c in &curves {
+            let x = &c.extracted;
+            rows.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                c.workload.name,
+                c.workload.class.tag(),
+                x.alpha,
+                x.gamma,
+                x.hazard_rate,
+                x.kappa,
+                x.memory_time_fo4,
+                c.workload.model.serial_fraction,
+            ));
+        }
+        let _ = fs::write(out_dir.join("workloads.csv"), rows);
+    }
+
+    let f6 = fig6::from_curves(&curves);
+    print!("{f6}");
+    {
+        let mut rows = String::from("workload,class,cubic_fit_depth,grid_depth,r_squared\n");
+        for o in &f6.optima {
+            rows.push_str(&format!(
+                "{},{},{},{},{}\n",
+                o.name,
+                o.class.tag(),
+                o.cubic_fit_depth,
+                o.grid_depth,
+                o.r_squared
+            ));
+        }
+        let _ = fs::write(out_dir.join("fig6.csv"), rows);
+    }
+
+    let f7 = fig7::from_curves(&curves);
+    print!("{f7}");
+
+    // Figs. 8/9 parameterised from the first SPECint workload's extraction.
+    let spec_curve = panel_for(pipedepth_workloads::WorkloadClass::SpecInt);
+    let f8 = fig8::run_with_params(&spec_curve.extracted, &config);
+    print!("{f8}");
+    {
+        let series: Vec<(String, Vec<f64>)> = f8
+            .curves
+            .iter()
+            .map(|(frac, ys)| (format!("leak_{:.0}pct", frac * 100.0), ys.clone()))
+            .collect();
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, ys)| (n.as_str(), ys.as_slice()))
+            .collect();
+        let _ = fs::write(out_dir.join("fig8.csv"), csv("depth", &f8.depths, &refs));
+    }
+
+    let f9 = fig9::run_with_params(&spec_curve.extracted, &config);
+    print!("{f9}");
+    {
+        let series: Vec<(String, Vec<f64>)> = f9
+            .curves
+            .iter()
+            .map(|(beta, ys)| (format!("beta_{beta}"), ys.clone()))
+            .collect();
+        let refs: Vec<(&str, &[f64])> = series
+            .iter()
+            .map(|(n, ys)| (n.as_str(), ys.as_slice()))
+            .collect();
+        let _ = fs::write(out_dir.join("fig9.csv"), csv("depth", &f9.depths, &refs));
+    }
+
+    let h = headline::from_curves(&curves, &config);
+    println!();
+    print!("{h}");
+
+    // Microarchitectural ablations on the representative modern workload.
+    let modern = suite()
+        .into_iter()
+        .find(|w| w.class == pipedepth_workloads::WorkloadClass::Modern)
+        .expect("modern class present");
+    println!();
+    print!("{}", ablation::run(&modern, &config));
+
+    // Issue-policy study (in-order vs out-of-order).
+    println!();
+    print!("{}", issue_policy::run(&config));
+
+    // Extension: optimum vs gating degree.
+    let modern_curve = panel_for(pipedepth_workloads::WorkloadClass::Modern);
+    println!();
+    print!(
+        "{}",
+        ext_gating::run_for(&modern, &modern_curve.extracted, &config)
+    );
+
+    // Paper-vs-measured verdict table (also written as markdown).
+    let comparisons = paper::compare(&f1, &f3, &f6, &f7, &f8, &f9, &h);
+    let verdicts = paper::render_markdown(&comparisons);
+    println!("\nPaper-vs-measured verdicts:\n{verdicts}");
+    let _ = fs::write(out_dir.join("report.md"), &verdicts);
+
+    println!("\ndata written to {}", out_dir.display());
+    println!("total time: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,111 @@
+//! Sweep one workload of the suite across pipeline depths and print the
+//! full measurement table.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pipedepth-experiments --bin sweep -- \
+//!     [--workload NAME] [--instructions N] [--warmup N] [--max-depth D] [--list]
+//! ```
+//!
+//! `--list` prints the 55 workload names and exits. The default workload is
+//! `specint-00`.
+
+use pipedepth_experiments::report::{fmt_sig, table};
+use pipedepth_experiments::sweep::{sweep_workload, RunConfig};
+use pipedepth_math::fit::cubic_peak_fit;
+use pipedepth_workloads::suite;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads = suite();
+
+    if args.iter().any(|a| a == "--list") {
+        for w in &workloads {
+            println!(
+                "{:<12} {:<20} serial {:>4.0}%  ws {:>6} KiB",
+                w.name,
+                w.class.to_string(),
+                w.model.serial_fraction * 100.0,
+                w.model.memory.working_set / 1024
+            );
+        }
+        return;
+    }
+
+    let name = arg_value(&args, "--workload").unwrap_or_else(|| "specint-00".to_string());
+    let Some(workload) = workloads.iter().find(|w| w.name == name) else {
+        eprintln!("unknown workload {name:?}; use --list to see the suite");
+        std::process::exit(1);
+    };
+    let instructions = arg_value(&args, "--instructions")
+        .map(|v| v.parse().expect("--instructions takes a number"))
+        .unwrap_or(60_000);
+    let warmup = arg_value(&args, "--warmup")
+        .map(|v| v.parse().expect("--warmup takes a number"))
+        .unwrap_or(30_000);
+    let max_depth: u32 = arg_value(&args, "--max-depth")
+        .map(|v| v.parse().expect("--max-depth takes a number"))
+        .unwrap_or(25);
+
+    let config = RunConfig {
+        warmup,
+        instructions,
+        depths: (2..=max_depth).collect(),
+        ..RunConfig::default()
+    };
+    println!(
+        "sweeping {} ({}), {} instructions per depth …\n",
+        workload.name, workload.class, instructions
+    );
+    let curve = sweep_workload(workload, &config);
+
+    let rows: Vec<Vec<String>> = curve
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.depth.to_string(),
+                format!("{:.1}", 2.5 + 140.0 / p.depth as f64),
+                format!("{:.2}", p.cpi),
+                fmt_sig(p.throughput),
+                fmt_sig(p.metric_gated[2]),
+                fmt_sig(p.metric_ungated[2]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &[
+                "depth",
+                "FO4",
+                "CPI",
+                "BIPS",
+                "BIPS³/W gated",
+                "BIPS³/W ungated"
+            ],
+            &rows
+        )
+    );
+
+    let xs = curve.depths();
+    let m3 = cubic_peak_fit(&xs, &curve.gated_series(3)).expect("cubic fit");
+    let bips = cubic_peak_fit(&xs, &curve.throughput_series()).expect("cubic fit");
+    println!(
+        "cubic-fit optima: BIPS³/W @ {:.1} stages, BIPS @ {:.1} stages",
+        m3.peak_x, bips.peak_x
+    );
+    let x = &curve.extracted;
+    println!(
+        "extracted at depth {}: α = {:.2}, γ = {:.2}, N_H/N_I = {:.3}, κ = {:.3}, t_mem = {:.1} FO4",
+        x.ref_depth, x.alpha, x.gamma, x.hazard_rate, x.kappa, x.memory_time_fo4
+    );
+}

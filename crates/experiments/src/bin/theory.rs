@@ -1,0 +1,100 @@
+//! Evaluate the analytic theory from the command line — the paper's
+//! intended use: "predict the correct design point when new technologies,
+//! new workloads, or just changed microarchitectures are involved … without
+//! the need for the detailed simulations".
+//!
+//! Usage (all arguments optional; defaults are the paper's parameters):
+//!
+//! ```text
+//! cargo run --release -p pipedepth-experiments --bin theory -- \
+//!     [--alpha A] [--gamma G] [--hazard-rate H] \
+//!     [--tp FO4] [--to FO4] [--beta B] [--leakage FRAC] \
+//!     [--m EXP] [--gated [KAPPA]]
+//! ```
+
+use pipedepth_core::{
+    crossover_exponent, gated_quadratic_optimum, power_capped_design, report, BudgetedDesign,
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
+};
+
+fn value(args: &[String], key: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).and_then(|v| v.parse().ok()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let alpha = value(&args, "--alpha").unwrap_or(2.0);
+    let gamma = value(&args, "--gamma").unwrap_or(0.30);
+    let hazard_rate = value(&args, "--hazard-rate").unwrap_or(0.18);
+    let tp = value(&args, "--tp").unwrap_or(140.0);
+    let to = value(&args, "--to").unwrap_or(2.5);
+    let beta = value(&args, "--beta").unwrap_or(1.3);
+    let leakage = value(&args, "--leakage").unwrap_or(0.15);
+    let m = value(&args, "--m").unwrap_or(3.0);
+    let gated = args.iter().any(|a| a == "--gated");
+    let kappa = value(&args, "--gated").unwrap_or(1.0);
+
+    let tech = TechParams::new(tp, to);
+    let workload = WorkloadParams::new(alpha, gamma, hazard_rate);
+    let mut power =
+        PowerParams::with_leakage_fraction(leakage, &tech, 10.0).with_latch_growth(beta);
+    if gated {
+        power = power.with_gating(ClockGating::Complete { kappa });
+    }
+    let model = PipelineModel::new(tech, workload, power);
+
+    println!("model: t_p={tp} FO4, t_o={to} FO4, α={alpha}, γ={gamma}, N_H/N_I={hazard_rate},");
+    println!(
+        "       β={beta}, leakage={:.0}%{}\n",
+        leakage * 100.0,
+        if gated {
+            format!(", complete gating (κ={kappa})")
+        } else {
+            ", no gating".to_string()
+        }
+    );
+
+    print!("{}", report(&model, MetricExponent::new(m)));
+    if gated {
+        if let Some(d) =
+            gated_quadratic_optimum(&model, MetricExponent::new(m), 8.0)
+        {
+            println!("  gated quadratic : {d:.2} stages (frozen-w closed form)");
+        }
+    }
+
+    match crossover_exponent(&model, 2.0) {
+        Some(c) => println!(
+            "\npipelining starts to pay at m ≈ {:.2} (onset depth {:.1} stages)",
+            c.exponent, c.onset_depth
+        ),
+        None => println!("\nno crossover inside the searchable exponent range"),
+    }
+
+    // The frontier view at a few budgets.
+    let perf_opt = model.perf().optimum_depth().clamp(1.0, 60.0);
+    let full_power = model.power().total_power(perf_opt);
+    println!("\npower-capped designs (budget relative to the perf-optimum's draw):");
+    for frac in [0.75, 0.5, 0.25] {
+        match power_capped_design(&model, full_power * frac) {
+            BudgetedDesign::Feasible(p) => println!(
+                "  {:>3.0}% budget → {:.1} stages, {:.1}% of peak BIPS",
+                frac * 100.0,
+                p.depth,
+                p.throughput / model.perf().throughput(perf_opt) * 100.0
+            ),
+            BudgetedDesign::Unconstrained(p) => {
+                println!(
+                    "  {:>3.0}% budget → unconstrained ({:.1} stages)",
+                    frac * 100.0,
+                    p.depth
+                )
+            }
+            BudgetedDesign::Infeasible { .. } => {
+                println!("  {:>3.0}% budget → infeasible", frac * 100.0)
+            }
+        }
+    }
+}

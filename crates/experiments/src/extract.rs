@@ -1,0 +1,230 @@
+//! Extraction of the theory's parameters from simulation.
+//!
+//! The paper emphasises that "all of the input parameters to the theory can
+//! be obtained with … at most the simulation of a single pipeline depth":
+//! `N_H/N_I` and the number of instructions are enumerated, `α` and `γ` come
+//! from analysing the pipeline's stall structure, and (for the clock-gated
+//! theory) the switching constant κ from the power monitor. This module
+//! performs exactly that extraction and assembles the corresponding
+//! analytic [`PipelineModel`].
+
+use pipedepth_core::{
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
+};
+use pipedepth_power::{extract_kappa, PowerConfig};
+use pipedepth_sim::SimReport;
+
+/// Theory parameters extracted from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractedParams {
+    /// Superscalar degree `α`.
+    pub alpha: f64,
+    /// Hazard pipeline fraction `γ`.
+    pub gamma: f64,
+    /// Hazards per instruction `N_H/N_I`.
+    pub hazard_rate: f64,
+    /// Per-instruction switching constant κ (for the gated theory).
+    pub kappa: f64,
+    /// Absolute-time memory latency per instruction (FO4) — an additive
+    /// component of τ the paper's model does not carry; reported so the
+    /// comparison can account for it.
+    pub memory_time_fo4: f64,
+    /// Depth the parameters were extracted at.
+    pub ref_depth: u32,
+}
+
+impl ExtractedParams {
+    /// The theory's workload-parameter triple.
+    pub fn workload_params(&self) -> WorkloadParams {
+        WorkloadParams::new(
+            self.alpha.max(1.0),
+            self.gamma.clamp(1e-3, 1.0),
+            self.hazard_rate.max(1e-4),
+        )
+    }
+
+    /// The hazard product `α·γ·N_H/N_I`.
+    pub fn hazard_product(&self) -> f64 {
+        self.workload_params().hazard_product()
+    }
+}
+
+/// Extracts theory parameters from a finished simulation report.
+pub fn extract_from_report(report: &SimReport, power: &PowerConfig) -> ExtractedParams {
+    ExtractedParams {
+        alpha: report.alpha(),
+        gamma: report.gamma(),
+        hazard_rate: report.hazard_rate(),
+        kappa: extract_kappa(report, power),
+        memory_time_fo4: report.memory_time_per_instruction_fo4(),
+        ref_depth: report.config.depth,
+    }
+}
+
+/// Builds the analytic model corresponding to an extraction, with the given
+/// gating mode and leakage calibration.
+///
+/// `gated = true` applies the paper's complete-gating substitution with the
+/// extracted κ; `false` is the plain non-gated Eq. 3.
+pub fn theory_model(
+    extracted: &ExtractedParams,
+    gated: bool,
+    leakage_fraction: f64,
+    ref_depth: f64,
+    latch_growth: f64,
+) -> PipelineModel {
+    let tech = TechParams::paper();
+    let mut power = PowerParams::with_leakage_fraction(leakage_fraction, &tech, ref_depth)
+        .with_latch_growth(latch_growth);
+    if gated {
+        power = power.with_gating(ClockGating::Complete {
+            kappa: extracted.kappa.max(1e-6),
+        });
+    }
+    PipelineModel::new(tech, extracted.workload_params(), power)
+}
+
+/// Theory metric curve over the given depths, suitable for a scale-only fit
+/// against simulation data (the paper's Figs. 4/5 overlays).
+pub fn theory_curve(model: &PipelineModel, depths: &[f64], m: MetricExponent) -> Vec<f64> {
+    depths.iter().map(|&p| model.metric(p, m)).collect()
+}
+
+/// Extended theory metric curve: the paper's model plus the constant
+/// per-instruction memory time `t_mem` our cache-accurate substrate
+/// exhibits (`τ_total = τ(p) + t_mem`). The paper's traces kept this small;
+/// with real cache misses the extension is needed for faithful overlays,
+/// especially on memory- and FP-bound workloads.
+pub fn extended_theory_curve(
+    model: &PipelineModel,
+    t_mem_fo4: f64,
+    depths: &[f64],
+    m: MetricExponent,
+) -> Vec<f64> {
+    assert!(t_mem_fo4 >= 0.0, "memory time cannot be negative");
+    depths
+        .iter()
+        .map(|&p| {
+            let tau = model.perf().time_per_instruction(p) + t_mem_fo4;
+            let power_params = model.power_params();
+            let latches = power_params.latch_count(p);
+            let switching = match power_params.gating {
+                ClockGating::None => model.tech().frequency(p),
+                ClockGating::Partial(f_cg) => f_cg * model.tech().frequency(p),
+                ClockGating::Complete { kappa } => kappa / tau,
+            };
+            let power = (switching * power_params.dynamic + power_params.leakage) * latches;
+            1.0 / (tau.powf(m.get()) * power)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_power::Gating;
+    use pipedepth_sim::{Engine, SimConfig};
+    use pipedepth_trace::{TraceGenerator, WorkloadModel};
+
+    fn report(depth: u32) -> SimReport {
+        let mut e = Engine::new(SimConfig::paper(depth));
+        let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 42);
+        e.warm_up(&mut gen, 10_000);
+        e.run(&mut gen, 20_000)
+    }
+
+    fn power() -> PowerConfig {
+        PowerConfig::paper(Gating::Gated, 0.15, 10)
+    }
+
+    #[test]
+    fn extraction_is_physical() {
+        let x = extract_from_report(&report(10), &power());
+        assert!(x.alpha >= 1.0 && x.alpha <= 4.0);
+        assert!(x.gamma > 0.0 && x.gamma <= 2.0);
+        assert!(x.hazard_rate > 0.0 && x.hazard_rate < 1.0);
+        assert!(x.kappa > 0.0);
+        assert_eq!(x.ref_depth, 10);
+    }
+
+    #[test]
+    fn workload_params_clamped_into_model_domain() {
+        let x = ExtractedParams {
+            alpha: 0.4,
+            gamma: 3.0,
+            hazard_rate: 0.0,
+            kappa: 1.0,
+            memory_time_fo4: 0.0,
+            ref_depth: 10,
+        };
+        let w = x.workload_params();
+        assert!(w.alpha >= 1.0);
+        assert!(w.gamma <= 1.0);
+        assert!(w.hazard_rate > 0.0);
+    }
+
+    #[test]
+    fn theory_model_wires_gating() {
+        let x = extract_from_report(&report(10), &power());
+        let gated = theory_model(&x, true, 0.15, 10.0, 1.3);
+        let ungated = theory_model(&x, false, 0.15, 10.0, 1.3);
+        assert!(matches!(
+            gated.power_params().gating,
+            ClockGating::Complete { .. }
+        ));
+        assert!(matches!(ungated.power_params().gating, ClockGating::None));
+    }
+
+    #[test]
+    fn extended_curve_reduces_to_plain_at_zero_tmem() {
+        let x = extract_from_report(&report(10), &power());
+        for gated in [false, true] {
+            let model = theory_model(&x, gated, 0.15, 10.0, 1.3);
+            let depths = [3.0, 8.0, 15.0];
+            let plain = theory_curve(&model, &depths, MetricExponent::BIPS3_PER_WATT);
+            let ext = extended_theory_curve(&model, 0.0, &depths, MetricExponent::BIPS3_PER_WATT);
+            for (a, b) in plain.iter().zip(&ext) {
+                assert!((a - b).abs() < 1e-12 * a.abs().max(1e-30), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_time_lowers_the_extended_metric() {
+        let x = extract_from_report(&report(10), &power());
+        let model = theory_model(&x, true, 0.15, 10.0, 1.3);
+        let depths = [8.0];
+        let plain = extended_theory_curve(&model, 0.0, &depths, MetricExponent::BIPS3_PER_WATT);
+        let slow = extended_theory_curve(&model, 20.0, &depths, MetricExponent::BIPS3_PER_WATT);
+        assert!(slow[0] < plain[0]);
+    }
+
+    #[test]
+    fn theory_curve_matches_model_pointwise() {
+        let x = extract_from_report(&report(10), &power());
+        let model = theory_model(&x, false, 0.15, 10.0, 1.3);
+        let depths = [2.0, 7.0, 14.0];
+        let ys = theory_curve(&model, &depths, MetricExponent::BIPS3_PER_WATT);
+        for (p, y) in depths.iter().zip(&ys) {
+            assert_eq!(*y, model.metric(*p, MetricExponent::BIPS3_PER_WATT));
+        }
+    }
+
+    #[test]
+    fn single_depth_extraction_predicts_other_depths_shape() {
+        // The paper's claim: parameters from ONE depth give the whole curve.
+        // Check the theory's τ tracks the simulated τ within a factor
+        // across the range (shape, not absolute).
+        let x = extract_from_report(&report(10), &power());
+        let model = theory_model(&x, false, 0.15, 10.0, 1.3);
+        for depth in [4u32, 8, 16, 22] {
+            let sim_tau = report(depth).time_per_instruction_fo4() - x.memory_time_fo4;
+            let theory_tau = model.perf().time_per_instruction(depth as f64);
+            let ratio = sim_tau / theory_tau;
+            assert!(
+                ratio > 0.5 && ratio < 2.0,
+                "depth {depth}: sim {sim_tau} vs theory {theory_tau}"
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Extension experiment: optimum depth as a function of the clock-gating
+//! *degree*.
+//!
+//! The paper treats two endpoints — no gating (`f_cg = 1`) and complete
+//! fine-grained gating — and notes that "partial clock gating leads to a
+//! fractional value for f_cg". This experiment fills in the between: sweep
+//! the fraction of latches that remain clocked every cycle and trace how
+//! the BIPS³/W optimum migrates from the ungated to the gated design
+//! point, in both the theory and the simulation-backed power model.
+
+use crate::extract::ExtractedParams;
+use crate::sweep::RunConfig;
+use pipedepth_core::{
+    numeric_optimum, ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams,
+};
+use pipedepth_power::{metric, Gating, PowerConfig};
+use pipedepth_sim::{Engine, SimConfig};
+use pipedepth_trace::TraceGenerator;
+use pipedepth_workloads::{suite_class, Workload, WorkloadClass};
+use std::fmt;
+
+/// The gating fractions swept (1.0 = ungated).
+pub const FRACTIONS: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.1];
+
+/// Result of the gating-degree extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtGating {
+    /// Workload studied.
+    pub workload_name: String,
+    /// Partial-gating fractions swept.
+    pub fractions: Vec<f64>,
+    /// Theory optimum at each fraction (None ⇒ unpipelined/boundary).
+    pub theory_optima: Vec<Option<f64>>,
+    /// Simulated grid optimum (BIPS³/W) at each fraction.
+    pub sim_optima: Vec<u32>,
+    /// Simulated grid optimum under complete (occupancy) gating, for
+    /// reference.
+    pub sim_complete_gating: u32,
+}
+
+/// Runs the sweep for one workload.
+pub fn run_for(workload: &Workload, extracted: &ExtractedParams, config: &RunConfig) -> ExtGating {
+    // ---- Theory side -----------------------------------------------------
+    let tech = TechParams::paper();
+    let theory_optima = FRACTIONS
+        .iter()
+        .map(|&f| {
+            let power = PowerParams::with_leakage_fraction(
+                config.leakage_fraction,
+                &tech,
+                config.ref_depth as f64,
+            )
+            .with_gating(ClockGating::Partial(f));
+            let model = PipelineModel::new(tech, extracted.workload_params(), power);
+            numeric_optimum(&model, MetricExponent::BIPS3_PER_WATT).depth()
+        })
+        .collect();
+
+    // ---- Simulation side ---------------------------------------------------
+    let best_depth = |gating: Gating| -> u32 {
+        let power = PowerConfig::paper(gating, config.leakage_fraction, config.ref_depth);
+        let mut best = (0u32, f64::MIN);
+        for &depth in &config.depths {
+            let mut engine = Engine::new(SimConfig::paper(depth));
+            let mut gen = TraceGenerator::new(workload.model, workload.trace_seed);
+            engine.warm_up(&mut gen, config.warmup);
+            let report = engine.run(&mut gen, config.instructions);
+            let v = metric(&report, &power, 3.0);
+            if v > best.1 {
+                best = (depth, v);
+            }
+        }
+        best.0
+    };
+    let sim_optima = FRACTIONS
+        .iter()
+        .map(|&f| {
+            if f >= 1.0 {
+                best_depth(Gating::Ungated)
+            } else {
+                best_depth(Gating::Partial(f))
+            }
+        })
+        .collect();
+    ExtGating {
+        workload_name: workload.name.clone(),
+        fractions: FRACTIONS.to_vec(),
+        theory_optima,
+        sim_optima,
+        sim_complete_gating: best_depth(Gating::Gated),
+    }
+}
+
+/// Runs the experiment end to end on the first modern workload.
+pub fn run(config: &RunConfig) -> ExtGating {
+    let w = suite_class(WorkloadClass::Modern)
+        .into_iter()
+        .next()
+        .expect("modern class populated");
+    let curve = crate::sweep::sweep_workload(&w, config);
+    run_for(&w, &curve.extracted, config)
+}
+
+impl fmt::Display for ExtGating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — optimum vs gating degree ({}, BIPS³/W)",
+            self.workload_name
+        )?;
+        writeln!(f, "  {:>9} {:>12} {:>10}", "f_cg", "theory opt", "sim opt")?;
+        for ((frac, th), sim) in self
+            .fractions
+            .iter()
+            .zip(&self.theory_optima)
+            .zip(&self.sim_optima)
+        {
+            let th_s = th.map_or("unpiped".to_string(), |d| format!("{d:.1}"));
+            writeln!(f, "  {frac:>9.2} {th_s:>12} {sim:>10}")?;
+        }
+        writeln!(
+            f,
+            "  complete occupancy gating: sim opt @{}",
+            self.sim_complete_gating
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig {
+            warmup: 6_000,
+            instructions: 12_000,
+            depths: (2..=20).step_by(2).collect(),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn less_clocking_means_deeper_optima() {
+        let fig = run(&quick());
+        // Simulated optima must not shrink as the gated fraction falls.
+        for w in fig.sim_optima.windows(2) {
+            assert!(
+                w[1] >= w[0],
+                "sim optima not monotone: {:?}",
+                fig.sim_optima
+            );
+        }
+        // And the theory agrees in direction.
+        let th: Vec<f64> = fig.theory_optima.iter().map(|o| o.unwrap_or(1.0)).collect();
+        for w in th.windows(2) {
+            assert!(w[1] + 1e-9 >= w[0], "theory optima not monotone: {th:?}");
+        }
+    }
+
+    #[test]
+    fn complete_gating_at_least_as_deep_as_partial() {
+        let fig = run(&quick());
+        assert!(fig.sim_complete_gating >= fig.sim_optima[0]);
+    }
+}

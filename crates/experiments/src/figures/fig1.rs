@@ -1,0 +1,134 @@
+//! Figure 1: the optimality quartic `d Metric/dp` as a function of `p`.
+//!
+//! The paper plots its Eq. 5 over roughly `p ∈ [−60, 20]` for typical
+//! parameters and observes four real zero crossings — only one positive —
+//! with the negative crossings pinned near `−t_p/t_o = −56` (Eq. 6a) and
+//! `≈ −0.5` (Eq. 6b).
+
+use pipedepth_core::{
+    paper_quartic, spurious_root_6a, spurious_root_6b, MetricExponent, PipelineModel, PowerParams,
+    TechParams, WorkloadParams,
+};
+use pipedepth_math::roots::real_roots;
+use std::fmt;
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1 {
+    /// Sample abscissae.
+    pub ps: Vec<f64>,
+    /// Quartic values (normalised to the maximum magnitude over the range).
+    pub values: Vec<f64>,
+    /// All real roots of the quartic, ascending.
+    pub roots: Vec<f64>,
+    /// The paper's Eq. 6a prediction.
+    pub root_6a: f64,
+    /// The paper's Eq. 6b prediction.
+    pub root_6b: f64,
+}
+
+impl Fig1 {
+    /// The single positive root (the physically meaningful optimum), if the
+    /// parameters admit one.
+    pub fn positive_root(&self) -> Option<f64> {
+        self.roots.iter().copied().find(|&r| r > 0.0)
+    }
+}
+
+/// Runs the Figure 1 experiment for the paper's typical parameters
+/// (BIPS³/W, default technology/workload/power).
+pub fn run() -> Fig1 {
+    let model = PipelineModel::new(
+        TechParams::paper(),
+        WorkloadParams::typical(),
+        PowerParams::paper(),
+    );
+    run_with_model(&model)
+}
+
+/// Runs Figure 1 for an arbitrary (non-gated) model.
+///
+/// # Panics
+///
+/// Panics if the model uses complete clock gating (no polynomial form).
+pub fn run_with_model(model: &PipelineModel) -> Fig1 {
+    let m = MetricExponent::BIPS3_PER_WATT;
+    let quartic = paper_quartic(model, m)
+        .expect("Figure 1 requires the polynomial (non-gated) optimality form");
+    let ps: Vec<f64> = (0..=320).map(|i| -60.0 + i as f64 * 0.25).collect();
+    let raw: Vec<f64> = ps.iter().map(|&p| quartic.eval(p)).collect();
+    let scale = raw.iter().fold(0.0f64, |a, &v| a.max(v.abs())).max(1.0);
+    Fig1 {
+        values: raw.into_iter().map(|v| v / scale).collect(),
+        ps,
+        roots: real_roots(&quartic),
+        root_6a: spurious_root_6a(model),
+        root_6b: spurious_root_6b(model, m).expect("non-gated model"),
+    }
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 1 — d(Metric)/dp quartic, zero crossings")?;
+        writeln!(f, "  real roots: {:?}", self.roots)?;
+        writeln!(
+            f,
+            "  Eq. 6a predicts {:.2}; Eq. 6b predicts {:.3}",
+            self.root_6a, self.root_6b
+        )?;
+        match self.positive_root() {
+            Some(r) => writeln!(f, "  positive (physical) root: {r:.2} stages"),
+            None => writeln!(f, "  no positive root: unpipelined optimum"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_real_roots_one_positive() {
+        let fig = run();
+        assert_eq!(fig.roots.len(), 4, "roots: {:?}", fig.roots);
+        assert_eq!(fig.roots.iter().filter(|&&r| r > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn eq_6a_matches_most_negative_root() {
+        let fig = run();
+        assert!((fig.roots[0] - fig.root_6a).abs() < 1e-3 * fig.root_6a.abs());
+        assert!((fig.root_6a + 56.0).abs() < 1e-9, "paper technology: −56");
+    }
+
+    #[test]
+    fn samples_cover_paper_range() {
+        let fig = run();
+        assert_eq!(fig.ps.first(), Some(&-60.0));
+        assert_eq!(fig.ps.last(), Some(&20.0));
+        // Normalised values stay within [−1, 1].
+        assert!(fig.values.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn sign_changes_match_roots_in_range() {
+        let fig = run();
+        let crossings = fig
+            .values
+            .windows(2)
+            .filter(|w| w[0].signum() != w[1].signum())
+            .count();
+        let roots_in_range = fig
+            .roots
+            .iter()
+            .filter(|&&r| (-60.0..=20.0).contains(&r))
+            .count();
+        assert_eq!(crossings, roots_in_range);
+    }
+
+    #[test]
+    fn display_mentions_roots() {
+        let s = run().to_string();
+        assert!(s.contains("positive (physical) root"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Figure 2: the modelled pipeline, and how it stretches with depth.
+//!
+//! The paper's Fig. 2 is structural — the two instruction flows of the
+//! 4-issue machine. This driver renders the realised structure at any
+//! depth, plus the expansion table showing how the paper's "uniform"
+//! stage insertion distributes stages across Decode, Agen, Cache access
+//! and the E-unit from 2 to 25 stages.
+
+use pipedepth_sim::StagePlan;
+use std::fmt;
+
+/// The structural figure: stage plans over the full depth range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2 {
+    /// One plan per depth, ascending from 2 to `max_depth`.
+    pub plans: Vec<(u32, StagePlan)>,
+}
+
+/// Builds the expansion table up to `max_depth`.
+///
+/// # Panics
+///
+/// Panics if `max_depth < 2`.
+pub fn run(max_depth: u32) -> Fig2 {
+    assert!(max_depth >= 2, "need at least the 2-stage machine");
+    Fig2 {
+        plans: (2..=max_depth)
+            .map(|d| (d, StagePlan::for_depth(d)))
+            .collect(),
+    }
+}
+
+/// Renders one depth's pipeline as the paper draws it: boxes per unit with
+/// their stage counts, RR and RX flows.
+pub fn render_pipeline(plan: &StagePlan) -> String {
+    let seg = |name: &str, stages: u32| -> String {
+        if stages == 0 {
+            format!("({name}: merged)")
+        } else {
+            format!("[{name} x{stages}]")
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "RR: {} -> [exec Q] -> {} -> {} -> [retire]\n",
+        seg("decode", plan.decode),
+        seg("e-unit", plan.execute),
+        seg("complete", plan.complete),
+    ));
+    out.push_str(&format!(
+        "RX: {} -> [addr Q] -> {} -> {} -> [exec Q] -> {} -> {} -> [retire]\n",
+        seg("decode", plan.decode),
+        seg("agen", plan.agen),
+        seg("cache", plan.cache),
+        seg("e-unit", plan.execute),
+        seg("complete", plan.complete),
+    ));
+    out
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — pipeline structure and uniform expansion")?;
+        writeln!(
+            f,
+            "  {:>5} {:>7} {:>5} {:>6} {:>7}",
+            "depth", "decode", "agen", "cache", "e-unit"
+        )?;
+        for (depth, plan) in &self.plans {
+            writeln!(
+                f,
+                "  {depth:>5} {:>7} {:>5} {:>6} {:>7}{}",
+                plan.decode,
+                plan.agen,
+                plan.cache,
+                plan.execute,
+                if plan.merged_units().is_empty() {
+                    ""
+                } else {
+                    "   (merged units)"
+                }
+            )?;
+        }
+        if let Some((_, deepest)) = self.plans.last() {
+            writeln!(f, "\n  deepest machine:")?;
+            for line in render_pipeline(deepest).lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_sim::Unit;
+
+    #[test]
+    fn table_covers_requested_range() {
+        let fig = run(25);
+        assert_eq!(fig.plans.len(), 24);
+        assert_eq!(fig.plans[0].0, 2);
+        assert_eq!(fig.plans.last().unwrap().0, 25);
+    }
+
+    #[test]
+    fn expansion_inserts_into_all_three_paper_units() {
+        // "We insert extra stages in Decode, Cache Access and E-Unit Pipe,
+        // simultaneously": from 2 to 25 stages every one of them must grow.
+        let fig = run(25);
+        let first = fig.plans[0].1;
+        let last = fig.plans.last().unwrap().1;
+        assert!(last.decode > first.decode);
+        assert!(last.cache > first.cache);
+        assert!(last.execute > first.execute);
+    }
+
+    #[test]
+    fn render_marks_merged_units() {
+        let shallow = StagePlan::for_depth(2);
+        let art = render_pipeline(&shallow);
+        assert!(art.contains("merged"), "{art}");
+        let deep = StagePlan::for_depth(20);
+        let art = render_pipeline(&deep);
+        assert!(!art.contains("merged"), "{art}");
+        assert!(art.contains("RR:"));
+        assert!(art.contains("RX:"));
+    }
+
+    #[test]
+    fn rx_flow_contains_memory_segment() {
+        let art = render_pipeline(&StagePlan::for_depth(14));
+        assert!(art.contains("agen"));
+        assert!(art.contains("cache"));
+        assert!(art.contains("addr Q"));
+    }
+
+    #[test]
+    fn display_lists_every_depth() {
+        let s = run(10).to_string();
+        for d in 2..=10 {
+            assert!(s.contains(&format!("\n  {d:>5} ")), "missing depth {d}");
+        }
+    }
+
+    #[test]
+    fn scaled_units_match_unit_enum() {
+        // The figure's columns are exactly the scaled units.
+        assert_eq!(
+            Unit::SCALED,
+            [Unit::Decode, Unit::Agen, Unit::Cache, Unit::Execute]
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 3: latch count vs. pipeline depth.
+//!
+//! The paper reports that, with individual unit latch counts growing as
+//! `(unit depth)^1.3`, the overall processor latch count fits a `p^1.1`
+//! power law over the simulated 2–25 stage range.
+
+use pipedepth_math::fit::{power_law_fit, PowerLaw};
+use pipedepth_power::LatchModel;
+use pipedepth_sim::StagePlan;
+use std::fmt;
+
+/// Result of the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3 {
+    /// Depths sampled.
+    pub depths: Vec<f64>,
+    /// Total latch counts (normalised to the count at the shallowest
+    /// depth, as the paper plots relative growth).
+    pub latches: Vec<f64>,
+    /// The fitted power law.
+    pub fit: PowerLaw,
+    /// The per-unit growth exponent used.
+    pub unit_growth: f64,
+}
+
+/// Runs Figure 3 with the paper's latch model over depths 2–25.
+pub fn run() -> Fig3 {
+    run_with_model(&LatchModel::paper(), 2, 25)
+}
+
+/// Runs Figure 3 with a custom latch model and depth range.
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of the stage-plan domain.
+pub fn run_with_model(model: &LatchModel, lo: u32, hi: u32) -> Fig3 {
+    assert!(lo >= 2 && hi > lo, "need a non-empty range of depths ≥ 2");
+    let depths: Vec<f64> = (lo..=hi).map(|d| d as f64).collect();
+    let raw: Vec<f64> = (lo..=hi)
+        .map(|d| model.total_latches(&StagePlan::for_depth(d)))
+        .collect();
+    let base = raw[0];
+    let latches: Vec<f64> = raw.into_iter().map(|v| v / base).collect();
+    let fit = power_law_fit(&depths, &latches).expect("positive data fits a power law");
+    Fig3 {
+        depths,
+        latches,
+        fit,
+        unit_growth: model.unit_growth,
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3 — latch count growth with pipeline depth")?;
+        writeln!(
+            f,
+            "  unit exponent {} ⇒ overall fit p^{:.3} (R² = {:.4}; paper: p^1.1 from unit 1.3)",
+            self.unit_growth, self.fit.exponent, self.fit.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_exponent_near_paper() {
+        let fig = run();
+        assert!(
+            (fig.fit.exponent - 1.1).abs() < 0.08,
+            "exponent {}",
+            fig.fit.exponent
+        );
+    }
+
+    #[test]
+    fn normalised_to_first_depth() {
+        let fig = run();
+        assert!((fig.latches[0] - 1.0).abs() < 1e-12);
+        assert!(fig.latches.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn steeper_units_steepen_overall() {
+        let steep = run_with_model(&LatchModel::new(1.8, 45.0), 2, 25);
+        let base = run();
+        assert!(steep.fit.exponent > base.fit.exponent);
+    }
+}

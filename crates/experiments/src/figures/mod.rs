@@ -1,0 +1,14 @@
+//! Per-figure experiment drivers, one module per table/figure of the
+//! paper's evaluation.
+
+pub mod ext_gating;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod headline;

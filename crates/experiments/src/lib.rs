@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every figure of Hartstein & Puzak,
+//! *Optimum Power/Performance Pipeline Depth* (MICRO-36, 2003).
+//!
+//! * [`sweep`] — depth sweeps of workloads over the simulator (2–25 stages,
+//!   warmup + measurement windows, parallel across workloads);
+//! * [`extract`] — single-run extraction of the theory's parameters
+//!   (`α`, `γ`, `N_H/N_I`, κ) and assembly of the analytic model;
+//! * [`figures`] — one driver per figure: Fig. 1 (optimality quartic),
+//!   Fig. 3 (latch growth), Figs. 4a–c (theory vs simulation), Fig. 5
+//!   (metric comparison), Fig. 6 (optimum distribution), Fig. 7 (per-class
+//!   distributions), Fig. 8 (leakage), Fig. 9 (latch-growth exponent), and
+//!   the paper's headline numbers;
+//! * [`ablation`] — microarchitectural ablations quantifying how much the
+//!   headline result depends on substrate choices (forwarding, caches,
+//!   queue sizing, issue policy);
+//! * [`report`] — ASCII tables and CSV rendering.
+//!
+//! The `repro` binary runs everything and emits the full comparison
+//! report (`cargo run --release -p pipedepth-experiments --bin repro`).
+pub mod ablation;
+pub mod convergence;
+pub mod extract;
+pub mod figures;
+pub mod issue_policy;
+pub mod paper;
+pub mod plot;
+pub mod report;
+pub mod sweep;
+
+pub use extract::{
+    extended_theory_curve, extract_from_report, theory_curve, theory_model, ExtractedParams,
+};
+pub use sweep::{
+    sweep_all, sweep_workload, sweep_workload_with, DepthPoint, RunConfig, WorkloadCurve,
+};

@@ -1,0 +1,193 @@
+//! Terminal line plots, so the regenerated figures are *visible* figures.
+//!
+//! Renders one or more series over a shared x axis onto a character grid,
+//! one glyph per series, with y scaled to the data range. Good enough to
+//! eyeball the same shapes the paper prints.
+
+use std::fmt::Write as _;
+
+/// A renderable chart of one or more series over a shared x axis.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_experiments::plot::Chart;
+///
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| (x - 8.0) * (8.0 - x)).collect();
+/// let chart = Chart::new(&xs)
+///     .series('o', &ys)
+///     .size(40, 10);
+/// let art = chart.render();
+/// assert!(art.contains('o'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    xs: Vec<f64>,
+    series: Vec<(char, Vec<f64>)>,
+    width: usize,
+    height: usize,
+}
+
+impl Chart {
+    /// Starts a chart over the given x values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` has fewer than two points or is not strictly
+    /// increasing.
+    pub fn new(xs: &[f64]) -> Self {
+        assert!(xs.len() >= 2, "a chart needs at least two points");
+        assert!(
+            xs.windows(2).all(|w| w[1] > w[0]),
+            "x values must be strictly increasing"
+        );
+        Chart {
+            xs: xs.to_vec(),
+            series: Vec::new(),
+            width: 64,
+            height: 16,
+        }
+    }
+
+    /// Adds a series drawn with the given glyph (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length differs from the x axis.
+    pub fn series(mut self, glyph: char, ys: &[f64]) -> Self {
+        assert_eq!(ys.len(), self.xs.len(), "series length mismatch");
+        self.series.push((glyph, ys.to_vec()));
+        self
+    }
+
+    /// Sets the plot area size in characters (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8 (nothing readable fits).
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "chart too small to read");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series was added.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, ys) in &self.series {
+            for &y in ys {
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+        let x_min = self.xs[0];
+        let x_max = *self.xs.last().expect("xs non-empty");
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, ys) in &self.series {
+            for (&x, &y) in self.xs.iter().zip(ys) {
+                let col =
+                    ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let row_f = (y - y_min) / (y_max - y_min) * (self.height - 1) as f64;
+                let row = self.height - 1 - row_f.round() as usize;
+                grid[row][col] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_max:>9.3e}")
+            } else if i == self.height - 1 {
+                format!("{y_min:>9.3e}")
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{} {:<10.1}{:>width$.1}",
+            " ".repeat(9),
+            x_min,
+            x_max,
+            width = self.width - 10
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> Vec<f64> {
+        (2..=25).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn renders_all_glyphs() {
+        let x = xs();
+        let a: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let b: Vec<f64> = x.iter().map(|v| 600.0 - v * v).collect();
+        let art = Chart::new(&x).series('g', &a).series('u', &b).render();
+        assert!(art.contains('g'));
+        assert!(art.contains('u'));
+    }
+
+    #[test]
+    fn peak_is_high_on_the_grid() {
+        let x = xs();
+        let ys: Vec<f64> = x.iter().map(|&v| -(v - 8.0) * (v - 8.0)).collect();
+        let art = Chart::new(&x).series('*', &ys).size(48, 12).render();
+        // The first body line (max label) must contain the peak glyph.
+        let first = art.lines().next().unwrap();
+        assert!(first.contains('*'), "peak not at top: {art}");
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let x = xs();
+        let ys = vec![1.0; x.len()];
+        let art = Chart::new(&x).series('#', &ys).render();
+        assert!(art.contains("2.0"));
+        assert!(art.contains("25.0"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let x = xs();
+        let ys = vec![5.0; x.len()];
+        let art = Chart::new(&x).series('#', &ys).render();
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_x_rejected() {
+        let _ = Chart::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_series_rejected() {
+        let _ = Chart::new(&[1.0, 2.0]).series('a', &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_rejected() {
+        let _ = Chart::new(&[1.0, 2.0]).render();
+    }
+}

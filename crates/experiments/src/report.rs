@@ -1,0 +1,125 @@
+//! Rendering helpers: ASCII tables and CSV output for experiment results.
+
+use std::fmt::Write as _;
+
+/// Renders an ASCII table with a header row.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_experiments::report::table;
+/// let t = table(&["depth", "metric"], &[vec!["7".into(), "0.5".into()]]);
+/// assert!(t.contains("depth"));
+/// assert!(t.contains("| 7"));
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width must match header width"
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        out.push('|');
+        for (cell, w) in cells.iter().zip(widths) {
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        out.push('\n');
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render_row(&headers_owned, &widths, &mut out);
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{}|", "-".repeat(w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        render_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Renders series as CSV: first column is `x`, then one column per series.
+///
+/// # Panics
+///
+/// Panics if series lengths disagree with `xs`.
+pub fn csv(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> String {
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{x_name}");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x}");
+        for (_, ys) in series {
+            let _ = write!(out, ",{}", ys[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float compactly for tables (4 significant digits).
+pub fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let mag = v.abs().log10().floor();
+    if (-2.0..5.0).contains(&mag) {
+        format!("{v:.*}", (3 - mag as i32).max(0) as usize)
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let out = csv("p", &[1.0, 2.0], &[("y", &[0.5, 0.25])]);
+        assert_eq!(out, "p,y\n1,0.5\n2,0.25\n");
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(22.5), "22.50");
+        assert!(fmt_sig(1.234e-7).contains('e'));
+    }
+}

@@ -1,0 +1,274 @@
+//! Depth sweeps: run workloads across the paper's 2–25 stage range.
+//!
+//! Every simulation follows the paper's methodology: replay the same trace
+//! (same seed) against every pipeline depth, after a warmup window that
+//! fills the caches and trains the predictor.
+
+use crate::extract::{extract_from_report, ExtractedParams};
+use pipedepth_power::{metric, Gating, PowerConfig};
+use pipedepth_sim::{Engine, SimConfig};
+use pipedepth_trace::TraceGenerator;
+use pipedepth_workloads::Workload;
+
+/// Simulation sizing for a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Warmup instructions (statistics discarded).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Depths to simulate.
+    pub depths: Vec<u32>,
+    /// Leakage fraction of total (non-gated) power at the reference depth.
+    pub leakage_fraction: f64,
+    /// Reference depth for leakage calibration and parameter extraction.
+    pub ref_depth: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup: 30_000,
+            instructions: 60_000,
+            depths: (2..=25).collect(),
+            leakage_fraction: 0.15,
+            ref_depth: 10,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A faster configuration for tests and examples.
+    pub fn quick() -> Self {
+        RunConfig {
+            warmup: 10_000,
+            instructions: 20_000,
+            depths: (2..=25).step_by(2).collect(),
+            ..RunConfig::default()
+        }
+    }
+
+    /// The gated power configuration this run measures with.
+    pub fn power_gated(&self) -> PowerConfig {
+        PowerConfig::paper(Gating::Gated, self.leakage_fraction, self.ref_depth)
+    }
+
+    /// The ungated power configuration this run measures with.
+    pub fn power_ungated(&self) -> PowerConfig {
+        PowerConfig::paper(Gating::Ungated, self.leakage_fraction, self.ref_depth)
+    }
+}
+
+/// One depth's measurements for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthPoint {
+    /// Pipeline depth (stages).
+    pub depth: u32,
+    /// Throughput in instructions per FO4 (∝ BIPS).
+    pub throughput: f64,
+    /// `BIPS^m/W` under clock gating for m = 1, 2, 3.
+    pub metric_gated: [f64; 3],
+    /// `BIPS^m/W` without gating for m = 1, 2, 3.
+    pub metric_ungated: [f64; 3],
+    /// Cycles per instruction.
+    pub cpi: f64,
+}
+
+/// A complete depth sweep of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadCurve {
+    /// The workload swept.
+    pub workload: Workload,
+    /// Measurements, one per configured depth (ascending).
+    pub points: Vec<DepthPoint>,
+    /// Theory parameters extracted from the reference-depth run.
+    pub extracted: ExtractedParams,
+}
+
+impl WorkloadCurve {
+    /// The depths of this curve.
+    pub fn depths(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.depth as f64).collect()
+    }
+
+    /// The gated `BIPS^m/W` series for a metric exponent (1, 2 or 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m ∈ {1, 2, 3}`.
+    pub fn gated_series(&self, m: u32) -> Vec<f64> {
+        assert!((1..=3).contains(&m), "m must be 1, 2 or 3");
+        self.points
+            .iter()
+            .map(|p| p.metric_gated[(m - 1) as usize])
+            .collect()
+    }
+
+    /// The ungated `BIPS^m/W` series for a metric exponent (1, 2 or 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m ∈ {1, 2, 3}`.
+    pub fn ungated_series(&self, m: u32) -> Vec<f64> {
+        assert!((1..=3).contains(&m), "m must be 1, 2 or 3");
+        self.points
+            .iter()
+            .map(|p| p.metric_ungated[(m - 1) as usize])
+            .collect()
+    }
+
+    /// The throughput (∝ BIPS) series.
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.throughput).collect()
+    }
+
+    /// The depth whose gated BIPS³/W is highest (integer grid argmax).
+    pub fn best_gated_m3_depth(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.metric_gated[2]
+                    .partial_cmp(&b.metric_gated[2])
+                    .expect("metrics are finite")
+            })
+            .expect("sweeps are non-empty")
+            .depth
+    }
+}
+
+/// Sweeps one workload over the configured depths.
+pub fn sweep_workload(workload: &Workload, config: &RunConfig) -> WorkloadCurve {
+    sweep_workload_with(workload, config, SimConfig::paper)
+}
+
+/// Sweeps one workload with a custom machine builder (used by the ablation
+/// and issue-policy studies to vary the microarchitecture per depth).
+pub fn sweep_workload_with(
+    workload: &Workload,
+    config: &RunConfig,
+    make_sim: impl Fn(u32) -> SimConfig,
+) -> WorkloadCurve {
+    let gated = config.power_gated();
+    let ungated = config.power_ungated();
+    let mut points = Vec::with_capacity(config.depths.len());
+    let mut extracted = None;
+    for &depth in &config.depths {
+        let mut engine = Engine::new(make_sim(depth));
+        let mut gen = TraceGenerator::new(workload.model, workload.trace_seed);
+        engine.warm_up(&mut gen, config.warmup);
+        let report = engine.run(&mut gen, config.instructions);
+        if depth == config.ref_depth
+            || (extracted.is_none() && Some(&depth) == config.depths.last())
+        {
+            extracted = Some(extract_from_report(&report, &gated));
+        }
+        points.push(DepthPoint {
+            depth,
+            throughput: report.throughput(),
+            metric_gated: [
+                metric(&report, &gated, 1.0),
+                metric(&report, &gated, 2.0),
+                metric(&report, &gated, 3.0),
+            ],
+            metric_ungated: [
+                metric(&report, &ungated, 1.0),
+                metric(&report, &ungated, 2.0),
+                metric(&report, &ungated, 3.0),
+            ],
+            cpi: report.cpi(),
+        });
+    }
+    WorkloadCurve {
+        workload: workload.clone(),
+        points,
+        extracted: extracted.expect("sweep covered at least one depth"),
+    }
+}
+
+/// Sweeps many workloads in parallel (scoped threads, one chunk per CPU).
+pub fn sweep_all(workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadCurve> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(workloads.len().max(1));
+    let mut results: Vec<Option<WorkloadCurve>> = vec![None; workloads.len()];
+    let chunk = workloads.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, work_chunk) in results.chunks_mut(chunk).zip(workloads.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, w) in slot_chunk.iter_mut().zip(work_chunk) {
+                    *slot = Some(sweep_workload(w, config));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_workloads::representatives;
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            warmup: 3_000,
+            instructions: 6_000,
+            depths: vec![4, 8, 12, 16],
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_point_per_depth() {
+        let w = &representatives()[1]; // a SPECint workload
+        let curve = sweep_workload(w, &tiny_config());
+        assert_eq!(curve.points.len(), 4);
+        assert_eq!(curve.depths(), vec![4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn metrics_positive_and_gating_helps() {
+        let w = &representatives()[1];
+        let curve = sweep_workload(w, &tiny_config());
+        for p in &curve.points {
+            assert!(p.throughput > 0.0);
+            for k in 0..3 {
+                assert!(p.metric_gated[k] > 0.0);
+                assert!(
+                    p.metric_gated[k] > p.metric_ungated[k],
+                    "gating reduces power, so BIPS^m/W must rise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ws = representatives();
+        let cfg = tiny_config();
+        let serial: Vec<_> = ws.iter().map(|w| sweep_workload(w, &cfg)).collect();
+        let parallel = sweep_all(&ws, &cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn best_depth_within_range() {
+        let w = &representatives()[0];
+        let curve = sweep_workload(w, &tiny_config());
+        let best = curve.best_gated_m3_depth();
+        assert!(curve.points.iter().any(|p| p.depth == best));
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be 1, 2 or 3")]
+    fn bad_metric_exponent_rejected() {
+        let w = &representatives()[0];
+        let curve = sweep_workload(w, &tiny_config());
+        let _ = curve.gated_series(4);
+    }
+}

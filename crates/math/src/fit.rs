@@ -1,0 +1,264 @@
+//! The specific curve fits the paper performs on simulation data.
+//!
+//! * [`cubic_peak_fit`] — the "blind least squares fit to a cubic function"
+//!   whose maximum the paper takes as the observed optimum pipeline depth
+//!   (Section 4, Figs. 6/7).
+//! * [`power_law_fit`] — the `N(p) = c·p^β` fit of Fig. 3 (latch growth).
+//! * [`scale_fit`] — fitting a theory curve to data with the overall scale
+//!   factor as the only adjustable parameter (Figs. 4a–c, 5).
+
+use crate::lsq::{self, SolveError};
+use crate::roots::solve_quadratic;
+use crate::Polynomial;
+
+/// Result of a cubic least-squares fit with peak extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicPeak {
+    /// The fitted cubic polynomial (ascending coefficients).
+    pub poly: Polynomial,
+    /// Location of the interior maximum of the cubic within the data range
+    /// (clamped to the range if the analytic peak falls outside it).
+    pub peak_x: f64,
+    /// Fitted value at [`CubicPeak::peak_x`].
+    pub peak_y: f64,
+    /// Whether the analytic maximum fell inside the data range.
+    pub interior: bool,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ c₀ + c₁x + c₂x² + c₃x³` and extracts the curve's maximum over
+/// the data range, exactly as the paper does to find the optimum pipeline
+/// depth for each workload.
+///
+/// The candidate peaks are the roots of the derivative plus the two range
+/// endpoints; the argmax among them is reported. `interior` is `false` when
+/// an endpoint wins, which corresponds to the paper's "optimum at a single
+/// stage" (or "deeper than simulated") outcomes.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying least-squares solve (fewer
+/// than 4 points, mismatched lengths, collinear data).
+pub fn cubic_peak_fit(xs: &[f64], ys: &[f64]) -> Result<CubicPeak, SolveError> {
+    let coeffs = lsq::fit_polynomial(xs, ys, 3)?;
+    let poly = Polynomial::new(coeffs);
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let deriv = poly.derivative();
+    let mut candidates = vec![lo, hi];
+    for r in solve_quadratic(deriv.coeff(2), deriv.coeff(1), deriv.coeff(0)) {
+        if r > lo && r < hi {
+            candidates.push(r);
+        }
+    }
+    let (peak_x, peak_y) = candidates
+        .iter()
+        .map(|&x| (x, poly.eval(x)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fit values"))
+        .expect("candidates is never empty");
+    let interior = peak_x > lo && peak_x < hi;
+
+    let preds: Vec<f64> = xs.iter().map(|&x| poly.eval(x)).collect();
+    let r2 = lsq::r_squared(ys, &preds);
+    Ok(CubicPeak {
+        poly,
+        peak_x,
+        peak_y,
+        interior,
+        r_squared: r2,
+    })
+}
+
+/// Result of a power-law fit `y ≈ c·x^β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Multiplicative constant `c`.
+    pub scale: f64,
+    /// Exponent `β`.
+    pub exponent: f64,
+    /// R² of the fit in log space.
+    pub r_squared: f64,
+}
+
+impl PowerLaw {
+    /// Evaluates the fitted law at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.scale * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ c·x^β` by linear least squares in log-log space, the fit used
+/// for the paper's Fig. 3 (latch count vs. pipeline depth).
+///
+/// # Errors
+///
+/// Returns [`SolveError::BadInput`] when any `x` or `y` is non-positive (the
+/// logarithm would be undefined) or fewer than two points are supplied.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Result<PowerLaw, SolveError> {
+    if xs.len() != ys.len() {
+        return Err(SolveError::BadInput(format!(
+            "x and y have different lengths ({} vs {})",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(SolveError::BadInput(
+            "need at least two points for a power-law fit".into(),
+        ));
+    }
+    if xs.iter().chain(ys).any(|&v| v <= 0.0) {
+        return Err(SolveError::BadInput(
+            "power-law fit requires strictly positive data".into(),
+        ));
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let c = lsq::fit_polynomial(&lx, &ly, 1)?;
+    let preds: Vec<f64> = lx.iter().map(|&x| c[0] + c[1] * x).collect();
+    Ok(PowerLaw {
+        scale: c[0].exp(),
+        exponent: c[1],
+        r_squared: lsq::r_squared(&ly, &preds),
+    })
+}
+
+/// Result of a scale-only fit `y ≈ s·model(x)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFit {
+    /// The fitted scale factor `s`.
+    pub scale: f64,
+    /// R² of the scaled model against the data.
+    pub r_squared: f64,
+}
+
+/// Fits the single multiplicative constant `s` minimising
+/// `Σ (y_i − s·m_i)²`, where `m_i` are model predictions — exactly how the
+/// paper overlays its theory curves on simulation data ("the only adjustable
+/// parameter being the overall scale factor", Figs. 4a–c).
+///
+/// The closed form is `s = Σ y·m / Σ m²`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::BadInput`] on length mismatch or all-zero model.
+pub fn scale_fit(ys: &[f64], model: &[f64]) -> Result<ScaleFit, SolveError> {
+    if ys.len() != model.len() {
+        return Err(SolveError::BadInput(format!(
+            "data and model have different lengths ({} vs {})",
+            ys.len(),
+            model.len()
+        )));
+    }
+    let denom: f64 = model.iter().map(|m| m * m).sum();
+    if denom == 0.0 {
+        return Err(SolveError::BadInput("model is identically zero".into()));
+    }
+    let num: f64 = ys.iter().zip(model).map(|(y, m)| y * m).sum();
+    let s = num / denom;
+    let preds: Vec<f64> = model.iter().map(|m| s * m).collect();
+    Ok(ScaleFit {
+        scale: s,
+        r_squared: lsq::r_squared(ys, &preds),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_peak_on_exact_cubic() {
+        // -(x-8)² ≈ has max at 8; embed in a cubic with tiny x³ term.
+        let xs: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 10.0 - 0.05 * (x - 8.0).powi(2) + 1e-4 * (x - 8.0).powi(3))
+            .collect();
+        let fit = cubic_peak_fit(&xs, &ys).unwrap();
+        assert!(fit.interior);
+        assert!((fit.peak_x - 8.0).abs() < 0.2, "peak at {}", fit.peak_x);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn cubic_peak_monotone_data_hits_boundary() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.sqrt()).collect();
+        let fit = cubic_peak_fit(&xs, &ys).unwrap();
+        assert!(!fit.interior);
+        assert!((fit.peak_x - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_peak_decreasing_data_picks_low_boundary() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
+        let fit = cubic_peak_fit(&xs, &ys).unwrap();
+        // 1/x is convex decreasing; cubic fit may put its max at either the
+        // low end or nowhere interior — it must not claim an interior peak
+        // far from the low boundary.
+        assert!(fit.peak_x < 3.0);
+    }
+
+    #[test]
+    fn cubic_peak_needs_four_points() {
+        let r = cubic_peak_fit(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.5 * x.powf(1.1)).collect();
+        let fit = power_law_fit(&xs, &ys).unwrap();
+        assert!((fit.exponent - 1.1).abs() < 1e-9);
+        assert!((fit.scale - 3.5).abs() < 1e-8);
+        assert!(fit.r_squared > 0.999_999);
+    }
+
+    #[test]
+    fn power_law_eval_roundtrip() {
+        let fit = PowerLaw {
+            scale: 2.0,
+            exponent: 1.3,
+            r_squared: 1.0,
+        };
+        assert!((fit.eval(4.0) - 2.0 * 4f64.powf(1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(power_law_fit(&[1.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(power_law_fit(&[1.0, 2.0], &[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn scale_fit_exact() {
+        let model = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = model.iter().map(|m| 2.5 * m).collect();
+        let fit = scale_fit(&ys, &model).unwrap();
+        assert!((fit.scale - 2.5).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_fit_zero_model_rejected() {
+        assert!(scale_fit(&[1.0, 2.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn scale_fit_noisy_data_near_true_scale() {
+        let model: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        // "Noise" alternates ±1%, leaving the scale essentially unbiased.
+        let ys: Vec<f64> = model
+            .iter()
+            .enumerate()
+            .map(|(i, m)| 3.0 * m * if i % 2 == 0 { 1.01 } else { 0.99 })
+            .collect();
+        let fit = scale_fit(&ys, &model).unwrap();
+        assert!((fit.scale - 3.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixed-bin histograms with ASCII rendering.
+//!
+//! Used to reproduce the distributions of optimum pipeline depths in the
+//! paper's Figs. 6 and 7.
+
+use std::fmt;
+
+/// A histogram over equal-width bins covering `[lo, hi)`.
+///
+/// Samples below `lo` land in the first bin and samples at or above `hi` in
+/// the last, so no observation is ever silently dropped (the experiment
+/// drivers care about every workload).
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 1.5, 3.0, 9.9] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let idx = self.bin_index(x);
+        self.counts[idx] += 1;
+    }
+
+    /// The bin an observation falls into (clamped at the ends).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        let raw = ((x - self.lo) / w).floor();
+        if raw < 0.0 {
+            0
+        } else {
+            (raw as usize).min(n - 1)
+        }
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.bin_lo(i) + 0.5 * w
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Centre of the most populated bin (ties resolve to the lowest bin), or
+    /// `None` if the histogram is empty.
+    pub fn mode_center(&self) -> Option<f64> {
+        if self.total() == 0 {
+            return None;
+        }
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .expect("bins is non-empty");
+        Some(self.bin_center(idx))
+    }
+
+    /// Mean of the binned distribution (using bin centres), or `None` if
+    /// empty.
+    pub fn binned_mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.bin_center(i) * c as f64)
+            .sum();
+        Some(sum / total as f64)
+    }
+
+    /// Renders the histogram as ASCII bars, one bin per line, scaled so the
+    /// largest bar is `width` characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as usize * width) / max as usize;
+            let bar: String = std::iter::repeat_n('#', bar_len).collect();
+            out.push_str(&format!(
+                "{:>6.1} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_ascii(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.bin_index(0.0), 0);
+        assert_eq!(h.bin_index(0.999), 0);
+        assert_eq!(h.bin_index(1.0), 1);
+        assert_eq!(h.bin_index(9.999), 9);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(h.bin_index(-5.0), 0);
+        assert_eq!(h.bin_index(10.0), 9);
+        assert_eq!(h.bin_index(100.0), 9);
+    }
+
+    #[test]
+    fn mode_and_mean() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [4.2, 4.5, 4.9, 7.1] {
+            h.add(x);
+        }
+        assert_eq!(h.mode_center(), Some(4.5));
+        let mean = h.binned_mean().unwrap();
+        assert!((mean - (4.5 * 3.0 + 7.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mode() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.mode_center(), None);
+        assert_eq!(h.binned_mean(), None);
+    }
+
+    #[test]
+    fn mode_tie_resolves_low() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(1.5);
+        assert_eq!(h.mode_center(), Some(0.5));
+    }
+
+    #[test]
+    fn ascii_render_contains_counts() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.add(1.0);
+        h.add(1.2);
+        h.add(3.0);
+        let s = h.render_ascii(10);
+        assert!(s.contains("##########"), "longest bar full width: {s}");
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

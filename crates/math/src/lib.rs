@@ -1,0 +1,87 @@
+//! Numerical substrate for the `pipedepth` workspace.
+//!
+//! This crate provides, from scratch and with no external dependencies, the
+//! numerical machinery the reproduction of Hartstein & Puzak (MICRO-36, 2003)
+//! needs:
+//!
+//! * [`poly`] — dense univariate polynomials with arithmetic and calculus;
+//! * [`complex`] — a minimal complex-number type used by the root finders;
+//! * [`roots`] — closed-form quadratic/cubic/quartic solvers, the
+//!   Durand–Kerner simultaneous iteration for general degree, and Newton /
+//!   bisection polishing;
+//! * [`optimize`] — one-dimensional maximisation (golden-section search with
+//!   grid bracketing);
+//! * [`lsq`] — linear least squares via normal equations and Gaussian
+//!   elimination with partial pivoting;
+//! * [`fit`] — the specific fits used by the paper: cubic least-squares fit
+//!   with peak extraction (Figs. 6/7), power-law fit (Fig. 3), and
+//!   scale-only fit of a theory curve to data (Figs. 4/5);
+//! * [`stats`] — summary statistics;
+//! * [`histogram`] — fixed-bin histograms with ASCII rendering (Figs. 6/7).
+//!
+//! # Examples
+//!
+//! Find the peak of a noisy cubic the way the paper extracts optimum pipeline
+//! depths from simulation data:
+//!
+//! ```
+//! use pipedepth_math::fit::cubic_peak_fit;
+//!
+//! let xs: Vec<f64> = (2..=25).map(|p| p as f64).collect();
+//! // A concave-ish response peaking near x = 8.
+//! let ys: Vec<f64> = xs.iter().map(|&x| -0.002 * (x - 8.0).powi(2) + 1.0).collect();
+//! let fit = cubic_peak_fit(&xs, &ys).expect("well-conditioned fit");
+//! assert!((fit.peak_x - 8.0).abs() < 0.5);
+//! ```
+
+pub mod complex;
+pub mod fit;
+pub mod histogram;
+pub mod lsq;
+pub mod optimize;
+pub mod poly;
+pub mod roots;
+pub mod stats;
+
+pub use complex::Complex;
+pub use poly::Polynomial;
+
+/// Default absolute tolerance used by iterative routines in this crate.
+pub const EPS: f64 = 1e-12;
+
+/// Returns `true` when two floats agree to within `tol` absolutely or
+/// relatively (whichever is looser), the comparison used throughout the
+/// workspace's numerical tests.
+///
+/// # Examples
+///
+/// ```
+/// assert!(pipedepth_math::approx_eq(1.0, 1.0 + 1e-13, 1e-9));
+/// assert!(!pipedepth_math::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(0.0, 1e-15, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.1e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert_eq!(approx_eq(3.0, 3.1, 0.05), approx_eq(3.1, 3.0, 0.05));
+    }
+}

@@ -1,0 +1,350 @@
+//! Linear least squares.
+//!
+//! Solves `min ‖A·x − y‖²` through the normal equations `AᵀA·x = Aᵀy`,
+//! factored with Gaussian elimination and partial pivoting. The design
+//! matrices in this workspace are tiny (≤ 5 columns), so the normal-equation
+//! approach is both adequate and dependency-free.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a least-squares system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The normal matrix is singular (collinear columns or too few points).
+    Singular,
+    /// Input slices disagree in length or are empty.
+    BadInput(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "normal equations are singular"),
+            SolveError::BadInput(msg) => write!(f, "bad least-squares input: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// A dense row-major matrix just big enough for normal equations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Solves `self · x = b` in place via Gaussian elimination with partial
+    /// pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when a pivot underflows, and
+    /// [`SolveError::BadInput`] when the matrix is not square or `b` has the
+    /// wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if self.rows != self.cols {
+            return Err(SolveError::BadInput(format!(
+                "matrix is {}x{}, expected square",
+                self.rows, self.cols
+            )));
+        }
+        if b.len() != self.rows {
+            return Err(SolveError::BadInput(format!(
+                "rhs has length {}, expected {}",
+                b.len(),
+                self.rows
+            )));
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let scale: f64 = a.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0);
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= 1e-13 * scale {
+                return Err(SolveError::Singular);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in (col + 1)..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+/// Solves the linear least-squares problem for a design matrix given as a
+/// basis-function expansion: row `i` of the design matrix is
+/// `[basis[0](x[i]), …, basis[k-1](x[i])]`.
+///
+/// Returns the coefficient vector minimising `Σ_i (y_i − Σ_j c_j·φ_j(x_i))²`.
+///
+/// # Errors
+///
+/// Returns an error when inputs are empty/mismatched, when there are fewer
+/// points than coefficients, or when the normal equations are singular.
+pub fn fit_basis(
+    xs: &[f64],
+    ys: &[f64],
+    basis: &[&dyn Fn(f64) -> f64],
+) -> Result<Vec<f64>, SolveError> {
+    if xs.len() != ys.len() {
+        return Err(SolveError::BadInput(format!(
+            "x and y have different lengths ({} vs {})",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    let k = basis.len();
+    if k == 0 {
+        return Err(SolveError::BadInput("empty basis".into()));
+    }
+    if xs.len() < k {
+        return Err(SolveError::BadInput(format!(
+            "{} points cannot determine {} coefficients",
+            xs.len(),
+            k
+        )));
+    }
+    // Normal equations: N = AᵀA (k×k), r = Aᵀy (k).
+    let mut normal = Matrix::zeros(k, k);
+    let mut rhs = vec![0.0; k];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let phi: Vec<f64> = basis.iter().map(|f| f(x)).collect();
+        for i in 0..k {
+            rhs[i] += phi[i] * y;
+            for j in 0..k {
+                let v = normal.get(i, j) + phi[i] * phi[j];
+                normal.set(i, j, v);
+            }
+        }
+    }
+    normal.solve(&rhs)
+}
+
+/// Fits a polynomial of the given `degree` in the least-squares sense.
+///
+/// Returns coefficients in ascending order (constant first).
+///
+/// # Errors
+///
+/// Same failure modes as [`fit_basis`].
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::lsq::fit_polynomial;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let c = fit_polynomial(&xs, &ys, 1)?;
+/// assert!((c[0] - 1.0).abs() < 1e-9 && (c[1] - 2.0).abs() < 1e-9);
+/// # Ok::<(), pipedepth_math::lsq::SolveError>(())
+/// ```
+pub fn fit_polynomial(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, SolveError> {
+    let basis: Vec<Box<dyn Fn(f64) -> f64>> = (0..=degree)
+        .map(|k| {
+            let k = k as i32;
+            Box::new(move |x: f64| x.powi(k)) as Box<dyn Fn(f64) -> f64>
+        })
+        .collect();
+    let refs: Vec<&dyn Fn(f64) -> f64> = basis.iter().map(|b| b.as_ref()).collect();
+    fit_basis(xs, ys, &refs)
+}
+
+/// Coefficient of determination R² of predictions against observations.
+///
+/// Returns 1.0 for a perfect fit and can be negative for fits worse than the
+/// mean. Returns `f64::NAN` when `ys` has no variance.
+pub fn r_squared(ys: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(ys.len(), predictions.len(), "length mismatch");
+    let n = ys.len() as f64;
+    let mean = ys.iter().sum::<f64>() / n;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .zip(predictions)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        f64::NAN
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(x, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // First pivot is zero; must swap rows.
+        let m = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = m.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_general_3x3() {
+        let m = Matrix::from_rows(3, 3, vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0]);
+        let x = m.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(m.solve(&[1.0, 2.0]), Err(SolveError::BadInput(_))));
+    }
+
+    #[test]
+    fn polynomial_fit_exact_cubic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 - x + 0.5 * x * x - 0.01 * x * x * x)
+            .collect();
+        let c = fit_polynomial(&xs, &ys, 3).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] + 1.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+        assert!((c[3] + 0.01).abs() < 1e-10);
+    }
+
+    #[test]
+    fn polynomial_fit_overdetermined_noise_free() {
+        let xs: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 3.0 * x).collect();
+        let c = fit_polynomial(&xs, &ys, 1).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9 && (c[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let r = fit_polynomial(&[1.0, 2.0], &[1.0, 2.0], 3);
+        assert!(matches!(r, Err(SolveError::BadInput(_))));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let r = fit_polynomial(&[1.0, 2.0, 3.0], &[1.0, 2.0], 1);
+        assert!(matches!(r, Err(SolveError::BadInput(_))));
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let ys = [1.0, 2.0, 3.0];
+        assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-15);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&ys, &mean_pred).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fit_basis_mixed_functions() {
+        // y = 2·sin(x) + 3·x
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x.sin() + 3.0 * x).collect();
+        let sin_f = |x: f64| x.sin();
+        let lin_f = |x: f64| x;
+        let c = fit_basis(&xs, &ys, &[&sin_f, &lin_f]).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        assert!((c[1] - 3.0).abs() < 1e-8);
+    }
+}

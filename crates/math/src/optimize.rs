@@ -1,0 +1,182 @@
+//! One-dimensional optimisation.
+//!
+//! The metric curves of the paper (BIPS^m/W as a function of pipeline depth)
+//! are smooth and either unimodal on the physical range or monotone; we
+//! locate maxima with a coarse grid scan to bracket the best point followed
+//! by golden-section refinement.
+
+/// Result of a 1-D maximisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Argument of the maximum.
+    pub x: f64,
+    /// Value of the objective at [`Maximum::x`].
+    pub value: f64,
+    /// Whether the maximum is interior to the search interval (as opposed to
+    /// sitting on one of the endpoints, which the paper interprets as "no
+    /// pipelined optimum": the best design is the boundary).
+    pub interior: bool,
+}
+
+const GOLDEN: f64 = 0.618_033_988_749_894_9;
+
+/// Maximises `f` over `[lo, hi]` by grid bracketing plus golden-section.
+///
+/// `grid` is the number of initial samples (≥ 3 recommended; the function is
+/// evaluated `grid + 1` times in the scan). The reported maximum is flagged
+/// `interior = false` when it lies within one grid cell of an endpoint and
+/// the endpoint value dominates.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo` or `grid < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::optimize::maximize;
+/// let m = maximize(|x| -(x - 3.0) * (x - 3.0), 0.0, 10.0, 100);
+/// assert!((m.x - 3.0).abs() < 1e-8);
+/// assert!(m.interior);
+/// ```
+pub fn maximize<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, grid: usize) -> Maximum {
+    assert!(hi > lo, "interval must be non-empty");
+    assert!(grid >= 2, "grid must have at least 2 cells");
+    let step = (hi - lo) / grid as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    for i in 0..=grid {
+        let x = lo + step * i as f64;
+        let v = f(x);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    // Bracket around the best grid point.
+    let a = lo + step * best_i.saturating_sub(1) as f64;
+    let b = (lo + step * (best_i + 1) as f64).min(hi);
+    let refined = golden_section_max(&f, a, b, 1e-10);
+    // Compare against the endpoints to classify interior vs boundary optimum.
+    let at_lo = f(lo);
+    let at_hi = f(hi);
+    let (x, value) = if refined.1 >= at_lo && refined.1 >= at_hi {
+        refined
+    } else if at_lo >= at_hi {
+        (lo, at_lo)
+    } else {
+        (hi, at_hi)
+    };
+    let margin = (hi - lo) * 1e-6;
+    Maximum {
+        x,
+        value,
+        interior: x > lo + margin && x < hi - margin,
+    }
+}
+
+/// Golden-section search for the maximum of a unimodal function on `[a, b]`.
+///
+/// Returns `(x, f(x))`.
+pub fn golden_section_max<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    let (mut a, mut b) = (a, b);
+    let mut c = b - GOLDEN * (b - a);
+    let mut d = a + GOLDEN * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol * (a.abs().max(b.abs()).max(1.0)) {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - GOLDEN * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + GOLDEN * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+/// Maximises `f` over the integer lattice `lo..=hi`.
+///
+/// Returns `(argmax, max)`. Ties resolve to the smallest argument, matching
+/// the paper's preference for the shallowest equally-good pipeline.
+///
+/// # Panics
+///
+/// Panics if `hi < lo`.
+pub fn maximize_integer<F: Fn(u32) -> f64>(f: F, lo: u32, hi: u32) -> (u32, f64) {
+    assert!(hi >= lo, "interval must be non-empty");
+    let mut best = (lo, f(lo));
+    for x in (lo + 1)..=hi {
+        let v = f(x);
+        if v > best.1 {
+            best = (x, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_peak() {
+        let m = maximize(|x| 5.0 - (x - 7.25) * (x - 7.25), 1.0, 25.0, 64);
+        assert!((m.x - 7.25).abs() < 1e-7);
+        assert!((m.value - 5.0).abs() < 1e-10);
+        assert!(m.interior);
+    }
+
+    #[test]
+    fn monotone_increasing_reports_boundary() {
+        let m = maximize(|x| x, 0.0, 4.0, 16);
+        assert!((m.x - 4.0).abs() < 1e-9);
+        assert!(!m.interior);
+    }
+
+    #[test]
+    fn monotone_decreasing_reports_boundary() {
+        let m = maximize(|x| -x, 0.0, 4.0, 16);
+        assert_eq!(m.x, 0.0);
+        assert!(!m.interior);
+    }
+
+    #[test]
+    fn golden_section_on_cosine() {
+        let (x, v) = golden_section_max(&|x: f64| x.cos(), -1.0, 1.0, 1e-12);
+        assert!(x.abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn integer_maximum_prefers_smallest_tie() {
+        // f(3) == f(5); ties resolve to 3.
+        let (x, _) = maximize_integer(|p| if p == 3 || p == 5 { 1.0 } else { 0.0 }, 1, 10);
+        assert_eq!(x, 3);
+    }
+
+    #[test]
+    fn integer_maximum_of_metric_like_curve() {
+        let f = |p: u32| {
+            let p = p as f64;
+            (1.0 / p + 0.05 * p).recip()
+        };
+        let (x, _) = maximize_integer(f, 1, 30);
+        // Minimum of 1/p + 0.05p at p = sqrt(20) ≈ 4.47 → integer 4 or 5.
+        assert!(x == 4 || x == 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_panics() {
+        let _ = maximize(|x| x, 1.0, 1.0, 8);
+    }
+}

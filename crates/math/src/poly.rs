@@ -1,0 +1,392 @@
+//! Dense univariate polynomials over `f64`.
+//!
+//! Coefficients are stored in ascending order of power: `coeffs[k]` multiplies
+//! `x^k`. The representation is kept *trimmed* — the leading coefficient is
+//! non-zero unless the polynomial is identically zero (represented by an
+//! empty coefficient vector).
+
+use crate::Complex;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A dense univariate polynomial with `f64` coefficients in ascending order.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::Polynomial;
+///
+/// // 3x² - 2x + 1
+/// let p = Polynomial::new(vec![1.0, -2.0, 3.0]);
+/// assert_eq!(p.degree(), Some(2));
+/// assert_eq!(p.eval(2.0), 9.0);
+/// assert_eq!(p.derivative().eval(2.0), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending order of power,
+    /// trimming trailing (leading-power) zeros.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Self { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pipedepth_math::Polynomial;
+    /// assert_eq!(Polynomial::constant(4.0).eval(100.0), 4.0);
+    /// ```
+    pub fn constant(c: f64) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// The monomial `c·x^k`.
+    pub fn monomial(c: f64, k: usize) -> Self {
+        let mut coeffs = vec![0.0; k + 1];
+        coeffs[k] = c;
+        Self::new(coeffs)
+    }
+
+    /// The polynomial `x + c`, a convenience for building factored forms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pipedepth_math::Polynomial;
+    /// // (x - 1)(x - 2) = x² - 3x + 2
+    /// let p = Polynomial::linear_root(1.0) * Polynomial::linear_root(2.0);
+    /// assert_eq!(p.coeffs(), &[2.0, -3.0, 1.0]);
+    /// ```
+    pub fn linear_root(root: f64) -> Self {
+        Self::new(vec![-root, 1.0])
+    }
+
+    fn trim(&mut self) {
+        while matches!(self.coeffs.last(), Some(&c) if c == 0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Coefficients in ascending order; empty for the zero polynomial.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Leading coefficient, or 0 for the zero polynomial.
+    pub fn leading(&self) -> f64 {
+        self.coeffs.last().copied().unwrap_or(0.0)
+    }
+
+    /// Coefficient of `x^k` (0 beyond the degree).
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates the polynomial at `x` with Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates the polynomial at a complex argument.
+    pub fn eval_complex(&self, z: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::zero(), |acc, &c| acc * z + Complex::real(c))
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| c * k as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiplies every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Normalises so the leading coefficient is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is zero.
+    pub fn monic(&self) -> Polynomial {
+        assert!(!self.is_zero(), "cannot normalise the zero polynomial");
+        self.scale(1.0 / self.leading())
+    }
+
+    /// Synthetic division by the linear factor `(x - root)`.
+    ///
+    /// Returns the quotient and the remainder (which is `self.eval(root)`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pipedepth_math::Polynomial;
+    /// // x² - 3x + 2 = (x - 1)(x - 2)
+    /// let p = Polynomial::new(vec![2.0, -3.0, 1.0]);
+    /// let (q, r) = p.deflate(1.0);
+    /// assert_eq!(q.coeffs(), &[-2.0, 1.0]);
+    /// assert!(r.abs() < 1e-12);
+    /// ```
+    pub fn deflate(&self, root: f64) -> (Polynomial, f64) {
+        if self.coeffs.is_empty() {
+            return (Polynomial::zero(), 0.0);
+        }
+        let n = self.coeffs.len();
+        let mut q = vec![0.0; n - 1];
+        let mut acc = 0.0;
+        for k in (0..n).rev() {
+            acc = acc * root + self.coeffs[k];
+            if k > 0 {
+                q[k - 1] = acc;
+            }
+        }
+        (Polynomial::new(q), acc)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 {
+                continue;
+            }
+            if first {
+                first = false;
+                if c < 0.0 {
+                    write!(f, "-")?;
+                }
+            } else if c < 0.0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = c.abs();
+            match k {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a != 1.0 {
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "x")?;
+                }
+                _ => {
+                    if a != 1.0 {
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "x^{k}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) + rhs.coeff(k)).collect();
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Add for Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: Polynomial) -> Polynomial {
+        &self + &rhs
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) - rhs.coeff(k)).collect();
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Sub for Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: Polynomial) -> Polynomial {
+        &self - &rhs
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        if self.is_zero() || rhs.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+}
+
+impl Mul for Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: Polynomial) -> Polynomial {
+        &self * &rhs
+    }
+}
+
+impl Neg for Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_leading_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_polynomial_properties() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(5.0), 0.0);
+        assert_eq!(z.leading(), 0.0);
+        assert!(z.derivative().is_zero());
+    }
+
+    #[test]
+    fn eval_matches_naive() {
+        let p = Polynomial::new(vec![1.0, -4.0, 0.5, 2.0]);
+        for x in [-3.0, -1.0, 0.0, 0.5, 2.0, 10.0] {
+            let naive = 1.0 - 4.0 * x + 0.5 * x * x + 2.0 * x * x * x;
+            assert!((p.eval(x) - naive).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        // d/dx (2x³ + 0.5x² - 4x + 1) = 6x² + x - 4
+        let p = Polynomial::new(vec![1.0, -4.0, 0.5, 2.0]);
+        assert_eq!(p.derivative().coeffs(), &[-4.0, 1.0, 6.0]);
+    }
+
+    #[test]
+    fn multiplication_expands_factors() {
+        let p = Polynomial::linear_root(1.0) * Polynomial::linear_root(-2.0);
+        // (x-1)(x+2) = x² + x - 2
+        assert_eq!(p.coeffs(), &[-2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let b = Polynomial::new(vec![-1.0, 5.0]);
+        let s = &a + &b;
+        assert_eq!((&s - &b), a);
+    }
+
+    #[test]
+    fn deflate_removes_root() {
+        let p = Polynomial::linear_root(3.0)
+            * Polynomial::linear_root(-1.0)
+            * Polynomial::linear_root(0.5);
+        let (q, r) = p.deflate(3.0);
+        assert!(r.abs() < 1e-12);
+        assert!(q.eval(-1.0).abs() < 1e-12);
+        assert!(q.eval(0.5).abs() < 1e-12);
+        assert_eq!(q.degree(), Some(2));
+    }
+
+    #[test]
+    fn deflate_reports_remainder() {
+        let p = Polynomial::new(vec![2.0, -3.0, 1.0]);
+        let (_, r) = p.deflate(5.0);
+        assert!((r - p.eval(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_complex_consistent_with_real() {
+        let p = Polynomial::new(vec![1.0, -4.0, 0.5, 2.0]);
+        let z = p.eval_complex(Complex::real(1.7));
+        assert!((z.re - p.eval(1.7)).abs() < 1e-12);
+        assert!(z.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn monic_normalises() {
+        let p = Polynomial::new(vec![2.0, 4.0]).monic();
+        assert_eq!(p.coeffs(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn monic_panics_on_zero() {
+        let _ = Polynomial::zero().monic();
+    }
+
+    #[test]
+    fn display_renders_signs_and_powers() {
+        let p = Polynomial::new(vec![2.0, 0.0, -3.0, 1.0]);
+        assert_eq!(p.to_string(), "x^3 - 3x^2 + 2");
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn monomial_places_coefficient() {
+        let m = Polynomial::monomial(2.5, 3);
+        assert_eq!(m.coeffs(), &[0.0, 0.0, 0.0, 2.5]);
+    }
+}

@@ -1,0 +1,611 @@
+//! Polynomial root finding.
+//!
+//! The paper's optimality condition (its Eq. 5) is a quartic; the
+//! approximation it derives (Eq. 7) is a quadratic; the least-squares peak
+//! extraction differentiates a cubic fit into a quadratic. This module
+//! provides closed forms for degrees ≤ 3, the Durand–Kerner simultaneous
+//! iteration for arbitrary degree (used for the quartic so we keep *all*
+//! four roots, matching the paper's Fig. 1 discussion), and Newton polishing.
+
+use crate::{Complex, Polynomial};
+
+/// Maximum iterations for the Durand–Kerner loop.
+const DK_MAX_ITER: usize = 500;
+
+/// Solves `a·x + b = 0`.
+///
+/// Returns `None` when `a == 0`.
+pub fn solve_linear(a: f64, b: f64) -> Option<f64> {
+    if a == 0.0 {
+        None
+    } else {
+        Some(-b / a)
+    }
+}
+
+/// Solves `a·x² + b·x + c = 0` over the reals.
+///
+/// Returns 0, 1 or 2 real roots in ascending order. Degenerates gracefully to
+/// the linear case when `a == 0`. Uses the numerically stable citardauq
+/// formulation to avoid cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::roots::solve_quadratic;
+/// let r = solve_quadratic(1.0, -3.0, 2.0);
+/// assert_eq!(r, vec![1.0, 2.0]);
+/// ```
+pub fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a == 0.0 {
+        return solve_linear(b, c).into_iter().collect();
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    if disc == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    let sq = disc.sqrt();
+    // q = -(b + sign(b)·sqrt(disc)) / 2 avoids subtracting nearly equal values.
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = if b == 0.0 {
+        let r = sq / (2.0 * a);
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    let mut roots = vec![r1, r2];
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots
+}
+
+/// Solves the cubic `a·x³ + b·x² + c·x + d = 0` over the reals.
+///
+/// Returns 1–3 real roots in ascending order, using Cardano's method with the
+/// trigonometric form in the three-real-root case, each polished with a few
+/// Newton steps. Degenerates to [`solve_quadratic`] when `a == 0`.
+pub fn solve_cubic(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
+    if a == 0.0 {
+        return solve_quadratic(b, c, d);
+    }
+    // Depressed cubic t³ + p·t + q with x = t - b/(3a).
+    let b_n = b / a;
+    let c_n = c / a;
+    let d_n = d / a;
+    let shift = b_n / 3.0;
+    let p = c_n - b_n * b_n / 3.0;
+    let q = 2.0 * b_n.powi(3) / 27.0 - b_n * c_n / 3.0 + d_n;
+    let disc = (q / 2.0).powi(2) + (p / 3.0).powi(3);
+
+    let poly = Polynomial::new(vec![d, c, b, a]);
+    let mut roots = if disc > 0.0 {
+        // One real root.
+        let sq = disc.sqrt();
+        let u = cbrt(-q / 2.0 + sq);
+        let v = cbrt(-q / 2.0 - sq);
+        vec![u + v - shift]
+    } else if disc == 0.0 {
+        if q == 0.0 {
+            vec![-shift]
+        } else {
+            let u = cbrt(-q / 2.0);
+            vec![2.0 * u - shift, -u - shift]
+        }
+    } else {
+        // Three distinct real roots: trigonometric method.
+        let r = (-p / 3.0).sqrt();
+        let arg = (3.0 * q / (2.0 * p * r)).clamp(-1.0, 1.0);
+        let phi = arg.acos();
+        (0..3)
+            .map(|k| 2.0 * r * ((phi - 2.0 * std::f64::consts::PI * k as f64) / 3.0).cos() - shift)
+            .collect()
+    };
+    for r in &mut roots {
+        *r = newton_polish(&poly, *r, 20);
+    }
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-9 * (x.abs().max(y.abs()).max(1.0)));
+    roots
+}
+
+fn cbrt(x: f64) -> f64 {
+    x.cbrt()
+}
+
+/// Solves the quartic `a·x⁴ + b·x³ + c·x² + d·x + e = 0` over the reals in
+/// closed form (Ferrari's method via the resolvent cubic).
+///
+/// Returns the real roots in ascending order, polished by Newton iteration.
+/// Degenerates to [`solve_cubic`] when `a == 0`. Cross-checked against
+/// [`durand_kerner`] in tests — the paper's optimality quartic (its Eq. 5)
+/// can be solved either way.
+pub fn solve_quartic(a: f64, b: f64, c: f64, d: f64, e: f64) -> Vec<f64> {
+    if a == 0.0 {
+        return solve_cubic(b, c, d, e);
+    }
+    // Depressed quartic y⁴ + p·y² + q·y + r with x = y − b/(4a).
+    let b_n = b / a;
+    let c_n = c / a;
+    let d_n = d / a;
+    let e_n = e / a;
+    let shift = b_n / 4.0;
+    let p = c_n - 3.0 * b_n * b_n / 8.0;
+    let q = d_n - b_n * c_n / 2.0 + b_n.powi(3) / 8.0;
+    let r = e_n - b_n * d_n / 4.0 + b_n * b_n * c_n / 16.0 - 3.0 * b_n.powi(4) / 256.0;
+
+    let poly = Polynomial::new(vec![e, d, c, b, a]);
+    let mut roots: Vec<f64> = if q.abs() < 1e-12 * (1.0 + p.abs() + r.abs()) {
+        // Biquadratic: y⁴ + p·y² + r = 0.
+        solve_quadratic(1.0, p, r)
+            .into_iter()
+            .filter(|&z| z >= 0.0)
+            .flat_map(|z| {
+                let y = z.sqrt();
+                [y - shift, -y - shift]
+            })
+            .collect()
+    } else {
+        // Resolvent cubic: z³ + 2p·z² + (p² − 4r)·z − q² = 0 has a positive
+        // real root z, giving the factorisation into two quadratics.
+        let z = solve_cubic(1.0, 2.0 * p, p * p - 4.0 * r, -q * q)
+            .into_iter()
+            .rev()
+            .find(|&z| z > 0.0);
+        let Some(z) = z else {
+            return Vec::new();
+        };
+        let w = z.sqrt();
+        // y⁴ + p·y² + q·y + r = (y² + w·y + s₁)(y² − w·y + s₂)
+        let s1 = (p + z - q / w) / 2.0;
+        let s2 = (p + z + q / w) / 2.0;
+        let mut out = solve_quadratic(1.0, w, s1);
+        out.extend(solve_quadratic(1.0, -w, s2));
+        out.into_iter().map(|y| y - shift).collect()
+    };
+    for root in &mut roots {
+        *root = newton_polish(&poly, *root, 30);
+    }
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-8 * (x.abs().max(y.abs()).max(1.0)));
+    // Reject polished values that fail to annihilate the quartic (spurious
+    // quadratic roots can appear when the resolvent is ill-conditioned).
+    let scale = poly
+        .coeffs()
+        .iter()
+        .fold(0.0f64, |m, &c| m.max(c.abs()))
+        .max(1.0);
+    roots.retain(|&x| poly.eval(x).abs() <= 1e-5 * scale * (1.0 + x.abs().powi(4)));
+    roots
+}
+
+/// Finds all (complex) roots of `poly` with the Durand–Kerner method.
+///
+/// The result has exactly `degree` entries. Constant and zero polynomials
+/// return an empty vector.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::Polynomial;
+/// use pipedepth_math::roots::durand_kerner;
+///
+/// // (x-1)(x-2)(x-3)(x-4)
+/// let p = Polynomial::new(vec![24.0, -50.0, 35.0, -10.0, 1.0]);
+/// let mut roots: Vec<f64> = durand_kerner(&p).iter().map(|z| z.re).collect();
+/// roots.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// assert!((roots[0] - 1.0).abs() < 1e-8 && (roots[3] - 4.0).abs() < 1e-8);
+/// ```
+pub fn durand_kerner(poly: &Polynomial) -> Vec<Complex> {
+    let Some(degree) = poly.degree() else {
+        return Vec::new();
+    };
+    if degree == 0 {
+        return Vec::new();
+    }
+    let monic = poly.monic();
+    // Initial guesses on a circle of radius related to the Cauchy bound,
+    // at a non-real angle so no iterate starts on a symmetry axis.
+    let radius = 1.0
+        + monic
+            .coeffs()
+            .iter()
+            .take(degree)
+            .fold(0.0f64, |m, &c| m.max(c.abs()));
+    let mut zs: Vec<Complex> = (0..degree)
+        .map(|k| {
+            let theta = 0.4 + 2.0 * std::f64::consts::PI * k as f64 / degree as f64;
+            Complex::new(radius * theta.cos(), radius * theta.sin())
+        })
+        .collect();
+
+    for _ in 0..DK_MAX_ITER {
+        let mut max_step = 0.0f64;
+        for i in 0..degree {
+            let mut denom = Complex::one();
+            for j in 0..degree {
+                if i != j {
+                    denom = denom * (zs[i] - zs[j]);
+                }
+            }
+            if denom.norm_sqr() == 0.0 {
+                // Perturb coincident iterates.
+                zs[i] += Complex::new(1e-6, 1e-6);
+                continue;
+            }
+            let step = monic.eval_complex(zs[i]) / denom;
+            zs[i] -= step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-14 * radius.max(1.0) {
+            break;
+        }
+    }
+    zs
+}
+
+/// Real roots of `poly` (any degree), sorted ascending.
+///
+/// Uses closed forms for degree ≤ 3 and [`durand_kerner`] above that, keeping
+/// roots whose imaginary part is negligible and polishing them with Newton's
+/// method on the real axis.
+pub fn real_roots(poly: &Polynomial) -> Vec<f64> {
+    match poly.degree() {
+        None | Some(0) => Vec::new(),
+        Some(1) => solve_linear(poly.coeff(1), poly.coeff(0))
+            .into_iter()
+            .collect(),
+        Some(2) => solve_quadratic(poly.coeff(2), poly.coeff(1), poly.coeff(0)),
+        Some(3) => solve_cubic(poly.coeff(3), poly.coeff(2), poly.coeff(1), poly.coeff(0)),
+        Some(4) => solve_quartic(
+            poly.coeff(4),
+            poly.coeff(3),
+            poly.coeff(2),
+            poly.coeff(1),
+            poly.coeff(0),
+        ),
+        Some(_) => {
+            let mut roots: Vec<f64> = durand_kerner(poly)
+                .into_iter()
+                .filter(|z| z.is_approx_real(1e-7))
+                .map(|z| newton_polish(poly, z.re, 50))
+                .filter(|r| {
+                    // Accept only if the polished value actually annihilates
+                    // the polynomial to within scale.
+                    let scale = poly
+                        .coeffs()
+                        .iter()
+                        .fold(0.0f64, |m, &c| m.max(c.abs()))
+                        .max(1.0);
+                    poly.eval(*r).abs()
+                        <= 1e-6 * scale * (1.0 + r.abs().powi(poly.degree().unwrap_or(0) as i32))
+                })
+                .collect();
+            roots.sort_by(|a, b| a.partial_cmp(b).expect("roots are finite"));
+            roots.dedup_by(|a, b| (*a - *b).abs() < 1e-7 * (a.abs().max(b.abs()).max(1.0)));
+            roots
+        }
+    }
+}
+
+/// Refines an approximate root with damped Newton iteration.
+///
+/// Falls back to returning the best iterate seen if the derivative vanishes.
+pub fn newton_polish(poly: &Polynomial, x0: f64, max_iter: usize) -> f64 {
+    let deriv = poly.derivative();
+    let mut x = x0;
+    let mut best = x0;
+    let mut best_val = poly.eval(x0).abs();
+    for _ in 0..max_iter {
+        let f = poly.eval(x);
+        let fp = deriv.eval(x);
+        if fp == 0.0 {
+            break;
+        }
+        let step = f / fp;
+        x -= step;
+        let v = poly.eval(x).abs();
+        if v < best_val {
+            best_val = v;
+            best = x;
+        }
+        if step.abs() < 1e-15 * x.abs().max(1.0) {
+            break;
+        }
+    }
+    best
+}
+
+/// Finds a root of `f` inside `[lo, hi]` by bisection.
+///
+/// Returns `None` if `f(lo)` and `f(hi)` do not bracket a sign change.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::roots::bisect;
+/// let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64) -> Option<f64> {
+    let (mut lo, mut hi) = (lo, hi);
+    let (mut flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 || (hi - lo) < tol {
+            return Some(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Real roots of `f` on `[lo, hi]` found by scanning `n` subintervals for
+/// sign changes and bisecting each bracket.
+///
+/// Roots that fall exactly on grid points or even-multiplicity roots that do
+/// not change sign may be missed; callers that need completeness should use
+/// [`real_roots`] on a polynomial form instead.
+pub fn scan_roots<F: Fn(f64) -> f64 + Copy>(f: F, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1, "need at least one subinterval");
+    assert!(hi > lo, "interval must be non-empty");
+    let mut out = Vec::new();
+    let step = (hi - lo) / n as f64;
+    let mut x0 = lo;
+    let mut f0 = f(x0);
+    for i in 1..=n {
+        let x1 = lo + step * i as f64;
+        let f1 = f(x1);
+        if f0 == 0.0 {
+            out.push(x0);
+        } else if f0.signum() != f1.signum() {
+            if let Some(r) = bisect(f, x0, x1, 1e-12) {
+                out.push(r);
+            }
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    if f0 == 0.0 {
+        out.push(x0);
+    }
+    out.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly_from_roots(roots: &[f64]) -> Polynomial {
+        roots.iter().fold(Polynomial::constant(1.0), |acc, &r| {
+            acc * Polynomial::linear_root(r)
+        })
+    }
+
+    #[test]
+    fn linear() {
+        assert_eq!(solve_linear(2.0, -4.0), Some(2.0));
+        assert_eq!(solve_linear(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        let r = solve_quadratic(2.0, -6.0, 4.0);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(solve_quadratic(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let r = solve_quadratic(1.0, -2.0, 1.0);
+        assert_eq!(r, vec![1.0]);
+    }
+
+    #[test]
+    fn quadratic_degenerates_to_linear() {
+        assert_eq!(solve_quadratic(0.0, 2.0, -6.0), vec![3.0]);
+    }
+
+    #[test]
+    fn quadratic_catastrophic_cancellation() {
+        // x² - 1e8·x + 1 has roots ~1e8 and ~1e-8.
+        let r = solve_quadratic(1.0, -1e8, 1.0);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 1e-8).abs() < 1e-16);
+        assert!((r[1] - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        let p = [-3.0, 0.5, 4.0];
+        let poly = poly_from_roots(&p);
+        let c = poly.coeffs();
+        let r = solve_cubic(c[3], c[2], c[1], c[0]);
+        assert_eq!(r.len(), 3);
+        assert!((r[0] + 3.0).abs() < 1e-9);
+        assert!((r[1] - 0.5).abs() < 1e-9);
+        assert!((r[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_one_real_root() {
+        // (x - 2)(x² + 1)
+        let r = solve_cubic(1.0, -2.0, 1.0, -2.0);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x - 1)³ = x³ - 3x² + 3x - 1
+        let r = solve_cubic(1.0, -3.0, 3.0, -1.0);
+        assert!(!r.is_empty());
+        for root in r {
+            assert!((root - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cubic_degenerates_to_quadratic() {
+        let r = solve_cubic(0.0, 1.0, -3.0, 2.0);
+        assert_eq!(r, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn durand_kerner_quartic_real_roots() {
+        let poly = poly_from_roots(&[-56.0, -0.5, -3.0, 8.0]);
+        let roots = durand_kerner(&poly);
+        assert_eq!(roots.len(), 4);
+        let mut reals: Vec<f64> = roots.iter().map(|z| z.re).collect();
+        reals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in reals.iter().zip([-56.0, -3.0, -0.5, 8.0]) {
+            assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn durand_kerner_complex_pair() {
+        // (x² + 1)(x - 5)
+        let p = Polynomial::new(vec![-5.0, 1.0, -5.0, 1.0]);
+        let roots = durand_kerner(&p);
+        let real_count = roots.iter().filter(|z| z.is_approx_real(1e-8)).count();
+        assert_eq!(real_count, 1);
+    }
+
+    #[test]
+    fn real_roots_filters_complex() {
+        // (x² + 4)(x - 1)(x + 2): real roots 1, -2
+        let p = Polynomial::new(vec![4.0, 0.0, 1.0])
+            * Polynomial::linear_root(1.0)
+            * Polynomial::linear_root(-2.0);
+        let r = real_roots(&p);
+        assert_eq!(r.len(), 2);
+        assert!((r[0] + 2.0).abs() < 1e-8 && (r[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn real_roots_wide_scale_quartic() {
+        // Scales mimicking the paper's quartic: roots at -56, -0.5, -6, 9.
+        let p = poly_from_roots(&[-56.0, -0.5, -6.0, 9.0]).scale(3.7e-4);
+        let r = real_roots(&p);
+        assert_eq!(r.len(), 4, "roots found: {r:?}");
+        assert!((r[0] + 56.0).abs() < 1e-5);
+        assert!((r[3] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quartic_closed_form_four_roots() {
+        let p = poly_from_roots(&[-56.0, -3.0, -0.5, 8.0]);
+        let c = p.coeffs();
+        let r = solve_quartic(c[4], c[3], c[2], c[1], c[0]);
+        assert_eq!(r.len(), 4, "roots {r:?}");
+        for (got, want) in r.iter().zip([-56.0, -3.0, -0.5, 8.0]) {
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn quartic_closed_form_two_real_roots() {
+        // (x² + 1)(x − 1)(x + 2)
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0])
+            * Polynomial::linear_root(1.0)
+            * Polynomial::linear_root(-2.0);
+        let c = p.coeffs();
+        let r = solve_quartic(c[4], c[3], c[2], c[1], c[0]);
+        assert_eq!(r.len(), 2, "roots {r:?}");
+        assert!((r[0] + 2.0).abs() < 1e-8);
+        assert!((r[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quartic_closed_form_no_real_roots() {
+        // (x² + 1)(x² + 4)
+        let r = solve_quartic(1.0, 0.0, 5.0, 0.0, 4.0);
+        assert!(r.is_empty(), "roots {r:?}");
+    }
+
+    #[test]
+    fn quartic_biquadratic_case() {
+        // x⁴ − 5x² + 4 = (x²−1)(x²−4)
+        let r = solve_quartic(1.0, 0.0, -5.0, 0.0, 4.0);
+        assert_eq!(r, vec![-2.0, -1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn quartic_degenerates_to_cubic() {
+        let r = solve_quartic(0.0, 1.0, -6.0, 11.0, -6.0);
+        assert_eq!(r.len(), 3);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!((r[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quartic_matches_durand_kerner() {
+        for roots in [
+            [-10.0, -1.0, 2.0, 30.0],
+            [-0.01, 0.5, 7.0, 100.0],
+            [-56.0, -35.3, -2.3, 3.7],
+        ] {
+            let p = poly_from_roots(&roots);
+            let c = p.coeffs();
+            let ferrari = solve_quartic(c[4], c[3], c[2], c[1], c[0]);
+            let dk = real_roots(&p);
+            assert_eq!(ferrari.len(), dk.len(), "{roots:?}");
+            for (a, b) in ferrari.iter().zip(&dk) {
+                assert!((a - b).abs() < 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_requires_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_none());
+    }
+
+    #[test]
+    fn scan_roots_finds_all_crossings() {
+        let roots = scan_roots(|x| (x - 1.0) * (x - 4.0) * (x + 2.0), -10.0, 10.0, 1000);
+        assert_eq!(roots.len(), 3);
+        assert!((roots[0] + 2.0).abs() < 1e-9);
+        assert!((roots[1] - 1.0).abs() < 1e-9);
+        assert!((roots[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_polish_improves() {
+        let p = poly_from_roots(&[2.0, 7.0]);
+        let r = newton_polish(&p, 6.6, 30);
+        assert!((r - 7.0).abs() < 1e-12);
+    }
+}

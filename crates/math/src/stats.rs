@@ -1,0 +1,228 @@
+//! Summary statistics over `f64` samples.
+
+/// Summary statistics of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics, or `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        })
+    }
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of a sample.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Weighted arithmetic mean. Returns `None` when weights sum to zero or
+/// inputs are empty/mismatched.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.len() != weights.len() {
+        return None;
+    }
+    let wsum: f64 = weights.iter().sum();
+    if wsum == 0.0 {
+        return None;
+    }
+    Some(values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum)
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` for empty/mismatched inputs or when either sample has no
+/// variance.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_math::stats::correlation;
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Geometric mean of strictly positive samples; `None` otherwise.
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|x| x.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_odd_median() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 1.0), Some(40.0));
+        assert_eq!(percentile(&xs, 0.5), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_empty() {
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn weighted_mean_weights_dominate() {
+        let m = weighted_mean(&[1.0, 100.0], &[0.0, 1.0]).unwrap();
+        assert_eq!(m, 100.0);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weights() {
+        assert!(weighted_mean(&[1.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((correlation(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_degenerate_cases() {
+        assert!(correlation(&[], &[]).is_none());
+        assert!(correlation(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(correlation(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        let g = geometric_mean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, -1.0]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+    }
+}

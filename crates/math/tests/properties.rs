@@ -1,0 +1,201 @@
+//! Property-based tests for the numerical substrate.
+
+use pipedepth_math::fit::{cubic_peak_fit, power_law_fit, scale_fit};
+use pipedepth_math::histogram::Histogram;
+use pipedepth_math::lsq::fit_polynomial;
+use pipedepth_math::optimize::{golden_section_max, maximize};
+use pipedepth_math::roots::{real_roots, solve_cubic, solve_quadratic};
+use pipedepth_math::stats::Summary;
+use pipedepth_math::Polynomial;
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_filter("finite", |x| x.is_finite())
+}
+
+fn root_val() -> impl Strategy<Value = f64> {
+    (-50.0f64..50.0).prop_filter("not tiny-clustered", |x| x.abs() > 1e-3)
+}
+
+proptest! {
+    #[test]
+    fn poly_add_is_commutative(a in prop::collection::vec(small_f64(), 0..6),
+                               b in prop::collection::vec(small_f64(), 0..6),
+                               x in small_f64()) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let lhs = (&pa + &pb).eval(x);
+        let rhs = (&pb + &pa).eval(x);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(rhs.abs()).max(1.0));
+    }
+
+    #[test]
+    fn poly_mul_eval_is_pointwise_product(a in prop::collection::vec(small_f64(), 1..5),
+                                          b in prop::collection::vec(small_f64(), 1..5),
+                                          x in -3.0f64..3.0) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let prod = (&pa * &pb).eval(x);
+        let point = pa.eval(x) * pb.eval(x);
+        prop_assert!((prod - point).abs() <= 1e-6 * prod.abs().max(point.abs()).max(1.0));
+    }
+
+    #[test]
+    fn poly_derivative_is_linear(a in prop::collection::vec(small_f64(), 0..6),
+                                 b in prop::collection::vec(small_f64(), 0..6),
+                                 x in small_f64()) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let lhs = (&pa + &pb).derivative().eval(x);
+        let rhs = pa.derivative().eval(x) + pb.derivative().eval(x);
+        prop_assert!((lhs - rhs).abs() <= 1e-8 * lhs.abs().max(rhs.abs()).max(1.0));
+    }
+
+    #[test]
+    fn deflate_then_expand_roundtrips(roots in prop::collection::vec(root_val(), 1..5),
+                                      probe in -10.0f64..10.0) {
+        let poly = roots.iter().fold(Polynomial::constant(1.0), |acc, &r| {
+            acc * Polynomial::linear_root(r)
+        });
+        let (q, rem) = poly.deflate(roots[0]);
+        let scale: f64 = poly.coeffs().iter().fold(1.0f64, |m, c| m.max(c.abs()));
+        prop_assert!(rem.abs() <= 1e-6 * scale);
+        let rebuilt = q * Polynomial::linear_root(roots[0]);
+        let diff = (rebuilt.eval(probe) - poly.eval(probe)).abs();
+        prop_assert!(diff <= 1e-5 * scale * (1.0 + probe.abs().powi(roots.len() as i32)));
+    }
+
+    #[test]
+    fn quadratic_roots_annihilate(a in root_val(), b in small_f64(), c in small_f64()) {
+        for r in solve_quadratic(a, b, c) {
+            let v = a * r * r + b * r + c;
+            let scale = a.abs().max(b.abs()).max(c.abs()).max(1.0) * (1.0 + r * r);
+            prop_assert!(v.abs() <= 1e-7 * scale, "root {r} gives {v}");
+        }
+    }
+
+    #[test]
+    fn cubic_from_roots_recovered(r1 in root_val(), r2 in root_val(), r3 in root_val(),
+                                  lead in 0.1f64..10.0) {
+        // Require separated roots to avoid multiplicity tolerance questions.
+        prop_assume!((r1 - r2).abs() > 0.5 && (r1 - r3).abs() > 0.5 && (r2 - r3).abs() > 0.5);
+        let p = Polynomial::linear_root(r1) * Polynomial::linear_root(r2) * Polynomial::linear_root(r3);
+        let p = p.scale(lead);
+        let got = solve_cubic(p.coeff(3), p.coeff(2), p.coeff(1), p.coeff(0));
+        prop_assert_eq!(got.len(), 3);
+        let mut want = [r1, r2, r3];
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(want) {
+            prop_assert!((g - w).abs() <= 1e-5 * w.abs().max(1.0), "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn quartic_real_roots_found(r1 in root_val(), r2 in root_val(),
+                                r3 in root_val(), r4 in root_val()) {
+        prop_assume!([r1, r2, r3, r4].windows(1).len() == 4);
+        let mut want = [r1, r2, r3, r4];
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Require pairwise separation for clean root identification.
+        prop_assume!(want.windows(2).all(|w| (w[1] - w[0]).abs() > 1.0));
+        let p = want.iter().fold(Polynomial::constant(1.0), |acc, &r| acc * Polynomial::linear_root(r));
+        let got = real_roots(&p);
+        prop_assert_eq!(got.len(), 4, "want {:?} got {:?}", want, got);
+        for (g, w) in got.iter().zip(want) {
+            prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn ferrari_matches_durand_kerner(r1 in root_val(), r2 in root_val(),
+                                     r3 in root_val(), r4 in root_val()) {
+        use pipedepth_math::roots::{durand_kerner, solve_quartic};
+        let mut want = [r1, r2, r3, r4];
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!(want.windows(2).all(|w| (w[1] - w[0]).abs() > 1.0));
+        let p = want.iter().fold(Polynomial::constant(1.0), |acc, &r| acc * Polynomial::linear_root(r));
+        let c = p.coeffs();
+        let ferrari = solve_quartic(c[4], c[3], c[2], c[1], c[0]);
+        let mut dk: Vec<f64> = durand_kerner(&p)
+            .into_iter()
+            .filter(|z| z.is_approx_real(1e-7))
+            .map(|z| z.re)
+            .collect();
+        dk.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(ferrari.len(), 4, "want {:?}", want);
+        for (f, w) in ferrari.iter().zip(want) {
+            prop_assert!((f - w).abs() < 1e-4 * w.abs().max(1.0), "ferrari {f} vs true {w}");
+        }
+        let _ = dk;
+    }
+
+    #[test]
+    fn maximize_finds_quadratic_peak(peak in -20.0f64..20.0, width in 0.1f64..5.0) {
+        let f = |x: f64| -width * (x - peak) * (x - peak);
+        let m = maximize(f, -30.0, 30.0, 128);
+        prop_assert!((m.x - peak).abs() < 1e-5);
+        prop_assert!(m.interior);
+    }
+
+    #[test]
+    fn golden_section_never_leaves_interval(a in -10.0f64..0.0, span in 0.5f64..20.0) {
+        let b = a + span;
+        let (x, _) = golden_section_max(&|x: f64| (x * 0.7).sin(), a, b, 1e-9);
+        prop_assert!(x >= a - 1e-9 && x <= b + 1e-9);
+    }
+
+    #[test]
+    fn polyfit_interpolates_exact_polynomials(coeffs in prop::collection::vec(-5.0f64..5.0, 1..5)) {
+        let deg = coeffs.len() - 1;
+        let p = Polynomial::new(coeffs.clone());
+        let xs: Vec<f64> = (0..(deg + 4)).map(|i| i as f64 * 0.7 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| p.eval(x)).collect();
+        let fitted = fit_polynomial(&xs, &ys, deg).unwrap();
+        for (f, c) in fitted.iter().zip(&coeffs) {
+            prop_assert!((f - c).abs() <= 1e-5 * c.abs().max(1.0), "fit {f} vs {c}");
+        }
+    }
+
+    #[test]
+    fn power_law_fit_recovers(scale in 0.1f64..10.0, exp in 0.2f64..2.5) {
+        let xs: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| scale * x.powf(exp)).collect();
+        let fit = power_law_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.exponent - exp).abs() < 1e-6);
+        prop_assert!((fit.scale - scale).abs() < 1e-5 * scale);
+    }
+
+    #[test]
+    fn scale_fit_is_exact_for_scaled_model(s in -5.0f64..5.0,
+                                           model in prop::collection::vec(0.1f64..10.0, 2..20)) {
+        let ys: Vec<f64> = model.iter().map(|m| s * m).collect();
+        let fit = scale_fit(&ys, &model).unwrap();
+        prop_assert!((fit.scale - s).abs() <= 1e-9 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn cubic_peak_fit_peak_inside_range(shift in 4.0f64..20.0) {
+        let xs: Vec<f64> = (2..=25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| -(x - shift) * (x - shift)).collect();
+        let fit = cubic_peak_fit(&xs, &ys).unwrap();
+        prop_assert!(fit.peak_x >= 2.0 && fit.peak_x <= 25.0);
+        prop_assert!((fit.peak_x - shift).abs() < 0.5);
+    }
+
+    #[test]
+    fn histogram_total_equals_insertions(xs in prop::collection::vec(-5.0f64..15.0, 0..100)) {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for &x in &xs {
+            h.add(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn summary_bounds_mean_and_median(xs in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+}

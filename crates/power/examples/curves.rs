@@ -1,0 +1,55 @@
+use pipedepth_power::*;
+use pipedepth_sim::*;
+use pipedepth_trace::*;
+fn main() {
+    let warm = 30_000;
+    let n = 60_000;
+    for (name, m) in [
+        ("specint", WorkloadModel::spec_int_like()),
+        ("legacy", WorkloadModel::legacy_like()),
+        ("modern", WorkloadModel::modern_like()),
+        ("fp", WorkloadModel::spec_fp_like()),
+    ] {
+        let mut bips_best = (0u32, 0.0f64);
+        let mut m3g = (0u32, 0.0f64);
+        let mut m3u = (0u32, 0.0f64);
+        let mut curve = String::new();
+        let mut info = String::new();
+        for depth in 2..=25u32 {
+            let mut e = Engine::new(SimConfig::paper(depth));
+            let mut g = TraceGenerator::new(m, 42);
+            e.warm_up(&mut g, warm);
+            let r = e.run(&mut g, n);
+            let b = r.throughput();
+            let g3 = metric(&r, &PowerConfig::paper(Gating::Gated, 0.15, 10), 3.0);
+            let u3 = metric(&r, &PowerConfig::paper(Gating::Ungated, 0.15, 10), 3.0);
+            if b > bips_best.1 {
+                bips_best = (depth, b);
+            }
+            if g3 > m3g.1 {
+                m3g = (depth, g3);
+            }
+            if u3 > m3u.1 {
+                m3u = (depth, u3);
+            }
+            if depth % 2 == 0 {
+                curve.push_str(&format!("{}:{:.2e} ", depth, g3));
+            }
+            if depth == 12 {
+                info = format!(
+                    "cpi={:.2} tau={:.1} mispr={:.3} tmem={:.1} K={:.3}",
+                    r.cpi(),
+                    r.time_per_instruction_fo4(),
+                    r.mispredict_rate(),
+                    r.memory_time_per_instruction_fo4(),
+                    r.hazard_product()
+                );
+            }
+        }
+        println!(
+            "{name}: BIPS@{} m3gated@{} m3ungated@{} | {}",
+            bips_best.0, m3g.0, m3u.0, info
+        );
+        println!("   {curve}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Cycle-by-cycle power model for the `pipedepth` workspace.
+//!
+//! The paper's power methodology (Section 3): power is latch-dominated;
+//! each pipelined unit's latch count grows as `(unit depth)^1.3`, giving an
+//! overall `p^1.1` scaling; merged units share a cycle and are charged the
+//! max of their latch complements; and two accounting modes — complete
+//! fine-grained clock gating driven by per-unit occupancy, and no gating
+//! where every latch clocks every cycle.
+//!
+//! * [`latches`] — the latch-count model (reproduces the paper's Fig. 3);
+//! * [`model`] — power measurement over a [`pipedepth_sim::SimReport`] and
+//!   the `BIPS^m/W` metric evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pipedepth_power::{metric, Gating, PowerConfig};
+//! use pipedepth_sim::{Engine, SimConfig};
+//! use pipedepth_trace::{TraceGenerator, WorkloadModel};
+//!
+//! let mut engine = Engine::new(SimConfig::paper(7));
+//! let mut gen = TraceGenerator::new(WorkloadModel::modern_like(), 5);
+//! let sim = engine.run(&mut gen, 10_000);
+//! let bips3_per_watt = metric(&sim, &PowerConfig::default(), 3.0);
+//! assert!(bips3_per_watt > 0.0);
+//! ```
+pub mod latches;
+pub mod model;
+
+pub use latches::LatchModel;
+pub use model::{extract_kappa, measure, metric, Gating, PowerConfig, PowerReport};

@@ -1,0 +1,89 @@
+//! Property-based tests for the power model.
+
+use pipedepth_power::{measure, metric, Gating, LatchModel, PowerConfig};
+use pipedepth_sim::{Engine, SimConfig, StagePlan};
+use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use proptest::prelude::*;
+
+fn arb_depth() -> impl Strategy<Value = u32> {
+    2u32..=25
+}
+
+fn arb_model() -> impl Strategy<Value = WorkloadModel> {
+    prop::sample::select(vec![
+        WorkloadModel::legacy_like(),
+        WorkloadModel::spec_int_like(),
+        WorkloadModel::modern_like(),
+        WorkloadModel::spec_fp_like(),
+    ])
+}
+
+fn sim(model: WorkloadModel, seed: u64, depth: u32) -> pipedepth_sim::SimReport {
+    let mut e = Engine::new(SimConfig::paper(depth));
+    let mut gen = TraceGenerator::new(model, seed);
+    e.run(&mut gen, 4000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gated_never_exceeds_ungated(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let s = sim(model, seed, depth);
+        let g = measure(&s, &PowerConfig::paper(Gating::Gated, 0.15, 10));
+        let u = measure(&s, &PowerConfig::paper(Gating::Ungated, 0.15, 10));
+        prop_assert!(g.dynamic <= u.dynamic + 1e-9, "gated {} vs ungated {}", g.dynamic, u.dynamic);
+        prop_assert!((g.leakage - u.leakage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_components_positive(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let s = sim(model, seed, depth);
+        for gating in [Gating::Gated, Gating::Ungated] {
+            let r = measure(&s, &PowerConfig::paper(gating, 0.15, 10));
+            prop_assert!(r.dynamic > 0.0);
+            prop_assert!(r.leakage > 0.0);
+            prop_assert!(r.leakage_share() > 0.0 && r.leakage_share() < 1.0);
+        }
+    }
+
+    #[test]
+    fn metric_scales_with_throughput_power(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        // metric(m+1) = metric(m) × throughput, exactly.
+        let s = sim(model, seed, depth);
+        let cfg = PowerConfig::default();
+        let m1 = metric(&s, &cfg, 1.0);
+        let m2 = metric(&s, &cfg, 2.0);
+        let ratio = m2 / m1;
+        prop_assert!((ratio - s.throughput()).abs() < 1e-9 * ratio.abs().max(1e-30));
+    }
+
+    #[test]
+    fn latch_totals_monotone_and_positive(depth in 2u32..25) {
+        let m = LatchModel::paper();
+        let a = m.total_latches(&StagePlan::for_depth(depth));
+        let b = m.total_latches(&StagePlan::for_depth(depth + 1));
+        prop_assert!(a > 0.0);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn leakage_fraction_calibration_holds(frac in 0.01f64..0.9, ref_depth in 2u32..25) {
+        let cfg = PowerConfig::paper(Gating::Ungated, frac, ref_depth);
+        // At the reference depth, an always-on machine's leakage share is
+        // exactly the calibrated fraction (per latch, so for any workload).
+        let s = sim(WorkloadModel::spec_int_like(), 1, ref_depth);
+        let r = measure(&s, &cfg);
+        prop_assert!((r.leakage_share() - frac).abs() < 1e-9, "share {}", r.leakage_share());
+    }
+
+    #[test]
+    fn ungated_dynamic_power_is_workload_independent(seed in any::<u64>(), depth in arb_depth()) {
+        // Non-gated dynamic power depends only on the configuration.
+        let a = measure(&sim(WorkloadModel::spec_int_like(), seed, depth),
+                        &PowerConfig::paper(Gating::Ungated, 0.15, 10));
+        let b = measure(&sim(WorkloadModel::legacy_like(), seed, depth),
+                        &PowerConfig::paper(Gating::Ungated, 0.15, 10));
+        prop_assert!((a.dynamic - b.dynamic).abs() < 1e-9 * a.dynamic);
+    }
+}

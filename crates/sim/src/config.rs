@@ -1,0 +1,428 @@
+//! Simulator configuration and the stage plan.
+//!
+//! The modelled machine is the paper's Fig. 2: a 4-issue in-order
+//! superscalar with two instruction flows —
+//!
+//! ```text
+//! RR:  Decode → Rename → Exec queue → E-unit → Completion → Retire
+//! RX:  Decode → Rename → Addr queue → Agen → Cache → Exec queue → E-unit → …
+//! ```
+//!
+//! Pipeline depth is counted "between the beginning of decode and the end of
+//! execution". Depth scaling follows the paper's methodology: extra stages
+//! are inserted in Decode, Cache access and the E-unit simultaneously;
+//! contraction merges units onto the same cycle (a merged unit has zero
+//! transit latency and, in the power model, shares the cycle under the
+//! max-power rule).
+
+use std::fmt;
+
+/// Scalable pipeline units (the ones the paper inserts stages into, plus the
+/// fixed-function back end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// Instruction decode (and rename on out-of-order models).
+    Decode,
+    /// Address generation for RX instructions.
+    Agen,
+    /// Data-cache access.
+    Cache,
+    /// The execution unit.
+    Execute,
+    /// Completion/retire (fixed depth, not counted in the paper's p).
+    Complete,
+}
+
+impl Unit {
+    /// The depth-scaled units, in pipeline order.
+    pub const SCALED: [Unit; 4] = [Unit::Decode, Unit::Agen, Unit::Cache, Unit::Execute];
+
+    /// All units.
+    pub const ALL: [Unit; 5] = [
+        Unit::Decode,
+        Unit::Agen,
+        Unit::Cache,
+        Unit::Execute,
+        Unit::Complete,
+    ];
+
+    /// Share of the processor's total logic depth assigned to this unit
+    /// (the weights used to split the paper's `t_p` across units).
+    pub fn logic_weight(self) -> f64 {
+        match self {
+            Unit::Decode => 0.30,
+            Unit::Agen => 0.15,
+            Unit::Cache => 0.25,
+            Unit::Execute => 0.30,
+            Unit::Complete => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Unit::Decode => "decode",
+            Unit::Agen => "agen",
+            Unit::Cache => "cache",
+            Unit::Execute => "execute",
+            Unit::Complete => "complete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-unit stage counts for one pipeline depth: the realisation of the
+/// paper's "expand the pipeline in a uniform manner".
+///
+/// A unit with zero stages is *merged* into the preceding cycle (possible
+/// only at the shallowest depths), matching the paper's contraction
+/// procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Decode stages.
+    pub decode: u32,
+    /// Address-generation stages.
+    pub agen: u32,
+    /// Cache-access stages.
+    pub cache: u32,
+    /// E-unit stages.
+    pub execute: u32,
+    /// Completion stages (fixed; not counted in the paper's depth).
+    pub complete: u32,
+}
+
+impl StagePlan {
+    /// Builds the plan for a target depth by largest-remainder apportioning
+    /// of the scaled units' logic weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ depth ≤ 64`.
+    pub fn for_depth(depth: u32) -> Self {
+        assert!((2..=64).contains(&depth), "depth must be in 2..=64");
+        let weights: Vec<f64> = Unit::SCALED.iter().map(|u| u.logic_weight()).collect();
+        let mut alloc: Vec<u32> = weights
+            .iter()
+            .map(|w| (w * depth as f64).floor() as u32)
+            .collect();
+        let mut rem: Vec<(usize, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w * depth as f64 - alloc[i] as f64))
+            .collect();
+        rem.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+        let mut missing = depth - alloc.iter().sum::<u32>();
+        for (i, _) in rem {
+            if missing == 0 {
+                break;
+            }
+            alloc[i] += 1;
+            missing -= 1;
+        }
+        // Decode and Execute always get at least one cycle: fetch-decode and
+        // execution can never be folded away entirely. Steal from the
+        // largest allocation if needed.
+        for must in [0usize, 3usize] {
+            if alloc[must] == 0 {
+                let (donor, _) = alloc
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &a)| a)
+                    .expect("four units");
+                alloc[donor] -= 1;
+                alloc[must] += 1;
+            }
+        }
+        StagePlan {
+            decode: alloc[0],
+            agen: alloc[1],
+            cache: alloc[2],
+            execute: alloc[3],
+            complete: 2,
+        }
+    }
+
+    /// Stage count of a unit.
+    pub fn stages(&self, unit: Unit) -> u32 {
+        match unit {
+            Unit::Decode => self.decode,
+            Unit::Agen => self.agen,
+            Unit::Cache => self.cache,
+            Unit::Execute => self.execute,
+            Unit::Complete => self.complete,
+        }
+    }
+
+    /// The counted pipeline depth (decode through execute).
+    pub fn counted_depth(&self) -> u32 {
+        self.decode + self.agen + self.cache + self.execute
+    }
+
+    /// Units merged into a neighbouring cycle (zero transit latency).
+    pub fn merged_units(&self) -> Vec<Unit> {
+        Unit::SCALED
+            .iter()
+            .copied()
+            .filter(|&u| self.stages(u) == 0)
+            .collect()
+    }
+}
+
+/// Issue policy of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IssuePolicy {
+    /// Strict in-order issue: a stalled instruction blocks everything
+    /// younger (the paper's model for this study).
+    #[default]
+    InOrder,
+    /// Relaxed (out-of-order) issue within the decoupling window: an
+    /// instruction issues as soon as its own operands and resources are
+    /// ready; retirement stays in order. The paper reports that in-order
+    /// vs out-of-order changes the optimisation only through α and γ.
+    OutOfOrder,
+}
+
+/// Microarchitectural feature toggles, used by the ablation experiments.
+/// Defaults reproduce the paper machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Full forwarding network: ALU results bypass to consumers one cycle
+    /// after issue instead of at the end of the E-unit pipe.
+    pub forwarding: bool,
+    /// Non-blocking cache with stall-on-use: a load miss delays only its
+    /// consumers, not the load's own passage down the pipe.
+    pub stall_on_use: bool,
+    /// Scale the decode/issue decoupling queues with pipeline depth
+    /// (otherwise a fixed 16-entry queue throttles deep designs).
+    pub scaled_queues: bool,
+    /// Issue policy.
+    pub issue: IssuePolicy,
+}
+
+impl Default for Features {
+    fn default() -> Self {
+        Features {
+            forwarding: true,
+            stall_on_use: true,
+            scaled_queues: true,
+            issue: IssuePolicy::InOrder,
+        }
+    }
+}
+
+/// Data-cache hierarchy parameters. Miss latencies are denominated in FO4 —
+/// absolute time — so the *cycle* cost of a miss grows as the pipeline gets
+/// deeper and the clock faster, exactly as in a real machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L1 instruction cache size in bytes (0 disables instruction-fetch
+    /// modelling: fetch always hits).
+    pub l1i_bytes: u64,
+    /// L1 instruction cache associativity.
+    pub l1i_ways: u32,
+    /// L2 size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Line size in bytes (shared).
+    pub line_bytes: u64,
+    /// L2 access latency in FO4 (added to an L1 miss).
+    pub l2_latency_fo4: f64,
+    /// Memory access latency in FO4 (added to an L2 miss).
+    pub memory_latency_fo4: f64,
+    /// Enable the degree-1 next-line prefetcher.
+    pub prefetch: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1i_bytes: 16 * 1024,
+            l1i_ways: 4,
+            l2_bytes: 1024 * 1024,
+            l2_ways: 8,
+            line_bytes: 64,
+            l2_latency_fo4: 280.0,
+            memory_latency_fo4: 2400.0,
+            prefetch: true,
+        }
+    }
+}
+
+/// Branch-predictor parameters (gshare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// log2 of the pattern-history-table size.
+    pub table_bits: u32,
+    /// Global-history length in branches.
+    pub history_bits: u32,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            table_bits: 14,
+            history_bits: 0,
+        }
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Superscalar issue width (the paper models a 4-issue machine).
+    pub width: u32,
+    /// Target pipeline depth (decode → execute), 2..=25 in the paper.
+    pub depth: u32,
+    /// Total processor logic delay `t_p` in FO4.
+    pub logic_fo4: f64,
+    /// Per-stage latch overhead `t_o` in FO4.
+    pub latch_overhead_fo4: f64,
+    /// Cache hierarchy.
+    pub cache: CacheConfig,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+    /// Number of cache ports (simultaneous data-cache accesses per cycle).
+    pub cache_ports: u32,
+    /// Microarchitectural feature toggles (ablations).
+    pub features: Features,
+}
+
+impl SimConfig {
+    /// The paper's machine at the given depth: 4-issue, `t_p = 140`,
+    /// `t_o = 2.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `2..=64`.
+    pub fn paper(depth: u32) -> Self {
+        SimConfig {
+            width: 4,
+            depth,
+            logic_fo4: 140.0,
+            latch_overhead_fo4: 2.5,
+            cache: CacheConfig::default(),
+            predictor: PredictorConfig::default(),
+            cache_ports: 2,
+            features: Features::default(),
+        }
+    }
+
+    /// Returns a copy with different feature toggles (builder style).
+    pub fn with_features(mut self, features: Features) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// The stage plan realising this configuration's depth.
+    pub fn plan(&self) -> StagePlan {
+        StagePlan::for_depth(self.depth)
+    }
+
+    /// Cycle time `t_s = t_o + t_p/p` in FO4.
+    pub fn cycle_time_fo4(&self) -> f64 {
+        self.latch_overhead_fo4 + self.logic_fo4 / self.depth as f64
+    }
+
+    /// Converts an FO4 latency to (ceiling) cycles at this depth's clock.
+    pub fn fo4_to_cycles(&self, fo4: f64) -> u64 {
+        (fo4 / self.cycle_time_fo4()).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_sum_to_depth() {
+        for depth in 2..=25 {
+            let plan = StagePlan::for_depth(depth);
+            assert_eq!(plan.counted_depth(), depth, "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn decode_and_execute_never_vanish() {
+        for depth in 2..=25 {
+            let plan = StagePlan::for_depth(depth);
+            assert!(plan.decode >= 1, "depth {depth}: {plan:?}");
+            assert!(plan.execute >= 1, "depth {depth}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn shallow_plans_merge_units() {
+        let plan = StagePlan::for_depth(2);
+        assert!(!plan.merged_units().is_empty());
+        let deep = StagePlan::for_depth(20);
+        assert!(deep.merged_units().is_empty());
+    }
+
+    #[test]
+    fn deeper_plans_dominate_shallower() {
+        // Expansion is uniform: no unit loses stages when depth grows.
+        for depth in 2..25 {
+            let a = StagePlan::for_depth(depth);
+            let b = StagePlan::for_depth(depth + 1);
+            for u in Unit::SCALED {
+                assert!(
+                    b.stages(u) + 1 >= a.stages(u),
+                    "unit {u} shrank too much from depth {depth}: {a:?} -> {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let sum: f64 = Unit::SCALED.iter().map(|u| u.logic_weight()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_cycle_times() {
+        assert!((SimConfig::paper(7).cycle_time_fo4() - 22.5).abs() < 1e-12);
+        assert!((SimConfig::paper(8).cycle_time_fo4() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fo4_to_cycles_rounds_up() {
+        let cfg = SimConfig::paper(7); // 22.5 FO4 cycle
+        assert_eq!(cfg.fo4_to_cycles(22.5), 1);
+        assert_eq!(cfg.fo4_to_cycles(23.0), 2);
+        assert_eq!(cfg.fo4_to_cycles(280.0), 13);
+    }
+
+    #[test]
+    fn miss_cycles_grow_with_depth() {
+        // Absolute-time miss latencies cost more cycles at faster clocks.
+        let shallow = SimConfig::paper(4);
+        let deep = SimConfig::paper(24);
+        assert!(
+            deep.fo4_to_cycles(2400.0) > shallow.fo4_to_cycles(2400.0) * 3,
+            "deep {} vs shallow {}",
+            deep.fo4_to_cycles(2400.0),
+            shallow.fo4_to_cycles(2400.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=64")]
+    fn depth_one_rejected() {
+        let _ = StagePlan::for_depth(1);
+    }
+
+    #[test]
+    fn unit_display() {
+        assert_eq!(Unit::Decode.to_string(), "decode");
+        assert_eq!(Unit::Execute.to_string(), "execute");
+    }
+}

@@ -1,0 +1,965 @@
+//! The timing engine: a cycle-accurate interval simulator of the paper's
+//! 4-issue in-order superscalar pipeline.
+//!
+//! Every instruction's passage through the machine is resolved to exact
+//! cycle numbers under the configured stage plan, port widths, branch
+//! predictor and cache hierarchy. The engine is deterministic: the same
+//! trace and configuration always produce the same cycle counts, per-unit
+//! activity, and hazard attribution.
+//!
+//! The simulation style is *interval* (scoreboard) simulation: instead of
+//! iterating machine state cycle by cycle, each instruction's stage entry
+//! times are computed from its predecessors' times and resource
+//! availability. For an in-order machine this is exact, and it yields the
+//! per-unit occupancy counts the power model needs.
+
+use crate::cache::Hierarchy;
+use crate::config::{IssuePolicy, SimConfig, StagePlan, Unit};
+use crate::hazard::{HazardKind, HazardStats};
+use crate::predictor::Gshare;
+use crate::report::SimReport;
+use pipedepth_trace::isa::{Instruction, OpClass, Reg};
+use std::collections::VecDeque;
+
+/// A resource granting at most `width` acquisitions per cycle, in order.
+#[derive(Debug, Clone)]
+struct Port {
+    width: u32,
+    cycle: u64,
+    used: u32,
+}
+
+impl Port {
+    fn new(width: u32) -> Self {
+        assert!(width >= 1, "port width must be at least 1");
+        Port {
+            width,
+            cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Grants a slot at the earliest cycle ≥ `at` consistent with previous
+    /// grants (grants never go backwards: the machine is in order).
+    fn acquire(&mut self, at: u64) -> u64 {
+        if at > self.cycle {
+            self.cycle = at;
+            self.used = 1;
+        } else if self.used < self.width {
+            self.used += 1;
+        } else {
+            self.cycle += 1;
+            self.used = 1;
+        }
+        self.cycle
+    }
+
+    /// Marks the current cycle exhausted, so the next grant opens a new
+    /// cycle (used by serialising instructions).
+    fn close_cycle(&mut self) {
+        self.used = self.width;
+    }
+}
+
+/// How the most recent writer of a register produced its value — used to
+/// classify the stalls of dependent instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterKind {
+    /// Ordinary pipelined producer.
+    Normal,
+    /// Producer was delayed by a cache miss.
+    Miss,
+    /// Producer was a multi-cycle FP operation (fixed-cycle latency:
+    /// waiting on it is occupancy, not a depth-scaled hazard).
+    FpUnit,
+}
+
+/// Ready-time scoreboard for one register file.
+#[derive(Debug, Clone)]
+struct Scoreboard {
+    ready: [u64; Reg::FILE_SIZE as usize],
+    writer: [WriterKind; Reg::FILE_SIZE as usize],
+}
+
+impl Scoreboard {
+    fn new() -> Self {
+        Scoreboard {
+            ready: [0; Reg::FILE_SIZE as usize],
+            writer: [WriterKind::Normal; Reg::FILE_SIZE as usize],
+        }
+    }
+}
+
+/// Cycle-level timing of one instruction's passage through the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrTiming {
+    /// Cycle the instruction entered decode.
+    pub decode: u64,
+    /// Cycle it issued to the E-unit.
+    pub issue: u64,
+    /// Cycle its execution completed.
+    pub exec_done: u64,
+    /// Cycle it retired.
+    pub retire: u64,
+}
+
+/// The pipeline timing engine.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_sim::{Engine, SimConfig};
+/// use pipedepth_trace::{TraceGenerator, WorkloadModel};
+///
+/// let mut engine = Engine::new(SimConfig::paper(8));
+/// let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 1);
+/// let report = engine.run(&mut gen, 10_000);
+/// assert!(report.cpi() > 0.25, "cannot beat the 4-wide issue limit");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: SimConfig,
+    plan: StagePlan,
+    caches: Hierarchy,
+    predictor: Gshare,
+
+    decode_port: Port,
+    issue_port: Port,
+    cache_port: Port,
+    retire_port: Port,
+
+    gpr: Scoreboard,
+    fpr: Scoreboard,
+
+    redirect_at: u64,
+    /// Last instruction-cache line fetched (fetch accesses once per line).
+    last_fetch_line: u64,
+    /// Issue cycles of the most recent instructions, bounding how far the
+    /// front end can run ahead (finite decoupling queues).
+    issue_history: VecDeque<u64>,
+    last_decode: u64,
+    last_issue: u64,
+    last_retire: u64,
+    fp_busy_until: u64,
+
+    instructions: u64,
+    finish_cycle: u64,
+    /// Cycle at which the current measurement window opened.
+    stats_base_cycle: u64,
+    distinct_issue_cycles: u64,
+    last_issue_cycle_seen: Option<u64>,
+    activity: [u64; Unit::ALL.len()],
+    hazards: HazardStats,
+    branches: u64,
+    mispredicts: u64,
+    memory_wait_cycles: u64,
+}
+
+impl Engine {
+    /// Combined capacity, in instructions, of the decoupling queues between
+    /// decode and issue (address + execution queues) at depth `p`. Queues
+    /// are sized with the pipeline — a deeper machine needs more
+    /// instructions in flight to cover its own latencies, and the paper's
+    /// expansion methodology grows the queue stages alongside the units.
+    /// With `scaled_queues` disabled the capacity is a fixed 16 entries.
+    pub fn queue_capacity(depth: u32) -> usize {
+        (8 + 2 * depth) as usize
+    }
+
+    fn effective_queue_capacity(&self) -> usize {
+        if self.config.features.scaled_queues {
+            Engine::queue_capacity(self.config.depth)
+        } else {
+            16
+        }
+    }
+
+    /// Creates an engine for one pipeline configuration.
+    pub fn new(config: SimConfig) -> Self {
+        let plan = config.plan();
+        Engine {
+            config,
+            plan,
+            caches: Hierarchy::new(config.cache),
+            predictor: Gshare::new(config.predictor),
+            decode_port: Port::new(config.width),
+            issue_port: Port::new(config.width),
+            cache_port: Port::new(config.cache_ports),
+            retire_port: Port::new(config.width),
+            gpr: Scoreboard::new(),
+            fpr: Scoreboard::new(),
+            redirect_at: 0,
+            last_fetch_line: u64::MAX,
+            issue_history: VecDeque::with_capacity(Engine::queue_capacity(config.depth)),
+            last_decode: 0,
+            last_issue: 0,
+            last_retire: 0,
+            fp_busy_until: 0,
+            instructions: 0,
+            finish_cycle: 0,
+            stats_base_cycle: 0,
+            distinct_issue_cycles: 0,
+            last_issue_cycle_seen: None,
+            activity: [0; Unit::ALL.len()],
+            hazards: HazardStats::new(),
+            branches: 0,
+            mispredicts: 0,
+            memory_wait_cycles: 0,
+        }
+    }
+
+    /// The configuration this engine realises.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The stage plan in effect.
+    pub fn plan(&self) -> &StagePlan {
+        &self.plan
+    }
+
+    /// The cache hierarchy (for inspection).
+    pub fn caches(&self) -> &Hierarchy {
+        &self.caches
+    }
+
+    /// The branch predictor (for inspection).
+    pub fn predictor(&self) -> &Gshare {
+        &self.predictor
+    }
+
+    fn board(&self, reg: Reg) -> (&Scoreboard, usize) {
+        match reg {
+            Reg::Gpr(i) => (&self.gpr, i as usize),
+            Reg::Fpr(i) => (&self.fpr, i as usize),
+        }
+    }
+
+    fn set_ready(&mut self, reg: Reg, at: u64, writer: WriterKind) {
+        let board = match reg {
+            Reg::Gpr(_) => &mut self.gpr,
+            Reg::Fpr(_) => &mut self.fpr,
+        };
+        let i = match reg {
+            Reg::Gpr(i) | Reg::Fpr(i) => i as usize,
+        };
+        board.ready[i] = at;
+        board.writer[i] = writer;
+    }
+
+    fn bump_activity(&mut self, unit: Unit, stages: u64) {
+        let idx = Unit::ALL
+            .iter()
+            .position(|&u| u == unit)
+            .expect("unit in ALL");
+        self.activity[idx] += stages;
+    }
+
+    /// Extra E-unit cycles beyond the pipelined pass for multi-cycle
+    /// (floating-point) operations. Following the paper's model —
+    /// "floating point instructions execute individually and take multiple
+    /// cycles to complete" — the iteration count is fixed in *cycles*, so
+    /// FP latency shrinks in absolute time as the clock speeds up with
+    /// depth. Combined with the serialisation of the FP unit this yields
+    /// low α and deep optimum depths for FP workloads, as the paper
+    /// reports.
+    fn extra_exec_cycles(&self, class: OpClass) -> u64 {
+        let extra_passes = class.base_exec_cycles().saturating_sub(1) as u64;
+        extra_passes * 2
+    }
+
+    /// Simulates one instruction, returning the cycle it retires.
+    pub fn step(&mut self, instr: &Instruction) -> u64 {
+        self.step_timing(instr).retire
+    }
+
+    /// Simulates one instruction, returning its full stage timing.
+    pub fn step_timing(&mut self, instr: &Instruction) -> InstrTiming {
+        let plan = self.plan;
+
+        // ---- Decode (front end) --------------------------------------
+        // Finite decoupling queues: decode cannot run more than
+        // QUEUE_CAPACITY instructions ahead of issue.
+        let capacity = self.effective_queue_capacity();
+        let queue_floor = if self.issue_history.len() >= capacity {
+            *self.issue_history.front().expect("queue is full")
+        } else {
+            0
+        };
+        let mut decode_req = self.last_decode.max(self.redirect_at).max(queue_floor);
+
+        // ---- Instruction fetch ----------------------------------------
+        // One instruction-cache access per new code line; a fetch miss
+        // stalls decode for the (absolute-time) miss latency.
+        let line = instr.pc / self.config.cache.line_bytes;
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            let result = self.caches.fetch(instr.pc);
+            let fetch_extra = self.config.fo4_to_cycles(self.caches.penalty_fo4(result));
+            if fetch_extra > 0 {
+                self.hazards.record(
+                    HazardKind::Memory,
+                    fetch_extra.min(2 * self.config.depth as u64),
+                );
+                self.memory_wait_cycles += fetch_extra;
+                decode_req += fetch_extra;
+            }
+        }
+        let decode_cycle = self.decode_port.acquire(decode_req);
+        self.last_decode = decode_cycle;
+        let decode_done = decode_cycle + plan.decode as u64;
+
+        // ---- Source readiness ----------------------------------------
+        let mut src_ready = 0u64;
+        let mut src_writer = WriterKind::Normal;
+        for s in instr.srcs() {
+            let (board, i) = self.board(s);
+            if board.ready[i] > src_ready {
+                src_ready = board.ready[i];
+                src_writer = board.writer[i];
+            } else if board.ready[i] == src_ready && board.writer[i] == WriterKind::Miss {
+                src_writer = WriterKind::Miss;
+            }
+        }
+        let src_from_miss = src_writer == WriterKind::Miss;
+
+        // ---- RX address/cache segment --------------------------------
+        let is_mem = instr.class.is_memory();
+        let mut data_ready = decode_done;
+        let mut pipe_ready = decode_done;
+        let mut miss_extra = 0u64;
+        if let Some(mem) = instr.mem {
+            let agen_start = decode_done.max(src_ready);
+            let agen_done = agen_start + plan.agen as u64;
+            if instr.class == OpClass::Store {
+                // Stores retire through a write buffer: they update cache
+                // state but neither contend for a load port nor stall the
+                // pipeline on a miss.
+                self.caches.access(mem.addr);
+                data_ready = agen_done;
+                pipe_ready = agen_done;
+            } else {
+                let access_at = self.cache_port.acquire(agen_done);
+                let result = self.caches.access(mem.addr);
+                miss_extra = self.config.fo4_to_cycles(self.caches.penalty_fo4(result));
+                data_ready = access_at + plan.cache as u64 + miss_extra;
+                if instr.class == OpClass::Load && self.config.features.stall_on_use {
+                    // Non-blocking cache, stall-on-use: the load itself
+                    // proceeds down the pipe under a miss; only consumers
+                    // wait for the returning data (via the scoreboard).
+                    pipe_ready = access_at + plan.cache as u64;
+                } else if instr.class == OpClass::Load {
+                    pipe_ready = data_ready;
+                }
+            }
+            self.bump_activity(Unit::Agen, plan.agen as u64);
+            self.bump_activity(Unit::Cache, plan.cache as u64);
+        }
+
+        // AluRx consumes its memory operand in the E-unit, so it cannot
+        // issue before the data arrives; loads and stores flow by.
+        if instr.class == OpClass::AluRx {
+            pipe_ready = data_ready;
+        }
+
+        // ---- Issue to the E-unit (in order, width-limited) ------------
+        let queue_ready = if is_mem { pipe_ready } else { decode_done };
+        let fp_ready = if instr.class.is_fp() {
+            self.fp_busy_until
+        } else {
+            0
+        };
+        let order_floor = match self.config.features.issue {
+            IssuePolicy::InOrder => self.last_issue,
+            // Out of order: only the instruction's own constraints gate its
+            // issue; the decoupling window (above) plays the ROB's role.
+            IssuePolicy::OutOfOrder => 0,
+        };
+        let mut base = queue_ready.max(src_ready).max(fp_ready).max(order_floor);
+        if instr.serial {
+            // Complex serialising operations issue alone: they start a new
+            // issue cycle and exhaust it.
+            base = base.max(self.last_issue + 1);
+            self.issue_port.close_cycle();
+        }
+        let prev_issue = self.last_issue;
+        let issue = self.issue_port.acquire(base);
+        if instr.serial {
+            self.issue_port.close_cycle();
+        }
+        self.last_issue = issue;
+        if self.issue_history.len() >= self.effective_queue_capacity() {
+            self.issue_history.pop_front();
+        }
+        self.issue_history.push_back(issue);
+
+        // ---- Hazard attribution ---------------------------------------
+        // A hazard is the *marginal* delay this instruction's own
+        // constraints add beyond both its unobstructed pipeline transit and
+        // the in-order backpressure floor (an older instruction's stall is
+        // that instruction's hazard, not a new one). Stalls are capped at
+        // two full pipeline drains when accounted toward γ: a stall cannot
+        // idle more pipeline than the machine has, and the residue of long
+        // memory waits is absolute time, tracked separately below.
+        let transit = decode_done
+            + if is_mem {
+                (plan.agen + plan.cache) as u64
+            } else {
+                0
+            };
+        let floor = match self.config.features.issue {
+            IssuePolicy::InOrder => transit.max(prev_issue),
+            IssuePolicy::OutOfOrder => transit,
+        };
+        let own = queue_ready.max(src_ready).max(fp_ready);
+        let stall = own.saturating_sub(floor);
+        if stall > 0 {
+            let gamma_stall = stall.min(2 * self.config.depth as u64);
+            // Classification precedence: a cache miss anywhere in the
+            // dependence chain is a memory event; otherwise a register
+            // dependence is a data event; waiting on the busy FP unit is
+            // occupancy (the machine is doing work — it surfaces as reduced
+            // superscalar degree α, as in the paper's multi-cycle FP model),
+            // not a hazard; everything else (ports, queues) is structural.
+            let load_use_blocked = instr.class == OpClass::AluRx && miss_extra > 0;
+            let kind = if load_use_blocked || src_from_miss {
+                Some(HazardKind::Memory)
+            } else if src_ready > floor {
+                // A dependent waiting on the fixed-cycle FP unit is
+                // occupancy (the unit is doing work at the clock rate), not
+                // a depth-scaled pipeline hazard — mirror the fp_ready case.
+                if src_writer == WriterKind::FpUnit {
+                    None
+                } else {
+                    Some(HazardKind::Data)
+                }
+            } else if fp_ready > floor {
+                None
+            } else {
+                Some(HazardKind::Structural)
+            };
+            if let Some(kind) = kind {
+                self.hazards.record(kind, gamma_stall);
+            }
+        }
+        // Absolute-time memory latency (does not scale with pipeline depth;
+        // reported as a per-instruction time so the theory comparison can
+        // treat it as the additive constant it is).
+        self.memory_wait_cycles += miss_extra;
+
+        // ---- Execute ---------------------------------------------------
+        let exec_lat = plan.execute as u64 + self.extra_exec_cycles(instr.class);
+        let exec_done = issue + exec_lat;
+        if instr.class.is_fp() {
+            self.fp_busy_until = exec_done;
+        }
+        if let Some(dst) = instr.dst {
+            // Full forwarding network: simple ALU results bypass to
+            // consumers one cycle after issue (real deep pipelines keep
+            // single-cycle ALU loops); loads bypass from the cache return;
+            // iterative FP forwards only when the unit finishes. The deep
+            // E-unit's full latency still gates branch resolution and
+            // retirement.
+            let alu_ready = if self.config.features.forwarding {
+                issue + 1
+            } else {
+                exec_done
+            };
+            let (ready_at, writer) = match instr.class {
+                OpClass::Load => (
+                    data_ready,
+                    if miss_extra > 0 {
+                        WriterKind::Miss
+                    } else {
+                        WriterKind::Normal
+                    },
+                ),
+                OpClass::Fp | OpClass::FpLong => (exec_done, WriterKind::FpUnit),
+                _ => (
+                    alu_ready,
+                    if miss_extra > 0 {
+                        WriterKind::Miss
+                    } else {
+                        WriterKind::Normal
+                    },
+                ),
+            };
+            self.set_ready(dst, ready_at, writer);
+        }
+        // The iterative tail of a multi-cycle FP operation spins a narrow
+        // datapath, not the full E-unit latch complement; only the
+        // pipelined pass is charged to the unit's activity.
+        self.bump_activity(Unit::Execute, plan.execute as u64);
+
+        // ---- Branch resolution ------------------------------------------
+        if instr.class == OpClass::Branch {
+            self.branches += 1;
+            let taken = instr.is_taken_branch();
+            let hit = self.predictor.observe(instr.pc, taken);
+            if !hit {
+                self.mispredicts += 1;
+                let resume = exec_done + 1;
+                // The flush stalls decode from right after the branch until
+                // resolution: a full decode→execute refill. For γ purposes
+                // the stall is capped like every other hazard.
+                let refill = resume.saturating_sub(decode_cycle + 1);
+                self.hazards.record(
+                    HazardKind::Control,
+                    refill.min(2 * self.config.depth as u64),
+                );
+                self.redirect_at = resume;
+            }
+        }
+
+        // ---- Completion / retire ----------------------------------------
+        let complete_done = exec_done + plan.complete as u64;
+        let retire = self
+            .retire_port
+            .acquire(complete_done.max(self.last_retire));
+        self.last_retire = retire;
+        self.finish_cycle = self.finish_cycle.max(retire);
+        self.bump_activity(Unit::Decode, plan.decode as u64);
+        self.bump_activity(Unit::Complete, plan.complete as u64);
+
+        // ---- Superscalar accounting -------------------------------------
+        if self.last_issue_cycle_seen != Some(issue) {
+            self.distinct_issue_cycles += 1;
+            self.last_issue_cycle_seen = Some(issue);
+        }
+        self.instructions += 1;
+        InstrTiming {
+            decode: decode_cycle,
+            issue,
+            exec_done,
+            retire,
+        }
+    }
+
+    /// Runs `count` instructions as warmup — caches fill and the predictor
+    /// trains, but no statistics are kept. Call before [`Engine::run`] to
+    /// measure steady-state behaviour, as the experiment harness does.
+    pub fn warm_up<I>(&mut self, trace: &mut I, count: u64)
+    where
+        I: Iterator<Item = Instruction>,
+    {
+        for _ in 0..count {
+            match trace.next() {
+                Some(instr) => {
+                    self.step(&instr);
+                }
+                None => break,
+            }
+        }
+        self.reset_stats();
+    }
+
+    /// Opens a fresh measurement window: zeroes every statistic while
+    /// keeping all microarchitectural state (caches, predictor, in-flight
+    /// timing) intact.
+    pub fn reset_stats(&mut self) {
+        self.instructions = 0;
+        self.distinct_issue_cycles = 0;
+        self.last_issue_cycle_seen = None;
+        self.activity = [0; Unit::ALL.len()];
+        self.hazards = HazardStats::new();
+        self.branches = 0;
+        self.mispredicts = 0;
+        self.memory_wait_cycles = 0;
+        self.stats_base_cycle = self.finish_cycle;
+        self.caches.reset_stats();
+        self.predictor.reset_stats();
+    }
+
+    /// Runs `count` instructions from a trace source and produces the
+    /// report.
+    pub fn run<I>(&mut self, trace: &mut I, count: u64) -> SimReport
+    where
+        I: Iterator<Item = Instruction>,
+    {
+        for _ in 0..count {
+            match trace.next() {
+                Some(instr) => {
+                    self.step(&instr);
+                }
+                None => break,
+            }
+        }
+        self.report()
+    }
+
+    /// Produces the report for everything simulated so far.
+    pub fn report(&self) -> SimReport {
+        SimReport::gather(
+            self.config,
+            self.plan,
+            self.instructions,
+            self.finish_cycle.saturating_sub(self.stats_base_cycle),
+            self.distinct_issue_cycles,
+            &self.activity,
+            self.hazards.clone(),
+            self.branches,
+            self.mispredicts,
+            self.caches.l1().miss_rate(),
+            self.caches.l2().miss_rate(),
+            self.caches.l1i().map(|c| c.miss_rate()).unwrap_or(0.0),
+            self.memory_wait_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_trace::isa::{BranchInfo, MemRef};
+
+    fn alu(pc: u64, dst: u8, srcs: &[u8]) -> Instruction {
+        let mut i = Instruction::new(pc, OpClass::AluRr).with_dst(Reg::gpr(dst));
+        for &s in srcs {
+            i = i.with_src(Reg::gpr(s));
+        }
+        i
+    }
+
+    #[test]
+    fn port_respects_width() {
+        let mut p = Port::new(2);
+        assert_eq!(p.acquire(5), 5);
+        assert_eq!(p.acquire(5), 5);
+        assert_eq!(p.acquire(5), 6);
+        assert_eq!(p.acquire(5), 6, "in-order port never goes back");
+        assert_eq!(p.acquire(10), 10);
+    }
+
+    #[test]
+    fn independent_alus_fill_the_width() {
+        let mut e = Engine::new(SimConfig::paper(8));
+        // 8 independent ALU ops, width 4: two issue cycles.
+        for k in 0..8 {
+            e.step(&alu(k * 4, k as u8, &[]));
+        }
+        let r = e.report();
+        assert_eq!(r.instructions, 8);
+        assert_eq!(r.distinct_issue_cycles, 2, "4-wide ⇒ 8 ops in 2 cycles");
+        assert!((r.alpha() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let mut e = Engine::new(SimConfig::paper(8));
+        // Each op reads the previous op's destination.
+        e.step(&alu(0, 0, &[]));
+        for k in 1..10u8 {
+            e.step(&alu(k as u64 * 4, k, &[k - 1]));
+        }
+        let r = e.report();
+        // Chain of 10 with E-unit latency ≥ 1: at least 10 issue cycles.
+        assert!(r.distinct_issue_cycles >= 10);
+        assert!(r.hazards.events(HazardKind::Data) > 0);
+    }
+
+    #[test]
+    fn mispredicted_branch_costs_a_refill() {
+        let depth = 16;
+        let mut e = Engine::new(SimConfig::paper(depth));
+        // Train nothing; a not-taken-predicted branch that is taken.
+        let b = Instruction::new(0x100, OpClass::Branch).with_branch(BranchInfo {
+            taken: false,
+            target: 0x104,
+        });
+        // First make the predictor strongly taken by observing taken
+        // branches at this pc.
+        for _ in 0..8 {
+            e.step(
+                &Instruction::new(0x100, OpClass::Branch).with_branch(BranchInfo {
+                    taken: true,
+                    target: 0x200,
+                }),
+            );
+        }
+        let before = e.report().hazards.events(HazardKind::Control);
+        e.step(&b); // now mispredicted (predictor says taken)
+        e.step(&alu(0x104, 1, &[]));
+        let r = e.report();
+        assert!(
+            r.hazards.events(HazardKind::Control) > before,
+            "mispredict must record a control hazard"
+        );
+        // The refill is at least the decode→execute transit.
+        let plan = StagePlan::for_depth(depth);
+        assert!(r.hazards.stall_cycles(HazardKind::Control) as u32 >= plan.decode + plan.execute);
+    }
+
+    #[test]
+    fn cache_miss_delays_dependent() {
+        let mut e = Engine::new(SimConfig::paper(8));
+        let load = Instruction::new(0, OpClass::Load)
+            .with_mem(MemRef {
+                addr: 0x9999_0000,
+                size: 8,
+            })
+            .with_dst(Reg::gpr(1));
+        e.step(&load); // cold miss to memory
+        e.step(&alu(4, 2, &[1])); // consumer
+        let r = e.report();
+        // The stall is recorded (capped at two pipeline drains for γ).
+        assert!(r.hazards.events(HazardKind::Memory) >= 1);
+        assert!(
+            r.hazards.stall_cycles(HazardKind::Memory) >= e.config.depth as u64,
+            "memory stall cycles {}",
+            r.hazards.stall_cycles(HazardKind::Memory)
+        );
+    }
+
+    #[test]
+    fn fp_is_structurally_serialised() {
+        let mut e = Engine::new(SimConfig::paper(8));
+        for k in 0..4u8 {
+            let i = Instruction::new(k as u64 * 4, OpClass::Fp).with_dst(Reg::fpr(k));
+            e.step(&i);
+        }
+        let r = e.report();
+        // Independent FP ops cannot dual-issue: the FP unit is busy. The
+        // wait is occupancy (reduced α), deliberately not a hazard event.
+        assert!(r.distinct_issue_cycles >= 4);
+        assert!((r.alpha() - 1.0).abs() < 1e-9);
+        assert_eq!(r.hazards.events(HazardKind::Structural), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::new(SimConfig::paper(12));
+            let mut gen = pipedepth_trace::TraceGenerator::new(
+                pipedepth_trace::WorkloadModel::modern_like(),
+                3,
+            );
+            e.run(&mut gen, 5_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.hazards, b.hazards);
+    }
+
+    #[test]
+    fn deeper_pipeline_takes_more_cycles() {
+        let cpi_at = |depth| {
+            let mut e = Engine::new(SimConfig::paper(depth));
+            let mut gen = pipedepth_trace::TraceGenerator::new(
+                pipedepth_trace::WorkloadModel::spec_int_like(),
+                7,
+            );
+            e.run(&mut gen, 20_000).cpi()
+        };
+        let shallow = cpi_at(4);
+        let deep = cpi_at(20);
+        assert!(deep > shallow, "CPI {shallow} -> {deep}");
+    }
+
+    #[test]
+    fn time_per_instruction_is_convex_in_depth() {
+        // BIPS (1/time) should peak at an intermediate depth: the shallow
+        // design has a slow clock, the deep one pays hazards.
+        let time_at = |depth| {
+            let mut e = Engine::new(SimConfig::paper(depth));
+            let mut gen = pipedepth_trace::TraceGenerator::new(
+                pipedepth_trace::WorkloadModel::spec_int_like(),
+                7,
+            );
+            e.run(&mut gen, 20_000).time_per_instruction_fo4()
+        };
+        let t2 = time_at(2);
+        let t14 = time_at(14);
+        assert!(t14 < t2, "pipelining must help initially: {t2} vs {t14}");
+    }
+
+    #[test]
+    fn activity_scales_with_plan() {
+        let mut e = Engine::new(SimConfig::paper(20));
+        let mut gen = pipedepth_trace::TraceGenerator::new(
+            pipedepth_trace::WorkloadModel::spec_int_like(),
+            5,
+        );
+        let r = e.run(&mut gen, 5_000);
+        let plan = StagePlan::for_depth(20);
+        let decode_activity = r.unit_activity(Unit::Decode);
+        assert_eq!(decode_activity, 5_000 * plan.decode as u64);
+        // Cache activity only for memory instructions.
+        assert!(r.unit_activity(Unit::Cache) < 5_000 * plan.cache as u64);
+        assert!(r.unit_activity(Unit::Cache) > 0);
+    }
+
+    fn run_with_features(features: crate::config::Features, depth: u32) -> SimReport {
+        let cfg = SimConfig::paper(depth).with_features(features);
+        let mut e = Engine::new(cfg);
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 21);
+        e.warm_up(&mut gen, 10_000);
+        e.run(&mut gen, 20_000)
+    }
+
+    #[test]
+    fn out_of_order_is_at_least_as_fast() {
+        use crate::config::{Features, IssuePolicy};
+        let inorder = run_with_features(Features::default(), 12);
+        let ooo = run_with_features(
+            Features {
+                issue: IssuePolicy::OutOfOrder,
+                ..Features::default()
+            },
+            12,
+        );
+        assert!(
+            ooo.cpi() <= inorder.cpi() + 1e-9,
+            "OoO {} vs in-order {}",
+            ooo.cpi(),
+            inorder.cpi()
+        );
+    }
+
+    #[test]
+    fn disabling_forwarding_slows_dependent_code() {
+        use crate::config::Features;
+        let with = run_with_features(Features::default(), 16);
+        let without = run_with_features(
+            Features {
+                forwarding: false,
+                ..Features::default()
+            },
+            16,
+        );
+        assert!(
+            without.cpi() > with.cpi(),
+            "no-forwarding {} vs forwarding {}",
+            without.cpi(),
+            with.cpi()
+        );
+    }
+
+    #[test]
+    fn disabling_stall_on_use_slows_memory_code() {
+        use crate::config::Features;
+        let with = run_with_features(Features::default(), 12);
+        let without = run_with_features(
+            Features {
+                stall_on_use: false,
+                ..Features::default()
+            },
+            12,
+        );
+        assert!(without.cpi() >= with.cpi());
+    }
+
+    #[test]
+    fn fixed_queues_throttle_deep_pipelines() {
+        use crate::config::Features;
+        let scaled = run_with_features(Features::default(), 24);
+        let fixed = run_with_features(
+            Features {
+                scaled_queues: false,
+                ..Features::default()
+            },
+            24,
+        );
+        assert!(
+            fixed.cpi() >= scaled.cpi(),
+            "fixed {} vs scaled {}",
+            fixed.cpi(),
+            scaled.cpi()
+        );
+    }
+
+    #[test]
+    fn prefetcher_reduces_streaming_misses() {
+        let mut cfg = SimConfig::paper(8);
+        cfg.cache.prefetch = false;
+        let mut e_off = Engine::new(cfg);
+        let mut e_on = Engine::new(SimConfig::paper(8));
+        let model = pipedepth_trace::WorkloadModel::spec_fp_like();
+        let mut g1 = pipedepth_trace::TraceGenerator::new(model, 5);
+        let mut g2 = pipedepth_trace::TraceGenerator::new(model, 5);
+        e_off.warm_up(&mut g1, 10_000);
+        e_on.warm_up(&mut g2, 10_000);
+        let off = e_off.run(&mut g1, 20_000);
+        let on = e_on.run(&mut g2, 20_000);
+        assert!(
+            on.l1_miss_rate < off.l1_miss_rate,
+            "prefetch on {} vs off {}",
+            on.l1_miss_rate,
+            off.l1_miss_rate
+        );
+    }
+
+    #[test]
+    fn large_code_footprint_misses_icache() {
+        let run_model = |model| {
+            let mut e = Engine::new(SimConfig::paper(10));
+            let mut gen = pipedepth_trace::TraceGenerator::new(model, 13);
+            e.warm_up(&mut gen, 10_000);
+            e.run(&mut gen, 20_000)
+        };
+        let legacy = run_model(pipedepth_trace::WorkloadModel::legacy_like());
+        let spec = run_model(pipedepth_trace::WorkloadModel::spec_int_like());
+        assert!(
+            legacy.l1i_miss_rate > spec.l1i_miss_rate,
+            "legacy {} vs specint {}",
+            legacy.l1i_miss_rate,
+            spec.l1i_miss_rate
+        );
+        assert!(spec.l1i_miss_rate < 0.05, "specint code is cache-resident");
+    }
+
+    #[test]
+    fn disabling_icache_makes_fetch_free() {
+        let mut cfg = SimConfig::paper(10);
+        cfg.cache.l1i_bytes = 0;
+        let mut e = Engine::new(cfg);
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::legacy_like(), 13);
+        let r = e.run(&mut gen, 10_000);
+        assert_eq!(r.l1i_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn timing_stages_are_ordered() {
+        let mut e = Engine::new(SimConfig::paper(12));
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 17);
+        let mut last_retire = 0;
+        for _ in 0..2000 {
+            let i = gen.next_instruction();
+            let t = e.step_timing(&i);
+            assert!(t.decode <= t.issue, "{t:?}");
+            assert!(t.issue < t.exec_done, "{t:?}");
+            assert!(t.exec_done < t.retire, "{t:?}");
+            // Retirement is in order.
+            assert!(t.retire >= last_retire, "{t:?} after {last_retire}");
+            last_retire = t.retire;
+        }
+    }
+
+    #[test]
+    fn in_order_issue_is_monotone() {
+        let mut e = Engine::new(SimConfig::paper(10));
+        let mut gen = pipedepth_trace::TraceGenerator::new(
+            pipedepth_trace::WorkloadModel::spec_int_like(),
+            18,
+        );
+        let mut last_issue = 0;
+        for _ in 0..2000 {
+            let i = gen.next_instruction();
+            let t = e.step_timing(&i);
+            assert!(t.issue >= last_issue, "in-order issue went backwards");
+            last_issue = t.issue;
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_zero() {
+        let e = Engine::new(SimConfig::paper(8));
+        let r = e.report();
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.cpi(), 0.0);
+    }
+}

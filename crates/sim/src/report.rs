@@ -1,0 +1,226 @@
+//! Simulation results and theory-parameter extraction.
+//!
+//! A [`SimReport`] carries everything a single simulation produced: cycle
+//! counts, per-unit activity (for the power model), hazard statistics, and
+//! the extracted theory parameters `α`, `γ` and `N_H/N_I` — the quantities
+//! the paper reads off "the simulation of a single pipeline depth" to
+//! parameterise its analytic curves.
+
+use crate::config::{SimConfig, StagePlan, Unit};
+use crate::hazard::HazardStats;
+
+/// The result of simulating one workload at one pipeline depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Configuration simulated.
+    pub config: SimConfig,
+    /// Stage plan in effect.
+    pub plan: StagePlan,
+    /// Instructions completed.
+    pub instructions: u64,
+    /// Total cycles to retire the last instruction.
+    pub cycles: u64,
+    /// Number of distinct cycles in which at least one instruction issued.
+    pub distinct_issue_cycles: u64,
+    /// Instruction-stage occupancies per unit (for the power model), in
+    /// [`Unit::ALL`] order.
+    pub activity: [u64; 5],
+    /// Hazard statistics.
+    pub hazards: HazardStats,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// L1 data-cache miss rate.
+    pub l1_miss_rate: f64,
+    /// L2 miss rate (of L2 accesses).
+    pub l2_miss_rate: f64,
+    /// L1 instruction-cache miss rate (0 when no I-cache is configured).
+    pub l1i_miss_rate: f64,
+    /// Total cycles spent waiting on cache-miss latency (absolute-time
+    /// component, excluded from the γ accounting).
+    pub memory_wait_cycles: u64,
+}
+
+impl SimReport {
+    /// Assembles a report (used by the engine).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gather(
+        config: SimConfig,
+        plan: StagePlan,
+        instructions: u64,
+        cycles: u64,
+        distinct_issue_cycles: u64,
+        activity: &[u64; 5],
+        hazards: HazardStats,
+        branches: u64,
+        mispredicts: u64,
+        l1_miss_rate: f64,
+        l2_miss_rate: f64,
+        l1i_miss_rate: f64,
+        memory_wait_cycles: u64,
+    ) -> Self {
+        SimReport {
+            config,
+            plan,
+            instructions,
+            cycles,
+            distinct_issue_cycles,
+            activity: *activity,
+            hazards,
+            branches,
+            mispredicts,
+            l1_miss_rate,
+            l2_miss_rate,
+            l1i_miss_rate,
+            memory_wait_cycles,
+        }
+    }
+
+    /// Per-instruction absolute-time memory latency in FO4 — the additive
+    /// constant the synthetic machine's cache misses contribute to the time
+    /// per instruction, which the paper's τ(p) does not model.
+    pub fn memory_time_per_instruction_fo4(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.memory_wait_cycles as f64 * self.config.cycle_time_fo4() / self.instructions as f64
+        }
+    }
+
+    /// Cycles per instruction (0 for an empty run).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Time per instruction in FO4: `CPI × t_s` — the simulator's measured
+    /// counterpart of the theory's `τ`.
+    pub fn time_per_instruction_fo4(&self) -> f64 {
+        self.cpi() * self.config.cycle_time_fo4()
+    }
+
+    /// Throughput in instructions per FO4 (∝ BIPS).
+    pub fn throughput(&self) -> f64 {
+        let t = self.time_per_instruction_fo4();
+        if t == 0.0 {
+            0.0
+        } else {
+            1.0 / t
+        }
+    }
+
+    /// Activity (instruction-stage occupancies) of one unit.
+    pub fn unit_activity(&self, unit: Unit) -> u64 {
+        let idx = Unit::ALL
+            .iter()
+            .position(|&u| u == unit)
+            .expect("unit is in Unit::ALL");
+        self.activity[idx]
+    }
+
+    /// Extracted superscalar degree `α`: instructions per active issue
+    /// cycle.
+    pub fn alpha(&self) -> f64 {
+        if self.distinct_issue_cycles == 0 {
+            1.0
+        } else {
+            (self.instructions as f64 / self.distinct_issue_cycles as f64).max(1.0)
+        }
+    }
+
+    /// Extracted hazard pipeline fraction `γ` (mean stall over depth).
+    pub fn gamma(&self) -> f64 {
+        self.hazards.gamma(self.config.depth)
+    }
+
+    /// Extracted hazards per instruction `N_H/N_I`.
+    pub fn hazard_rate(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.hazards.total_events() as f64 / self.instructions as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// The hazard product `α·γ·N_H/N_I` that the theory's Eq. 2 divides
+    /// by — the single number that sets the performance-only optimum.
+    pub fn hazard_product(&self) -> f64 {
+        self.alpha() * self.gamma() * self.hazard_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use pipedepth_trace::{TraceGenerator, WorkloadModel};
+
+    fn run(depth: u32, seed: u64, n: u64) -> SimReport {
+        let mut e = Engine::new(SimConfig::paper(depth));
+        let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), seed);
+        e.run(&mut gen, n)
+    }
+
+    #[test]
+    fn cpi_and_time_consistent() {
+        let r = run(10, 1, 10_000);
+        let t = r.time_per_instruction_fo4();
+        assert!((t - r.cpi() * r.config.cycle_time_fo4()).abs() < 1e-12);
+        assert!((r.throughput() - 1.0 / t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alpha_between_one_and_width() {
+        let r = run(10, 2, 20_000);
+        assert!(r.alpha() >= 1.0);
+        assert!(r.alpha() <= 4.0);
+    }
+
+    #[test]
+    fn extracted_parameters_positive_for_real_workloads() {
+        let r = run(12, 3, 20_000);
+        assert!(r.gamma() > 0.0);
+        assert!(r.hazard_rate() > 0.0);
+        assert!(r.hazard_product() > 0.0);
+    }
+
+    #[test]
+    fn mispredict_rate_below_one() {
+        let r = run(12, 4, 20_000);
+        assert!(r.mispredict_rate() > 0.0);
+        assert!(r.mispredict_rate() < 0.5);
+    }
+
+    #[test]
+    fn l1_miss_rate_reasonable_for_friendly_workload() {
+        let r = run(8, 5, 20_000);
+        assert!(
+            r.l1_miss_rate < 0.2,
+            "cache-friendly miss rate {}",
+            r.l1_miss_rate
+        );
+    }
+
+    #[test]
+    fn activity_nonzero_for_all_scaled_units() {
+        let r = run(12, 6, 5_000);
+        for u in Unit::SCALED {
+            if r.plan.stages(u) > 0 {
+                assert!(r.unit_activity(u) > 0, "unit {u} idle");
+            }
+        }
+    }
+}

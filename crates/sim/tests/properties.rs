@@ -1,0 +1,125 @@
+//! Property-based tests for the pipeline simulator.
+
+use pipedepth_sim::{Engine, Features, HazardKind, IssuePolicy, SimConfig, StagePlan, Unit};
+use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use proptest::prelude::*;
+
+fn arb_depth() -> impl Strategy<Value = u32> {
+    2u32..=25
+}
+
+fn arb_model() -> impl Strategy<Value = WorkloadModel> {
+    prop::sample::select(vec![
+        WorkloadModel::legacy_like(),
+        WorkloadModel::spec_int_like(),
+        WorkloadModel::modern_like(),
+        WorkloadModel::spec_fp_like(),
+    ])
+}
+
+fn run(model: WorkloadModel, seed: u64, depth: u32, n: u64) -> pipedepth_sim::SimReport {
+    let mut e = Engine::new(SimConfig::paper(depth));
+    let mut gen = TraceGenerator::new(model, seed);
+    e.run(&mut gen, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stage_plans_partition_every_depth(depth in arb_depth()) {
+        let plan = StagePlan::for_depth(depth);
+        prop_assert_eq!(plan.counted_depth(), depth);
+        prop_assert!(plan.decode >= 1);
+        prop_assert!(plan.execute >= 1);
+    }
+
+    #[test]
+    fn cpi_never_beats_issue_width(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 4000);
+        // 4-wide machine: at most 4 instructions per cycle.
+        prop_assert!(r.cpi() >= 0.25 - 1e-12, "cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn retire_cycle_bounds_cycle_count(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 2000);
+        // Every instruction passes the whole machine at least once.
+        let plan = StagePlan::for_depth(depth);
+        let min_transit = (plan.decode + plan.execute + plan.complete) as u64;
+        prop_assert!(r.cycles >= min_transit + 2000 / 4 - 1, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn alpha_within_machine_limits(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 4000);
+        prop_assert!(r.alpha() >= 1.0);
+        prop_assert!(r.alpha() <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn gamma_respects_the_cap(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 4000);
+        // Stalls are capped at two pipeline drains per hazard.
+        prop_assert!(r.gamma() <= 2.0 + 1e-9, "gamma {}", r.gamma());
+        prop_assert!(r.gamma() >= 0.0);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let a = run(model, seed, depth, 2000);
+        let b = run(model, seed, depth, 2000);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warmup_preserves_measured_instruction_count(model in arb_model(), seed in any::<u64>()) {
+        let mut e = Engine::new(SimConfig::paper(10));
+        let mut gen = TraceGenerator::new(model, seed);
+        e.warm_up(&mut gen, 3000);
+        let r = e.run(&mut gen, 2000);
+        prop_assert_eq!(r.instructions, 2000);
+        prop_assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn out_of_order_never_slower(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let cfg_in = SimConfig::paper(depth);
+        let cfg_ooo = SimConfig::paper(depth).with_features(Features {
+            issue: IssuePolicy::OutOfOrder,
+            ..Features::default()
+        });
+        let mut a = Engine::new(cfg_in);
+        let mut b = Engine::new(cfg_ooo);
+        let mut g1 = TraceGenerator::new(model, seed);
+        let mut g2 = TraceGenerator::new(model, seed);
+        let r_in = a.run(&mut g1, 3000);
+        let r_ooo = b.run(&mut g2, 3000);
+        prop_assert!(
+            r_ooo.cycles <= r_in.cycles,
+            "ooo {} vs in-order {}",
+            r_ooo.cycles,
+            r_in.cycles
+        );
+    }
+
+    #[test]
+    fn hazard_totals_are_consistent(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 3000);
+        let sum: u64 = HazardKind::ALL.iter().map(|&k| r.hazards.events(k)).sum();
+        prop_assert_eq!(sum, r.hazards.total_events());
+        let stall_sum: u64 = HazardKind::ALL.iter().map(|&k| r.hazards.stall_cycles(k)).sum();
+        prop_assert_eq!(stall_sum, r.hazards.total_stall_cycles());
+    }
+
+    #[test]
+    fn activity_consistent_with_plan(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
+        let r = run(model, seed, depth, 3000);
+        let plan = StagePlan::for_depth(depth);
+        // Decode and Complete are traversed by every instruction.
+        prop_assert_eq!(r.unit_activity(Unit::Decode), 3000 * plan.decode as u64);
+        prop_assert_eq!(r.unit_activity(Unit::Complete), 3000 * plan.complete as u64);
+        // Memory units only by memory instructions.
+        prop_assert!(r.unit_activity(Unit::Cache) <= 3000 * plan.cache as u64);
+    }
+}

@@ -1,0 +1,368 @@
+//! The z-like instruction set abstraction the simulator executes.
+//!
+//! The paper's machine model runs zSeries code, whose salient feature for
+//! pipeline studies is the split between register-only (**RR**) and
+//! register/memory (**RX**) instructions: RX instructions flow through an
+//! extra address-generation + cache-access segment of the pipeline (the
+//! paper's Fig. 2). We model exactly the information the pipeline needs:
+//! operation class, register operands, memory reference, branch behaviour
+//! and execution latency class.
+
+use std::fmt;
+
+/// An architected register. The z-like machine has 16 general-purpose and
+/// 16 floating-point registers; we give each file its own index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// General-purpose register `0..16`.
+    Gpr(u8),
+    /// Floating-point register `0..16`.
+    Fpr(u8),
+}
+
+impl Reg {
+    /// Number of registers in each file.
+    pub const FILE_SIZE: u8 = 16;
+
+    /// Creates a GPR, wrapping the index into range.
+    pub fn gpr(i: u8) -> Self {
+        Reg::Gpr(i % Self::FILE_SIZE)
+    }
+
+    /// Creates an FPR, wrapping the index into range.
+    pub fn fpr(i: u8) -> Self {
+        Reg::Fpr(i % Self::FILE_SIZE)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(i) => write!(f, "r{i}"),
+            Reg::Fpr(i) => write!(f, "f{i}"),
+        }
+    }
+}
+
+/// Operation class: determines which pipeline path an instruction takes and
+/// its execution latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Register-only integer ALU operation (RR format): Decode → Rename →
+    /// Execute queue → E-unit → Completion.
+    AluRr,
+    /// Integer operation with a memory source operand (RX format): adds the
+    /// Address queue → Agen → Cache access segment.
+    AluRx,
+    /// Load from memory into a register (RX).
+    Load,
+    /// Store from a register to memory (RX).
+    Store,
+    /// Conditional or unconditional branch (resolved in the E-unit).
+    Branch,
+    /// Floating-point operation (RR path, multi-cycle E-unit occupancy; the
+    /// paper: "floating point instructions execute individually and take
+    /// multiple cycles to complete").
+    Fp,
+    /// Long-latency floating-point operation (divide/sqrt class).
+    FpLong,
+}
+
+impl OpClass {
+    /// Whether the instruction takes the RX (address-generation + cache)
+    /// path of the pipeline.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::AluRx | OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the instruction is floating point.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::Fp | OpClass::FpLong)
+    }
+
+    /// Base execution latency in *logic work* terms: the number of
+    /// single-stage E-unit passes the operation needs at the base (1-stage
+    /// E-unit) design. Multi-cycle FP models the paper's non-pipelined FP
+    /// execution.
+    pub fn base_exec_cycles(self) -> u32 {
+        match self {
+            OpClass::AluRr | OpClass::AluRx | OpClass::Load | OpClass::Store | OpClass::Branch => 1,
+            OpClass::Fp => 4,
+            OpClass::FpLong => 12,
+        }
+    }
+
+    /// All operation classes, for enumeration in mix tables.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::AluRr,
+        OpClass::AluRx,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Fp,
+        OpClass::FpLong,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::AluRr => "alu.rr",
+            OpClass::AluRx => "alu.rx",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Fp => "fp",
+            OpClass::FpLong => "fp.long",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory reference carried by an RX instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// Branch information carried by a branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch is taken in this dynamic instance.
+    pub taken: bool,
+    /// Target address when taken.
+    pub target: u64,
+}
+
+/// One dynamic instruction of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_trace::isa::{Instruction, OpClass, Reg};
+///
+/// let add = Instruction::new(0x1000, OpClass::AluRr)
+///     .with_dst(Reg::gpr(1))
+///     .with_src(Reg::gpr(2))
+///     .with_src(Reg::gpr(3));
+/// assert_eq!(add.srcs().count(), 2);
+/// assert!(!add.class.is_memory());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// Instruction address.
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Up to two source registers.
+    pub src: [Option<Reg>; 2],
+    /// Memory reference for RX instructions.
+    pub mem: Option<MemRef>,
+    /// Branch behaviour for branches.
+    pub branch: Option<BranchInfo>,
+    /// Whether this is a complex operation that must issue alone (legacy
+    /// CISC instructions, serialising ops).
+    pub serial: bool,
+}
+
+impl Instruction {
+    /// Creates a bare instruction of the given class at `pc`.
+    pub fn new(pc: u64, class: OpClass) -> Self {
+        Instruction {
+            pc,
+            class,
+            dst: None,
+            src: [None, None],
+            mem: None,
+            branch: None,
+            serial: false,
+        }
+    }
+
+    /// Marks the instruction as serialising: it issues alone (builder
+    /// style).
+    pub fn with_serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Sets the destination register (builder style).
+    pub fn with_dst(mut self, r: Reg) -> Self {
+        self.dst = Some(r);
+        self
+    }
+
+    /// Adds a source register into the first free slot (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both source slots are already occupied.
+    pub fn with_src(mut self, r: Reg) -> Self {
+        if self.src[0].is_none() {
+            self.src[0] = Some(r);
+        } else if self.src[1].is_none() {
+            self.src[1] = Some(r);
+        } else {
+            panic!("instruction already has two sources");
+        }
+        self
+    }
+
+    /// Attaches a memory reference (builder style).
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Attaches branch information (builder style).
+    pub fn with_branch(mut self, branch: BranchInfo) -> Self {
+        self.branch = Some(branch);
+        self
+    }
+
+    /// Iterates over the present source registers.
+    pub fn srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.src.iter().flatten().copied()
+    }
+
+    /// Whether this dynamic instance is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        self.branch.map(|b| b.taken).unwrap_or(false)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}: {}", self.pc, self.class)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.srcs() {
+            write!(f, ", {s}")?;
+        }
+        if let Some(m) = self.mem {
+            write!(f, " [{:#x}]", m.addr)?;
+        }
+        if let Some(b) = self.branch {
+            write!(
+                f,
+                " {} -> {:#x}",
+                if b.taken { "taken" } else { "not-taken" },
+                b.target
+            )?;
+        }
+        if self.serial {
+            write!(f, " (serial)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_operands() {
+        let i = Instruction::new(0x1000, OpClass::AluRr)
+            .with_dst(Reg::gpr(1))
+            .with_src(Reg::gpr(2));
+        let s = i.to_string();
+        assert!(s.contains("alu.rr"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("r2"));
+    }
+
+    #[test]
+    fn display_renders_branch_and_serial() {
+        let b = Instruction::new(0x20, OpClass::Branch)
+            .with_branch(BranchInfo {
+                taken: true,
+                target: 0x40,
+            })
+            .with_serial();
+        let s = b.to_string();
+        assert!(s.contains("taken"));
+        assert!(s.contains("(serial)"));
+    }
+
+    #[test]
+    fn reg_constructors_wrap() {
+        assert_eq!(Reg::gpr(17), Reg::Gpr(1));
+        assert_eq!(Reg::fpr(16), Reg::Fpr(0));
+    }
+
+    #[test]
+    fn reg_files_are_distinct() {
+        assert_ne!(Reg::gpr(3), Reg::fpr(3));
+    }
+
+    #[test]
+    fn memory_classes() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(OpClass::AluRx.is_memory());
+        assert!(!OpClass::AluRr.is_memory());
+        assert!(!OpClass::Branch.is_memory());
+        assert!(!OpClass::Fp.is_memory());
+    }
+
+    #[test]
+    fn fp_latencies_exceed_integer() {
+        assert!(OpClass::Fp.base_exec_cycles() > OpClass::AluRr.base_exec_cycles());
+        assert!(OpClass::FpLong.base_exec_cycles() > OpClass::Fp.base_exec_cycles());
+    }
+
+    #[test]
+    fn builder_fills_sources_in_order() {
+        let i = Instruction::new(0, OpClass::AluRr)
+            .with_src(Reg::gpr(1))
+            .with_src(Reg::gpr(2));
+        assert_eq!(i.src, [Some(Reg::Gpr(1)), Some(Reg::Gpr(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sources")]
+    fn third_source_panics() {
+        let _ = Instruction::new(0, OpClass::AluRr)
+            .with_src(Reg::gpr(1))
+            .with_src(Reg::gpr(2))
+            .with_src(Reg::gpr(3));
+    }
+
+    #[test]
+    fn taken_branch_detection() {
+        let b = Instruction::new(0, OpClass::Branch).with_branch(BranchInfo {
+            taken: true,
+            target: 0x2000,
+        });
+        assert!(b.is_taken_branch());
+        let nb = Instruction::new(0, OpClass::Branch).with_branch(BranchInfo {
+            taken: false,
+            target: 0x2000,
+        });
+        assert!(!nb.is_taken_branch());
+        assert!(!Instruction::new(0, OpClass::AluRr).is_taken_branch());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpClass::AluRr.to_string(), "alu.rr");
+        assert_eq!(Reg::gpr(5).to_string(), "r5");
+        assert_eq!(Reg::fpr(5).to_string(), "f5");
+    }
+
+    #[test]
+    fn all_classes_enumerated_once() {
+        let mut seen = std::collections::HashSet::new();
+        for c in OpClass::ALL {
+            assert!(seen.insert(c), "duplicate in OpClass::ALL: {c}");
+        }
+        assert_eq!(seen.len(), 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Aggregate statistics of an instruction trace.
+//!
+//! Used by tests to validate generator fidelity and by the experiment
+//! harness to report workload characteristics alongside results.
+
+use crate::isa::{Instruction, OpClass, Reg};
+use std::collections::HashMap;
+
+/// Counters accumulated over a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total instructions observed.
+    pub instructions: u64,
+    /// Count per operation class.
+    pub per_class: HashMap<OpClass, u64>,
+    /// Dynamic branches observed.
+    pub branches: u64,
+    /// Taken branches observed.
+    pub taken_branches: u64,
+    /// Memory references observed.
+    pub memory_refs: u64,
+    /// Distinct 64-byte data lines touched.
+    pub distinct_lines: u64,
+    /// Sum of observed producer→consumer register distances.
+    dep_distance_sum: u64,
+    /// Number of dependency edges observed.
+    dep_edges: u64,
+    // Internal: last writer position per register.
+    #[doc(hidden)]
+    last_writer: HashMap<Reg, u64>,
+    #[doc(hidden)]
+    lines: std::collections::HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes statistics over a slice of instructions.
+    pub fn of(trace: &[Instruction]) -> Self {
+        let mut s = Self::new();
+        for i in trace {
+            s.observe(i);
+        }
+        s
+    }
+
+    /// Accumulates one instruction.
+    pub fn observe(&mut self, instr: &Instruction) {
+        let pos = self.instructions;
+        self.instructions += 1;
+        *self.per_class.entry(instr.class).or_insert(0) += 1;
+        if instr.class == OpClass::Branch {
+            self.branches += 1;
+            if instr.is_taken_branch() {
+                self.taken_branches += 1;
+            }
+        }
+        if let Some(m) = instr.mem {
+            self.memory_refs += 1;
+            self.lines.insert(m.addr >> 6);
+            self.distinct_lines = self.lines.len() as u64;
+        }
+        for src in instr.srcs() {
+            if let Some(&w) = self.last_writer.get(&src) {
+                self.dep_distance_sum += pos - w;
+                self.dep_edges += 1;
+            }
+        }
+        if let Some(d) = instr.dst {
+            self.last_writer.insert(d, pos);
+        }
+    }
+
+    /// Fraction of instructions in `class`.
+    pub fn class_fraction(&self, class: OpClass) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        *self.per_class.get(&class).unwrap_or(&0) as f64 / self.instructions as f64
+    }
+
+    /// Fraction of dynamic branches that were taken.
+    pub fn taken_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.taken_branches as f64 / self.branches as f64
+        }
+    }
+
+    /// Mean observed producer→consumer register distance.
+    pub fn mean_dep_distance(&self) -> f64 {
+        if self.dep_edges == 0 {
+            0.0
+        } else {
+            self.dep_distance_sum as f64 / self.dep_edges as f64
+        }
+    }
+
+    /// Dependency edges per instruction.
+    pub fn dep_density(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dep_edges as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::isa::{BranchInfo, MemRef};
+    use crate::model::WorkloadModel;
+
+    #[test]
+    fn counts_classes_and_branches() {
+        let trace = vec![
+            Instruction::new(0, OpClass::AluRr).with_dst(Reg::gpr(1)),
+            Instruction::new(4, OpClass::Branch).with_branch(BranchInfo {
+                taken: true,
+                target: 100,
+            }),
+            Instruction::new(100, OpClass::Load)
+                .with_mem(MemRef { addr: 64, size: 8 })
+                .with_dst(Reg::gpr(2)),
+        ];
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.memory_refs, 1);
+        assert!((s.class_fraction(OpClass::AluRr) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dep_distance_measured() {
+        let trace = vec![
+            Instruction::new(0, OpClass::AluRr).with_dst(Reg::gpr(1)),
+            Instruction::new(4, OpClass::AluRr).with_dst(Reg::gpr(2)),
+            // Reads r1 written 2 instructions ago.
+            Instruction::new(8, OpClass::AluRr)
+                .with_src(Reg::gpr(1))
+                .with_dst(Reg::gpr(3)),
+        ];
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.mean_dep_distance(), 2.0);
+        assert!((s.dep_density() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_lines_deduplicates() {
+        let trace = vec![
+            Instruction::new(0, OpClass::Load).with_mem(MemRef { addr: 0, size: 8 }),
+            Instruction::new(4, OpClass::Load).with_mem(MemRef { addr: 8, size: 8 }),
+            Instruction::new(8, OpClass::Load).with_mem(MemRef { addr: 128, size: 8 }),
+        ];
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.distinct_lines, 2);
+    }
+
+    #[test]
+    fn generator_statistics_match_model() {
+        let model = WorkloadModel::spec_int_like();
+        let trace = TraceGenerator::new(model, 42).take_vec(20_000);
+        let s = TraceStats::of(&trace);
+        assert!((s.class_fraction(OpClass::Branch) - model.mix.branch).abs() < 0.02);
+        assert!((s.class_fraction(OpClass::Load) - model.mix.load).abs() < 0.02);
+        // Dependency distances are clamped by the window and by register
+        // reuse, so the observed mean tracks the model loosely.
+        assert!(s.mean_dep_distance() > 1.0);
+        assert!(s.dep_density() > 0.3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.taken_rate(), 0.0);
+        assert_eq!(s.mean_dep_distance(), 0.0);
+        assert_eq!(s.class_fraction(OpClass::Load), 0.0);
+    }
+}

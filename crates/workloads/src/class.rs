@@ -1,0 +1,79 @@
+//! The paper's four workload classes.
+
+use std::fmt;
+
+/// Workload classes studied in the paper (its Fig. 7 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadClass {
+    /// Traditional (legacy) database and OLTP applications, written in
+    /// Assembler: low ILP, branchy, large footprints.
+    Legacy,
+    /// SPECint 95/2000-like integer applications: regular, predictable,
+    /// cache-resident.
+    SpecInt,
+    /// Modern C++/Java applications: indirect branches, pointer chasing.
+    Modern,
+    /// SPECfp-like floating-point applications: FP-dominated, streaming.
+    FloatingPoint,
+}
+
+impl WorkloadClass {
+    /// All classes, in the paper's presentation order.
+    pub const ALL: [WorkloadClass; 4] = [
+        WorkloadClass::Legacy,
+        WorkloadClass::SpecInt,
+        WorkloadClass::Modern,
+        WorkloadClass::FloatingPoint,
+    ];
+
+    /// Number of workloads of this class in the 55-trace suite.
+    pub fn suite_count(self) -> usize {
+        match self {
+            WorkloadClass::Legacy => 14,
+            WorkloadClass::SpecInt => 16,
+            WorkloadClass::Modern => 15,
+            WorkloadClass::FloatingPoint => 10,
+        }
+    }
+
+    /// Short tag used in workload names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            WorkloadClass::Legacy => "legacy",
+            WorkloadClass::SpecInt => "specint",
+            WorkloadClass::Modern => "modern",
+            WorkloadClass::FloatingPoint => "fp",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadClass::Legacy => "legacy (DB/OLTP)",
+            WorkloadClass::SpecInt => "SPECint",
+            WorkloadClass::Modern => "modern (C++/Java)",
+            WorkloadClass::FloatingPoint => "floating point",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_totals_fifty_five() {
+        let total: usize = WorkloadClass::ALL.iter().map(|c| c.suite_count()).sum();
+        assert_eq!(total, 55, "the paper studies 55 workloads");
+    }
+
+    #[test]
+    fn tags_unique() {
+        let mut tags: Vec<_> = WorkloadClass::ALL.iter().map(|c| c.tag()).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), 4);
+    }
+}

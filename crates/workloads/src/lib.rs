@@ -1,0 +1,25 @@
+//! The 55-workload suite of the `pipedepth` workspace.
+//!
+//! The paper evaluates 55 proprietary trace tapes spanning four classes:
+//! traditional (legacy) database/OLTP code, SPECint 95/2000, modern
+//! C++/Java applications, and floating-point applications. This crate
+//! provides the synthetic equivalent: 55 deterministic
+//! [`pipedepth_trace::WorkloadModel`]s — one per workload — derived from
+//! per-class presets with seeded jitter, so the suite exhibits the same
+//! within-class spread and between-class contrasts the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use pipedepth_workloads::{suite, WorkloadClass};
+//!
+//! let all = suite();
+//! assert_eq!(all.len(), 55);
+//! let fp: Vec<_> = all.iter().filter(|w| w.class == WorkloadClass::FloatingPoint).collect();
+//! assert_eq!(fp.len(), 10);
+//! ```
+pub mod class;
+pub mod suite;
+
+pub use class::WorkloadClass;
+pub use suite::{representatives, suite, suite_class, Workload};

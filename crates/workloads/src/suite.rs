@@ -1,0 +1,279 @@
+//! The 55-workload suite.
+//!
+//! Each workload is a [`WorkloadModel`] derived from its class preset by a
+//! deterministic, seeded perturbation, mimicking the spread of real
+//! applications within a class. The suite is fully reproducible: the same
+//! build always yields exactly the same 55 workloads.
+
+use crate::class::WorkloadClass;
+use pipedepth_trace::{BranchModel, InstructionMix, MemoryModel, WorkloadModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One workload of the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Stable index within the suite (0..55).
+    pub id: usize,
+    /// Human-readable name, e.g. `specint-03`.
+    pub name: String,
+    /// Class the workload belongs to.
+    pub class: WorkloadClass,
+    /// The statistical model realising it.
+    pub model: WorkloadModel,
+    /// Seed its traces are generated from.
+    pub trace_seed: u64,
+}
+
+fn jitter(rng: &mut StdRng, base: f64, rel: f64) -> f64 {
+    base * (1.0 + rng.gen_range(-rel..rel))
+}
+
+fn clamp_prob(x: f64) -> f64 {
+    x.clamp(0.001, 0.999)
+}
+
+fn legacy_variant(rng: &mut StdRng) -> WorkloadModel {
+    let base = WorkloadModel::legacy_like();
+    let mix = base.mix;
+    WorkloadModel::new(
+        mix,
+        jitter(rng, base.mean_dep_distance, 0.25).max(1.5),
+        clamp_prob(jitter(rng, base.dep_density, 0.2)),
+        BranchModel::new(
+            1024,
+            clamp_prob(jitter(rng, base.branches.biased_fraction, 0.06)),
+            clamp_prob(jitter(rng, base.branches.bias, 0.03)),
+            base.branches.code_footprint,
+        ),
+        MemoryModel::new(
+            (jitter(rng, base.memory.working_set as f64, 0.5) as u64).max(64 * 1024),
+            clamp_prob(jitter(rng, base.memory.spatial_locality, 0.04)),
+            8,
+        )
+        .with_hot_set(
+            32 * 1024,
+            clamp_prob(jitter(rng, base.memory.hot_probability, 0.06)),
+        ),
+    )
+    .with_serial_fraction(rng.gen_range(0.45..0.68))
+}
+
+fn specint_variant(rng: &mut StdRng) -> WorkloadModel {
+    let base = WorkloadModel::spec_int_like();
+    WorkloadModel::new(
+        base.mix,
+        jitter(rng, base.mean_dep_distance, 0.25).max(2.0),
+        clamp_prob(jitter(rng, base.dep_density, 0.25)),
+        BranchModel::new(
+            256,
+            clamp_prob(jitter(rng, base.branches.biased_fraction, 0.02)),
+            clamp_prob(jitter(rng, base.branches.bias, 0.012)),
+            base.branches.code_footprint,
+        ),
+        MemoryModel::new(
+            (jitter(rng, base.memory.working_set as f64, 0.4) as u64).max(8 * 1024),
+            clamp_prob(jitter(rng, base.memory.spatial_locality, 0.04)),
+            8,
+        ),
+    )
+    .with_serial_fraction(rng.gen_range(0.0..0.08))
+}
+
+fn modern_variant(rng: &mut StdRng) -> WorkloadModel {
+    let base = WorkloadModel::modern_like();
+    WorkloadModel::new(
+        base.mix,
+        jitter(rng, base.mean_dep_distance, 0.25).max(1.8),
+        clamp_prob(jitter(rng, base.dep_density, 0.2)),
+        BranchModel::new(
+            512,
+            clamp_prob(jitter(rng, base.branches.biased_fraction, 0.04)),
+            clamp_prob(jitter(rng, base.branches.bias, 0.02)),
+            base.branches.code_footprint,
+        ),
+        MemoryModel::new(
+            (jitter(rng, base.memory.working_set as f64, 0.5) as u64).max(64 * 1024),
+            clamp_prob(jitter(rng, base.memory.spatial_locality, 0.04)),
+            8,
+        )
+        .with_hot_set(
+            28 * 1024,
+            clamp_prob(jitter(rng, base.memory.hot_probability, 0.05)),
+        ),
+    )
+    .with_serial_fraction(rng.gen_range(0.12..0.30))
+}
+
+fn fp_variant(rng: &mut StdRng) -> WorkloadModel {
+    let base = WorkloadModel::spec_fp_like();
+    // The FP fraction is the main axis spreading FP optima across the
+    // paper's wide 6–16 stage range: more serialised FP work means lower α
+    // and deeper optima.
+    let fp = rng.gen_range(0.10..0.45);
+    let fp_long = rng.gen_range(0.005..0.09);
+    let scale = (1.0 - fp - fp_long) / (1.0 - 0.30 - 0.05);
+    let m = InstructionMix::floating_point();
+    let mix = InstructionMix::new(
+        m.alu_rr * scale,
+        m.alu_rx * scale,
+        m.load * scale,
+        m.store * scale,
+        1.0 - fp - fp_long - (m.alu_rr + m.alu_rx + m.load + m.store) * scale,
+        fp,
+        fp_long,
+    );
+    WorkloadModel::new(
+        mix,
+        jitter(rng, base.mean_dep_distance, 0.3).max(2.0),
+        clamp_prob(jitter(rng, base.dep_density, 0.2)),
+        base.branches,
+        MemoryModel::new(
+            (jitter(rng, base.memory.working_set as f64, 0.5) as u64).max(32 * 1024),
+            clamp_prob(jitter(rng, base.memory.spatial_locality, 0.015)),
+            8,
+        ),
+    )
+}
+
+/// Builds the full, deterministic 55-workload suite.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_workloads::suite;
+/// let all = suite();
+/// assert_eq!(all.len(), 55);
+/// assert_eq!(all, suite(), "the suite is deterministic");
+/// ```
+pub fn suite() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(55);
+    let mut id = 0;
+    for class in WorkloadClass::ALL {
+        for k in 0..class.suite_count() {
+            // Seed derived from class and index only: stable forever.
+            let seed = 0x5eed_0000_u64 + (class as u64) * 1000 + k as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = match class {
+                WorkloadClass::Legacy => legacy_variant(&mut rng),
+                WorkloadClass::SpecInt => specint_variant(&mut rng),
+                WorkloadClass::Modern => modern_variant(&mut rng),
+                WorkloadClass::FloatingPoint => fp_variant(&mut rng),
+            };
+            out.push(Workload {
+                id,
+                name: format!("{}-{:02}", class.tag(), k),
+                class,
+                model,
+                trace_seed: seed ^ 0xABCD_EF01,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+/// The workloads of one class.
+pub fn suite_class(class: WorkloadClass) -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.class == class).collect()
+}
+
+/// A small representative subset (one workload per class) for quick runs,
+/// examples and CI-sized tests.
+pub fn representatives() -> Vec<Workload> {
+    let all = suite();
+    WorkloadClass::ALL
+        .iter()
+        .map(|&c| {
+            all.iter()
+                .find(|w| w.class == c)
+                .expect("every class is populated")
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_five_workloads() {
+        assert_eq!(suite().len(), 55);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(suite(), suite());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = suite().into_iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 55);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, w) in suite().iter().enumerate() {
+            assert_eq!(w.id, i);
+        }
+    }
+
+    #[test]
+    fn class_counts_match() {
+        for c in WorkloadClass::ALL {
+            assert_eq!(suite_class(c).len(), c.suite_count());
+        }
+    }
+
+    #[test]
+    fn variants_differ_within_class() {
+        let spec = suite_class(WorkloadClass::SpecInt);
+        assert!(
+            spec.windows(2).any(|w| w[0].model != w[1].model),
+            "jitter must differentiate workloads"
+        );
+    }
+
+    #[test]
+    fn fp_class_has_fp_instructions() {
+        for w in suite_class(WorkloadClass::FloatingPoint) {
+            assert!(w.model.mix.fp > 0.1, "{}", w.name);
+        }
+        for w in suite_class(WorkloadClass::SpecInt) {
+            assert_eq!(w.model.mix.fp, 0.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn legacy_is_most_serialised() {
+        let serial_mean = |c| {
+            let ws = suite_class(c);
+            ws.iter().map(|w| w.model.serial_fraction).sum::<f64>() / ws.len() as f64
+        };
+        assert!(serial_mean(WorkloadClass::Legacy) > serial_mean(WorkloadClass::Modern));
+        assert!(serial_mean(WorkloadClass::Modern) > serial_mean(WorkloadClass::SpecInt));
+    }
+
+    #[test]
+    fn representatives_cover_classes() {
+        let reps = representatives();
+        assert_eq!(reps.len(), 4);
+        for (r, c) in reps.iter().zip(WorkloadClass::ALL) {
+            assert_eq!(r.class, c);
+        }
+    }
+
+    #[test]
+    fn mixes_are_valid() {
+        // InstructionMix::new panics on invalid mixes, so construction via
+        // suite() already proves validity; double-check sums anyway.
+        for w in suite() {
+            let sum: f64 = w.model.mix.fractions().iter().map(|(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Design-space exploration with the analytic theory alone — the use case
+//! the paper advocates: "predict the correct design point when new
+//! technologies, new workloads, or just changed microarchitectures are
+//! involved … without the need for detailed simulations".
+//!
+//! Sweeps the metric exponent m, the leakage fraction, the latch-growth
+//! exponent β, and the technology's logic depth, printing the optimum for
+//! each point.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use pipedepth::model::{
+    exponent_beta_grid, latch_growth_sweep, leakage_sweep, metric_exponent_sweep, ClockGating,
+    MetricExponent, PipelineModel, PowerParams, SweepConfig, TechParams, WorkloadParams,
+};
+
+fn show(points: &[pipedepth::model::SweepPoint], label: &str, unit: &str) {
+    println!("{label}");
+    for p in points {
+        match p.optimum.depth() {
+            Some(d) => println!(
+                "  {}{unit:<4} → {d:>5.2} stages ({:>5.1} FO4)",
+                p.parameter,
+                2.5 + 140.0 / d
+            ),
+            None => println!("  {}{unit:<4} → unpipelined", p.parameter),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let gated = SweepConfig {
+        power: PowerParams::paper().with_gating(ClockGating::complete()),
+        ..SweepConfig::default()
+    };
+
+    show(
+        &metric_exponent_sweep(&gated, &[1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 10.0]),
+        "Optimum vs metric exponent m (BIPS^m/W, gated):",
+        "",
+    );
+    show(
+        &leakage_sweep(&gated, &[0.0, 0.15, 0.3, 0.5, 0.7, 0.9]),
+        "Optimum vs leakage fraction (Fig. 8):",
+        "",
+    );
+    show(
+        &latch_growth_sweep(&gated, &[1.0, 1.1, 1.3, 1.5, 1.8, 2.2]),
+        "Optimum vs latch-growth exponent β (Fig. 9):",
+        "",
+    );
+
+    // The joint (m, β) landscape: the two exponents the paper's Summary
+    // calls the most impactful.
+    let ms = [2.5, 3.0, 4.0, 6.0];
+    let betas = [1.0, 1.1, 1.3, 1.5, 1.8];
+    let grid = exponent_beta_grid(&gated, &ms, &betas);
+    println!("Optimum depth over the (m, β) plane (gated):");
+    print!("  {:>6}", "m\\β");
+    for b in &betas {
+        print!(" {b:>6}");
+    }
+    println!();
+    for (i, m) in ms.iter().enumerate() {
+        print!("  {m:>6}");
+        for j in 0..betas.len() {
+            match grid.at(i, j) {
+                Some(d) => print!(" {d:>6.1}"),
+                None => print!(" {:>6}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+
+    // A future-technology scenario: leaner latch overhead.
+    println!("Optimum vs latch overhead t_o (m = 3, gated):");
+    for t_o in [1.0, 1.5, 2.5, 4.0, 6.0] {
+        let tech = TechParams::new(140.0, t_o);
+        let model = PipelineModel::new(
+            tech,
+            WorkloadParams::typical(),
+            PowerParams::paper().with_gating(ClockGating::complete()),
+        );
+        let opt = pipedepth::model::numeric_optimum(&model, MetricExponent::BIPS3_PER_WATT);
+        match opt.depth() {
+            Some(d) => println!("  t_o = {t_o:>3} FO4 → {d:>5.2} stages"),
+            None => println!("  t_o = {t_o:>3} FO4 → unpipelined"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Power-budget design: the paper's *other* strategy.
+//!
+//! The paper's introduction contrasts optimising a BIPS^m/W metric (its
+//! subject) with "design for the best possible performance, subject to the
+//! constraint that the power be just below some maximum value". This
+//! example walks the second strategy across a range of budgets and shows
+//! where the two strategies coincide.
+//!
+//! ```text
+//! cargo run --release --example power_budget
+//! ```
+
+use pipedepth::model::{
+    numeric_optimum, power_capped_design, BudgetedDesign, ClockGating, MetricExponent,
+    PipelineModel, PowerParams, TechParams, WorkloadParams,
+};
+
+fn main() {
+    let model = PipelineModel::new(
+        TechParams::paper(),
+        WorkloadParams::typical(),
+        PowerParams::paper().with_gating(ClockGating::complete()),
+    );
+    let perf_opt = model.perf().optimum_depth();
+    let unconstrained_power = model.power().total_power(perf_opt);
+    println!(
+        "performance-only optimum: {perf_opt:.1} stages, drawing {unconstrained_power:.2} power units\n"
+    );
+
+    println!(
+        "{:>10} | {:>9} | {:>10} | {:>10}",
+        "budget", "depth", "BIPS", "power used"
+    );
+    println!("{}", "-".repeat(50));
+    for frac in [1.2, 1.0, 0.8, 0.6, 0.4, 0.2, 0.1] {
+        let budget = unconstrained_power * frac;
+        match power_capped_design(&model, budget) {
+            BudgetedDesign::Unconstrained(p) => println!(
+                "{:>9.0}% | {:>9.2} | {:>10.5} | {:>10.2}  (unconstrained)",
+                frac * 100.0,
+                p.depth,
+                p.throughput,
+                p.power
+            ),
+            BudgetedDesign::Feasible(p) => println!(
+                "{:>9.0}% | {:>9.2} | {:>10.5} | {:>10.2}",
+                frac * 100.0,
+                p.depth,
+                p.throughput,
+                p.power
+            ),
+            BudgetedDesign::Infeasible { minimum_power } => println!(
+                "{:>9.0}% | {:>9} | {:>10} | min power {minimum_power:.2}",
+                frac * 100.0,
+                "-",
+                "infeasible"
+            ),
+        }
+    }
+
+    // Where does the BIPS³/W optimum sit on this frontier?
+    let m3 = numeric_optimum(&model, MetricExponent::BIPS3_PER_WATT)
+        .depth()
+        .expect("BIPS³/W optimum exists");
+    let m3_power = model.power().total_power(m3);
+    println!(
+        "\nthe BIPS³/W optimum ({m3:.1} stages) corresponds to a budget of {:.0}% —",
+        m3_power / unconstrained_power * 100.0
+    );
+    println!("the metric picks a point on the same frontier the budget strategy walks.");
+}

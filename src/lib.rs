@@ -1,0 +1,55 @@
+//! `pipedepth` — a reproduction of A. Hartstein and T. R. Puzak, *Optimum
+//! Power/Performance Pipeline Depth*, MICRO-36, 2003.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`model`] ([`pipedepth_core`]) — the analytic power/performance
+//!   pipeline-depth theory (the paper's contribution);
+//! * [`math`] ([`pipedepth_math`]) — polynomials, root finding, fitting;
+//! * [`trace`] ([`pipedepth_trace`]) — the synthetic instruction-trace
+//!   substrate;
+//! * [`sim`] ([`pipedepth_sim`]) — the cycle-accurate configurable-depth
+//!   pipeline simulator;
+//! * [`power`] ([`pipedepth_power`]) — the latch-based power model;
+//! * [`workloads`] ([`pipedepth_workloads`]) — the 55-workload suite;
+//! * [`experiments`] ([`pipedepth_experiments`]) — per-figure drivers.
+//!
+//! # Quickstart
+//!
+//! Find the optimum pipeline depth for the paper's BIPS³/W metric:
+//!
+//! ```
+//! use pipedepth::model::{
+//!     report, ClockGating, MetricExponent, PipelineModel, PowerParams,
+//!     TechParams, WorkloadParams,
+//! };
+//!
+//! let model = PipelineModel::new(
+//!     TechParams::paper(),
+//!     WorkloadParams::typical(),
+//!     PowerParams::paper().with_gating(ClockGating::complete()),
+//! );
+//! let r = report(&model, MetricExponent::BIPS3_PER_WATT);
+//! let depth = r.numeric.depth().expect("pipelined optimum exists");
+//! assert!(depth > 1.0 && depth < r.perf_only);
+//! ```
+//!
+//! Or run the simulator directly (see `examples/` for richer scenarios):
+//!
+//! ```
+//! use pipedepth::sim::{Engine, SimConfig};
+//! use pipedepth::trace::{TraceGenerator, WorkloadModel};
+//!
+//! let mut engine = Engine::new(SimConfig::paper(8));
+//! let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 1);
+//! let report = engine.run(&mut gen, 5_000);
+//! assert!(report.cpi() > 0.25);
+//! ```
+
+pub use pipedepth_core as model;
+pub use pipedepth_experiments as experiments;
+pub use pipedepth_math as math;
+pub use pipedepth_power as power;
+pub use pipedepth_sim as sim;
+pub use pipedepth_trace as trace;
+pub use pipedepth_workloads as workloads;
