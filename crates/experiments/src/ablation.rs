@@ -10,9 +10,10 @@
 //! that the issue policy changes the optimisation "only through α and γ".
 
 use crate::figures::fig6::optimum_of;
+use crate::runner::Runner;
 use crate::sweep::{RunConfig, WorkloadCurve};
 use pipedepth_sim::{Features, IssuePolicy, SimConfig};
-use pipedepth_workloads::Workload;
+use pipedepth_workloads::{suite_class, Workload, WorkloadClass};
 use std::fmt;
 
 /// A named microarchitectural variant.
@@ -133,16 +134,22 @@ impl Ablation {
 
 /// Sweeps one workload under one variant (same methodology as the main
 /// sweeps, but on a variant machine).
-fn sweep_variant(workload: &Workload, variant: Variant, config: &RunConfig) -> WorkloadCurve {
-    crate::sweep::sweep_workload_with(workload, config, |depth| variant.config(depth))
+fn sweep_variant(
+    runner: &Runner,
+    workload: &Workload,
+    variant: Variant,
+    config: &RunConfig,
+) -> WorkloadCurve {
+    runner.sweep_workload_with(workload, config, |depth| variant.config(depth))
 }
 
-/// Runs the full ablation study on one workload.
-pub fn run(workload: &Workload, config: &RunConfig) -> Ablation {
+/// Runs the full ablation study on one workload, on a shared runner so the
+/// baseline arm reuses any cached paper-machine cells.
+pub fn run_with(runner: &Runner, workload: &Workload, config: &RunConfig) -> Ablation {
     let points = Variant::ALL
         .iter()
         .map(|&variant| {
-            let curve = sweep_variant(workload, variant, config);
+            let curve = sweep_variant(runner, workload, variant, config);
             let opt = optimum_of(&curve);
             let cpi_at_8 = curve
                 .points
@@ -162,6 +169,34 @@ pub fn run(workload: &Workload, config: &RunConfig) -> Ablation {
     Ablation {
         workload_name: workload.name.clone(),
         points,
+    }
+}
+
+/// Runs the full ablation study on one workload with a private serial
+/// runner.
+pub fn run(workload: &Workload, config: &RunConfig) -> Ablation {
+    run_with(&Runner::serial(), workload, config)
+}
+
+/// Registry spec: ablate the representative modern workload.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "microarchitectural ablations (modern workload)"
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let w = suite_class(WorkloadClass::Modern)
+            .into_iter()
+            .next()
+            .expect("modern class populated");
+        let study = run_with(&ctx.runner, &w, &ctx.config);
+        crate::experiment::ExperimentOutput::summary_only(study.to_string())
     }
 }
 

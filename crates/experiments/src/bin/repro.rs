@@ -1,255 +1,206 @@
-//! Regenerates every figure of the paper and writes the comparison report.
+//! Regenerates the paper's figures and writes the comparison report.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pipedepth-experiments --bin repro [-- --quick] [--out DIR]
+//! cargo run --release -p pipedepth-experiments --bin repro -- \
+//!     [--quick] [--out DIR] [--only fig4,fig6] [--list] [--threads N]
 //! ```
 //!
-//! Prints each figure's summary to stdout and writes the underlying data
-//! series as CSV files under the output directory (default `results/`).
+//! The binary is a thin driver over the experiment registry: it selects
+//! specs, times each phase, prints their summaries, writes their CSV
+//! artifacts, and assembles `report.md` (paper-vs-measured verdicts plus
+//! run metrics: per-phase wall time and simulation-cache statistics).
 
-use pipedepth_experiments::figures::{
-    ext_gating, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, headline,
-};
-use pipedepth_experiments::plot::Chart;
-use pipedepth_experiments::report::csv;
-use pipedepth_experiments::sweep::{sweep_all, RunConfig};
-use pipedepth_experiments::{ablation, issue_policy, paper};
+use pipedepth_experiments::experiment::{registry, Context, Experiment};
+use pipedepth_experiments::paper;
+use pipedepth_experiments::runner::Runner;
+use pipedepth_experiments::sweep::RunConfig;
 use pipedepth_workloads::suite;
-use std::fs;
+use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::process::exit;
+use std::time::{Duration, Instant};
+use std::{fs, io};
 
-fn main() {
+struct Options {
+    quick: bool,
+    list: bool,
+    threads: usize,
+    out_dir: PathBuf,
+    only: Option<Vec<String>>,
+}
+
+fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
-    fs::create_dir_all(&out_dir).expect("create output directory");
+    let mut opts = Options {
+        quick: false,
+        list: false,
+        threads: 0,
+        out_dir: PathBuf::from("results"),
+        only: None,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--list" => opts.list = true,
+            "--out" => {
+                opts.out_dir = PathBuf::from(value(&args, i, "--out"));
+                i += 1;
+            }
+            "--threads" => {
+                let v = value(&args, i, "--threads");
+                opts.threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number, got {v:?}");
+                    exit(2);
+                });
+                i += 1;
+            }
+            "--only" => {
+                let v = value(&args, i, "--only");
+                opts.only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N]");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
 
-    let config = if quick {
+fn select<'a>(
+    specs: &'a [Box<dyn Experiment>],
+    only: &Option<Vec<String>>,
+) -> Vec<&'a dyn Experiment> {
+    match only {
+        None => specs.iter().map(|b| b.as_ref()).collect(),
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                specs
+                    .iter()
+                    .find(|e| e.name() == name)
+                    .map(|b| b.as_ref())
+                    .unwrap_or_else(|| {
+                        let known: Vec<&str> = specs.iter().map(|e| e.name()).collect();
+                        eprintln!("unknown experiment {name:?}; known: {}", known.join(", "));
+                        exit(2);
+                    })
+            })
+            .collect(),
+    }
+}
+
+fn main() -> io::Result<()> {
+    let opts = parse_args();
+    let specs = registry();
+
+    if opts.list {
+        for e in &specs {
+            println!("{:<12} {}", e.name(), e.title());
+        }
+        return Ok(());
+    }
+
+    let selected = select(&specs, &opts.only);
+    let config = if opts.quick {
         RunConfig::quick()
     } else {
         RunConfig::default()
     };
+    fs::create_dir_all(&opts.out_dir)?;
+    let ctx = Context::new(config, Runner::new(opts.threads));
     println!(
-        "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}",
-        config.instructions, config.warmup, config.depths
+        "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s)",
+        ctx.config.instructions,
+        ctx.config.warmup,
+        ctx.config.depths,
+        ctx.runner.threads()
     );
     let t0 = Instant::now();
+    let mut phases: Vec<(String, Duration)> = Vec::new();
 
-    // ---- Analytic-only figures ------------------------------------------
-    let f1 = fig1::run();
-    print!("{f1}");
-    let _ = fs::write(
-        out_dir.join("fig1.csv"),
-        csv("p", &f1.ps, &[("d_metric_dp", &f1.values)]),
-    );
-
-    // Fig. 2 is structural: print the expansion summary compactly.
-    let f2 = fig2::run(25);
-    println!("Fig. 2 — pipeline structure (8-stage machine):");
-    for line in fig2::render_pipeline(&f2.plans[6].1).lines() {
-        println!("  {line}");
-    }
-
-    let f3 = fig3::run();
-    print!("{f3}");
-    let _ = fs::write(
-        out_dir.join("fig3.csv"),
-        csv("depth", &f3.depths, &[("latches", &f3.latches)]),
-    );
-
-    // ---- Simulation sweep over the full suite ---------------------------
-    println!(
-        "\nsweeping {} workloads × {} depths …",
-        suite().len(),
-        config.depths.len()
-    );
-    let curves = sweep_all(&suite(), &config);
-    println!("sweep finished in {:.1?}\n", t0.elapsed());
-
-    // Fig. 4: three panels built from the already-swept representative
-    // curves (first workload of each panel class).
-    let panel_for = |class| {
-        curves
-            .iter()
-            .find(|c| c.workload.class == class)
-            .expect("class present")
-    };
-    let f4 = fig4::Fig4 {
-        panels: [
-            pipedepth_workloads::WorkloadClass::Modern,
-            pipedepth_workloads::WorkloadClass::SpecInt,
-            pipedepth_workloads::WorkloadClass::FloatingPoint,
-        ]
-        .iter()
-        .map(|&c| fig4::panel_from_curve(panel_for(c), &config))
-        .collect(),
-    };
-    print!("{f4}");
-    {
-        // Render panel 4a: g = sim gated, u = sim ungated, t/~ = theory.
-        let p = &f4.panels[0];
+    // The shared suite sweep is the dominant cost: materialise it up front
+    // so it is timed as its own phase instead of inflating the first
+    // curve-consuming experiment.
+    if selected.iter().any(|e| e.needs_curves()) {
         println!(
-            "  [4a {}] g=sim gated  u=sim ungated  t=theory gated",
-            p.workload.name
+            "\nsweeping {} workloads × {} depths …",
+            suite().len(),
+            ctx.config.depths.len()
         );
-        let art = Chart::new(&p.depths)
-            .series('t', &p.theory_gated)
-            .series('g', &p.sim_gated)
-            .series('u', &p.sim_ungated)
-            .size(64, 14)
-            .render();
-        println!("{art}");
-    }
-    for (tag, p) in ["4a", "4b", "4c"].iter().zip(&f4.panels) {
-        let _ = fs::write(
-            out_dir.join(format!("fig{tag}.csv")),
-            csv(
-                "depth",
-                &p.depths,
-                &[
-                    ("sim_gated", &p.sim_gated),
-                    ("sim_ungated", &p.sim_ungated),
-                    ("theory_gated", &p.theory_gated),
-                    ("theory_ungated", &p.theory_ungated),
-                ],
-            ),
-        );
+        let t = Instant::now();
+        ctx.curves();
+        let elapsed = t.elapsed();
+        println!("sweep finished in {elapsed:.1?}");
+        phases.push(("suite sweep".to_string(), elapsed));
     }
 
-    let f5 = fig5::from_curve(panel_for(pipedepth_workloads::WorkloadClass::Modern));
-    print!("{f5}");
-    {
-        println!("  B=BIPS  3=BIPS³/W  2=BIPS²/W  1=BIPS/W (normalised)");
-        let art = Chart::new(&f5.depths)
-            .series('B', &f5.series[0].values)
-            .series('3', &f5.series[1].values)
-            .series('2', &f5.series[2].values)
-            .series('1', &f5.series[3].values)
-            .size(64, 14)
-            .render();
-        println!("{art}");
-    }
-    {
-        let series: Vec<(&str, &[f64])> = f5
-            .series
-            .iter()
-            .map(|s| (s.label.as_str(), s.values.as_slice()))
-            .collect();
-        let _ = fs::write(out_dir.join("fig5.csv"), csv("depth", &f5.depths, &series));
-    }
-
-    // Per-workload extraction table.
-    {
-        let mut rows = String::from(
-            "workload,class,alpha,gamma,hazard_rate,kappa,memory_time_fo4,serial_fraction\n",
-        );
-        for c in &curves {
-            let x = &c.extracted;
-            rows.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
-                c.workload.name,
-                c.workload.class.tag(),
-                x.alpha,
-                x.gamma,
-                x.hazard_rate,
-                x.kappa,
-                x.memory_time_fo4,
-                c.workload.model.serial_fraction,
-            ));
+    for exp in &selected {
+        let t = Instant::now();
+        let out = exp.run(&ctx);
+        phases.push((exp.name().to_string(), t.elapsed()));
+        println!();
+        print!("{}", out.summary);
+        for artifact in &out.artifacts {
+            fs::write(opts.out_dir.join(&artifact.filename), &artifact.contents)?;
         }
-        let _ = fs::write(out_dir.join("workloads.csv"), rows);
     }
 
-    let f6 = fig6::from_curves(&curves);
-    print!("{f6}");
-    {
-        let mut rows = String::from("workload,class,cubic_fit_depth,grid_depth,r_squared\n");
-        for o in &f6.optima {
-            rows.push_str(&format!(
-                "{},{},{},{},{}\n",
-                o.name,
-                o.class.tag(),
-                o.cubic_fit_depth,
-                o.grid_depth,
-                o.r_squared
-            ));
+    let mut report = String::from("# Reproduction report\n\n");
+    let o = &ctx.outcomes;
+    match (
+        o.fig1.get(),
+        o.fig3.get(),
+        o.fig6.get(),
+        o.fig7.get(),
+        o.fig8.get(),
+        o.fig9.get(),
+        o.headline.get(),
+    ) {
+        (Some(f1), Some(f3), Some(f6), Some(f7), Some(f8), Some(f9), Some(h)) => {
+            let verdicts = paper::render_markdown(&paper::compare(f1, f3, f6, f7, f8, f9, h));
+            println!("\nPaper-vs-measured verdicts:\n{verdicts}");
+            report.push_str("## Paper-vs-measured verdicts\n\n");
+            report.push_str(&verdicts);
         }
-        let _ = fs::write(out_dir.join("fig6.csv"), rows);
+        _ => {
+            report.push_str(
+                "Verdicts skipped: this was a partial run (`--only`) without every \
+                 figure the comparison needs.\n",
+            );
+        }
     }
 
-    let f7 = fig7::from_curves(&curves);
-    print!("{f7}");
-
-    // Figs. 8/9 parameterised from the first SPECint workload's extraction.
-    let spec_curve = panel_for(pipedepth_workloads::WorkloadClass::SpecInt);
-    let f8 = fig8::run_with_params(&spec_curve.extracted, &config);
-    print!("{f8}");
-    {
-        let series: Vec<(String, Vec<f64>)> = f8
-            .curves
-            .iter()
-            .map(|(frac, ys)| (format!("leak_{:.0}pct", frac * 100.0), ys.clone()))
-            .collect();
-        let refs: Vec<(&str, &[f64])> = series
-            .iter()
-            .map(|(n, ys)| (n.as_str(), ys.as_slice()))
-            .collect();
-        let _ = fs::write(out_dir.join("fig8.csv"), csv("depth", &f8.depths, &refs));
+    report.push_str("\n## Run metrics\n\n| phase | wall time |\n|---|---|\n");
+    for (name, elapsed) in &phases {
+        let _ = writeln!(report, "| {name} | {elapsed:.1?} |");
     }
-
-    let f9 = fig9::run_with_params(&spec_curve.extracted, &config);
-    print!("{f9}");
-    {
-        let series: Vec<(String, Vec<f64>)> = f9
-            .curves
-            .iter()
-            .map(|(beta, ys)| (format!("beta_{beta}"), ys.clone()))
-            .collect();
-        let refs: Vec<(&str, &[f64])> = series
-            .iter()
-            .map(|(n, ys)| (n.as_str(), ys.as_slice()))
-            .collect();
-        let _ = fs::write(out_dir.join("fig9.csv"), csv("depth", &f9.depths, &refs));
-    }
-
-    let h = headline::from_curves(&curves, &config);
-    println!();
-    print!("{h}");
-
-    // Microarchitectural ablations on the representative modern workload.
-    let modern = suite()
-        .into_iter()
-        .find(|w| w.class == pipedepth_workloads::WorkloadClass::Modern)
-        .expect("modern class present");
-    println!();
-    print!("{}", ablation::run(&modern, &config));
-
-    // Issue-policy study (in-order vs out-of-order).
-    println!();
-    print!("{}", issue_policy::run(&config));
-
-    // Extension: optimum vs gating degree.
-    let modern_curve = panel_for(pipedepth_workloads::WorkloadClass::Modern);
-    println!();
-    print!(
-        "{}",
-        ext_gating::run_for(&modern, &modern_curve.extracted, &config)
+    let stats = ctx.runner.cache_stats();
+    let cache_line = format!(
+        "simulation cache: {} cells simulated, {} served from cache, {} requested \
+         (hit rate {:.1}%)",
+        stats.misses,
+        stats.hits,
+        stats.requested(),
+        100.0 * stats.hit_rate()
     );
+    let _ = writeln!(report, "\n{cache_line}");
+    fs::write(opts.out_dir.join("report.md"), &report)?;
 
-    // Paper-vs-measured verdict table (also written as markdown).
-    let comparisons = paper::compare(&f1, &f3, &f6, &f7, &f8, &f9, &h);
-    let verdicts = paper::render_markdown(&comparisons);
-    println!("\nPaper-vs-measured verdicts:\n{verdicts}");
-    let _ = fs::write(out_dir.join("report.md"), &verdicts);
-
-    println!("\ndata written to {}", out_dir.display());
+    println!("\n{cache_line}");
+    println!("data written to {}", opts.out_dir.display());
     println!("total time: {:.1?}", t0.elapsed());
+    Ok(())
 }

@@ -58,9 +58,7 @@ fn main() {
 
     print!("{}", report(&model, MetricExponent::new(m)));
     if gated {
-        if let Some(d) =
-            gated_quadratic_optimum(&model, MetricExponent::new(m), 8.0)
-        {
+        if let Some(d) = gated_quadratic_optimum(&model, MetricExponent::new(m), 8.0) {
             println!("  gated quadratic : {d:.2} stages (frozen-w closed form)");
         }
     }

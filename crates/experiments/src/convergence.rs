@@ -126,7 +126,7 @@ mod tests {
             depths: (2..=24).step_by(2).collect(),
             ..RunConfig::default()
         };
-        run(&w, &base, &[8_000, 16_000, 32_000])
+        run(&w, &base, &[16_000, 32_000, 64_000])
     }
 
     #[test]

@@ -9,13 +9,13 @@
 //! point, in both the theory and the simulation-backed power model.
 
 use crate::extract::ExtractedParams;
+use crate::runner::{CellSpec, Runner};
 use crate::sweep::RunConfig;
 use pipedepth_core::{
     numeric_optimum, ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams,
 };
 use pipedepth_power::{metric, Gating, PowerConfig};
-use pipedepth_sim::{Engine, SimConfig};
-use pipedepth_trace::TraceGenerator;
+use pipedepth_sim::SimConfig;
 use pipedepth_workloads::{suite_class, Workload, WorkloadClass};
 use std::fmt;
 
@@ -38,8 +38,16 @@ pub struct ExtGating {
     pub sim_complete_gating: u32,
 }
 
-/// Runs the sweep for one workload.
-pub fn run_for(workload: &Workload, extracted: &ExtractedParams, config: &RunConfig) -> ExtGating {
+/// Runs the sweep for one workload on a shared runner. The simulation side
+/// needs only one paper-machine run per depth — every gating degree is a
+/// power-model post-processing of the same reports — so on a runner that
+/// already swept the suite this experiment simulates nothing new.
+pub fn run_for_with(
+    runner: &Runner,
+    workload: &Workload,
+    extracted: &ExtractedParams,
+    config: &RunConfig,
+) -> ExtGating {
     // ---- Theory side -----------------------------------------------------
     let tech = TechParams::paper();
     let theory_optima = FRACTIONS
@@ -56,21 +64,25 @@ pub fn run_for(workload: &Workload, extracted: &ExtractedParams, config: &RunCon
         })
         .collect();
 
-    // ---- Simulation side ---------------------------------------------------
+    // ---- Simulation side -------------------------------------------------
+    let cells: Vec<CellSpec> = config
+        .depths
+        .iter()
+        .map(|&depth| {
+            CellSpec::new(
+                workload,
+                SimConfig::paper(depth),
+                config.warmup,
+                config.instructions,
+            )
+        })
+        .collect();
+    let reports = runner.run_cells(&cells);
     let best_depth = |gating: Gating| -> u32 {
         let power = PowerConfig::paper(gating, config.leakage_fraction, config.ref_depth);
-        let mut best = (0u32, f64::MIN);
-        for &depth in &config.depths {
-            let mut engine = Engine::new(SimConfig::paper(depth));
-            let mut gen = TraceGenerator::new(workload.model, workload.trace_seed);
-            engine.warm_up(&mut gen, config.warmup);
-            let report = engine.run(&mut gen, config.instructions);
-            let v = metric(&report, &power, 3.0);
-            if v > best.1 {
-                best = (depth, v);
-            }
-        }
-        best.0
+        let ys: Vec<f64> = reports.iter().map(|r| metric(r, &power, 3.0)).collect();
+        let i = crate::series::argmax(&ys).expect("sweep has a finite metric value");
+        config.depths[i]
     };
     let sim_optima = FRACTIONS
         .iter()
@@ -91,14 +103,44 @@ pub fn run_for(workload: &Workload, extracted: &ExtractedParams, config: &RunCon
     }
 }
 
+/// Runs the sweep for one workload with a private serial runner.
+pub fn run_for(workload: &Workload, extracted: &ExtractedParams, config: &RunConfig) -> ExtGating {
+    run_for_with(&Runner::serial(), workload, extracted, config)
+}
+
 /// Runs the experiment end to end on the first modern workload.
 pub fn run(config: &RunConfig) -> ExtGating {
     let w = suite_class(WorkloadClass::Modern)
         .into_iter()
         .next()
         .expect("modern class populated");
-    let curve = crate::sweep::sweep_workload(&w, config);
-    run_for(&w, &curve.extracted, config)
+    let runner = Runner::serial();
+    let curve = runner.sweep_workload(&w, config);
+    run_for_with(&runner, &w, &curve.extracted, config)
+}
+
+/// Registry spec: the gating-degree sweep on the representative modern
+/// workload.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "ext_gating"
+    }
+
+    fn title(&self) -> &'static str {
+        "extension: optimum depth vs clock-gating degree"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let curve = ctx.curve_for(WorkloadClass::Modern);
+        let fig = run_for_with(&ctx.runner, &curve.workload, &curve.extracted, &ctx.config);
+        crate::experiment::ExperimentOutput::summary_only(fig.to_string())
+    }
 }
 
 impl fmt::Display for ExtGating {

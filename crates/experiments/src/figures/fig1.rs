@@ -67,6 +67,32 @@ pub fn run_with_model(model: &PipelineModel) -> Fig1 {
     }
 }
 
+/// Registry spec: regenerate Figure 1 and emit `fig1.csv`.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn title(&self) -> &'static str {
+        "optimality quartic and its zero crossings"
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = run();
+        let table =
+            crate::report::Table::from_series("p", &fig.ps, &[("d_metric_dp", &fig.values)])
+                .expect("values sampled on the shared axis");
+        let out = crate::experiment::ExperimentOutput {
+            summary: fig.to_string(),
+            artifacts: vec![crate::experiment::Artifact::new("fig1.csv", table.to_csv())],
+        };
+        let _ = ctx.outcomes.fig1.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 1 — d(Metric)/dp quartic, zero crossings")?;

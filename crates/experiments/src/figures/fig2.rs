@@ -58,6 +58,30 @@ pub fn render_pipeline(plan: &StagePlan) -> String {
     out
 }
 
+/// Registry spec: print the realised 8-stage pipeline structure.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "pipeline structure and uniform stage expansion"
+    }
+
+    fn run(&self, _ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = run(25);
+        let mut summary = String::from("Fig. 2 — pipeline structure (8-stage machine):\n");
+        for line in render_pipeline(&fig.plans[6].1).lines() {
+            summary.push_str("  ");
+            summary.push_str(line);
+            summary.push('\n');
+        }
+        crate::experiment::ExperimentOutput::summary_only(summary)
+    }
+}
+
 impl fmt::Display for Fig2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 2 — pipeline structure and uniform expansion")?;

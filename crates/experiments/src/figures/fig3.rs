@@ -50,6 +50,32 @@ pub fn run_with_model(model: &LatchModel, lo: u32, hi: u32) -> Fig3 {
     }
 }
 
+/// Registry spec: regenerate Figure 3 and emit `fig3.csv`.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn title(&self) -> &'static str {
+        "latch count growth with pipeline depth"
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = run();
+        let table =
+            crate::report::Table::from_series("depth", &fig.depths, &[("latches", &fig.latches)])
+                .expect("one latch count per depth");
+        let out = crate::experiment::ExperimentOutput {
+            summary: fig.to_string(),
+            artifacts: vec![crate::experiment::Artifact::new("fig3.csv", table.to_csv())],
+        };
+        let _ = ctx.outcomes.fig3.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 3 — latch count growth with pipeline depth")?;

@@ -73,13 +73,7 @@ pub fn panel_from_curve(curve: &WorkloadCurve, config: &RunConfig) -> Fig4Panel 
     let fit_u = scale_fit(&sim_ungated, &raw_ungated).expect("non-degenerate theory curve");
 
     let peak_of = |ys: &[f64]| -> u32 {
-        let idx = ys
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
-            .expect("non-empty sweep")
-            .0;
-        depths[idx] as u32
+        crate::series::peak_x(&depths, ys).expect("sweep has a finite metric value") as u32
     };
     Fig4Panel {
         workload: curve.workload.clone(),
@@ -112,6 +106,73 @@ pub fn run(config: &RunConfig) -> Fig4 {
         })
         .collect();
     Fig4 { panels }
+}
+
+/// Registry spec: build the three panels from the shared suite sweep and
+/// emit `fig4a.csv`–`fig4c.csv` plus a terminal chart of panel 4a.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "BIPS³/W vs depth, theory against simulation (3 panels)"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let classes = [
+            WorkloadClass::Modern,
+            WorkloadClass::SpecInt,
+            WorkloadClass::FloatingPoint,
+        ];
+        let fig = Fig4 {
+            panels: classes
+                .iter()
+                .map(|&c| panel_from_curve(ctx.curve_for(c), &ctx.config))
+                .collect(),
+        };
+
+        let mut summary = fig.to_string();
+        let p = &fig.panels[0];
+        summary.push_str(&format!(
+            "  [4a {}] g=sim gated  u=sim ungated  t=theory gated\n",
+            p.workload.name
+        ));
+        summary.push_str(
+            &crate::plot::Chart::new(&p.depths)
+                .series('t', &p.theory_gated)
+                .series('g', &p.sim_gated)
+                .series('u', &p.sim_ungated)
+                .size(64, 14)
+                .render(),
+        );
+
+        let artifacts = ["fig4a.csv", "fig4b.csv", "fig4c.csv"]
+            .iter()
+            .zip(&fig.panels)
+            .map(|(name, p)| {
+                let table = crate::report::Table::from_series(
+                    "depth",
+                    &p.depths,
+                    &[
+                        ("sim_gated", &p.sim_gated),
+                        ("sim_ungated", &p.sim_ungated),
+                        ("theory_gated", &p.theory_gated),
+                        ("theory_ungated", &p.theory_ungated),
+                    ],
+                )
+                .expect("panel series share the depth axis");
+                crate::experiment::Artifact::new(*name, table.to_csv())
+            })
+            .collect();
+        crate::experiment::ExperimentOutput { summary, artifacts }
+    }
 }
 
 impl fmt::Display for Fig4 {

@@ -34,19 +34,15 @@ pub struct Fig5 {
 }
 
 fn normalise(label: &str, depths: &[f64], ys: Vec<f64>) -> MetricSeries {
-    let (idx, max) = ys
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite metrics"))
-        .expect("non-empty series");
-    let peak_depth = depths[idx] as u32;
+    let peak_depth =
+        crate::series::peak_x(depths, &ys).expect("series has a finite metric value") as u32;
     let lo = depths[0] as u32;
     let hi = *depths.last().expect("non-empty") as u32;
     MetricSeries {
         label: label.to_string(),
         peak_depth,
         interior: peak_depth > lo && peak_depth < hi,
-        values: ys.iter().map(|v| v / max).collect(),
+        values: crate::series::normalise_to_max(&ys).expect("series has a positive maximum"),
     }
 }
 
@@ -79,6 +75,52 @@ impl Fig5 {
     /// Looks up a series by label.
     pub fn series_named(&self, label: &str) -> Option<&MetricSeries> {
         self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// Registry spec: the four-metric comparison on the representative modern
+/// workload, with `fig5.csv` and a terminal chart.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "BIPS, BIPS³/W, BIPS²/W, BIPS/W vs depth (modern workload)"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = from_curve(ctx.curve_for(WorkloadClass::Modern));
+
+        let mut summary = fig.to_string();
+        summary.push_str("  B=BIPS  3=BIPS³/W  2=BIPS²/W  1=BIPS/W (normalised)\n");
+        summary.push_str(
+            &crate::plot::Chart::new(&fig.depths)
+                .series('B', &fig.series[0].values)
+                .series('3', &fig.series[1].values)
+                .series('2', &fig.series[2].values)
+                .series('1', &fig.series[3].values)
+                .size(64, 14)
+                .render(),
+        );
+
+        let columns: Vec<(&str, &[f64])> = fig
+            .series
+            .iter()
+            .map(|s| (s.label.as_str(), s.values.as_slice()))
+            .collect();
+        let table = crate::report::Table::from_series("depth", &fig.depths, &columns)
+            .expect("metric series share the depth axis");
+        crate::experiment::ExperimentOutput {
+            summary,
+            artifacts: vec![crate::experiment::Artifact::new("fig5.csv", table.to_csv())],
+        }
     }
 }
 

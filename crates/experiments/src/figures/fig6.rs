@@ -84,6 +84,51 @@ pub fn run(config: &RunConfig) -> Fig6 {
     from_curves(&curves)
 }
 
+/// Registry spec: the full-suite optimum distribution with `fig6.csv`.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn title(&self) -> &'static str {
+        "distribution of optimum depths over the suite"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = from_curves(ctx.curves());
+        let mut table = crate::report::Table::new(&[
+            "workload",
+            "class",
+            "cubic_fit_depth",
+            "grid_depth",
+            "r_squared",
+        ]);
+        for o in &fig.optima {
+            table
+                .push_row(vec![
+                    o.name.clone(),
+                    o.class.tag().to_string(),
+                    o.cubic_fit_depth.to_string(),
+                    o.grid_depth.to_string(),
+                    o.r_squared.to_string(),
+                ])
+                .expect("row width fixed by construction");
+        }
+        let out = crate::experiment::ExperimentOutput {
+            summary: fig.to_string(),
+            artifacts: vec![crate::experiment::Artifact::new("fig6.csv", table.to_csv())],
+        };
+        let _ = ctx.outcomes.fig6.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -82,6 +82,30 @@ pub fn run(config: &RunConfig) -> Fig7 {
     from_curves(&curves)
 }
 
+/// Registry spec: the per-class breakdown of the suite optima.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn title(&self) -> &'static str {
+        "optimum-depth distributions by workload class"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let fig = from_curves(ctx.curves());
+        let out = crate::experiment::ExperimentOutput::summary_only(fig.to_string());
+        let _ = ctx.outcomes.fig7.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 7 — optimum-depth distributions by workload class")?;

@@ -64,6 +64,43 @@ pub fn run(config: &RunConfig) -> Fig8 {
     run_with_params(&curve.extracted, config)
 }
 
+/// Registry spec: the leakage sweep, parameterised from the representative
+/// SPECint extraction, with `fig8.csv`.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "optimum depth vs leakage fraction (theory)"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let spec_curve = ctx.curve_for(WorkloadClass::SpecInt);
+        let fig = run_with_params(&spec_curve.extracted, &ctx.config);
+        let named: Vec<(String, &[f64])> = fig
+            .curves
+            .iter()
+            .map(|(frac, ys)| (format!("leak_{:.0}pct", frac * 100.0), ys.as_slice()))
+            .collect();
+        let columns: Vec<(&str, &[f64])> = named.iter().map(|(n, ys)| (n.as_str(), *ys)).collect();
+        let table = crate::report::Table::from_series("depth", &fig.depths, &columns)
+            .expect("leakage curves share the depth axis");
+        let out = crate::experiment::ExperimentOutput {
+            summary: fig.to_string(),
+            artifacts: vec![crate::experiment::Artifact::new("fig8.csv", table.to_csv())],
+        };
+        let _ = ctx.outcomes.fig8.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig8 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 8 — optimum depth vs leakage fraction (theory)")?;

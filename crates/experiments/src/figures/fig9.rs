@@ -80,6 +80,42 @@ pub fn run(config: &RunConfig) -> Fig9 {
     run_with_params(&curve.extracted, config)
 }
 
+/// Registry spec: the latch-growth-exponent sweep with `fig9.csv`.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "optimum depth vs latch-growth exponent β (theory)"
+    }
+
+    fn needs_curves(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let spec_curve = ctx.curve_for(WorkloadClass::SpecInt);
+        let fig = run_with_params(&spec_curve.extracted, &ctx.config);
+        let named: Vec<(String, &[f64])> = fig
+            .curves
+            .iter()
+            .map(|(beta, ys)| (format!("beta_{beta}"), ys.as_slice()))
+            .collect();
+        let columns: Vec<(&str, &[f64])> = named.iter().map(|(n, ys)| (n.as_str(), *ys)).collect();
+        let table = crate::report::Table::from_series("depth", &fig.depths, &columns)
+            .expect("β curves share the depth axis");
+        let out = crate::experiment::ExperimentOutput {
+            summary: fig.to_string(),
+            artifacts: vec![crate::experiment::Artifact::new("fig9.csv", table.to_csv())],
+        };
+        let _ = ctx.outcomes.fig9.set(fig);
+        out
+    }
+}
+
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

@@ -11,7 +11,8 @@
 
 use crate::extract::theory_model;
 use crate::figures::fig6::optimum_of;
-use crate::sweep::{sweep_workload_with, RunConfig};
+use crate::runner::Runner;
+use crate::sweep::RunConfig;
 use pipedepth_core::{numeric_optimum, MetricExponent};
 use pipedepth_sim::{Features, IssuePolicy, SimConfig};
 use pipedepth_workloads::{representatives, Workload};
@@ -56,13 +57,18 @@ pub struct IssuePolicyStudy {
     pub comparisons: Vec<PolicyComparison>,
 }
 
-/// Runs the study over the given workloads.
-pub fn run_for(workloads: &[Workload], config: &RunConfig) -> IssuePolicyStudy {
+/// Runs the study over the given workloads on a shared runner: the
+/// in-order arm is the paper machine, so it reuses any cached suite cells.
+pub fn run_for_with(
+    runner: &Runner,
+    workloads: &[Workload],
+    config: &RunConfig,
+) -> IssuePolicyStudy {
     let comparisons = workloads
         .iter()
         .map(|w| {
-            let inorder = sweep_workload_with(w, config, SimConfig::paper);
-            let ooo = sweep_workload_with(w, config, |depth| {
+            let inorder = runner.sweep_workload_with(w, config, SimConfig::paper);
+            let ooo = runner.sweep_workload_with(w, config, |depth| {
                 SimConfig::paper(depth).with_features(Features {
                     issue: IssuePolicy::OutOfOrder,
                     ..Features::default()
@@ -96,9 +102,33 @@ pub fn run_for(workloads: &[Workload], config: &RunConfig) -> IssuePolicyStudy {
     IssuePolicyStudy { comparisons }
 }
 
+/// Runs the study over the given workloads with a private serial runner.
+pub fn run_for(workloads: &[Workload], config: &RunConfig) -> IssuePolicyStudy {
+    run_for_with(&Runner::serial(), workloads, config)
+}
+
 /// Runs the study over the four representative workloads.
 pub fn run(config: &RunConfig) -> IssuePolicyStudy {
     run_for(&representatives(), config)
+}
+
+/// Registry spec: the in-order vs out-of-order comparison over the
+/// representative workloads.
+pub struct Spec;
+
+impl crate::experiment::Experiment for Spec {
+    fn name(&self) -> &'static str {
+        "issue_policy"
+    }
+
+    fn title(&self) -> &'static str {
+        "in-order vs out-of-order issue (representatives)"
+    }
+
+    fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
+        let study = run_for_with(&ctx.runner, &representatives(), &ctx.config);
+        crate::experiment::ExperimentOutput::summary_only(study.to_string())
+    }
 }
 
 impl fmt::Display for IssuePolicyStudy {

@@ -19,17 +19,22 @@
 //! report (`cargo run --release -p pipedepth-experiments --bin repro`).
 pub mod ablation;
 pub mod convergence;
+pub mod experiment;
 pub mod extract;
 pub mod figures;
 pub mod issue_policy;
 pub mod paper;
 pub mod plot;
 pub mod report;
+pub mod runner;
+pub mod series;
 pub mod sweep;
 
+pub use experiment::{registry, Artifact, Context, Experiment, ExperimentOutput};
 pub use extract::{
     extended_theory_curve, extract_from_report, theory_curve, theory_model, ExtractedParams,
 };
+pub use runner::{CacheStats, CellSpec, Runner, SimCache};
 pub use sweep::{
     sweep_all, sweep_workload, sweep_workload_with, DepthPoint, RunConfig, WorkloadCurve,
 };

@@ -3,6 +3,10 @@
 //! Renders one or more series over a shared x axis onto a character grid,
 //! one glyph per series, with y scaled to the data range. Good enough to
 //! eyeball the same shapes the paper prints.
+//!
+//! Invalid input (too few points, unsorted x, ragged series) never panics:
+//! the chart degrades to a one-line placeholder naming the defect, so a
+//! bad series cannot take down a whole report run.
 
 use std::fmt::Write as _;
 
@@ -27,65 +31,82 @@ pub struct Chart {
     series: Vec<(char, Vec<f64>)>,
     width: usize,
     height: usize,
+    defect: Option<String>,
 }
 
 impl Chart {
-    /// Starts a chart over the given x values.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `xs` has fewer than two points or is not strictly
-    /// increasing.
+    /// Starts a chart over the given x values. An empty, single-point or
+    /// non-increasing axis is recorded as a defect and surfaces as a
+    /// placeholder from [`Chart::render`] instead of panicking.
     pub fn new(xs: &[f64]) -> Self {
-        assert!(xs.len() >= 2, "a chart needs at least two points");
-        assert!(
-            xs.windows(2).all(|w| w[1] > w[0]),
-            "x values must be strictly increasing"
-        );
+        let defect = if xs.len() < 2 {
+            Some(format!("need at least two x points, got {}", xs.len()))
+        } else if !xs.windows(2).all(|w| w[1] > w[0]) {
+            Some("x values must be strictly increasing".to_string())
+        } else {
+            None
+        };
         Chart {
             xs: xs.to_vec(),
             series: Vec::new(),
             width: 64,
             height: 16,
+            defect,
         }
     }
 
-    /// Adds a series drawn with the given glyph (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the series length differs from the x axis.
+    /// True when the chart can be drawn as configured so far.
+    pub fn is_renderable(&self) -> bool {
+        self.defect.is_none()
+    }
+
+    /// Adds a series drawn with the given glyph (builder style). A length
+    /// mismatch against the x axis is recorded as a defect.
     pub fn series(mut self, glyph: char, ys: &[f64]) -> Self {
-        assert_eq!(ys.len(), self.xs.len(), "series length mismatch");
+        if ys.len() != self.xs.len() && self.defect.is_none() {
+            self.defect = Some(format!(
+                "series {glyph:?} length mismatch: {} values over {} x points",
+                ys.len(),
+                self.xs.len()
+            ));
+        }
         self.series.push((glyph, ys.to_vec()));
         self
     }
 
-    /// Sets the plot area size in characters (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is below 8 (nothing readable fits).
+    /// Sets the plot area size in characters (builder style). Dimensions
+    /// below 8 are recorded as a defect (nothing readable fits).
     pub fn size(mut self, width: usize, height: usize) -> Self {
-        assert!(width >= 8 && height >= 8, "chart too small to read");
+        if (width < 8 || height < 8) && self.defect.is_none() {
+            self.defect = Some(format!("chart area {width}x{height} too small to read"));
+        }
         self.width = width;
         self.height = height;
         self
     }
 
-    /// Renders the chart.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no series was added.
+    /// Renders the chart, or a one-line `[chart unavailable: …]`
+    /// placeholder when the input was defective or no series was added.
     pub fn render(&self) -> String {
-        assert!(!self.series.is_empty(), "chart has no series");
+        if let Some(defect) = &self.defect {
+            return format!("[chart unavailable: {defect}]\n");
+        }
+        if self.series.is_empty() {
+            return "[chart unavailable: no series to draw]\n".to_string();
+        }
+        // f64::min/max skip NaN operands, so scan for non-finite values
+        // explicitly before trusting the computed range.
+        let mut non_finite = false;
         let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
         for (_, ys) in &self.series {
             for &y in ys {
+                non_finite |= !y.is_finite();
                 y_min = y_min.min(y);
                 y_max = y_max.max(y);
             }
+        }
+        if non_finite {
+            return "[chart unavailable: series has non-finite values]\n".to_string();
         }
         if y_max == y_min {
             y_max = y_min + 1.0;
@@ -174,20 +195,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unsorted_x_rejected() {
-        let _ = Chart::new(&[1.0, 1.0]);
+    fn unsorted_x_degrades_to_placeholder() {
+        let chart = Chart::new(&[1.0, 1.0]);
+        assert!(!chart.is_renderable());
+        let art = chart.series('a', &[1.0, 2.0]).render();
+        assert!(
+            art.contains("chart unavailable") && art.contains("strictly increasing"),
+            "{art}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn ragged_series_rejected() {
-        let _ = Chart::new(&[1.0, 2.0]).series('a', &[1.0]);
+    fn short_axis_degrades_to_placeholder() {
+        let art = Chart::new(&[1.0]).series('a', &[1.0]).render();
+        assert!(art.contains("at least two x points"), "{art}");
     }
 
     #[test]
-    #[should_panic(expected = "no series")]
-    fn empty_chart_rejected() {
-        let _ = Chart::new(&[1.0, 2.0]).render();
+    fn ragged_series_degrades_to_placeholder() {
+        let chart = Chart::new(&[1.0, 2.0]).series('a', &[1.0]);
+        assert!(!chart.is_renderable());
+        let art = chart.render();
+        assert!(art.contains("length mismatch"), "{art}");
+    }
+
+    #[test]
+    fn empty_chart_degrades_to_placeholder() {
+        let art = Chart::new(&[1.0, 2.0]).render();
+        assert!(art.contains("no series to draw"), "{art}");
+    }
+
+    #[test]
+    fn tiny_size_degrades_to_placeholder() {
+        let art = Chart::new(&[1.0, 2.0])
+            .series('a', &[1.0, 2.0])
+            .size(4, 4)
+            .render();
+        assert!(art.contains("too small"), "{art}");
+    }
+
+    #[test]
+    fn non_finite_series_degrades_to_placeholder() {
+        let art = Chart::new(&[1.0, 2.0])
+            .series('a', &[f64::NAN, 1.0])
+            .render();
+        assert!(art.contains("non-finite"), "{art}");
+    }
+
+    #[test]
+    fn valid_charts_stay_renderable() {
+        assert!(Chart::new(&[1.0, 2.0])
+            .series('a', &[1.0, 2.0])
+            .is_renderable());
     }
 }

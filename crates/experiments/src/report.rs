@@ -1,6 +1,133 @@
-//! Rendering helpers: ASCII tables and CSV output for experiment results.
+//! Rendering helpers: ASCII tables, typed CSV tables and number formats.
 
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A shape error while assembling a [`Table`] or CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row's cell count differs from the header's column count.
+    RowWidth {
+        /// Columns in the header.
+        expected: usize,
+        /// Cells in the offending row.
+        got: usize,
+    },
+    /// A named series' length differs from the x column's.
+    SeriesLength {
+        /// The offending series.
+        name: String,
+        /// Length of the x column.
+        expected: usize,
+        /// Length of the series.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::RowWidth { expected, got } => {
+                write!(f, "row has {got} cells, header has {expected} columns")
+            }
+            ReportError::SeriesLength {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "series {name:?} has {got} values, x column has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for ReportError {}
+
+/// A typed tabular artifact: a header plus width-checked rows, rendered to
+/// CSV. This is the structured replacement for ad-hoc string pasting in
+/// the figure drivers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given column names.
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row, checking its width against the header.
+    pub fn push_row(&mut self, cells: Vec<String>) -> Result<(), ReportError> {
+        if cells.len() != self.columns.len() {
+            return Err(ReportError::RowWidth {
+                expected: self.columns.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(())
+    }
+
+    /// Builds a numeric table: an x column plus one column per series, all
+    /// length-checked against `xs`.
+    pub fn from_series(
+        x_name: &str,
+        xs: &[f64],
+        series: &[(&str, &[f64])],
+    ) -> Result<Self, ReportError> {
+        for (name, ys) in series {
+            if ys.len() != xs.len() {
+                return Err(ReportError::SeriesLength {
+                    name: name.to_string(),
+                    expected: xs.len(),
+                    got: ys.len(),
+                });
+            }
+        }
+        let mut columns = vec![x_name];
+        columns.extend(series.iter().map(|(name, _)| *name));
+        let mut out = Table::new(&columns);
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = vec![x.to_string()];
+            row.extend(series.iter().map(|(_, ys)| ys[i].to_string()));
+            out.push_row(row).expect("row built from checked series");
+        }
+        Ok(out)
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header line plus one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
 
 /// Renders an ASCII table with a header row.
 ///
@@ -52,28 +179,9 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Renders series as CSV: first column is `x`, then one column per series.
-///
-/// # Panics
-///
-/// Panics if series lengths disagree with `xs`.
-pub fn csv(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> String {
-    for (name, ys) in series {
-        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
-    }
-    let mut out = String::new();
-    let _ = write!(out, "{x_name}");
-    for (name, _) in series {
-        let _ = write!(out, ",{name}");
-    }
-    out.push('\n');
-    for (i, x) in xs.iter().enumerate() {
-        let _ = write!(out, "{x}");
-        for (_, ys) in series {
-            let _ = write!(out, ",{}", ys[i]);
-        }
-        out.push('\n');
-    }
-    out
+/// Errors instead of panicking when a series' length disagrees with `xs`.
+pub fn csv(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> Result<String, ReportError> {
+    Table::from_series(x_name, xs, series).map(|t| t.to_csv())
 }
 
 /// Formats a float compactly for tables (4 significant digits).
@@ -112,8 +220,47 @@ mod tests {
 
     #[test]
     fn csv_round_numbers() {
-        let out = csv("p", &[1.0, 2.0], &[("y", &[0.5, 0.25])]);
+        let out = csv("p", &[1.0, 2.0], &[("y", &[0.5, 0.25])]).expect("lengths match");
         assert_eq!(out, "p,y\n1,0.5\n2,0.25\n");
+    }
+
+    #[test]
+    fn csv_length_mismatch_is_an_error() {
+        let err = csv("p", &[1.0, 2.0], &[("y", &[0.5])]).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::SeriesLength {
+                name: "y".into(),
+                expected: 2,
+                got: 1,
+            }
+        );
+        assert!(err.to_string().contains("\"y\""));
+    }
+
+    #[test]
+    fn typed_table_round_trip() {
+        let mut t = Table::new(&["workload", "alpha"]);
+        t.push_row(vec!["specint-00".into(), "2.1".into()])
+            .expect("width matches");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.columns(), ["workload", "alpha"]);
+        assert_eq!(t.to_csv(), "workload,alpha\nspecint-00,2.1\n");
+    }
+
+    #[test]
+    fn typed_table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        let err = t.push_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::RowWidth {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(t.is_empty(), "failed push must not mutate the table");
     }
 
     #[test]

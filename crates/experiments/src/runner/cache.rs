@@ -1,0 +1,167 @@
+//! Content-keyed, in-memory cache of finished simulation cells.
+//!
+//! Figures overlap heavily in the cells they need — the gating-degree
+//! extension re-evaluates exactly the cells of the main suite sweep, the
+//! ablation baseline is the paper machine, the issue-policy study's
+//! in-order arm likewise — so one shared cache turns those re-runs into
+//! lookups. Keys come from [`CellSpec::key`]; collisions are resolved by
+//! exact spec comparison.
+
+use super::cell::CellSpec;
+use pipedepth_sim::SimReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a [`SimCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requested cells served without a fresh simulation.
+    pub hits: u64,
+    /// Cells that had to be simulated.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total cells requested.
+    pub fn requested(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requested() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requested() as f64
+        }
+    }
+}
+
+/// One key's entries; the spec is kept alongside the report to resolve
+/// hash collisions by exact comparison.
+type Bucket = Vec<(CellSpec, Arc<SimReport>)>;
+
+/// Shared simulation cache. Thread-safe; reports are handed out as
+/// [`Arc`]s so concurrent readers never copy a report.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SimCache::default()
+    }
+
+    /// Looks up a finished cell without touching the hit/miss counters.
+    pub fn get(&self, key: u64, spec: &CellSpec) -> Option<Arc<SimReport>> {
+        let buckets = self.buckets.lock().expect("cache lock");
+        buckets
+            .get(&key)?
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|(_, r)| Arc::clone(r))
+    }
+
+    /// Stores a finished cell.
+    pub fn insert(&self, key: u64, spec: CellSpec, report: Arc<SimReport>) {
+        let mut buckets = self.buckets.lock().expect("cache lock");
+        let bucket = buckets.entry(key).or_default();
+        if !bucket.iter().any(|(s, _)| s == &spec) {
+            bucket.push((spec, report));
+        }
+    }
+
+    /// Records cells served without simulation.
+    pub fn count_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records cells that were simulated.
+    pub fn count_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of distinct cells stored.
+    pub fn len(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when no cell has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_sim::SimConfig;
+    use pipedepth_workloads::representatives;
+
+    fn spec(depth: u32) -> CellSpec {
+        CellSpec::new(&representatives()[0], SimConfig::paper(depth), 200, 400)
+    }
+
+    #[test]
+    fn round_trips_a_report() {
+        let cache = SimCache::new();
+        let s = spec(6);
+        assert!(cache.get(s.key(), &s).is_none());
+        let report = Arc::new(s.execute());
+        cache.insert(s.key(), s, Arc::clone(&report));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get(s.key(), &s).expect("stored"), *report);
+    }
+
+    #[test]
+    fn distinguishes_colliding_specs_by_equality() {
+        // Force both specs into the same bucket to exercise the
+        // equality check on lookup.
+        let cache = SimCache::new();
+        let a = spec(6);
+        let b = spec(8);
+        let report_a = Arc::new(a.execute());
+        cache.insert(42, a, report_a);
+        assert!(cache.get(42, &b).is_none());
+        assert!(cache.get(42, &a).is_some());
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_one_entry() {
+        let cache = SimCache::new();
+        let s = spec(6);
+        let report = Arc::new(s.execute());
+        cache.insert(s.key(), s, Arc::clone(&report));
+        cache.insert(s.key(), s, report);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = SimCache::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.count_misses(3);
+        cache.count_hits(1);
+        let stats = cache.stats();
+        assert_eq!(stats.requested(), 4);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

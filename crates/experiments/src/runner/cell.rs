@@ -1,0 +1,101 @@
+//! The unit of simulation work: one (workload, depth, machine) cell.
+//!
+//! A cell pins everything that influences a [`SimReport`]: the statistical
+//! workload model, the trace seed, the full simulator configuration and the
+//! warmup/measurement windows. Power configurations are deliberately *not*
+//! part of a cell — every BIPS^m/W variant is cheap post-processing of the
+//! same report, which is what lets different figures share simulations.
+
+use pipedepth_sim::{Engine, SimConfig, SimReport};
+use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use pipedepth_workloads::Workload;
+
+/// One simulation cell: the complete, content-addressed description of a
+/// single simulator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Statistical model the trace is drawn from.
+    pub model: WorkloadModel,
+    /// Seed of the deterministic trace stream.
+    pub trace_seed: u64,
+    /// Full machine configuration (depth, caches, features, …).
+    pub sim: SimConfig,
+    /// Warmup instructions (statistics discarded).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+}
+
+impl CellSpec {
+    /// The cell for `workload` on machine `sim` with the given windows.
+    pub fn new(workload: &Workload, sim: SimConfig, warmup: u64, instructions: u64) -> Self {
+        CellSpec {
+            model: workload.model,
+            trace_seed: workload.trace_seed,
+            sim,
+            warmup,
+            instructions,
+        }
+    }
+
+    /// Content hash of the cell (FNV-1a over the debug rendering, which
+    /// round-trips every `f64` exactly). Collisions are resolved by full
+    /// [`PartialEq`] comparison in the cache, so the hash only needs to
+    /// spread well.
+    pub fn key(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs the cell: fresh engine, fresh trace stream, warmup, measure.
+    pub fn execute(&self) -> SimReport {
+        let mut engine = Engine::new(self.sim);
+        let mut gen = TraceGenerator::new(self.model, self.trace_seed);
+        engine.warm_up(&mut gen, self.warmup);
+        engine.run(&mut gen, self.instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_workloads::representatives;
+
+    fn cell(depth: u32) -> CellSpec {
+        CellSpec::new(&representatives()[0], SimConfig::paper(depth), 500, 1_000)
+    }
+
+    #[test]
+    fn identical_cells_share_a_key() {
+        assert_eq!(cell(8).key(), cell(8).key());
+        assert_eq!(cell(8), cell(8));
+    }
+
+    #[test]
+    fn any_field_change_changes_the_key() {
+        let base = cell(8);
+        let deeper = cell(9);
+        let longer = CellSpec {
+            instructions: base.instructions + 1,
+            ..base
+        };
+        let reseeded = CellSpec {
+            trace_seed: base.trace_seed + 1,
+            ..base
+        };
+        for other in [deeper, longer, reseeded] {
+            assert_ne!(base.key(), other.key());
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = cell(6);
+        assert_eq!(spec.execute(), spec.execute());
+    }
+}

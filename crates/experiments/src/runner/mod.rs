@@ -1,0 +1,327 @@
+//! Cell-level simulation runner shared by every experiment.
+//!
+//! A sweep decomposes into independent *cells* — one (workload × depth ×
+//! machine) simulation each, see [`CellSpec`] — which a [`Runner`] executes
+//! on a worker pool with dynamic work distribution: workers pull the next
+//! cell off a shared atomic index, so one slow workload never idles the
+//! other threads the way static chunking did. Finished cells land in a
+//! shared content-keyed [`SimCache`], so figures that re-visit the same
+//! machine (the gating-degree extension, the ablation baseline, the
+//! issue-policy in-order arm) reuse the suite sweep instead of
+//! re-simulating it.
+//!
+//! Cell results are deterministic and independent, so the assembled curves
+//! are identical for any thread count; `threads = 1` executes in submission
+//! order on the calling thread.
+
+mod cache;
+mod cell;
+
+pub use cache::{CacheStats, SimCache};
+pub use cell::CellSpec;
+
+use crate::extract::extract_from_report;
+use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
+use pipedepth_power::metric;
+use pipedepth_sim::{SimConfig, SimReport};
+use pipedepth_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Executes simulation cells on a worker pool, backed by a shared cache.
+#[derive(Debug)]
+pub struct Runner {
+    threads: usize,
+    cache: SimCache,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (`0` means one worker per
+    /// available CPU).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        Runner {
+            threads,
+            cache: SimCache::new(),
+        }
+    }
+
+    /// A single-threaded runner: cells run in submission order on the
+    /// calling thread.
+    pub fn serial() -> Self {
+        Runner::new(1)
+    }
+
+    /// Worker count this runner schedules onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs a batch of cells, returning one report per requested cell in
+    /// order. Cells already in the cache — or repeated within the batch —
+    /// are simulated only once.
+    pub fn run_cells(&self, cells: &[CellSpec]) -> Vec<Arc<SimReport>> {
+        let mut results: Vec<Option<Arc<SimReport>>> = vec![None; cells.len()];
+        // Unique cache misses, each with the result slots waiting on it.
+        let mut pending: Vec<(u64, CellSpec)> = Vec::new();
+        let mut waiters: Vec<Vec<usize>> = Vec::new();
+        let mut hits: u64 = 0;
+        for (i, cell) in cells.iter().enumerate() {
+            let key = cell.key();
+            if let Some(report) = self.cache.get(key, cell) {
+                results[i] = Some(report);
+                hits += 1;
+            } else if let Some(j) = pending.iter().position(|(k, c)| *k == key && c == cell) {
+                waiters[j].push(i);
+                hits += 1; // shares the one simulation below
+            } else {
+                pending.push((key, *cell));
+                waiters.push(vec![i]);
+            }
+        }
+        self.cache.count_hits(hits);
+        self.cache.count_misses(pending.len() as u64);
+
+        let computed = self.execute_pending(&pending);
+
+        for (((key, spec), slots), report) in pending.into_iter().zip(waiters).zip(computed) {
+            self.cache.insert(key, spec, Arc::clone(&report));
+            for i in slots {
+                results[i] = Some(Arc::clone(&report));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every requested cell resolved"))
+            .collect()
+    }
+
+    /// Simulates the pending cells, in order when serial, otherwise via a
+    /// shared atomic work index over scoped worker threads.
+    fn execute_pending(&self, pending: &[(u64, CellSpec)]) -> Vec<Arc<SimReport>> {
+        let workers = self.threads.min(pending.len());
+        if workers <= 1 {
+            return pending
+                .iter()
+                .map(|(_, spec)| Arc::new(spec.execute()))
+                .collect();
+        }
+        let slots: Vec<OnceLock<Arc<SimReport>>> =
+            (0..pending.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, spec)) = pending.get(i) else {
+                        break;
+                    };
+                    let report = Arc::new(spec.execute());
+                    slots[i].set(report).expect("each index claimed once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Sweeps one workload on the paper machine.
+    pub fn sweep_workload(&self, workload: &Workload, config: &RunConfig) -> WorkloadCurve {
+        self.sweep_workload_with(workload, config, SimConfig::paper)
+    }
+
+    /// Sweeps one workload with a custom machine builder (ablations and
+    /// the issue-policy study vary the microarchitecture per depth).
+    pub fn sweep_workload_with(
+        &self,
+        workload: &Workload,
+        config: &RunConfig,
+        make_sim: impl Fn(u32) -> SimConfig,
+    ) -> WorkloadCurve {
+        let cells = depth_cells(workload, config, &make_sim);
+        let reports = self.run_cells(&cells);
+        curve_from_reports(workload, config, &reports)
+    }
+
+    /// Sweeps many workloads as one flat cell batch — the scheduler
+    /// distributes individual (workload, depth) cells, not whole workloads.
+    pub fn sweep_all(&self, workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadCurve> {
+        let cells: Vec<CellSpec> = workloads
+            .iter()
+            .flat_map(|w| depth_cells(w, config, &SimConfig::paper))
+            .collect();
+        let reports = self.run_cells(&cells);
+        workloads
+            .iter()
+            .zip(reports.chunks(config.depths.len()))
+            .map(|(w, chunk)| curve_from_reports(w, config, chunk))
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new(0)
+    }
+}
+
+/// The cells of one workload's depth sweep.
+fn depth_cells(
+    workload: &Workload,
+    config: &RunConfig,
+    make_sim: &impl Fn(u32) -> SimConfig,
+) -> Vec<CellSpec> {
+    config
+        .depths
+        .iter()
+        .map(|&depth| {
+            CellSpec::new(
+                workload,
+                make_sim(depth),
+                config.warmup,
+                config.instructions,
+            )
+        })
+        .collect()
+}
+
+/// Assembles a [`WorkloadCurve`] from one report per configured depth,
+/// extracting theory parameters at the reference depth (falling back to
+/// the deepest point when the reference is not in the sweep).
+fn curve_from_reports(
+    workload: &Workload,
+    config: &RunConfig,
+    reports: &[Arc<SimReport>],
+) -> WorkloadCurve {
+    assert_eq!(
+        reports.len(),
+        config.depths.len(),
+        "one report per configured depth"
+    );
+    let gated = config.power_gated();
+    let ungated = config.power_ungated();
+    let mut points = Vec::with_capacity(config.depths.len());
+    let mut extracted = None;
+    for (&depth, report) in config.depths.iter().zip(reports) {
+        if depth == config.ref_depth
+            || (extracted.is_none() && Some(&depth) == config.depths.last())
+        {
+            extracted = Some(extract_from_report(report, &gated));
+        }
+        points.push(DepthPoint {
+            depth,
+            throughput: report.throughput(),
+            metric_gated: [
+                metric(report, &gated, 1.0),
+                metric(report, &gated, 2.0),
+                metric(report, &gated, 3.0),
+            ],
+            metric_ungated: [
+                metric(report, &ungated, 1.0),
+                metric(report, &ungated, 2.0),
+                metric(report, &ungated, 3.0),
+            ],
+            cpi: report.cpi(),
+        });
+    }
+    WorkloadCurve {
+        workload: workload.clone(),
+        points,
+        extracted: extracted.expect("sweep covered at least one depth"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_workloads::representatives;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            warmup: 2_000,
+            instructions: 4_000,
+            depths: vec![4, 8, 12],
+            ..RunConfig::default()
+        }
+    }
+
+    fn cells_of(w: &Workload, cfg: &RunConfig) -> Vec<CellSpec> {
+        depth_cells(w, cfg, &SimConfig::paper)
+    }
+
+    #[test]
+    fn repeat_batches_hit_the_cache() {
+        let runner = Runner::serial();
+        let cells = cells_of(&representatives()[0], &tiny());
+        let first = runner.run_cells(&cells);
+        let again = runner.run_cells(&cells);
+        assert_eq!(first.len(), again.len());
+        for (a, b) in first.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b), "second batch must reuse reports");
+        }
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, cells.len() as u64);
+        assert_eq!(stats.hits, cells.len() as u64);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_batch_duplicates_simulate_once() {
+        let runner = Runner::serial();
+        let base = cells_of(&representatives()[0], &tiny());
+        let doubled: Vec<CellSpec> = base.iter().chain(base.iter()).copied().collect();
+        let reports = runner.run_cells(&doubled);
+        assert_eq!(runner.cache_stats().misses, base.len() as u64);
+        for (a, b) in reports[..base.len()].iter().zip(&reports[base.len()..]) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let ws = representatives();
+        let cfg = tiny();
+        let serial = Runner::serial().sweep_all(&ws, &cfg);
+        let parallel = Runner::new(4).sweep_all(&ws, &cfg);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_all_matches_per_workload_sweeps() {
+        let ws = representatives();
+        let cfg = tiny();
+        let runner = Runner::new(3);
+        let all = runner.sweep_all(&ws, &cfg);
+        let single = Runner::serial();
+        for (w, curve) in ws.iter().zip(&all) {
+            assert_eq!(&single.sweep_workload(w, &cfg), curve);
+        }
+    }
+
+    #[test]
+    fn custom_machines_do_not_collide_with_paper_cells() {
+        let runner = Runner::serial();
+        let w = &representatives()[0];
+        let cfg = tiny();
+        let paper = runner.sweep_workload(w, &cfg);
+        let wide = runner.sweep_workload_with(w, &cfg, |depth| SimConfig {
+            width: 2,
+            ..SimConfig::paper(depth)
+        });
+        assert_ne!(paper.points, wide.points);
+        assert_eq!(runner.cache_stats().misses, 2 * cfg.depths.len() as u64);
+    }
+}

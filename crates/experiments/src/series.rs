@@ -1,0 +1,105 @@
+//! Shared series helpers: NaN-aware argmax, maxima and normalisation.
+//!
+//! Every figure needs "where does this curve peak" or "scale this curve to
+//! its maximum". These used to be re-implemented per figure with
+//! `partial_cmp(..).expect(..)`, which turned a single NaN sample into a
+//! panic deep inside a sweep. The helpers here skip non-finite samples
+//! instead and make the empty/degenerate cases explicit `None`s.
+
+/// Index of the largest finite value (first winner on ties). `None` when
+/// the slice is empty or holds no finite value.
+pub fn argmax(ys: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &y) in ys.iter().enumerate() {
+        if !y.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if y <= b => {}
+            _ => best = Some((i, y)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Largest finite value. `None` when the slice holds no finite value.
+pub fn max_value(ys: &[f64]) -> Option<f64> {
+    argmax(ys).map(|i| ys[i])
+}
+
+/// The series divided by its largest finite value. `None` when there is no
+/// finite value or the maximum is zero (nothing to normalise against);
+/// non-finite samples pass through unchanged.
+pub fn normalise_to_max(ys: &[f64]) -> Option<Vec<f64>> {
+    let max = max_value(ys)?;
+    if max == 0.0 {
+        return None;
+    }
+    Some(ys.iter().map(|&y| y / max).collect())
+}
+
+/// The `xs` entry at the series' argmax — "the depth where the metric
+/// peaks". `None` on length mismatch or when no finite value exists.
+pub fn peak_x(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() {
+        return None;
+    }
+    argmax(ys).map(|i| xs[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nan_and_infinities() {
+        assert_eq!(argmax(&[f64::NAN, 2.0, f64::INFINITY, 5.0]), Some(3));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_handles_all_negative_series() {
+        assert_eq!(argmax(&[-3.0, -1.0, -2.0]), Some(1));
+    }
+
+    #[test]
+    fn max_value_matches_argmax() {
+        assert_eq!(max_value(&[0.5, f64::NAN, 4.0, 1.0]), Some(4.0));
+        assert_eq!(max_value(&[f64::NEG_INFINITY]), None);
+    }
+
+    #[test]
+    fn normalise_scales_peak_to_one() {
+        let n = normalise_to_max(&[1.0, 4.0, 2.0]).expect("finite max");
+        assert_eq!(n, vec![0.25, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalise_passes_nan_through() {
+        let n = normalise_to_max(&[2.0, f64::NAN, 4.0]).expect("finite max");
+        assert_eq!(n[0], 0.5);
+        assert!(n[1].is_nan());
+        assert_eq!(n[2], 1.0);
+    }
+
+    #[test]
+    fn normalise_rejects_degenerate_series() {
+        assert_eq!(normalise_to_max(&[]), None);
+        assert_eq!(normalise_to_max(&[f64::NAN]), None);
+        assert_eq!(normalise_to_max(&[0.0, 0.0]), None);
+        assert_eq!(normalise_to_max(&[-1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn peak_x_maps_into_the_domain() {
+        assert_eq!(peak_x(&[2.0, 4.0, 6.0], &[0.1, 0.9, 0.3]), Some(4.0));
+        assert_eq!(peak_x(&[2.0, 4.0], &[0.1]), None);
+        assert_eq!(peak_x(&[2.0], &[f64::NAN]), None);
+    }
+}

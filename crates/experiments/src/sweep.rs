@@ -3,11 +3,18 @@
 //! Every simulation follows the paper's methodology: replay the same trace
 //! (same seed) against every pipeline depth, after a warmup window that
 //! fills the caches and trains the predictor.
+//!
+//! The free functions here are convenience wrappers over the cell-level
+//! [`Runner`](crate::runner::Runner): each call builds a private runner, so
+//! nothing is shared between calls. Experiments that want cross-figure
+//! cell reuse (the `repro` binary, the [`Experiment`](crate::experiment)
+//! registry) hold one runner and use its methods directly.
 
-use crate::extract::{extract_from_report, ExtractedParams};
-use pipedepth_power::{metric, Gating, PowerConfig};
-use pipedepth_sim::{Engine, SimConfig};
-use pipedepth_trace::TraceGenerator;
+use crate::extract::ExtractedParams;
+use crate::runner::Runner;
+use crate::series;
+use pipedepth_power::{Gating, PowerConfig};
+use pipedepth_sim::SimConfig;
 use pipedepth_workloads::Workload;
 
 /// Simulation sizing for a sweep.
@@ -122,23 +129,22 @@ impl WorkloadCurve {
         self.points.iter().map(|p| p.throughput).collect()
     }
 
-    /// The depth whose gated BIPS³/W is highest (integer grid argmax).
+    /// The depth whose gated BIPS³/W is highest (integer grid argmax,
+    /// ignoring non-finite samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve has no finite gated BIPS³/W value at all.
     pub fn best_gated_m3_depth(&self) -> u32 {
-        self.points
-            .iter()
-            .max_by(|a, b| {
-                a.metric_gated[2]
-                    .partial_cmp(&b.metric_gated[2])
-                    .expect("metrics are finite")
-            })
-            .expect("sweeps are non-empty")
-            .depth
+        let m3 = self.gated_series(3);
+        let i = series::argmax(&m3).expect("curve has a finite gated BIPS³/W value");
+        self.points[i].depth
     }
 }
 
 /// Sweeps one workload over the configured depths.
 pub fn sweep_workload(workload: &Workload, config: &RunConfig) -> WorkloadCurve {
-    sweep_workload_with(workload, config, SimConfig::paper)
+    Runner::serial().sweep_workload(workload, config)
 }
 
 /// Sweeps one workload with a custom machine builder (used by the ablation
@@ -148,65 +154,13 @@ pub fn sweep_workload_with(
     config: &RunConfig,
     make_sim: impl Fn(u32) -> SimConfig,
 ) -> WorkloadCurve {
-    let gated = config.power_gated();
-    let ungated = config.power_ungated();
-    let mut points = Vec::with_capacity(config.depths.len());
-    let mut extracted = None;
-    for &depth in &config.depths {
-        let mut engine = Engine::new(make_sim(depth));
-        let mut gen = TraceGenerator::new(workload.model, workload.trace_seed);
-        engine.warm_up(&mut gen, config.warmup);
-        let report = engine.run(&mut gen, config.instructions);
-        if depth == config.ref_depth
-            || (extracted.is_none() && Some(&depth) == config.depths.last())
-        {
-            extracted = Some(extract_from_report(&report, &gated));
-        }
-        points.push(DepthPoint {
-            depth,
-            throughput: report.throughput(),
-            metric_gated: [
-                metric(&report, &gated, 1.0),
-                metric(&report, &gated, 2.0),
-                metric(&report, &gated, 3.0),
-            ],
-            metric_ungated: [
-                metric(&report, &ungated, 1.0),
-                metric(&report, &ungated, 2.0),
-                metric(&report, &ungated, 3.0),
-            ],
-            cpi: report.cpi(),
-        });
-    }
-    WorkloadCurve {
-        workload: workload.clone(),
-        points,
-        extracted: extracted.expect("sweep covered at least one depth"),
-    }
+    Runner::serial().sweep_workload_with(workload, config, make_sim)
 }
 
-/// Sweeps many workloads in parallel (scoped threads, one chunk per CPU).
+/// Sweeps many workloads in parallel: the cell scheduler distributes
+/// individual (workload, depth) simulations across the worker pool.
 pub fn sweep_all(workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadCurve> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(workloads.len().max(1));
-    let mut results: Vec<Option<WorkloadCurve>> = vec![None; workloads.len()];
-    let chunk = workloads.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, work_chunk) in results.chunks_mut(chunk).zip(workloads.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, w) in slot_chunk.iter_mut().zip(work_chunk) {
-                    *slot = Some(sweep_workload(w, config));
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    Runner::default().sweep_all(workloads, config)
 }
 
 #[cfg(test)]

@@ -1,0 +1,87 @@
+//! Golden-artifact regression test for the `repro` binary.
+//!
+//! Two `--quick` runs into separate directories must produce CSV artifacts
+//! with the expected headers and row counts, byte-identical across runs —
+//! the determinism guarantee the cell runner makes for any thread count.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_repro(out: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--threads", "2", "--out"])
+        .arg(out)
+        .status()
+        .expect("repro binary runs");
+    assert!(status.success(), "repro exited with {status}");
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn quick_artifacts_are_deterministic_and_well_formed() {
+    let base = std::env::temp_dir().join(format!("pipedepth-golden-{}", std::process::id()));
+    let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+    run_repro(&dir_a);
+    run_repro(&dir_b);
+
+    // The quick config sweeps depths 2, 4, …, 24 → 12 rows per depth table;
+    // Figs. 8/9 sample the analytic curves at depths 1–28.
+    let panel_header = "depth,sim_gated,sim_ungated,theory_gated,theory_ungated";
+    let expectations: &[(&str, &str, usize)] = &[
+        ("fig1.csv", "p,d_metric_dp", 321),
+        ("fig3.csv", "depth,latches", 24),
+        ("fig4a.csv", panel_header, 12),
+        ("fig4b.csv", panel_header, 12),
+        ("fig4c.csv", panel_header, 12),
+        ("fig5.csv", "depth,BIPS,BIPS^3/W,BIPS^2/W,BIPS/W", 12),
+        (
+            "workloads.csv",
+            "workload,class,alpha,gamma,hazard_rate,kappa,memory_time_fo4,serial_fraction",
+            55,
+        ),
+        (
+            "fig6.csv",
+            "workload,class,cubic_fit_depth,grid_depth,r_squared",
+            55,
+        ),
+        (
+            "fig8.csv",
+            "depth,leak_0pct,leak_15pct,leak_30pct,leak_50pct,leak_90pct",
+            28,
+        ),
+        (
+            "fig9.csv",
+            "depth,beta_1,beta_1.1,beta_1.3,beta_1.5,beta_1.8",
+            28,
+        ),
+    ];
+    for (name, header, rows) in expectations {
+        let a = read(&dir_a, name);
+        assert_eq!(a.lines().next(), Some(*header), "{name} header");
+        assert_eq!(a.lines().count(), rows + 1, "{name} row count");
+        assert_eq!(
+            a,
+            read(&dir_b, name),
+            "{name} must be byte-identical across runs"
+        );
+    }
+
+    // The report carries verdicts plus the runner's own metrics (these are
+    // timing-dependent, so report.md is excluded from the byte comparison).
+    let report = read(&dir_a, "report.md");
+    assert!(
+        report.contains("within tolerance"),
+        "verdict table missing:\n{report}"
+    );
+    assert!(
+        report.contains("simulation cache:"),
+        "cache statistics missing:\n{report}"
+    );
+    assert!(report.contains("## Run metrics"), "phase table missing");
+
+    let _ = fs::remove_dir_all(&base);
+}

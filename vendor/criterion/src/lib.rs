@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! the subset of criterion's API the bench harness uses — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a plain
+//! wall-clock timing loop instead of criterion's statistical machinery.
+//! Reported numbers are mean wall time per iteration; there is no
+//! outlier analysis, no HTML report, and no saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on wall time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Upper bound on timed iterations per benchmark.
+const MAX_ITERS: u64 = 200;
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stand-in's timing loop is
+    /// budget-bound rather than sample-count-bound.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints the mean wall time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/config settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (see [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Per-iteration work, used to report a rate alongside the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Times `f` with `input` under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (the stand-in reports per-bench, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Parameter-only id, for groups benchmarking one function.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "{}/{}", name, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) runs the timed loop.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly (one untimed warm-up, then a budget-bound
+    /// timed loop) and records the total.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(f());
+            n += 1;
+            if n >= MAX_ITERS || start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = n;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        println!("{label:<40} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed / u32::try_from(b.iterations).unwrap_or(u32::MAX);
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 * b.iterations as f64 / b.elapsed.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("{:.3e} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("{:.3e} B/s", per_sec(n)),
+        }
+    });
+    match rate {
+        Some(rate) => println!(
+            "{label:<40} {per_iter:>12?}/iter  {rate:>16}  ({} iters)",
+            b.iterations
+        ),
+        None => println!("{label:<40} {per_iter:>12?}/iter  ({} iters)", b.iterations),
+    }
+}
+
+/// Bundles benchmark functions into one named runner, in both the simple
+/// and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,402 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of proptest the workspace's property tests use: strategy
+//! combinators (`prop_map`, `prop_filter`, tuples, ranges, `Just`, `any`,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::select`),
+//! the `proptest!` / `prop_compose!` / `prop_oneof!` macros, and the
+//! `prop_assert*` family.
+//!
+//! Differences from upstream are intentional simplifications: no input
+//! shrinking (a failing case reports the assertion message only), and a
+//! fixed deterministic RNG stream per test derived from the test's module
+//! path, so failures reproduce exactly across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.as_rng().gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Uniform over a wide symmetric range; upstream's exotic-float
+            // generation is not needed by the workspace tests.
+            rng.as_rng().gen_range(-1.0e9f64..1.0e9)
+        }
+    }
+
+    macro_rules! arbitrary_by_cast {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::unnecessary_cast)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_word() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_by_cast!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `option`, `sample`).
+
+    pub mod collection {
+        //! Collection strategies (subset: [`vec`]).
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Inclusive size bounds for generated collections.
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let len = rng.as_rng().gen_range(self.size.min..=self.size.max);
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(self.element.generate(rng)?);
+                }
+                Some(out)
+            }
+        }
+
+        /// A `Vec` of values from `element`, with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod option {
+        //! Option strategies (subset: [`of`]).
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy returned by [`of`].
+        pub struct OptionStrategy<S>(S);
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+                if rng.as_rng().gen_bool(0.5) {
+                    Some(Some(self.0.generate(rng)?))
+                } else {
+                    Some(None)
+                }
+            }
+        }
+
+        /// `Some` of the inner strategy half the time, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies (subset: [`select`]).
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// Strategy returned by [`select`].
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<T> {
+                let i = rng.as_rng().gen_range(0..self.0.len());
+                Some(self.0[i].clone())
+            }
+        }
+
+        /// Picks uniformly from the given values.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select requires at least one item");
+            Select(items)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+}
+
+/// Declares property tests. Two forms, matching upstream:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(200);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "{}: too many rejected inputs ({} accepted of {} wanted)",
+                    stringify!($name),
+                    accepted,
+                    config.cases,
+                );
+                $(
+                    let $arg = match $crate::strategy::Strategy::generate(&($strat), &mut rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => continue,
+                    };
+                )+
+                let outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "property {} failed on case {} of {}: {}",
+                        stringify!($name),
+                        accepted + 1,
+                        config.cases,
+                        msg,
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_tests!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($($arg)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r,
+                            format!($($arg)+),
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:tt)* ) (
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |rng: &mut $crate::test_runner::TestRng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), rng)?;
+                    )+
+                    ::core::option::Option::Some($body)
+                },
+            )
+        }
+    };
+}
+
+/// Picks uniformly between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,66 @@
+//! Test execution support: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` accepted inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Upstream's prelude name for [`Config`].
+pub type ProptestConfig = Config;
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The input was discarded (`prop_assume!` / filter); try another.
+    Reject(String),
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+}
+
+/// The deterministic RNG driving strategy generation.
+///
+/// Seeded from a hash of the test's module path and name, so every run
+/// of a given test sees the identical input sequence — failures are
+/// reproducible without persisted seeds.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// An RNG whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// The underlying generator, for `rand::Rng` sampling methods.
+    pub fn as_rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+
+    /// One raw 64-bit word.
+    pub fn next_word(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+}
