@@ -84,7 +84,7 @@ fn bench_predictor(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N));
     group.bench_function("gshare_observe", |b| {
         b.iter(|| {
-            let mut bp = Gshare::new(PredictorConfig::default());
+            let mut bp = Gshare::try_new(PredictorConfig::default()).expect("valid configuration");
             let mut x = 0x1234_5678u64;
             for _ in 0..N {
                 x = x

@@ -4,29 +4,34 @@
 //!
 //! ```text
 //! cargo run --release -p pipedepth-experiments --bin repro -- \
-//!     [--quick] [--out DIR] [--only fig4,fig6] [--list] [--threads N]
+//!     [--quick] [--out DIR] [--only fig4,fig6] [--list] [--threads N] \
+//!     [--timing-details]
 //! ```
 //!
 //! The binary is a thin driver over the experiment registry: it selects
 //! specs, times each phase, prints their summaries, writes their CSV
-//! artifacts, and assembles `report.md` (paper-vs-measured verdicts plus
-//! run metrics: per-phase wall time and simulation-cache statistics).
+//! artifacts, and assembles `report.md` (paper-vs-measured verdicts, run
+//! metrics, telemetry counters) plus the machine-readable
+//! `manifest.json` ([`pipedepth_experiments::manifest`]).
 
 use pipedepth_experiments::experiment::{registry, Context, Experiment};
+use pipedepth_experiments::manifest::{Manifest, PhaseTiming};
 use pipedepth_experiments::paper;
 use pipedepth_experiments::runner::Runner;
 use pipedepth_experiments::sweep::RunConfig;
+use pipedepth_telemetry::{MetricValue, Snapshot, Telemetry};
 use pipedepth_workloads::suite;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::exit;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 use std::{fs, io};
 
 struct Options {
     quick: bool,
     list: bool,
     threads: usize,
+    timing_details: bool,
     out_dir: PathBuf,
     only: Option<Vec<String>>,
 }
@@ -37,6 +42,7 @@ fn parse_args() -> Options {
         quick: false,
         list: false,
         threads: 0,
+        timing_details: false,
         out_dir: PathBuf::from("results"),
         only: None,
     };
@@ -51,6 +57,7 @@ fn parse_args() -> Options {
         match args[i].as_str() {
             "--quick" => opts.quick = true,
             "--list" => opts.list = true,
+            "--timing-details" => opts.timing_details = true,
             "--out" => {
                 opts.out_dir = PathBuf::from(value(&args, i, "--out"));
                 i += 1;
@@ -70,7 +77,10 @@ fn parse_args() -> Options {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N]");
+                eprintln!(
+                    "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
+                     [--timing-details]"
+                );
                 exit(2);
             }
         }
@@ -120,7 +130,11 @@ fn main() -> io::Result<()> {
         RunConfig::default()
     };
     fs::create_dir_all(&opts.out_dir)?;
-    let ctx = Context::new(config, Runner::new(opts.threads));
+    let telemetry = Telemetry::new();
+    let ctx = Context::new(
+        config,
+        Runner::new(opts.threads).with_telemetry(telemetry.clone()),
+    );
     println!(
         "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s)",
         ctx.config.instructions,
@@ -129,7 +143,7 @@ fn main() -> io::Result<()> {
         ctx.runner.threads()
     );
     let t0 = Instant::now();
-    let mut phases: Vec<(String, Duration)> = Vec::new();
+    let mut phases: Vec<PhaseTiming> = Vec::new();
 
     // The shared suite sweep is the dominant cost: materialise it up front
     // so it is timed as its own phase instead of inflating the first
@@ -144,13 +158,19 @@ fn main() -> io::Result<()> {
         ctx.curves();
         let elapsed = t.elapsed();
         println!("sweep finished in {elapsed:.1?}");
-        phases.push(("suite sweep".to_string(), elapsed));
+        phases.push(PhaseTiming {
+            name: "suite sweep".to_string(),
+            wall: elapsed,
+        });
     }
 
     for exp in &selected {
         let t = Instant::now();
         let out = exp.run(&ctx);
-        phases.push((exp.name().to_string(), t.elapsed()));
+        phases.push(PhaseTiming {
+            name: exp.name().to_string(),
+            wall: t.elapsed(),
+        });
         println!();
         print!("{}", out.summary);
         for artifact in &out.artifacts {
@@ -184,8 +204,8 @@ fn main() -> io::Result<()> {
     }
 
     report.push_str("\n## Run metrics\n\n| phase | wall time |\n|---|---|\n");
-    for (name, elapsed) in &phases {
-        let _ = writeln!(report, "| {name} | {elapsed:.1?} |");
+    for phase in &phases {
+        let _ = writeln!(report, "| {} | {:.1?} |", phase.name, phase.wall);
     }
     let stats = ctx.runner.cache_stats();
     let cache_line = format!(
@@ -197,10 +217,85 @@ fn main() -> io::Result<()> {
         100.0 * stats.hit_rate()
     );
     let _ = writeln!(report, "\n{cache_line}");
+
+    let snapshot = telemetry.snapshot();
+    report.push_str(&telemetry_section(&snapshot));
+
+    let manifest = Manifest {
+        threads: ctx.runner.threads(),
+        config: ctx.config.clone(),
+        phases,
+        cache: stats,
+        metrics: snapshot,
+        total_wall: t0.elapsed(),
+    };
+    fs::write(opts.out_dir.join("manifest.json"), manifest.to_json())?;
     fs::write(opts.out_dir.join("report.md"), &report)?;
+
+    if opts.timing_details {
+        print_timing_details(&manifest);
+    }
 
     println!("\n{cache_line}");
     println!("data written to {}", opts.out_dir.display());
-    println!("total time: {:.1?}", t0.elapsed());
+    println!("total time: {:.1?}", manifest.total_wall);
     Ok(())
+}
+
+/// Renders the report's Telemetry section from the metric snapshot.
+fn telemetry_section(snapshot: &Snapshot) -> String {
+    let mut s = String::from("\n## Telemetry\n\n");
+    if snapshot.is_empty() {
+        s.push_str("No metrics captured (telemetry compiled out via `--no-default-features`).\n");
+        return s;
+    }
+    s.push_str("Full machine-readable snapshot in `manifest.json`.\n\n");
+    s.push_str("| metric | value |\n|---|---|\n");
+    for metric in &snapshot.metrics {
+        let rendered = match &metric.value {
+            MetricValue::Counter(v) => format!("{v}"),
+            MetricValue::Gauge(v) => format!("{v:.3}"),
+            MetricValue::Histogram(h) => format!(
+                "{} samples, mean {:.0} µs, max {:.0} µs",
+                h.count,
+                h.mean(),
+                h.max.unwrap_or(0.0)
+            ),
+        };
+        let _ = writeln!(s, "| {} | {rendered} |", metric.name);
+    }
+    s
+}
+
+/// Prints the per-experiment timing breakdown (`--timing-details`).
+fn print_timing_details(manifest: &Manifest) {
+    println!("\nTiming details ({} worker(s)):", manifest.threads);
+    let total = manifest.total_wall.as_secs_f64();
+    for phase in &manifest.phases {
+        let pct = if total > 0.0 {
+            100.0 * phase.wall.as_secs_f64() / total
+        } else {
+            0.0
+        };
+        println!("  {:<14} {:>10.1?}  {pct:>5.1}%", phase.name, phase.wall);
+    }
+    if let Some(h) = manifest.metrics.histogram("runner.cell_time_us") {
+        println!(
+            "  per-cell simulation time: {} cells, mean {:.0} µs, min {:.0} µs, max {:.0} µs",
+            h.count,
+            h.mean(),
+            h.min.unwrap_or(0.0),
+            h.max.unwrap_or(0.0)
+        );
+    }
+    if let Some(h) = manifest.metrics.histogram("runner.queue_wait_us") {
+        println!(
+            "  queue wait: mean {:.0} µs, max {:.0} µs",
+            h.mean(),
+            h.max.unwrap_or(0.0)
+        );
+    }
+    if let Some(u) = manifest.metrics.gauge("runner.worker_utilization") {
+        println!("  worker utilization (last batch): {:.0}%", 100.0 * u);
+    }
 }

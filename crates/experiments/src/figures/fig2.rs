@@ -25,7 +25,7 @@ pub fn run(max_depth: u32) -> Fig2 {
     assert!(max_depth >= 2, "need at least the 2-stage machine");
     Fig2 {
         plans: (2..=max_depth)
-            .map(|d| (d, StagePlan::for_depth(d)))
+            .map(|d| (d, StagePlan::try_for_depth(d).expect("valid depth")))
             .collect(),
     }
 }
@@ -142,10 +142,10 @@ mod tests {
 
     #[test]
     fn render_marks_merged_units() {
-        let shallow = StagePlan::for_depth(2);
+        let shallow = StagePlan::try_for_depth(2).expect("valid depth");
         let art = render_pipeline(&shallow);
         assert!(art.contains("merged"), "{art}");
-        let deep = StagePlan::for_depth(20);
+        let deep = StagePlan::try_for_depth(20).expect("valid depth");
         let art = render_pipeline(&deep);
         assert!(!art.contains("merged"), "{art}");
         assert!(art.contains("RR:"));
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn rx_flow_contains_memory_segment() {
-        let art = render_pipeline(&StagePlan::for_depth(14));
+        let art = render_pipeline(&StagePlan::try_for_depth(14).expect("valid depth"));
         assert!(art.contains("agen"));
         assert!(art.contains("cache"));
         assert!(art.contains("addr Q"));

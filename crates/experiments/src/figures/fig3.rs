@@ -37,7 +37,7 @@ pub fn run_with_model(model: &LatchModel, lo: u32, hi: u32) -> Fig3 {
     assert!(lo >= 2 && hi > lo, "need a non-empty range of depths ≥ 2");
     let depths: Vec<f64> = (lo..=hi).map(|d| d as f64).collect();
     let raw: Vec<f64> = (lo..=hi)
-        .map(|d| model.total_latches(&StagePlan::for_depth(d)))
+        .map(|d| model.total_latches(&StagePlan::try_for_depth(d).expect("valid depth")))
         .collect();
     let base = raw[0];
     let latches: Vec<f64> = raw.into_iter().map(|v| v / base).collect();

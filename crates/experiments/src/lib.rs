@@ -13,6 +13,8 @@
 //! * [`ablation`] — microarchitectural ablations quantifying how much the
 //!   headline result depends on substrate choices (forwarding, caches,
 //!   queue sizing, issue policy);
+//! * [`manifest`] — the schema-versioned `manifest.json` run manifest
+//!   (config digest, phase timings, telemetry snapshot);
 //! * [`report`] — ASCII tables and CSV rendering.
 //!
 //! The `repro` binary runs everything and emits the full comparison
@@ -23,6 +25,7 @@ pub mod experiment;
 pub mod extract;
 pub mod figures;
 pub mod issue_policy;
+pub mod manifest;
 pub mod paper;
 pub mod plot;
 pub mod report;
@@ -34,6 +37,7 @@ pub use experiment::{registry, Artifact, Context, Experiment, ExperimentOutput};
 pub use extract::{
     extended_theory_curve, extract_from_report, theory_curve, theory_model, ExtractedParams,
 };
+pub use manifest::{Manifest, PhaseTiming, SCHEMA_VERSION};
 pub use runner::{CacheStats, CellSpec, Runner, SimCache};
 pub use sweep::{
     sweep_all, sweep_workload, sweep_workload_with, DepthPoint, RunConfig, WorkloadCurve,

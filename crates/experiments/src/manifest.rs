@@ -1,0 +1,212 @@
+//! The machine-readable run manifest written by the `repro` binary.
+//!
+//! `results/manifest.json` captures everything a downstream consumer needs
+//! to audit a reproduction run without scraping `report.md`: a schema
+//! version, the run configuration plus a content digest of it, per-phase
+//! wall times, the simulation-cache counters and a snapshot of every
+//! telemetry metric. The JSON is hand-rendered (the workspace is offline,
+//! no serialisation dependency) with one phase and one metric per line, and
+//! every wall-clock-dependent field confined to lines containing `_us`,
+//! `"threads"` or `"type": "gauge"` — line-oriented consumers, including
+//! the golden-manifest test, mask exactly those lines and byte-compare the
+//! rest across thread counts.
+
+use crate::runner::CacheStats;
+use crate::sweep::RunConfig;
+use pipedepth_telemetry::{json, Snapshot};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Version of the manifest layout; bumped on breaking changes so consumers
+/// can reject manifests they do not understand.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wall time of one named phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase name (`suite sweep` or an experiment name).
+    pub name: String,
+    /// Wall-clock duration of the phase.
+    pub wall: Duration,
+}
+
+/// Everything `manifest.json` records about one `repro` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Worker threads the runner scheduled onto.
+    pub threads: usize,
+    /// The run configuration (sizing, depths, power calibration).
+    pub config: RunConfig,
+    /// Per-phase wall times, in execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// Simulation-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Snapshot of every telemetry metric (empty when telemetry is
+    /// disabled or compiled out).
+    pub metrics: Snapshot,
+    /// Total wall time of the run.
+    pub total_wall: Duration,
+}
+
+/// FNV-1a content digest of a run configuration. `Debug` round-trips every
+/// `f64` exactly, so equal digests mean equal configurations.
+pub fn config_digest(config: &RunConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{config:?}").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn us(d: Duration) -> String {
+    json::number(d.as_secs_f64() * 1e6)
+}
+
+impl Manifest {
+    /// Renders the manifest as JSON (see the module docs for the layout
+    /// contract relied on by line-oriented consumers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"generator\": \"pipedepth repro\",");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"total_wall_us\": {},", us(self.total_wall));
+        out.push_str("  \"config\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"digest\": \"{:016x}\",",
+            config_digest(&self.config)
+        );
+        let _ = writeln!(out, "    \"warmup\": {},", self.config.warmup);
+        let _ = writeln!(out, "    \"instructions\": {},", self.config.instructions);
+        let _ = writeln!(out, "    \"ref_depth\": {},", self.config.ref_depth);
+        let _ = writeln!(
+            out,
+            "    \"leakage_fraction\": {},",
+            json::number(self.config.leakage_fraction)
+        );
+        let depths: Vec<String> = self.config.depths.iter().map(|d| d.to_string()).collect();
+        let _ = writeln!(out, "    \"depths\": [{}]", depths.join(", "));
+        out.push_str("  },\n");
+        out.push_str("  \"phases\": [\n");
+        for (i, phase) in self.phases.iter().enumerate() {
+            let comma = if i + 1 == self.phases.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_us\": {}}}{comma}",
+                json::escape(&phase.name),
+                us(phase.wall)
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"cache\": {\n");
+        let _ = writeln!(out, "    \"hits\": {},", self.cache.hits);
+        let _ = writeln!(out, "    \"misses\": {},", self.cache.misses);
+        let _ = writeln!(out, "    \"inserts\": {},", self.cache.inserts);
+        let _ = writeln!(out, "    \"requested\": {},", self.cache.requested());
+        let _ = writeln!(
+            out,
+            "    \"hit_rate\": {}",
+            json::number(self.cache.hit_rate())
+        );
+        out.push_str("  },\n");
+        out.push_str("  \"metrics\": {\n");
+        for (i, metric) in self.metrics.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.metrics.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {}{comma}",
+                json::escape(&metric.name),
+                metric.value.to_json()
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            threads: 2,
+            config: RunConfig::quick(),
+            phases: vec![
+                PhaseTiming {
+                    name: "suite sweep".into(),
+                    wall: Duration::from_micros(1500),
+                },
+                PhaseTiming {
+                    name: "fig4".into(),
+                    wall: Duration::from_micros(250),
+                },
+            ],
+            cache: CacheStats {
+                hits: 1,
+                misses: 3,
+                inserts: 3,
+            },
+            metrics: Snapshot::default(),
+            total_wall: Duration::from_micros(2000),
+        }
+    }
+
+    #[test]
+    fn digest_tracks_config_content() {
+        let quick = RunConfig::quick();
+        assert_eq!(config_digest(&quick), config_digest(&RunConfig::quick()));
+        assert_ne!(config_digest(&quick), config_digest(&RunConfig::default()));
+    }
+
+    #[test]
+    fn renders_schema_version_and_sections() {
+        let rendered = manifest().to_json();
+        assert!(rendered.starts_with("{\n  \"schema_version\": 1,\n"));
+        for needle in [
+            "\"config\": {",
+            "\"digest\": ",
+            "\"phases\": [",
+            "\"cache\": {",
+            "\"metrics\": {",
+            "\"hit_rate\": 0.25",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn timing_fields_stay_on_maskable_lines() {
+        // The golden-manifest test masks lines containing these markers;
+        // everything else must be deterministic. Guard the layout contract:
+        // no line mixes a wall-clock field with a non-timing field other
+        // than the phase name.
+        let rendered = manifest().to_json();
+        for line in rendered.lines() {
+            if line.contains("wall_us") {
+                assert!(
+                    line.trim_start().starts_with("{\"name\": ") || line.contains("total_wall_us"),
+                    "unexpected timing line {line:?}"
+                );
+            }
+        }
+        assert_eq!(
+            rendered.lines().filter(|l| l.contains("wall_us")).count(),
+            3,
+            "two phases plus the total"
+        );
+    }
+
+    #[test]
+    fn phase_names_are_escaped() {
+        let mut m = manifest();
+        m.phases[0].name = "we\"ird".into();
+        assert!(m.to_json().contains("we\\\"ird"));
+    }
+}

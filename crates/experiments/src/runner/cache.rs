@@ -13,13 +13,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Hit/miss counters of a [`SimCache`].
+/// Hit/miss/insert counters of a [`SimCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requested cells served without a fresh simulation.
     pub hits: u64,
     /// Cells that had to be simulated.
     pub misses: u64,
+    /// Distinct cells stored since creation.
+    pub inserts: u64,
 }
 
 impl CacheStats {
@@ -49,6 +51,7 @@ pub struct SimCache {
     buckets: Mutex<HashMap<u64, Bucket>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl SimCache {
@@ -67,13 +70,17 @@ impl SimCache {
             .map(|(_, r)| Arc::clone(r))
     }
 
-    /// Stores a finished cell.
-    pub fn insert(&self, key: u64, spec: CellSpec, report: Arc<SimReport>) {
+    /// Stores a finished cell. Returns whether the cell was actually
+    /// inserted (false when an equal spec was already present).
+    pub fn insert(&self, key: u64, spec: CellSpec, report: Arc<SimReport>) -> bool {
         let mut buckets = self.buckets.lock().expect("cache lock");
         let bucket = buckets.entry(key).or_default();
-        if !bucket.iter().any(|(s, _)| s == &spec) {
-            bucket.push((spec, report));
+        if bucket.iter().any(|(s, _)| s == &spec) {
+            return false;
         }
+        bucket.push((spec, report));
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Records cells served without simulation.
@@ -101,11 +108,12 @@ impl SimCache {
         self.len() == 0
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/insert counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! same report, which is what lets different figures share simulations.
 
 use pipedepth_sim::{Engine, SimConfig, SimReport};
+use pipedepth_telemetry::Telemetry;
 use pipedepth_trace::{TraceGenerator, WorkloadModel};
 use pipedepth_workloads::Workload;
 
@@ -53,8 +54,15 @@ impl CellSpec {
 
     /// Runs the cell: fresh engine, fresh trace stream, warmup, measure.
     pub fn execute(&self) -> SimReport {
-        let mut engine = Engine::new(self.sim);
-        let mut gen = TraceGenerator::new(self.model, self.trace_seed);
+        self.execute_with(&Telemetry::disabled())
+    }
+
+    /// Runs the cell with engine and trace counters reporting into
+    /// `telemetry` (a disabled handle makes this identical to
+    /// [`execute`](Self::execute)).
+    pub fn execute_with(&self, telemetry: &Telemetry) -> SimReport {
+        let mut engine = Engine::new(self.sim).with_telemetry(telemetry.clone());
+        let mut gen = TraceGenerator::with_telemetry(self.model, self.trace_seed, telemetry);
         engine.warm_up(&mut gen, self.warmup);
         engine.run(&mut gen, self.instructions)
     }

@@ -24,15 +24,18 @@ use crate::extract::extract_from_report;
 use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
 use pipedepth_power::metric;
 use pipedepth_sim::{SimConfig, SimReport};
+use pipedepth_telemetry::{Telemetry, DEFAULT_TIME_BUCKETS_US};
 use pipedepth_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Executes simulation cells on a worker pool, backed by a shared cache.
 #[derive(Debug)]
 pub struct Runner {
     threads: usize,
     cache: SimCache,
+    telemetry: Telemetry,
 }
 
 impl Runner {
@@ -49,6 +52,7 @@ impl Runner {
         Runner {
             threads,
             cache: SimCache::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -56,6 +60,14 @@ impl Runner {
     /// calling thread.
     pub fn serial() -> Self {
         Runner::new(1)
+    }
+
+    /// Attaches a telemetry handle; scheduling counters, per-cell timing
+    /// histograms and the engine/trace metrics of every executed cell
+    /// report into it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Worker count this runner schedules onto.
@@ -92,11 +104,20 @@ impl Runner {
         }
         self.cache.count_hits(hits);
         self.cache.count_misses(pending.len() as u64);
+        self.telemetry
+            .counter("runner.cells_requested")
+            .add(cells.len() as u64);
+        self.telemetry.counter("runner.cache_hits").add(hits);
+        self.telemetry
+            .counter("runner.cells_simulated")
+            .add(pending.len() as u64);
 
         let computed = self.execute_pending(&pending);
 
         for (((key, spec), slots), report) in pending.into_iter().zip(waiters).zip(computed) {
-            self.cache.insert(key, spec, Arc::clone(&report));
+            if self.cache.insert(key, spec, Arc::clone(&report)) {
+                self.telemetry.counter("runner.cache_inserts").inc();
+            }
             for i in slots {
                 results[i] = Some(Arc::clone(&report));
             }
@@ -111,31 +132,69 @@ impl Runner {
     /// shared atomic work index over scoped worker threads.
     fn execute_pending(&self, pending: &[(u64, CellSpec)]) -> Vec<Arc<SimReport>> {
         let workers = self.threads.min(pending.len());
-        if workers <= 1 {
-            return pending
+        let batch_start = Instant::now();
+        let busy_before = self.telemetry.counter("runner.worker_busy_us").value();
+        let reports = if workers <= 1 {
+            pending
                 .iter()
-                .map(|(_, spec)| Arc::new(spec.execute()))
-                .collect();
-        }
-        let slots: Vec<OnceLock<Arc<SimReport>>> =
-            (0..pending.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, spec)) = pending.get(i) else {
-                        break;
-                    };
-                    let report = Arc::new(spec.execute());
-                    slots[i].set(report).expect("each index claimed once");
-                });
+                .map(|(_, spec)| self.execute_cell(spec, batch_start))
+                .collect()
+        } else {
+            let slots: Vec<OnceLock<Arc<SimReport>>> =
+                (0..pending.len()).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, spec)) = pending.get(i) else {
+                            break;
+                        };
+                        let report = self.execute_cell(spec, batch_start);
+                        slots[i].set(report).expect("each index claimed once");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("worker filled every slot"))
+                .collect()
+        };
+        if self.telemetry.is_enabled() && !pending.is_empty() {
+            let wall_us = batch_start.elapsed().as_secs_f64() * 1e6;
+            let busy_us = self
+                .telemetry
+                .counter("runner.worker_busy_us")
+                .value()
+                .saturating_sub(busy_before);
+            if wall_us > 0.0 {
+                self.telemetry
+                    .gauge("runner.worker_utilization")
+                    .set((busy_us as f64 / (workers.max(1) as f64 * wall_us)).clamp(0.0, 1.0));
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("worker filled every slot"))
-            .collect()
+        }
+        reports
+    }
+
+    /// Runs one cell, recording its queue wait (batch start to pickup) and
+    /// simulation time when telemetry is enabled.
+    fn execute_cell(&self, spec: &CellSpec, queued_at: Instant) -> Arc<SimReport> {
+        if !self.telemetry.is_enabled() {
+            return Arc::new(spec.execute());
+        }
+        let start = Instant::now();
+        self.telemetry
+            .histogram("runner.queue_wait_us", &DEFAULT_TIME_BUCKETS_US)
+            .record(start.duration_since(queued_at).as_secs_f64() * 1e6);
+        let report = Arc::new(spec.execute_with(&self.telemetry));
+        let busy = start.elapsed();
+        self.telemetry
+            .histogram("runner.cell_time_us", &DEFAULT_TIME_BUCKETS_US)
+            .record(busy.as_secs_f64() * 1e6);
+        self.telemetry
+            .counter("runner.worker_busy_us")
+            .add(busy.as_micros() as u64);
+        report
     }
 
     /// Sweeps one workload on the paper machine.
@@ -308,6 +367,48 @@ mod tests {
         let single = Runner::serial();
         for (w, curve) in ws.iter().zip(&all) {
             assert_eq!(&single.sweep_workload(w, &cfg), curve);
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn telemetry_counters_are_thread_count_invariant() {
+        let ws = representatives();
+        let cfg = tiny();
+        let run = |threads: usize| {
+            let telemetry = Telemetry::new();
+            let runner = Runner::new(threads).with_telemetry(telemetry.clone());
+            runner.sweep_all(&ws, &cfg);
+            runner.sweep_all(&ws, &cfg); // second pass exercises cache hits
+            telemetry.snapshot()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        let cells = (ws.len() * cfg.depths.len()) as u64;
+        assert_eq!(serial.counter("runner.cells_requested"), 2 * cells);
+        assert_eq!(serial.counter("runner.cells_simulated"), cells);
+        assert_eq!(serial.counter("runner.cache_hits"), cells);
+        assert_eq!(serial.counter("runner.cache_inserts"), cells);
+        for name in [
+            "runner.cells_requested",
+            "runner.cells_simulated",
+            "runner.cache_hits",
+            "runner.cache_inserts",
+            "sim.instructions",
+            "sim.predictor.hits",
+            "sim.predictor.misses",
+            "trace.instructions_generated",
+        ] {
+            assert_eq!(serial.counter(name), parallel.counter(name), "{name}");
+            assert!(serial.get(name).is_some(), "{name} missing");
+        }
+        // Timing histograms observe exactly one sample per simulated cell
+        // regardless of scheduling.
+        for snap in [&serial, &parallel] {
+            let hist = snap.histogram("runner.cell_time_us").expect("cell timing");
+            assert_eq!(hist.count, cells);
+            let wait = snap.histogram("runner.queue_wait_us").expect("queue wait");
+            assert_eq!(wait.count, cells);
         }
     }
 

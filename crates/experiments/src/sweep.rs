@@ -5,7 +5,7 @@
 //! fills the caches and trains the predictor.
 //!
 //! The free functions here are convenience wrappers over the cell-level
-//! [`Runner`](crate::runner::Runner): each call builds a private runner, so
+//! [`Runner`]: each call builds a private runner, so
 //! nothing is shared between calls. Experiments that want cross-figure
 //! cell reuse (the `repro` binary, the [`Experiment`](crate::experiment)
 //! registry) hold one runner and use its methods directly.

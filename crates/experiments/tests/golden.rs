@@ -1,16 +1,18 @@
 //! Golden-artifact regression test for the `repro` binary.
 //!
-//! Two `--quick` runs into separate directories must produce CSV artifacts
-//! with the expected headers and row counts, byte-identical across runs —
-//! the determinism guarantee the cell runner makes for any thread count.
+//! A serial and a 2-worker `--quick` run into separate directories must
+//! produce CSV artifacts with the expected headers and row counts,
+//! byte-identical across the two runs — the determinism guarantee the cell
+//! runner makes for any thread count — and `manifest.json` must be
+//! byte-identical after masking its wall-clock-dependent lines.
 
 use std::fs;
 use std::path::Path;
 use std::process::Command;
 
-fn run_repro(out: &Path) {
+fn run_repro(out: &Path, threads: &str) {
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["--quick", "--threads", "2", "--out"])
+        .args(["--quick", "--threads", threads, "--out"])
         .arg(out)
         .status()
         .expect("repro binary runs");
@@ -21,12 +23,30 @@ fn read(dir: &Path, name: &str) -> String {
     fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
+/// The manifest with every wall-clock-dependent line replaced by a
+/// placeholder. The manifest's layout contract keeps timing confined to
+/// lines containing `_us` (phase timings, timing histograms and counters),
+/// the `"threads"` line and gauge lines (worker utilization).
+fn masked_manifest(dir: &Path) -> String {
+    read(dir, "manifest.json")
+        .lines()
+        .map(|line| {
+            if line.contains("_us") || line.contains("\"threads\"") || line.contains("\"gauge\"") {
+                "<masked>"
+            } else {
+                line
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn quick_artifacts_are_deterministic_and_well_formed() {
     let base = std::env::temp_dir().join(format!("pipedepth-golden-{}", std::process::id()));
     let (dir_a, dir_b) = (base.join("a"), base.join("b"));
-    run_repro(&dir_a);
-    run_repro(&dir_b);
+    run_repro(&dir_a, "1");
+    run_repro(&dir_b, "2");
 
     // The quick config sweeps depths 2, 4, …, 24 → 12 rows per depth table;
     // Figs. 8/9 sample the analytic curves at depths 1–28.
@@ -82,6 +102,32 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         "cache statistics missing:\n{report}"
     );
     assert!(report.contains("## Run metrics"), "phase table missing");
+    assert!(report.contains("## Telemetry"), "telemetry section missing");
+
+    // The manifest must be identical for 1 vs 2 workers once wall-clock
+    // lines are masked: counters aggregate commutatively, snapshots are
+    // name-sorted, and the JSON layout keeps timing on maskable lines.
+    let masked = masked_manifest(&dir_a);
+    assert_eq!(
+        masked,
+        masked_manifest(&dir_b),
+        "masked manifest must not depend on the thread count"
+    );
+    assert!(masked.contains("\"schema_version\": 1"));
+    assert!(masked.contains("\"digest\": "));
+    assert!(masked.contains("\"hit_rate\": "));
+    #[cfg(feature = "telemetry")]
+    for metric in [
+        "\"sim.instructions\"",
+        "\"sim.hazards.control.events\"",
+        "\"sim.predictor.misses\"",
+        "\"sim.cache.l1d.hits\"",
+        "\"trace.instructions_generated\"",
+        "\"runner.cells_simulated\"",
+        "\"runner.cache_hits\"",
+    ] {
+        assert!(masked.contains(metric), "{metric} missing from manifest");
+    }
 
     let _ = fs::remove_dir_all(&base);
 }

@@ -133,8 +133,8 @@ mod tests {
     #[test]
     fn unit_latches_scale_superlinearly() {
         let m = LatchModel::paper();
-        let mut a = StagePlan::for_depth(8);
-        let mut b = StagePlan::for_depth(8);
+        let mut a = StagePlan::try_for_depth(8).expect("valid depth");
+        let mut b = StagePlan::try_for_depth(8).expect("valid depth");
         a.decode = 2;
         b.decode = 4;
         let r = m.unit_latches(Unit::Decode, &b) / m.unit_latches(Unit::Decode, &a);
@@ -148,7 +148,7 @@ mod tests {
         let m = LatchModel::paper();
         let depths: Vec<f64> = (2..=25).map(|d| d as f64).collect();
         let counts: Vec<f64> = (2..=25)
-            .map(|d| m.total_latches(&StagePlan::for_depth(d)))
+            .map(|d| m.total_latches(&StagePlan::try_for_depth(d).expect("valid depth")))
             .collect();
         let fit = power_law_fit(&depths, &counts).unwrap();
         assert!(
@@ -168,7 +168,7 @@ mod tests {
         let m = LatchModel::paper();
         let mut prev = 0.0;
         for d in 2..=30 {
-            let t = m.total_latches(&StagePlan::for_depth(d));
+            let t = m.total_latches(&StagePlan::try_for_depth(d).expect("valid depth"));
             assert!(t > prev, "latches not monotone at depth {d}");
             prev = t;
         }
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn merged_units_use_max_rule() {
         let m = LatchModel::paper();
-        let plan = StagePlan::for_depth(2); // merges agen and cache
+        let plan = StagePlan::try_for_depth(2).expect("valid depth"); // merges agen and cache
         assert!(!plan.merged_units().is_empty());
         let extra = m.merged_extra(&plan);
         // Each merged unit adds at most its own base latches.
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn per_stage_latches_of_merged_unit_is_zero() {
         let m = LatchModel::paper();
-        let plan = StagePlan::for_depth(2);
+        let plan = StagePlan::try_for_depth(2).expect("valid depth");
         for u in plan.merged_units() {
             assert_eq!(m.per_stage_latches(u, &plan), 0.0);
         }
@@ -208,7 +208,7 @@ mod tests {
         let depths: Vec<f64> = (2..=25).map(|d| d as f64).collect();
         let fit_of = |m: &LatchModel| {
             let counts: Vec<f64> = (2..=25)
-                .map(|d| m.total_latches(&StagePlan::for_depth(d)))
+                .map(|d| m.total_latches(&StagePlan::try_for_depth(d).expect("valid depth")))
                 .collect();
             power_law_fit(&depths, &counts).unwrap().exponent
         };

@@ -61,8 +61,8 @@ proptest! {
     #[test]
     fn latch_totals_monotone_and_positive(depth in 2u32..25) {
         let m = LatchModel::paper();
-        let a = m.total_latches(&StagePlan::for_depth(depth));
-        let b = m.total_latches(&StagePlan::for_depth(depth + 1));
+        let a = m.total_latches(&StagePlan::try_for_depth(depth).expect("valid depth"));
+        let b = m.total_latches(&StagePlan::try_for_depth(depth + 1).expect("valid depth"));
         prop_assert!(a > 0.0);
         prop_assert!(b > a);
     }

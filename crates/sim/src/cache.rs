@@ -5,7 +5,7 @@
 //! cost more cycles — the behaviour that damps the benefit of very fast
 //! clocks in real machines.
 
-use crate::config::CacheConfig;
+use crate::config::{check_cache_geometry, CacheConfig, ConfigError};
 
 /// Where an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,26 +35,25 @@ pub struct CacheLevel {
 
 impl CacheLevel {
     /// Builds a level from size/associativity/line size.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless sizes are powers of two and consistent
-    /// (`bytes ≥ ways × line`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CacheLevel::try_new`, which reports inconsistent geometry as a `ConfigError` instead of panicking"
+    )]
     pub fn new(bytes: u64, ways: u32, line_bytes: u64) -> Self {
-        assert!(bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(
-            line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(ways >= 1, "need at least one way");
-        assert!(
-            bytes >= ways as u64 * line_bytes,
-            "cache too small for its associativity"
-        );
+        Self::try_new(bytes, ways, line_bytes).expect("cache geometry must be consistent")
+    }
+
+    /// Builds a level from size/associativity/line size, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CacheGeometry`] unless sizes are powers of
+    /// two and consistent (`bytes ≥ ways × line`).
+    pub fn try_new(bytes: u64, ways: u32, line_bytes: u64) -> Result<Self, ConfigError> {
+        check_cache_geometry("cache", bytes, ways, line_bytes)?;
         let lines = bytes / line_bytes;
         let sets = (lines / ways as u64) as usize;
-        assert!(sets >= 1, "need at least one set");
-        CacheLevel {
+        Ok(CacheLevel {
             sets,
             ways: ways as usize,
             line_shift: line_bytes.trailing_zeros(),
@@ -63,7 +62,7 @@ impl CacheLevel {
             clock: 0,
             accesses: 0,
             misses: 0,
-        }
+        })
     }
 
     /// Looks up `addr`, filling on miss. Returns `true` on hit.
@@ -141,14 +140,31 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     /// Builds the hierarchy from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry; use [`Hierarchy::try_new`] to
+    /// handle that case as an error.
     pub fn new(config: CacheConfig) -> Self {
-        Hierarchy {
-            l1: CacheLevel::new(config.l1_bytes, config.l1_ways, config.line_bytes),
+        Self::try_new(config).expect("cache configuration must be consistent")
+    }
+
+    /// Builds the hierarchy from its configuration, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Hierarchy {
+            l1: CacheLevel::try_new(config.l1_bytes, config.l1_ways, config.line_bytes)?,
             l1i: (config.l1i_bytes > 0)
-                .then(|| CacheLevel::new(config.l1i_bytes, config.l1i_ways, config.line_bytes)),
-            l2: CacheLevel::new(config.l2_bytes, config.l2_ways, config.line_bytes),
+                .then(|| CacheLevel::try_new(config.l1i_bytes, config.l1i_ways, config.line_bytes))
+                .transpose()?,
+            l2: CacheLevel::try_new(config.l2_bytes, config.l2_ways, config.line_bytes)?,
             config,
-        }
+        })
     }
 
     /// Performs an instruction fetch. With no instruction cache configured
@@ -237,7 +253,7 @@ mod tests {
 
     fn tiny() -> CacheLevel {
         // 4 sets × 2 ways × 64B = 512B.
-        CacheLevel::new(512, 2, 64)
+        CacheLevel::try_new(512, 2, 64).expect("valid geometry")
     }
 
     #[test]
@@ -321,8 +337,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
+        assert!(matches!(
+            CacheLevel::try_new(500, 2, 64),
+            Err(ConfigError::CacheGeometry { .. })
+        ));
+        assert!(matches!(
+            Hierarchy::try_new(CacheConfig {
+                l2_bytes: 100,
+                ..CacheConfig::default()
+            }),
+            Err(ConfigError::CacheGeometry { level: "l2", .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn deprecated_constructor_still_panics() {
+        #[allow(deprecated)]
         let _ = CacheLevel::new(500, 2, 64);
     }
 }

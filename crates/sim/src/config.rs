@@ -17,6 +17,139 @@
 
 use std::fmt;
 
+/// Why a simulator configuration was rejected.
+///
+/// Returned by the fallible constructors ([`SimConfig::builder`],
+/// [`SimConfig::try_paper`], [`StagePlan::try_for_depth`], …) instead of
+/// panicking. The enum is `#[non_exhaustive]`: future validation rules may
+/// add variants without a breaking change.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Pipeline depth outside the supported `2..=64` range.
+    Depth {
+        /// The rejected depth.
+        depth: u32,
+    },
+    /// Issue width must be at least 1.
+    Width {
+        /// The rejected width.
+        width: u32,
+    },
+    /// Cache-port count must be at least 1.
+    CachePorts {
+        /// The rejected port count.
+        ports: u32,
+    },
+    /// Total logic depth `t_p` must be positive and finite.
+    LogicDepth {
+        /// The rejected value, in FO4.
+        fo4: f64,
+    },
+    /// Latch overhead `t_o` must be non-negative and finite.
+    LatchOverhead {
+        /// The rejected value, in FO4.
+        fo4: f64,
+    },
+    /// A cache level's geometry is inconsistent.
+    CacheGeometry {
+        /// Which level (`"l1d"`, `"l1i"`, `"l2"`, or `"cache"` when built
+        /// directly).
+        level: &'static str,
+        /// What is wrong with it.
+        problem: &'static str,
+    },
+    /// A miss latency must be non-negative and finite.
+    CacheLatency {
+        /// Which latency (`"l2"` or `"memory"`).
+        which: &'static str,
+        /// The rejected value, in FO4.
+        fo4: f64,
+    },
+    /// Predictor table size outside the supported `1..=24` bits.
+    PredictorTableBits {
+        /// The rejected log2 table size.
+        table_bits: u32,
+    },
+    /// Predictor history longer than the 32 branches supported.
+    PredictorHistoryBits {
+        /// The rejected history length.
+        history_bits: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Depth { depth } => {
+                write!(f, "pipeline depth {depth} outside supported range 2..=64")
+            }
+            ConfigError::Width { width } => {
+                write!(f, "issue width {width} must be at least 1")
+            }
+            ConfigError::CachePorts { ports } => {
+                write!(f, "cache-port count {ports} must be at least 1")
+            }
+            ConfigError::LogicDepth { fo4 } => {
+                write!(f, "total logic depth {fo4} FO4 must be positive and finite")
+            }
+            ConfigError::LatchOverhead { fo4 } => {
+                write!(
+                    f,
+                    "latch overhead {fo4} FO4 must be non-negative and finite"
+                )
+            }
+            ConfigError::CacheGeometry { level, problem } => {
+                write!(f, "{level} cache {problem}")
+            }
+            ConfigError::CacheLatency { which, fo4 } => {
+                write!(
+                    f,
+                    "{which} miss latency {fo4} FO4 must be non-negative and finite"
+                )
+            }
+            ConfigError::PredictorTableBits { table_bits } => {
+                write!(
+                    f,
+                    "predictor table size of {table_bits} bits outside supported range 1..=24"
+                )
+            }
+            ConfigError::PredictorHistoryBits { history_bits } => {
+                write!(
+                    f,
+                    "predictor history of {history_bits} branches exceeds the supported 32"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates one cache level's geometry (shared by [`CacheConfig`] and the
+/// direct `CacheLevel` constructor).
+pub(crate) fn check_cache_geometry(
+    level: &'static str,
+    bytes: u64,
+    ways: u32,
+    line_bytes: u64,
+) -> Result<(), ConfigError> {
+    let geometry = |problem| ConfigError::CacheGeometry { level, problem };
+    if !bytes.is_power_of_two() {
+        return Err(geometry("size must be a power of two"));
+    }
+    if !line_bytes.is_power_of_two() {
+        return Err(geometry("line size must be a power of two"));
+    }
+    if ways < 1 {
+        return Err(geometry("needs at least one way"));
+    }
+    if bytes < ways as u64 * line_bytes {
+        return Err(geometry("is too small for its associativity"));
+    }
+    Ok(())
+}
+
 /// Scalable pipeline units (the ones the paper inserts stages into, plus the
 /// fixed-function back end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -95,12 +228,24 @@ pub struct StagePlan {
 impl StagePlan {
     /// Builds the plan for a target depth by largest-remainder apportioning
     /// of the scaled units' logic weights.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `2 ≤ depth ≤ 64`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `StagePlan::try_for_depth`, which reports an invalid depth as a `ConfigError` instead of panicking"
+    )]
     pub fn for_depth(depth: u32) -> Self {
-        assert!((2..=64).contains(&depth), "depth must be in 2..=64");
+        Self::try_for_depth(depth).expect("depth must be in 2..=64")
+    }
+
+    /// Builds the plan for a target depth by largest-remainder apportioning
+    /// of the scaled units' logic weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Depth`] unless `2 ≤ depth ≤ 64`.
+    pub fn try_for_depth(depth: u32) -> Result<Self, ConfigError> {
+        if !(2..=64).contains(&depth) {
+            return Err(ConfigError::Depth { depth });
+        }
         let weights: Vec<f64> = Unit::SCALED.iter().map(|u| u.logic_weight()).collect();
         let mut alloc: Vec<u32> = weights
             .iter()
@@ -134,13 +279,13 @@ impl StagePlan {
                 alloc[must] += 1;
             }
         }
-        StagePlan {
+        Ok(StagePlan {
             decode: alloc[0],
             agen: alloc[1],
             cache: alloc[2],
             execute: alloc[3],
             complete: 2,
-        }
+        })
     }
 
     /// Stage count of a unit.
@@ -239,6 +384,31 @@ pub struct CacheConfig {
     pub prefetch: bool,
 }
 
+impl CacheConfig {
+    /// Checks the geometry and latencies of every configured level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError::CacheGeometry`] or
+    /// [`ConfigError::CacheLatency`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        check_cache_geometry("l1d", self.l1_bytes, self.l1_ways, self.line_bytes)?;
+        if self.l1i_bytes > 0 {
+            check_cache_geometry("l1i", self.l1i_bytes, self.l1i_ways, self.line_bytes)?;
+        }
+        check_cache_geometry("l2", self.l2_bytes, self.l2_ways, self.line_bytes)?;
+        for (which, fo4) in [
+            ("l2", self.l2_latency_fo4),
+            ("memory", self.memory_latency_fo4),
+        ] {
+            if !(fo4.is_finite() && fo4 >= 0.0) {
+                return Err(ConfigError::CacheLatency { which, fo4 });
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Default for CacheConfig {
     fn default() -> Self {
         CacheConfig {
@@ -263,6 +433,30 @@ pub struct PredictorConfig {
     pub table_bits: u32,
     /// Global-history length in branches.
     pub history_bits: u32,
+}
+
+impl PredictorConfig {
+    /// Checks the table and history sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::PredictorTableBits`] unless
+    /// `1 ≤ table_bits ≤ 24` (larger tables would allocate unreasonably),
+    /// or [`ConfigError::PredictorHistoryBits`] if the history exceeds 32
+    /// branches.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=24).contains(&self.table_bits) {
+            return Err(ConfigError::PredictorTableBits {
+                table_bits: self.table_bits,
+            });
+        }
+        if self.history_bits > 32 {
+            return Err(ConfigError::PredictorHistoryBits {
+                history_bits: self.history_bits,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for PredictorConfig {
@@ -301,9 +495,19 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is outside `2..=64`.
+    /// Panics if `depth` is outside `2..=64`; use [`SimConfig::try_paper`]
+    /// to handle that case as an error.
     pub fn paper(depth: u32) -> Self {
-        SimConfig {
+        Self::try_paper(depth).expect("the paper preset is valid for depths 2..=64")
+    }
+
+    /// The paper's machine at the given depth, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Depth`] if `depth` is outside `2..=64`.
+    pub fn try_paper(depth: u32) -> Result<Self, ConfigError> {
+        let config = SimConfig {
             width: 4,
             depth,
             logic_fo4: 140.0,
@@ -312,7 +516,71 @@ impl SimConfig {
             predictor: PredictorConfig::default(),
             cache_ports: 2,
             features: Features::default(),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Starts a builder seeded with the paper machine at depth 8. Set the
+    /// fields that differ, then call [`SimConfigBuilder::build`], which
+    /// validates everything at once.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pipedepth_sim::SimConfig;
+    ///
+    /// let config = SimConfig::builder().depth(14).width(2).build()?;
+    /// assert_eq!(config.depth, 14);
+    /// assert!(SimConfig::builder().depth(99).build().is_err());
+    /// # Ok::<(), pipedepth_sim::ConfigError>(())
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                width: 4,
+                depth: 8,
+                logic_fo4: 140.0,
+                latch_overhead_fo4: 2.5,
+                cache: CacheConfig::default(),
+                predictor: PredictorConfig::default(),
+                cache_ports: 2,
+                features: Features::default(),
+            },
         }
+    }
+
+    /// Checks every field of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: depth, width and port
+    /// ranges, positive finite timing parameters, cache geometry, and
+    /// predictor sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(2..=64).contains(&self.depth) {
+            return Err(ConfigError::Depth { depth: self.depth });
+        }
+        if self.width < 1 {
+            return Err(ConfigError::Width { width: self.width });
+        }
+        if self.cache_ports < 1 {
+            return Err(ConfigError::CachePorts {
+                ports: self.cache_ports,
+            });
+        }
+        if !(self.logic_fo4.is_finite() && self.logic_fo4 > 0.0) {
+            return Err(ConfigError::LogicDepth {
+                fo4: self.logic_fo4,
+            });
+        }
+        if !(self.latch_overhead_fo4.is_finite() && self.latch_overhead_fo4 >= 0.0) {
+            return Err(ConfigError::LatchOverhead {
+                fo4: self.latch_overhead_fo4,
+            });
+        }
+        self.cache.validate()?;
+        self.predictor.validate()
     }
 
     /// Returns a copy with different feature toggles (builder style).
@@ -322,8 +590,14 @@ impl SimConfig {
     }
 
     /// The stage plan realising this configuration's depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (public, mutable) `depth` field has been set outside
+    /// `2..=64`; configurations from the fallible constructors are always
+    /// in range.
     pub fn plan(&self) -> StagePlan {
-        StagePlan::for_depth(self.depth)
+        StagePlan::try_for_depth(self.depth).expect("validated depth")
     }
 
     /// Cycle time `t_s = t_o + t_p/p` in FO4.
@@ -337,14 +611,87 @@ impl SimConfig {
     }
 }
 
+/// Builder for [`SimConfig`], created by [`SimConfig::builder`].
+///
+/// Every setter overwrites one field; [`SimConfigBuilder::build`] validates
+/// the whole configuration and returns it, or the first [`ConfigError`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the superscalar issue width.
+    pub fn width(mut self, width: u32) -> Self {
+        self.config.width = width;
+        self
+    }
+
+    /// Sets the target pipeline depth (decode → execute).
+    pub fn depth(mut self, depth: u32) -> Self {
+        self.config.depth = depth;
+        self
+    }
+
+    /// Sets the total processor logic delay `t_p` in FO4.
+    pub fn logic_fo4(mut self, fo4: f64) -> Self {
+        self.config.logic_fo4 = fo4;
+        self
+    }
+
+    /// Sets the per-stage latch overhead `t_o` in FO4.
+    pub fn latch_overhead_fo4(mut self, fo4: f64) -> Self {
+        self.config.latch_overhead_fo4 = fo4;
+        self
+    }
+
+    /// Sets the cache hierarchy parameters.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Sets the branch-predictor parameters.
+    pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.config.predictor = predictor;
+        self
+    }
+
+    /// Sets the number of data-cache ports.
+    pub fn cache_ports(mut self, ports: u32) -> Self {
+        self.config.cache_ports = ports;
+        self
+    }
+
+    /// Sets the microarchitectural feature toggles.
+    pub fn features(mut self, features: Features) -> Self {
+        self.config.features = features;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] [`SimConfig::validate`] finds.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn plan_for(depth: u32) -> StagePlan {
+        StagePlan::try_for_depth(depth).expect("valid depth")
+    }
+
     #[test]
     fn plans_sum_to_depth() {
         for depth in 2..=25 {
-            let plan = StagePlan::for_depth(depth);
+            let plan = plan_for(depth);
             assert_eq!(plan.counted_depth(), depth, "plan {plan:?}");
         }
     }
@@ -352,7 +699,7 @@ mod tests {
     #[test]
     fn decode_and_execute_never_vanish() {
         for depth in 2..=25 {
-            let plan = StagePlan::for_depth(depth);
+            let plan = plan_for(depth);
             assert!(plan.decode >= 1, "depth {depth}: {plan:?}");
             assert!(plan.execute >= 1, "depth {depth}: {plan:?}");
         }
@@ -360,9 +707,9 @@ mod tests {
 
     #[test]
     fn shallow_plans_merge_units() {
-        let plan = StagePlan::for_depth(2);
+        let plan = plan_for(2);
         assert!(!plan.merged_units().is_empty());
-        let deep = StagePlan::for_depth(20);
+        let deep = plan_for(20);
         assert!(deep.merged_units().is_empty());
     }
 
@@ -370,8 +717,8 @@ mod tests {
     fn deeper_plans_dominate_shallower() {
         // Expansion is uniform: no unit loses stages when depth grows.
         for depth in 2..25 {
-            let a = StagePlan::for_depth(depth);
-            let b = StagePlan::for_depth(depth + 1);
+            let a = plan_for(depth);
+            let b = plan_for(depth + 1);
             for u in Unit::SCALED {
                 assert!(
                     b.stages(u) + 1 >= a.stages(u),
@@ -415,9 +762,123 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "2..=64")]
     fn depth_one_rejected() {
+        assert_eq!(
+            StagePlan::try_for_depth(1),
+            Err(ConfigError::Depth { depth: 1 })
+        );
+        assert_eq!(
+            SimConfig::try_paper(65),
+            Err(ConfigError::Depth { depth: 65 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=64")]
+    fn deprecated_for_depth_still_panics() {
+        #[allow(deprecated)]
         let _ = StagePlan::for_depth(1);
+    }
+
+    #[test]
+    fn builder_accepts_valid_overrides() {
+        let config = SimConfig::builder()
+            .depth(14)
+            .width(2)
+            .cache_ports(1)
+            .logic_fo4(110.0)
+            .latch_overhead_fo4(3.0)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(config.depth, 14);
+        assert_eq!(config.width, 2);
+        assert_eq!(config.cache_ports, 1);
+        assert_eq!(config.plan().counted_depth(), 14);
+    }
+
+    #[test]
+    fn builder_rejects_each_bad_field() {
+        assert!(matches!(
+            SimConfig::builder().depth(1).build(),
+            Err(ConfigError::Depth { depth: 1 })
+        ));
+        assert!(matches!(
+            SimConfig::builder().width(0).build(),
+            Err(ConfigError::Width { width: 0 })
+        ));
+        assert!(matches!(
+            SimConfig::builder().cache_ports(0).build(),
+            Err(ConfigError::CachePorts { ports: 0 })
+        ));
+        assert!(matches!(
+            SimConfig::builder().logic_fo4(0.0).build(),
+            Err(ConfigError::LogicDepth { .. })
+        ));
+        assert!(matches!(
+            SimConfig::builder().latch_overhead_fo4(-1.0).build(),
+            Err(ConfigError::LatchOverhead { .. })
+        ));
+        assert!(matches!(
+            SimConfig::builder()
+                .predictor(PredictorConfig {
+                    table_bits: 0,
+                    history_bits: 0,
+                })
+                .build(),
+            Err(ConfigError::PredictorTableBits { table_bits: 0 })
+        ));
+        let cache = CacheConfig {
+            l1_bytes: 500,
+            ..CacheConfig::default()
+        };
+        assert!(matches!(
+            SimConfig::builder().cache(cache).build(),
+            Err(ConfigError::CacheGeometry { level: "l1d", .. })
+        ));
+    }
+
+    #[test]
+    fn cache_validation_covers_each_level() {
+        let cfg = CacheConfig {
+            l1i_bytes: 100,
+            ..CacheConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::CacheGeometry { level: "l1i", .. })
+        ));
+        let cfg = CacheConfig {
+            l1i_bytes: 0, // disabled: not validated
+            l2_ways: 0,
+            ..CacheConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::CacheGeometry { level: "l2", .. })
+        ));
+        let cfg = CacheConfig {
+            memory_latency_fo4: f64::NAN,
+            ..CacheConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::CacheLatency {
+                which: "memory",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn config_error_displays_and_implements_error() {
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::Depth { depth: 99 });
+        assert!(err.to_string().contains("99"));
+        assert!(ConfigError::CacheGeometry {
+            level: "l1d",
+            problem: "size must be a power of two",
+        }
+        .to_string()
+        .contains("l1d"));
     }
 
     #[test]

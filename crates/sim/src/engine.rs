@@ -14,10 +14,11 @@
 //! per-unit occupancy counts the power model needs.
 
 use crate::cache::Hierarchy;
-use crate::config::{IssuePolicy, SimConfig, StagePlan, Unit};
+use crate::config::{ConfigError, IssuePolicy, SimConfig, StagePlan, Unit};
 use crate::hazard::{HazardKind, HazardStats};
 use crate::predictor::Gshare;
 use crate::report::SimReport;
+use pipedepth_telemetry::Telemetry;
 use pipedepth_trace::isa::{Instruction, OpClass, Reg};
 use std::collections::VecDeque;
 
@@ -153,6 +154,25 @@ pub struct Engine {
     branches: u64,
     mispredicts: u64,
     memory_wait_cycles: u64,
+
+    telemetry: Telemetry,
+    /// Statistic totals already flushed into the telemetry registry;
+    /// flushing records only the delta since this watermark, once per run
+    /// window, so the per-instruction hot path stays free of atomics.
+    flushed: StatTotals,
+}
+
+/// Cumulative statistic totals, captured to flush per-run deltas into the
+/// telemetry counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatTotals {
+    instructions: u64,
+    hazard_events: [u64; HazardKind::ALL.len()],
+    hazard_stalls: [u64; HazardKind::ALL.len()],
+    predictor_observed: u64,
+    predictor_correct: u64,
+    /// `(accesses, misses)` for the l1d, l1i, l2 levels.
+    cache: [(u64, u64); 3],
 }
 
 impl Engine {
@@ -175,13 +195,28 @@ impl Engine {
     }
 
     /// Creates an engine for one pipeline configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`Engine::try_new`] to
+    /// handle that case as an error.
     pub fn new(config: SimConfig) -> Self {
-        let plan = config.plan();
-        Engine {
+        Self::try_new(config).expect("simulator configuration must be valid")
+    }
+
+    /// Creates an engine for one pipeline configuration, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by [`SimConfig::validate`].
+    pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let plan = StagePlan::try_for_depth(config.depth)?;
+        Ok(Engine {
             config,
             plan,
-            caches: Hierarchy::new(config.cache),
-            predictor: Gshare::new(config.predictor),
+            caches: Hierarchy::try_new(config.cache)?,
+            predictor: Gshare::try_new(config.predictor)?,
             decode_port: Port::new(config.width),
             issue_port: Port::new(config.width),
             cache_port: Port::new(config.cache_ports),
@@ -205,7 +240,17 @@ impl Engine {
             branches: 0,
             mispredicts: 0,
             memory_wait_cycles: 0,
-        }
+            telemetry: Telemetry::disabled(),
+            flushed: StatTotals::default(),
+        })
+    }
+
+    /// Attaches a telemetry handle (builder style). [`Engine::run`] and
+    /// [`Engine::warm_up`] flush aggregate statistics into it — counters
+    /// under `sim.*` — once per run window.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration this engine realises.
@@ -538,10 +583,14 @@ impl Engine {
     /// Runs `count` instructions as warmup — caches fill and the predictor
     /// trains, but no statistics are kept. Call before [`Engine::run`] to
     /// measure steady-state behaviour, as the experiment harness does.
-    pub fn warm_up<I>(&mut self, trace: &mut I, count: u64)
+    ///
+    /// With telemetry attached, only `sim.warmup_instructions` is flushed:
+    /// warmup statistics are discarded by design.
+    pub fn warm_up<I>(&mut self, trace: I, count: u64)
     where
-        I: Iterator<Item = Instruction>,
+        I: IntoIterator<Item = Instruction>,
     {
+        let mut trace = trace.into_iter();
         for _ in 0..count {
             match trace.next() {
                 Some(instr) => {
@@ -550,6 +599,10 @@ impl Engine {
                 None => break,
             }
         }
+        let warmed = self.instructions.saturating_sub(self.flushed.instructions);
+        self.telemetry
+            .counter("sim.warmup_instructions")
+            .add(warmed);
         self.reset_stats();
     }
 
@@ -568,14 +621,17 @@ impl Engine {
         self.stats_base_cycle = self.finish_cycle;
         self.caches.reset_stats();
         self.predictor.reset_stats();
+        self.flushed = StatTotals::default();
     }
 
     /// Runs `count` instructions from a trace source and produces the
-    /// report.
-    pub fn run<I>(&mut self, trace: &mut I, count: u64) -> SimReport
+    /// report. With telemetry attached, the run's aggregate statistics are
+    /// flushed into the `sim.*` counters on completion.
+    pub fn run<I>(&mut self, trace: I, count: u64) -> SimReport
     where
-        I: Iterator<Item = Instruction>,
+        I: IntoIterator<Item = Instruction>,
     {
+        let mut trace = trace.into_iter();
         for _ in 0..count {
             match trace.next() {
                 Some(instr) => {
@@ -584,7 +640,63 @@ impl Engine {
                 None => break,
             }
         }
+        self.flush_telemetry();
         self.report()
+    }
+
+    fn stat_totals(&self) -> StatTotals {
+        let mut totals = StatTotals {
+            instructions: self.instructions,
+            predictor_observed: self.predictor.observed(),
+            predictor_correct: self.predictor.correct(),
+            cache: [
+                (self.caches.l1().accesses(), self.caches.l1().misses()),
+                (
+                    self.caches.l1i().map_or(0, |c| c.accesses()),
+                    self.caches.l1i().map_or(0, |c| c.misses()),
+                ),
+                (self.caches.l2().accesses(), self.caches.l2().misses()),
+            ],
+            ..StatTotals::default()
+        };
+        for (i, &kind) in HazardKind::ALL.iter().enumerate() {
+            totals.hazard_events[i] = self.hazards.events(kind);
+            totals.hazard_stalls[i] = self.hazards.stall_cycles(kind);
+        }
+        totals
+    }
+
+    /// Flushes the delta of every statistic since the last flush into the
+    /// attached telemetry registry. No-op when telemetry is disabled.
+    fn flush_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let now = self.stat_totals();
+        let prev = std::mem::replace(&mut self.flushed, now);
+        let t = &self.telemetry;
+        t.counter("sim.instructions")
+            .add(now.instructions.saturating_sub(prev.instructions));
+        for (i, kind) in HazardKind::ALL.iter().enumerate() {
+            t.counter(&format!("sim.hazards.{kind}.events"))
+                .add(now.hazard_events[i].saturating_sub(prev.hazard_events[i]));
+            t.counter(&format!("sim.hazards.{kind}.stall_cycles"))
+                .add(now.hazard_stalls[i].saturating_sub(prev.hazard_stalls[i]));
+        }
+        let observed = now
+            .predictor_observed
+            .saturating_sub(prev.predictor_observed);
+        let hits = now.predictor_correct.saturating_sub(prev.predictor_correct);
+        t.counter("sim.predictor.hits").add(hits);
+        t.counter("sim.predictor.misses")
+            .add(observed.saturating_sub(hits));
+        for (i, level) in ["l1d", "l1i", "l2"].iter().enumerate() {
+            let accesses = now.cache[i].0.saturating_sub(prev.cache[i].0);
+            let misses = now.cache[i].1.saturating_sub(prev.cache[i].1);
+            t.counter(&format!("sim.cache.{level}.hits"))
+                .add(accesses.saturating_sub(misses));
+            t.counter(&format!("sim.cache.{level}.misses")).add(misses);
+        }
     }
 
     /// Produces the report for everything simulated so far.
@@ -685,7 +797,7 @@ mod tests {
             "mispredict must record a control hazard"
         );
         // The refill is at least the decode→execute transit.
-        let plan = StagePlan::for_depth(depth);
+        let plan = StagePlan::try_for_depth(depth).expect("valid depth");
         assert!(r.hazards.stall_cycles(HazardKind::Control) as u32 >= plan.decode + plan.execute);
     }
 
@@ -781,7 +893,7 @@ mod tests {
             5,
         );
         let r = e.run(&mut gen, 5_000);
-        let plan = StagePlan::for_depth(20);
+        let plan = StagePlan::try_for_depth(20).expect("valid depth");
         let decode_activity = r.unit_activity(Unit::Decode);
         assert_eq!(decode_activity, 5_000 * plan.decode as u64);
         // Cache activity only for memory instructions.
@@ -961,5 +1073,64 @@ mod tests {
         assert_eq!(r.instructions, 0);
         assert_eq!(r.cycles, 0);
         assert_eq!(r.cpi(), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut cfg = SimConfig::paper(8);
+        cfg.width = 0;
+        assert!(matches!(
+            Engine::try_new(cfg),
+            Err(ConfigError::Width { width: 0 })
+        ));
+        assert!(Engine::try_new(SimConfig::paper(8)).is_ok());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn run_flushes_aggregate_counters() {
+        let telemetry = Telemetry::new();
+        let mut e = Engine::new(SimConfig::paper(12)).with_telemetry(telemetry.clone());
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 3);
+        e.warm_up(&mut gen, 1_000);
+        let report = e.run(&mut gen, 5_000);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sim.warmup_instructions"), 1_000);
+        assert_eq!(snap.counter("sim.instructions"), 5_000);
+        assert_eq!(
+            snap.counter("sim.predictor.hits") + snap.counter("sim.predictor.misses"),
+            report.branches
+        );
+        for kind in HazardKind::ALL {
+            assert_eq!(
+                snap.counter(&format!("sim.hazards.{kind}.events")),
+                report.hazards.events(kind),
+                "hazard {kind}"
+            );
+            assert_eq!(
+                snap.counter(&format!("sim.hazards.{kind}.stall_cycles")),
+                report.hazards.stall_cycles(kind),
+                "hazard {kind}"
+            );
+        }
+        assert!(snap.counter("sim.cache.l1d.hits") > 0);
+        assert!(snap.counter("sim.cache.l1i.hits") > 0);
+        // A second run adds only its own delta.
+        e.run(&mut gen, 1_000);
+        assert_eq!(telemetry.snapshot().counter("sim.instructions"), 6_000);
+    }
+
+    #[test]
+    fn run_accepts_into_iterator() {
+        // A materialised Vec (an IntoIterator, not an Iterator) works too.
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 9);
+        let trace = gen.take_vec(2_000);
+        let mut from_vec = Engine::new(SimConfig::paper(10));
+        let a = from_vec.run(trace.clone(), 2_000);
+        let mut from_iter = Engine::new(SimConfig::paper(10));
+        let b = from_iter.run(trace.iter().copied(), 2_000);
+        assert_eq!(a.cycles, b.cycles);
     }
 }

@@ -44,7 +44,10 @@ pub mod hazard;
 pub mod predictor;
 pub mod report;
 
-pub use config::{CacheConfig, Features, IssuePolicy, PredictorConfig, SimConfig, StagePlan, Unit};
+pub use config::{
+    CacheConfig, ConfigError, Features, IssuePolicy, PredictorConfig, SimConfig, SimConfigBuilder,
+    StagePlan, Unit,
+};
 pub use engine::{Engine, InstrTiming};
 pub use hazard::{HazardKind, HazardStats};
 pub use report::SimReport;

@@ -9,7 +9,7 @@
 //! Mispredictions are the pipeline's dominant depth-scaled hazard — a wrong
 //! prediction costs a full decode-to-execute refill.
 
-use crate::config::PredictorConfig;
+use crate::config::{ConfigError, PredictorConfig};
 
 /// A 2-bit saturating counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,13 +39,14 @@ impl Counter {
 /// use pipedepth_sim::predictor::Gshare;
 /// use pipedepth_sim::config::PredictorConfig;
 ///
-/// let mut bp = Gshare::new(PredictorConfig::default());
+/// let mut bp = Gshare::try_new(PredictorConfig::default())?;
 /// // A branch that is always taken becomes perfectly predicted.
 /// for _ in 0..32 {
 ///     bp.observe(0x4000, true);
 /// }
 /// let (hits, total) = (bp.correct(), bp.observed());
 /// assert!(hits * 10 >= total * 9);
+/// # Ok::<(), pipedepth_sim::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Gshare {
@@ -59,25 +60,31 @@ pub struct Gshare {
 
 impl Gshare {
     /// Creates a predictor from its configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `table_bits` is zero or above 24 (would allocate
-    /// unreasonably) or `history_bits` exceeds 32.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Gshare::try_new`, which reports invalid sizes as a `ConfigError` instead of panicking"
+    )]
     pub fn new(config: PredictorConfig) -> Self {
-        assert!(
-            (1..=24).contains(&config.table_bits),
-            "table bits must be in 1..=24"
-        );
-        assert!(config.history_bits <= 32, "history too long");
-        Gshare {
+        Self::try_new(config).expect("predictor configuration must be valid")
+    }
+
+    /// Creates a predictor from its configuration, validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::PredictorTableBits`] if `table_bits` is zero
+    /// or above 24 (would allocate unreasonably), or
+    /// [`ConfigError::PredictorHistoryBits`] if `history_bits` exceeds 32.
+    pub fn try_new(config: PredictorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Gshare {
             table: vec![Counter::WEAK_TAKEN; 1 << config.table_bits],
             history: 0,
             history_mask: (1u64 << config.history_bits).wrapping_sub(1),
             index_mask: (1u64 << config.table_bits) - 1,
             observed: 0,
             correct: 0,
-        }
+        })
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -136,7 +143,7 @@ mod tests {
     use super::*;
 
     fn predictor() -> Gshare {
-        Gshare::new(PredictorConfig::default())
+        Gshare::try_new(PredictorConfig::default()).expect("valid configuration")
     }
 
     #[test]
@@ -162,10 +169,11 @@ mod tests {
 
     #[test]
     fn learns_alternating_pattern_via_history() {
-        let mut bp = Gshare::new(PredictorConfig {
+        let mut bp = Gshare::try_new(PredictorConfig {
             table_bits: 12,
             history_bits: 10,
-        });
+        })
+        .expect("valid configuration");
         for i in 0..2000u64 {
             bp.observe(0x1000, i % 2 == 0);
         }
@@ -210,8 +218,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "table bits")]
     fn zero_table_rejected() {
+        assert_eq!(
+            Gshare::try_new(PredictorConfig {
+                table_bits: 0,
+                history_bits: 4,
+            })
+            .unwrap_err(),
+            ConfigError::PredictorTableBits { table_bits: 0 }
+        );
+        assert!(matches!(
+            Gshare::try_new(PredictorConfig {
+                table_bits: 14,
+                history_bits: 40,
+            }),
+            Err(ConfigError::PredictorHistoryBits { history_bits: 40 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "PredictorTableBits")]
+    fn deprecated_constructor_still_panics() {
+        #[allow(deprecated)]
         let _ = Gshare::new(PredictorConfig {
             table_bits: 0,
             history_bits: 4,

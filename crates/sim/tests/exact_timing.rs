@@ -27,7 +27,7 @@ fn alu_dep(k: u8, on: u8) -> Instruction {
 #[test]
 fn single_instruction_transits_the_whole_pipe() {
     for depth in [4u32, 8, 16, 25] {
-        let plan = StagePlan::for_depth(depth);
+        let plan = StagePlan::try_for_depth(depth).expect("valid depth");
         let mut e = Engine::new(machine(depth));
         let t = e.step_timing(&alu(0));
         // Decode starts at cycle 0; issue right after decode; execute takes
@@ -46,7 +46,7 @@ fn single_instruction_transits_the_whole_pipe() {
 #[test]
 fn independent_alus_schedule_four_wide() {
     let depth = 12;
-    let plan = StagePlan::for_depth(depth);
+    let plan = StagePlan::try_for_depth(depth).expect("valid depth");
     let mut e = Engine::new(machine(depth));
     // 12 independent ALU ops: decode 4 per cycle, issue 4 per cycle.
     let timings: Vec<_> = (0..12).map(|k| e.step_timing(&alu(k))).collect();
@@ -62,7 +62,7 @@ fn forwarded_chain_issues_back_to_back() {
     // With forwarding, a dependent chain issues one instruction per cycle:
     // each consumer reads its producer's result one cycle after issue.
     let depth = 16;
-    let plan = StagePlan::for_depth(depth);
+    let plan = StagePlan::try_for_depth(depth).expect("valid depth");
     let mut e = Engine::new(machine(depth));
     let t0 = e.step_timing(&alu(0));
     assert_eq!(t0.issue, plan.decode as u64);
@@ -80,7 +80,7 @@ fn forwarded_chain_issues_back_to_back() {
 fn unforwarded_chain_waits_the_full_eunit() {
     use pipedepth_sim::Features;
     let depth = 16;
-    let plan = StagePlan::for_depth(depth);
+    let plan = StagePlan::try_for_depth(depth).expect("valid depth");
     let cfg = machine(depth).with_features(Features {
         forwarding: false,
         ..Features::default()
@@ -142,7 +142,7 @@ fn store_does_not_block_the_pipe() {
 fn load_hit_data_flows_through_the_rx_segment() {
     use pipedepth_trace::isa::MemRef;
     let depth = 16;
-    let plan = StagePlan::for_depth(depth);
+    let plan = StagePlan::try_for_depth(depth).expect("valid depth");
     let mut e = Engine::new(machine(depth));
     // Warm the line, then measure a dependent pair.
     let warm = Instruction::new(0, OpClass::Load)
@@ -179,7 +179,7 @@ fn load_hit_data_flows_through_the_rx_segment() {
 fn mispredict_refills_from_decode() {
     use pipedepth_trace::isa::BranchInfo;
     let depth = 20;
-    let plan = StagePlan::for_depth(depth);
+    let plan = StagePlan::try_for_depth(depth).expect("valid depth");
     let mut e = Engine::new(machine(depth));
     // Train the predictor taken, then surprise it.
     for k in 0..12u64 {

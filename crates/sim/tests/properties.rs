@@ -28,7 +28,7 @@ proptest! {
 
     #[test]
     fn stage_plans_partition_every_depth(depth in arb_depth()) {
-        let plan = StagePlan::for_depth(depth);
+        let plan = StagePlan::try_for_depth(depth).expect("valid depth");
         prop_assert_eq!(plan.counted_depth(), depth);
         prop_assert!(plan.decode >= 1);
         prop_assert!(plan.execute >= 1);
@@ -45,7 +45,7 @@ proptest! {
     fn retire_cycle_bounds_cycle_count(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
         let r = run(model, seed, depth, 2000);
         // Every instruction passes the whole machine at least once.
-        let plan = StagePlan::for_depth(depth);
+        let plan = StagePlan::try_for_depth(depth).expect("valid depth");
         let min_transit = (plan.decode + plan.execute + plan.complete) as u64;
         prop_assert!(r.cycles >= min_transit + 2000 / 4 - 1, "cycles {}", r.cycles);
     }
@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn activity_consistent_with_plan(model in arb_model(), seed in any::<u64>(), depth in arb_depth()) {
         let r = run(model, seed, depth, 3000);
-        let plan = StagePlan::for_depth(depth);
+        let plan = StagePlan::try_for_depth(depth).expect("valid depth");
         // Decode and Complete are traversed by every instruction.
         prop_assert_eq!(r.unit_activity(Unit::Decode), 3000 * plan.decode as u64);
         prop_assert_eq!(r.unit_activity(Unit::Complete), 3000 * plan.complete as u64);

@@ -1,0 +1,64 @@
+//! Minimal JSON rendering helpers.
+//!
+//! The workspace has no serialisation dependency (the build environment is
+//! offline), so the manifest and metric snapshots are rendered with these
+//! two primitives: string escaping and finite-number formatting.
+
+/// Escapes a string for embedding inside a JSON string literal (without
+/// the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number. Non-finite values, which JSON cannot
+/// represent, render as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting: deterministic, and always a
+        // valid JSON number.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_characters() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0");
+        assert_eq!(number(-2.25), "-2.25");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+}

@@ -1,0 +1,263 @@
+//! Lightweight metrics for the `pipedepth` simulation stack.
+//!
+//! The crate provides a [`Telemetry`] handle fronting a small metrics
+//! registry — monotonic [`Counter`]s, [`Gauge`]s, fixed-bucket
+//! [`Histogram`]s — plus span-style scoped timers ([`Span`]). The hot
+//! layers of the workspace (the timing engine, the trace generator, the
+//! cell runner) accept a handle and record into it; the `repro` driver
+//! snapshots the registry into `results/manifest.json`.
+//!
+//! Two mechanisms keep the cost out of the simulation hot path:
+//!
+//! * **No-op handles.** [`Telemetry::disabled`] returns a handle with no
+//!   registry behind it; every recording call is a single predictable
+//!   branch. Layers flush *aggregate* counts once per simulation run, so
+//!   even an enabled handle costs a handful of atomic adds per cell, not
+//!   per instruction.
+//! * **The `capture` feature.** With the feature off (build with
+//!   `--no-default-features`), every type in this crate is a zero-sized
+//!   stub and every method an inlined empty body: telemetry compiles out
+//!   entirely.
+//!
+//! Counters aggregate with relaxed atomic adds, which are commutative, so
+//! counter snapshots are **deterministic for any thread count**. Timing
+//! metrics (histograms, gauges) are wall-clock-dependent; by convention
+//! their names end in `_us` so consumers (the golden-manifest test) can
+//! mask them.
+//!
+//! # Examples
+//!
+//! ```
+//! use pipedepth_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! telemetry.counter("sim.instructions").add(1_000);
+//! {
+//!     let _span = telemetry.span("phase.sweep_us");
+//!     // ... timed work ...
+//! }
+//! let snapshot = telemetry.snapshot();
+//! # #[cfg(feature = "capture")]
+//! assert_eq!(snapshot.counter("sim.instructions"), 1_000);
+//! ```
+
+pub mod json;
+
+#[cfg(feature = "capture")]
+mod capture;
+#[cfg(feature = "capture")]
+pub use capture::{Counter, Gauge, Histogram, Span, Telemetry};
+
+#[cfg(not(feature = "capture"))]
+mod noop;
+#[cfg(not(feature = "capture"))]
+pub use noop::{Counter, Gauge, Histogram, Span, Telemetry};
+
+/// Default bucket upper bounds, in microseconds, for span/timing
+/// histograms (an implicit `+inf` bucket follows the last bound).
+pub const DEFAULT_TIME_BUCKETS_US: [f64; 12] = [
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-write-wins gauge.
+    Gauge(f64),
+    /// A fixed-bucket histogram.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The metric kind as a stable lowercase tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Renders the value as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => format!("{{\"type\": \"counter\", \"value\": {v}}}"),
+            MetricValue::Gauge(v) => {
+                format!("{{\"type\": \"gauge\", \"value\": {}}}", json::number(*v))
+            }
+            MetricValue::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; a final `+inf` bucket is implicit.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest observed value (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Renders the histogram as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|&b| json::number(b)).collect();
+        let buckets: Vec<String> = self.buckets.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"bounds\": [{}], \"buckets\": [{}]}}",
+            self.count,
+            json::number(self.sum),
+            self.min.map_or_else(|| "null".to_string(), json::number),
+            self.max.map_or_else(|| "null".to_string(), json::number),
+            bounds.join(", "),
+            buckets.join(", "),
+        )
+    }
+}
+
+/// One named metric inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered metric name, e.g. `sim.instructions`.
+    pub name: String,
+    /// The metric's value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// The metrics, in ascending name order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// A counter's value (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A gauge's value, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A histogram's state, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing was registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_value_kinds() {
+        assert_eq!(MetricValue::Counter(1).kind(), "counter");
+        assert_eq!(MetricValue::Gauge(0.5).kind(), "gauge");
+    }
+
+    #[test]
+    fn counter_json_shape() {
+        assert_eq!(
+            MetricValue::Counter(7).to_json(),
+            "{\"type\": \"counter\", \"value\": 7}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_json_uses_null() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        };
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().contains("\"min\": null"));
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let snap = Snapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "a".into(),
+                    value: MetricValue::Counter(3),
+                },
+                MetricSnapshot {
+                    name: "b".into(),
+                    value: MetricValue::Gauge(0.25),
+                },
+            ],
+        };
+        assert_eq!(snap.counter("a"), 3);
+        assert_eq!(snap.counter("b"), 0, "gauge is not a counter");
+        assert_eq!(snap.gauge("b"), Some(0.25));
+        assert!(snap.histogram("a").is_none());
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The compiled-out implementation used when the `capture` feature is off.
+//!
+//! Every type is zero-sized and every method an empty inlined body, so a
+//! build without `capture` carries no telemetry code at all — the
+//! guarantee behind "no measurable slowdown with telemetry disabled".
+//! The API mirrors [`capture`](crate) exactly; consumers never need
+//! `cfg` guards.
+
+use crate::Snapshot;
+
+/// No-op stand-in for the recording handle (capture feature off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Telemetry;
+
+impl Telemetry {
+    /// A handle (records nothing in this build).
+    #[inline(always)]
+    pub fn new() -> Self {
+        Telemetry
+    }
+
+    /// A no-op handle.
+    #[inline(always)]
+    pub fn disabled() -> Self {
+        Telemetry
+    }
+
+    /// Always false: nothing records in this build.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// A disconnected counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A disconnected gauge.
+    #[inline(always)]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A disconnected histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &str, _bounds: &[f64]) -> Histogram {
+        Histogram
+    }
+
+    /// A span that times nothing.
+    #[inline(always)]
+    pub fn span(&self, _name: &str) -> Span {
+        Span
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// No-op counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: f64) {}
+}
+
+/// No-op span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span;

@@ -8,6 +8,7 @@
 
 use crate::isa::{BranchInfo, Instruction, MemRef, OpClass, Reg};
 use crate::model::WorkloadModel;
+use pipedepth_telemetry::{Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +45,13 @@ pub struct TraceGenerator {
     /// Per-site branch biases, indexed by a hash of the site id.
     site_bias: Vec<f64>,
     emitted: u64,
+    /// Telemetry counter for `trace.instructions_generated` (disconnected
+    /// unless built with [`TraceGenerator::with_telemetry`]).
+    generated: Counter,
+    /// Instructions already flushed into `generated`; deltas flush on
+    /// [`TraceGenerator::flush_telemetry`] and on drop, keeping the
+    /// per-instruction path free of atomics.
+    flushed: u64,
 }
 
 impl TraceGenerator {
@@ -80,7 +88,29 @@ impl TraceGenerator {
             data_ptr: 0x4000_0000,
             site_bias,
             emitted: 0,
+            generated: Counter::default(),
+            flushed: 0,
         }
+    }
+
+    /// Creates a generator that reports into a telemetry registry: each
+    /// construction bumps `trace.generators_created`, and every emitted
+    /// instruction is (batch-)counted into `trace.instructions_generated`.
+    /// The stream itself is identical to [`TraceGenerator::new`] with the
+    /// same arguments.
+    pub fn with_telemetry(model: WorkloadModel, seed: u64, telemetry: &Telemetry) -> Self {
+        telemetry.counter("trace.generators_created").inc();
+        let mut gen = Self::new(model, seed);
+        gen.generated = telemetry.counter("trace.instructions_generated");
+        gen
+    }
+
+    /// Flushes the not-yet-reported emission count into the telemetry
+    /// counter. Called automatically on drop; call it earlier to make a
+    /// snapshot current.
+    pub fn flush_telemetry(&mut self) {
+        self.generated.add(self.emitted - self.flushed);
+        self.flushed = self.emitted;
     }
 
     /// The workload model this generator realises.
@@ -283,6 +313,12 @@ impl Iterator for TraceGenerator {
     /// The stream is endless; `next` always yields.
     fn next(&mut self) -> Option<Instruction> {
         Some(self.next_instruction())
+    }
+}
+
+impl Drop for TraceGenerator {
+    fn drop(&mut self) {
+        self.flush_telemetry();
     }
 }
 
@@ -499,5 +535,35 @@ mod tests {
         let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 11);
         assert!(gen.nth(10_000).is_some());
         assert_eq!(gen.emitted(), 10_001);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_counts_generated_instructions() {
+        let telemetry = Telemetry::new();
+        {
+            let mut gen =
+                TraceGenerator::with_telemetry(WorkloadModel::spec_int_like(), 1, &telemetry);
+            let _ = gen.take_vec(500);
+            gen.flush_telemetry();
+            assert_eq!(
+                telemetry.snapshot().counter("trace.instructions_generated"),
+                500
+            );
+            let _ = gen.take_vec(100);
+        } // drop flushes the remainder
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("trace.instructions_generated"), 600);
+        assert_eq!(snap.counter("trace.generators_created"), 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_does_not_perturb_the_stream() {
+        let telemetry = Telemetry::new();
+        let mut counted =
+            TraceGenerator::with_telemetry(WorkloadModel::modern_like(), 5, &telemetry);
+        let mut plain = TraceGenerator::new(WorkloadModel::modern_like(), 5);
+        assert_eq!(counted.take_vec(200), plain.take_vec(200));
     }
 }

@@ -12,8 +12,10 @@
 //! ```
 
 use pipedepth::model::{
-    exponent_beta_grid, latch_growth_sweep, leakage_sweep, metric_exponent_sweep, ClockGating,
-    MetricExponent, PipelineModel, PowerParams, SweepConfig, TechParams, WorkloadParams,
+    exponent_beta_grid, latch_growth_sweep, leakage_sweep, metric_exponent_sweep, SweepConfig,
+};
+use pipedepth::{
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
 };
 
 fn show(points: &[pipedepth::model::SweepPoint], label: &str, unit: &str) {

@@ -8,8 +8,9 @@
 //! ```
 
 use pipedepth::experiments::figures::fig8;
-use pipedepth::experiments::sweep::{sweep_workload, RunConfig};
+use pipedepth::experiments::sweep::sweep_workload;
 use pipedepth::workloads::{suite_class, WorkloadClass};
+use pipedepth::RunConfig;
 
 fn main() {
     let config = RunConfig {

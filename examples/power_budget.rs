@@ -10,9 +10,9 @@
 //! cargo run --release --example power_budget
 //! ```
 
-use pipedepth::model::{
-    numeric_optimum, power_capped_design, BudgetedDesign, ClockGating, MetricExponent,
-    PipelineModel, PowerParams, TechParams, WorkloadParams,
+use pipedepth::model::{numeric_optimum, power_capped_design, BudgetedDesign};
+use pipedepth::{
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
 };
 
 fn main() {

@@ -7,8 +7,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pipedepth::model::{
-    report, ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
+use pipedepth::model::report;
+use pipedepth::{
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
 };
 
 fn main() {

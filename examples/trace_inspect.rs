@@ -6,10 +6,10 @@
 //! cargo run --release --example trace_inspect
 //! ```
 
-use pipedepth::sim::{Engine, SimConfig};
 use pipedepth::trace::codec::{decode, encode};
 use pipedepth::trace::isa::OpClass;
-use pipedepth::trace::{TraceGenerator, TraceStats, WorkloadModel};
+use pipedepth::trace::TraceStats;
+use pipedepth::{Engine, SimConfig, TraceGenerator, WorkloadModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = WorkloadModel::modern_like();

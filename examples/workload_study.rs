@@ -6,9 +6,9 @@
 //! cargo run --release --example workload_study
 //! ```
 
-use pipedepth::experiments::sweep::{sweep_all, RunConfig};
+use pipedepth::experiments::sweep::sweep_all;
 use pipedepth::math::fit::cubic_peak_fit;
-use pipedepth::workloads::representatives;
+use pipedepth::{representatives, RunConfig};
 
 fn main() {
     let config = RunConfig {

@@ -12,16 +12,24 @@
 //!   pipeline simulator;
 //! * [`power`] ([`pipedepth_power`]) — the latch-based power model;
 //! * [`workloads`] ([`pipedepth_workloads`]) — the 55-workload suite;
-//! * [`experiments`] ([`pipedepth_experiments`]) — per-figure drivers.
+//! * [`experiments`] ([`pipedepth_experiments`]) — per-figure drivers;
+//! * [`telemetry`] ([`pipedepth_telemetry`]) — metrics for the sim/runner
+//!   stack (compiled out without the `telemetry` feature).
+//!
+//! The blessed types of each layer are additionally re-exported at the
+//! crate root — `pipedepth::{Engine, SimConfig, TraceGenerator, Runner,
+//! …}` — so examples, doctests and the README share one import path; the
+//! module re-exports remain for everything deeper.
 //!
 //! # Quickstart
 //!
 //! Find the optimum pipeline depth for the paper's BIPS³/W metric:
 //!
 //! ```
-//! use pipedepth::model::{
-//!     report, ClockGating, MetricExponent, PipelineModel, PowerParams,
-//!     TechParams, WorkloadParams,
+//! use pipedepth::model::report;
+//! use pipedepth::{
+//!     ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams,
+//!     WorkloadParams,
 //! };
 //!
 //! let model = PipelineModel::new(
@@ -34,16 +42,18 @@
 //! assert!(depth > 1.0 && depth < r.perf_only);
 //! ```
 //!
-//! Or run the simulator directly (see `examples/` for richer scenarios):
+//! Or run the simulator directly (see `examples/` for richer scenarios),
+//! configuring the machine through the fallible builder:
 //!
 //! ```
-//! use pipedepth::sim::{Engine, SimConfig};
-//! use pipedepth::trace::{TraceGenerator, WorkloadModel};
+//! use pipedepth::{ConfigError, Engine, TraceGenerator, SimConfig, WorkloadModel};
 //!
-//! let mut engine = Engine::new(SimConfig::paper(8));
+//! let config = SimConfig::builder().depth(8).build()?;
+//! let mut engine = Engine::try_new(config)?;
 //! let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 1);
 //! let report = engine.run(&mut gen, 5_000);
 //! assert!(report.cpi() > 0.25);
+//! # Ok::<(), ConfigError>(())
 //! ```
 
 pub use pipedepth_core as model;
@@ -51,5 +61,15 @@ pub use pipedepth_experiments as experiments;
 pub use pipedepth_math as math;
 pub use pipedepth_power as power;
 pub use pipedepth_sim as sim;
+pub use pipedepth_telemetry as telemetry;
 pub use pipedepth_trace as trace;
 pub use pipedepth_workloads as workloads;
+
+pub use pipedepth_core::{
+    ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
+};
+pub use pipedepth_experiments::{registry, Experiment, Manifest, RunConfig, Runner};
+pub use pipedepth_sim::{ConfigError, Engine, SimConfig, SimConfigBuilder, SimReport};
+pub use pipedepth_telemetry::{Snapshot, Telemetry};
+pub use pipedepth_trace::{TraceGenerator, WorkloadModel};
+pub use pipedepth_workloads::{representatives, suite, Workload};

@@ -77,7 +77,7 @@ pub mod prop {
     //! The `prop::` namespace (`collection`, `option`, `sample`).
 
     pub mod collection {
-        //! Collection strategies (subset: [`vec`]).
+        //! Collection strategies (subset: [`vec()`]).
 
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
@@ -115,7 +115,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
