@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pipedepth_sim::cache::Hierarchy;
 use pipedepth_sim::predictor::Gshare;
 use pipedepth_sim::{CacheConfig, Engine, PredictorConfig, SimConfig};
-use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use pipedepth_trace::{TraceArena, TraceGenerator, WorkloadModel};
 use std::hint::black_box;
 
 fn bench_engine_depths(c: &mut Criterion) {
@@ -42,6 +42,66 @@ fn bench_engine_classes(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// Arena-vs-streaming: the same 50k-instruction simulation through the
+/// slice hot path over a pre-materialised trace (the repro run's steady
+/// state: the stream is resident, only the engine runs) versus the
+/// streaming path that regenerates the trace inline. The gap is the
+/// per-cell cost the arena removes times the slice path's win.
+fn bench_engine_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_paths");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    let arena = TraceArena::new();
+    let trace = arena.get_or_generate(WorkloadModel::spec_int_like(), 1, N);
+    for depth in [2u32, 8, 16, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("slice_arena", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let mut engine = Engine::new(SimConfig::paper(depth));
+                    black_box(engine.run_slice(black_box(&trace), N))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming_regen", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let mut engine = Engine::new(SimConfig::paper(depth));
+                    let mut gen = TraceGenerator::new(WorkloadModel::spec_int_like(), 1);
+                    black_box(engine.run(&mut gen, N))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cost of materialising a stream into the arena (the once-per-workload
+/// price the arena amortises) versus looking a resident one up.
+fn bench_trace_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_materialization");
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("arena_fill", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            // A fresh seed each iteration forces a real materialisation.
+            seed += 1;
+            let arena = TraceArena::new();
+            black_box(arena.get_or_generate(WorkloadModel::modern_like(), seed, N))
+        })
+    });
+    group.bench_function("arena_lookup", |b| {
+        let arena = TraceArena::new();
+        arena.get_or_generate(WorkloadModel::modern_like(), 7, N);
+        b.iter(|| black_box(arena.get_or_generate(WorkloadModel::modern_like(), 7, N)))
+    });
     group.finish();
 }
 
@@ -101,7 +161,8 @@ fn bench_predictor(c: &mut Criterion) {
 criterion_group! {
     name = simulator;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_depths, bench_engine_classes, bench_trace_generation,
+    targets = bench_engine_depths, bench_engine_classes, bench_engine_paths,
+              bench_trace_materialization, bench_trace_generation,
               bench_cache, bench_predictor
 }
 criterion_main!(simulator);

@@ -32,6 +32,7 @@ struct Options {
     list: bool,
     threads: usize,
     timing_details: bool,
+    no_arena: bool,
     out_dir: PathBuf,
     only: Option<Vec<String>>,
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Options {
         list: false,
         threads: 0,
         timing_details: false,
+        no_arena: false,
         out_dir: PathBuf::from("results"),
         only: None,
     };
@@ -58,6 +60,7 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--list" => opts.list = true,
             "--timing-details" => opts.timing_details = true,
+            "--no-arena" => opts.no_arena = true,
             "--out" => {
                 opts.out_dir = PathBuf::from(value(&args, i, "--out"));
                 i += 1;
@@ -79,7 +82,7 @@ fn parse_args() -> Options {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
-                     [--timing-details]"
+                     [--timing-details] [--no-arena]"
                 );
                 exit(2);
             }
@@ -131,10 +134,11 @@ fn main() -> io::Result<()> {
     };
     fs::create_dir_all(&opts.out_dir)?;
     let telemetry = Telemetry::new();
-    let ctx = Context::new(
-        config,
-        Runner::new(opts.threads).with_telemetry(telemetry.clone()),
-    );
+    let mut runner = Runner::new(opts.threads).with_telemetry(telemetry.clone());
+    if opts.no_arena {
+        runner = runner.without_arena();
+    }
+    let ctx = Context::new(config, runner);
     println!(
         "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s)",
         ctx.config.instructions,
@@ -217,6 +221,19 @@ fn main() -> io::Result<()> {
         100.0 * stats.hit_rate()
     );
     let _ = writeln!(report, "\n{cache_line}");
+    let arena = ctx.runner.arena_stats();
+    let arena_line = match &arena {
+        Some(a) => format!(
+            "trace arena: {} streams materialized ({} instructions), {} shared lookups \
+             (hit rate {:.1}%)",
+            a.misses,
+            a.instructions_materialized,
+            a.hits,
+            100.0 * a.hit_rate()
+        ),
+        None => "trace arena: disabled (--no-arena); every cell regenerated its trace".to_string(),
+    };
+    let _ = writeln!(report, "\n{arena_line}");
 
     let snapshot = telemetry.snapshot();
     report.push_str(&telemetry_section(&snapshot));
@@ -226,6 +243,7 @@ fn main() -> io::Result<()> {
         config: ctx.config.clone(),
         phases,
         cache: stats,
+        arena,
         metrics: snapshot,
         total_wall: t0.elapsed(),
     };
@@ -237,6 +255,7 @@ fn main() -> io::Result<()> {
     }
 
     println!("\n{cache_line}");
+    println!("{arena_line}");
     println!("data written to {}", opts.out_dir.display());
     println!("total time: {:.1?}", manifest.total_wall);
     Ok(())
@@ -297,5 +316,8 @@ fn print_timing_details(manifest: &Manifest) {
     }
     if let Some(u) = manifest.metrics.gauge("runner.worker_utilization") {
         println!("  worker utilization (last batch): {:.0}%", 100.0 * u);
+    }
+    if let Some(mips) = manifest.metrics.gauge("runner.sim_mips") {
+        println!("  engine throughput (last batch): {mips:.2} MIPS");
     }
 }

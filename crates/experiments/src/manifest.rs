@@ -14,12 +14,15 @@
 use crate::runner::CacheStats;
 use crate::sweep::RunConfig;
 use pipedepth_telemetry::{json, Snapshot};
+use pipedepth_trace::ArenaStats;
 use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Version of the manifest layout; bumped on breaking changes so consumers
-/// can reject manifests they do not understand.
-pub const SCHEMA_VERSION: u32 = 1;
+/// can reject manifests they do not understand. Version 2 added the
+/// `arena` section (trace-arena service counters, or `null` when the arena
+/// is disabled via `--no-arena`).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Wall time of one named phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +44,9 @@ pub struct Manifest {
     pub phases: Vec<PhaseTiming>,
     /// Simulation-cache counters at the end of the run.
     pub cache: CacheStats,
+    /// Trace-arena counters at the end of the run; `None` when the arena
+    /// was disabled (`--no-arena`).
+    pub arena: Option<ArenaStats>,
     /// Snapshot of every telemetry metric (empty when telemetry is
     /// disabled or compiled out).
     pub metrics: Snapshot,
@@ -111,6 +117,22 @@ impl Manifest {
             json::number(self.cache.hit_rate())
         );
         out.push_str("  },\n");
+        match &self.arena {
+            Some(arena) => {
+                out.push_str("  \"arena\": {\n");
+                let _ = writeln!(out, "    \"hits\": {},", arena.hits);
+                let _ = writeln!(out, "    \"misses\": {},", arena.misses);
+                let _ = writeln!(
+                    out,
+                    "    \"instructions_materialized\": {},",
+                    arena.instructions_materialized
+                );
+                let _ = writeln!(out, "    \"requested\": {},", arena.requested());
+                let _ = writeln!(out, "    \"hit_rate\": {}", json::number(arena.hit_rate()));
+                out.push_str("  },\n");
+            }
+            None => out.push_str("  \"arena\": null,\n"),
+        }
         out.push_str("  \"metrics\": {\n");
         for (i, metric) in self.metrics.metrics.iter().enumerate() {
             let comma = if i + 1 == self.metrics.metrics.len() {
@@ -153,6 +175,11 @@ mod tests {
                 misses: 3,
                 inserts: 3,
             },
+            arena: Some(ArenaStats {
+                hits: 9,
+                misses: 1,
+                instructions_materialized: 30_000,
+            }),
             metrics: Snapshot::default(),
             total_wall: Duration::from_micros(2000),
         }
@@ -168,17 +195,29 @@ mod tests {
     #[test]
     fn renders_schema_version_and_sections() {
         let rendered = manifest().to_json();
-        assert!(rendered.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(rendered.starts_with("{\n  \"schema_version\": 2,\n"));
         for needle in [
             "\"config\": {",
             "\"digest\": ",
             "\"phases\": [",
             "\"cache\": {",
+            "\"arena\": {",
+            "\"instructions_materialized\": 30000",
             "\"metrics\": {",
             "\"hit_rate\": 0.25",
+            "\"hit_rate\": 0.9",
         ] {
             assert!(rendered.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn disabled_arena_renders_null() {
+        let mut m = manifest();
+        m.arena = None;
+        let rendered = m.to_json();
+        assert!(rendered.contains("\"arena\": null,"));
+        assert!(!rendered.contains("\"arena\": {"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use pipedepth_sim::{Engine, SimConfig, SimReport};
 use pipedepth_telemetry::Telemetry;
-use pipedepth_trace::{TraceGenerator, WorkloadModel};
+use pipedepth_trace::{Fnv64, TraceArena, TraceGenerator, WorkloadModel};
 use pipedepth_workloads::Workload;
 
 /// One simulation cell: the complete, content-addressed description of a
@@ -39,32 +39,57 @@ impl CellSpec {
         }
     }
 
-    /// Content hash of the cell (FNV-1a over the debug rendering, which
-    /// round-trips every `f64` exactly). Collisions are resolved by full
-    /// [`PartialEq`] comparison in the cache, so the hash only needs to
-    /// spread well.
+    /// Content hash of the cell: structural FNV-1a over the bit patterns
+    /// of every field, via the model and machine fingerprints — no
+    /// intermediate `String` rendering, no allocation. Collisions are
+    /// resolved by full [`PartialEq`] comparison in the cache, so the hash
+    /// only needs to spread well.
     pub fn key(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in format!("{self:?}").bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        let mut h = Fnv64::new();
+        h.write_u64(self.model.fingerprint())
+            .write_u64(self.trace_seed)
+            .write_u64(self.sim.fingerprint())
+            .write_u64(self.warmup)
+            .write_u64(self.instructions);
+        h.finish()
     }
 
-    /// Runs the cell: fresh engine, fresh trace stream, warmup, measure.
+    /// Total trace length the cell consumes: the warmup window plus the
+    /// measured window — the arena materialises exactly this many
+    /// instructions per distinct stream.
+    pub fn trace_len(&self) -> u64 {
+        self.warmup + self.instructions
+    }
+
+    /// Runs the cell standalone: fresh engine, fresh streaming trace,
+    /// warmup, measure. Equivalent to the arena path (see the
+    /// slice-equivalence tests) but regenerates the trace; the runner uses
+    /// [`execute_with`](Self::execute_with) instead.
     pub fn execute(&self) -> SimReport {
-        self.execute_with(&Telemetry::disabled())
+        self.execute_streaming(&Telemetry::disabled())
     }
 
-    /// Runs the cell with engine and trace counters reporting into
+    /// Streaming execution with engine and trace counters reporting into
     /// `telemetry` (a disabled handle makes this identical to
-    /// [`execute`](Self::execute)).
-    pub fn execute_with(&self, telemetry: &Telemetry) -> SimReport {
+    /// [`execute`](Self::execute)). The `--no-arena` escape hatch routes
+    /// every cell through here.
+    pub fn execute_streaming(&self, telemetry: &Telemetry) -> SimReport {
         let mut engine = Engine::new(self.sim).with_telemetry(telemetry.clone());
         let mut gen = TraceGenerator::with_telemetry(self.model, self.trace_seed, telemetry);
         engine.warm_up(&mut gen, self.warmup);
         engine.run(&mut gen, self.instructions)
+    }
+
+    /// Arena execution — the hot path: borrows the cell's stream from
+    /// `arena` (materialising on first request) and replays it through the
+    /// engine's slice entry points, so N cells sharing a stream pay for
+    /// one generation.
+    pub fn execute_with(&self, arena: &TraceArena, telemetry: &Telemetry) -> SimReport {
+        let trace = arena.get_or_generate(self.model, self.trace_seed, self.trace_len());
+        let mut engine = Engine::new(self.sim).with_telemetry(telemetry.clone());
+        let split = self.warmup as usize;
+        engine.warm_up_slice(&trace[..split], self.warmup);
+        engine.run_slice(&trace[split..], self.instructions)
     }
 }
 
@@ -95,7 +120,12 @@ mod tests {
             trace_seed: base.trace_seed + 1,
             ..base
         };
-        for other in [deeper, longer, reseeded] {
+        let rewarmed = CellSpec {
+            warmup: base.warmup + 1,
+            ..base
+        };
+        let remodelled = CellSpec::new(&representatives()[1], base.sim, 500, 1_000);
+        for other in [deeper, longer, reseeded, rewarmed, remodelled] {
             assert_ne!(base.key(), other.key());
             assert_ne!(base, other);
         }
@@ -105,5 +135,18 @@ mod tests {
     fn execution_is_deterministic() {
         let spec = cell(6);
         assert_eq!(spec.execute(), spec.execute());
+    }
+
+    #[test]
+    fn arena_execution_matches_streaming() {
+        let arena = TraceArena::new();
+        let telemetry = Telemetry::disabled();
+        for depth in [4, 12] {
+            let spec = cell(depth);
+            assert_eq!(spec.execute_with(&arena, &telemetry), spec.execute());
+        }
+        // Both depths drew the same (model, seed, length) stream.
+        assert_eq!(arena.stats().misses, 1);
+        assert_eq!(arena.stats().hits, 1);
     }
 }

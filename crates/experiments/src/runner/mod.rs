@@ -13,6 +13,14 @@
 //! Cell results are deterministic and independent, so the assembled curves
 //! are identical for any thread count; `threads = 1` executes in submission
 //! order on the calling thread.
+//!
+//! Trace production is amortised separately from simulation: the runner
+//! owns a content-addressed [`TraceArena`], and before fanning a batch out
+//! it *pre-stages* every distinct (model, seed, length) stream the batch
+//! needs — serially, on the calling thread. Workers then only ever look
+//! streams up, so no generation work is duplicated, no worker blocks on
+//! another's generation, and the arena's hit/miss counters are identical
+//! for any thread count.
 
 mod cache;
 mod cell;
@@ -25,7 +33,9 @@ use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
 use pipedepth_power::metric;
 use pipedepth_sim::{SimConfig, SimReport};
 use pipedepth_telemetry::{Telemetry, DEFAULT_TIME_BUCKETS_US};
+use pipedepth_trace::{ArenaStats, TraceArena};
 use pipedepth_workloads::Workload;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -36,6 +46,9 @@ pub struct Runner {
     threads: usize,
     cache: SimCache,
     telemetry: Telemetry,
+    /// Shared trace store; `None` routes every cell through the streaming
+    /// path (the `--no-arena` escape hatch).
+    arena: Option<TraceArena>,
 }
 
 impl Runner {
@@ -53,6 +66,7 @@ impl Runner {
             threads,
             cache: SimCache::new(),
             telemetry: Telemetry::disabled(),
+            arena: Some(TraceArena::new()),
         }
     }
 
@@ -63,10 +77,21 @@ impl Runner {
     }
 
     /// Attaches a telemetry handle; scheduling counters, per-cell timing
-    /// histograms and the engine/trace metrics of every executed cell
-    /// report into it.
+    /// histograms, arena counters and the engine/trace metrics of every
+    /// executed cell report into it.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        if let Some(arena) = self.arena.as_mut() {
+            arena.attach_telemetry(&telemetry);
+        }
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Disables the trace arena: every cell regenerates its stream through
+    /// the streaming engine path, as before the arena existed. An escape
+    /// hatch for memory-constrained hosts and for A/B-ing the two paths.
+    pub fn without_arena(mut self) -> Self {
+        self.arena = None;
         self
     }
 
@@ -78,6 +103,11 @@ impl Runner {
     /// Cache hit/miss counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Arena service counters so far; `None` when the arena is disabled.
+    pub fn arena_stats(&self) -> Option<ArenaStats> {
+        self.arena.as_ref().map(TraceArena::stats)
     }
 
     /// Runs a batch of cells, returning one report per requested cell in
@@ -112,6 +142,7 @@ impl Runner {
             .counter("runner.cells_simulated")
             .add(pending.len() as u64);
 
+        self.pre_stage(&pending);
         let computed = self.execute_pending(&pending);
 
         for (((key, spec), slots), report) in pending.into_iter().zip(waiters).zip(computed) {
@@ -126,6 +157,28 @@ impl Runner {
             .into_iter()
             .map(|r| r.expect("every requested cell resolved"))
             .collect()
+    }
+
+    /// Materialises every distinct trace the pending cells need into the
+    /// arena, serially, before any worker starts. First request per
+    /// distinct stream counts an arena miss (the one generation); each
+    /// executed cell's lookup then counts a hit — so the counters are
+    /// deterministic for any thread count, and workers never generate.
+    fn pre_stage(&self, pending: &[(u64, CellSpec)]) {
+        let Some(arena) = &self.arena else {
+            return;
+        };
+        let mut staged: HashSet<u64> = HashSet::new();
+        for (_, spec) in pending {
+            let request = pipedepth_trace::TraceRequest {
+                model: spec.model,
+                seed: spec.trace_seed,
+                len: spec.trace_len(),
+            };
+            if staged.insert(request.key()) {
+                arena.get_or_generate(request.model, request.seed, request.len);
+            }
+        }
     }
 
     /// Simulates the pending cells, in order when serial, otherwise via a
@@ -172,21 +225,41 @@ impl Runner {
                     .gauge("runner.worker_utilization")
                     .set((busy_us as f64 / (workers.max(1) as f64 * wall_us)).clamp(0.0, 1.0));
             }
+            if busy_us > 0 {
+                // Engine throughput over the batch: simulated instructions
+                // (warmup + measured) per worker-busy microsecond = MIPS.
+                let simulated: u64 = pending
+                    .iter()
+                    .map(|(_, spec)| spec.warmup + spec.instructions)
+                    .sum();
+                self.telemetry
+                    .gauge("runner.sim_mips")
+                    .set(simulated as f64 / busy_us as f64);
+            }
         }
         reports
+    }
+
+    /// Simulates one cell over the arena's shared stream, or through the
+    /// streaming path when the arena is disabled.
+    fn simulate(&self, spec: &CellSpec) -> SimReport {
+        match &self.arena {
+            Some(arena) => spec.execute_with(arena, &self.telemetry),
+            None => spec.execute_streaming(&self.telemetry),
+        }
     }
 
     /// Runs one cell, recording its queue wait (batch start to pickup) and
     /// simulation time when telemetry is enabled.
     fn execute_cell(&self, spec: &CellSpec, queued_at: Instant) -> Arc<SimReport> {
         if !self.telemetry.is_enabled() {
-            return Arc::new(spec.execute());
+            return Arc::new(self.simulate(spec));
         }
         let start = Instant::now();
         self.telemetry
             .histogram("runner.queue_wait_us", &DEFAULT_TIME_BUCKETS_US)
             .record(start.duration_since(queued_at).as_secs_f64() * 1e6);
-        let report = Arc::new(spec.execute_with(&self.telemetry));
+        let report = Arc::new(self.simulate(spec));
         let busy = start.elapsed();
         self.telemetry
             .histogram("runner.cell_time_us", &DEFAULT_TIME_BUCKETS_US)
@@ -359,6 +432,34 @@ mod tests {
     }
 
     #[test]
+    fn arena_and_streaming_paths_agree() {
+        let ws = representatives();
+        let cfg = tiny();
+        let with_arena = Runner::serial().sweep_all(&ws, &cfg);
+        let streaming = Runner::serial().without_arena().sweep_all(&ws, &cfg);
+        assert_eq!(with_arena, streaming);
+    }
+
+    #[test]
+    fn arena_counters_are_thread_count_invariant() {
+        let ws = representatives();
+        let cfg = tiny();
+        let stats_with = |threads: usize| {
+            let runner = Runner::new(threads);
+            runner.sweep_all(&ws, &cfg);
+            runner.arena_stats().expect("arena enabled by default")
+        };
+        let serial = stats_with(1);
+        let parallel = stats_with(4);
+        assert_eq!(serial, parallel);
+        // One materialisation per workload; every simulated cell then hits.
+        assert_eq!(serial.misses, ws.len() as u64);
+        assert_eq!(serial.hits, (ws.len() * cfg.depths.len()) as u64);
+        assert!(serial.hit_rate() > 0.7, "hit rate {}", serial.hit_rate());
+        assert!(Runner::serial().without_arena().arena_stats().is_none());
+    }
+
+    #[test]
     fn sweep_all_matches_per_workload_sweeps() {
         let ws = representatives();
         let cfg = tiny();
@@ -398,6 +499,9 @@ mod tests {
             "sim.predictor.hits",
             "sim.predictor.misses",
             "trace.instructions_generated",
+            "trace.arena.hits",
+            "trace.arena.misses",
+            "trace.arena.instructions_materialized",
         ] {
             assert_eq!(serial.counter(name), parallel.counter(name), "{name}");
             assert!(serial.get(name).is_some(), "{name} missing");

@@ -113,7 +113,7 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         masked_manifest(&dir_b),
         "masked manifest must not depend on the thread count"
     );
-    assert!(masked.contains("\"schema_version\": 1"));
+    assert!(masked.contains("\"schema_version\": 2"));
     assert!(masked.contains("\"digest\": "));
     assert!(masked.contains("\"hit_rate\": "));
     #[cfg(feature = "telemetry")]
@@ -123,11 +123,32 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         "\"sim.predictor.misses\"",
         "\"sim.cache.l1d.hits\"",
         "\"trace.instructions_generated\"",
+        "\"trace.arena.hits\"",
+        "\"trace.arena.misses\"",
         "\"runner.cells_simulated\"",
         "\"runner.cache_hits\"",
     ] {
         assert!(masked.contains(metric), "{metric} missing from manifest");
     }
+
+    // The arena section: shared traces must serve ≥ 90% of requests, the
+    // counters must be deterministic (unmasked lines already compared
+    // above), and the hit counter must be nonzero.
+    let manifest_a = read(&dir_a, "manifest.json");
+    assert!(manifest_a.contains("\"arena\": {"), "arena section missing");
+    let arena_hits: u64 = manifest_a
+        .lines()
+        .skip_while(|l| !l.contains("\"arena\": {"))
+        .find(|l| l.contains("\"hits\": "))
+        .and_then(|l| {
+            l.trim()
+                .trim_start_matches("\"hits\": ")
+                .trim_end_matches(',')
+                .parse()
+                .ok()
+        })
+        .expect("arena hits counter present");
+    assert!(arena_hits > 0, "arena must serve shared traces");
 
     let _ = fs::remove_dir_all(&base);
 }

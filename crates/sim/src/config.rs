@@ -609,6 +609,38 @@ impl SimConfig {
     pub fn fo4_to_cycles(&self, fo4: f64) -> u64 {
         (fo4 / self.cycle_time_fo4()).ceil() as u64
     }
+
+    /// Structural content hash of the configuration: every field that
+    /// determines simulation behaviour, fed through
+    /// [`pipedepth_trace::hash::Fnv64`] by bit pattern, with no
+    /// intermediate rendering or allocation. Two configs hash equally
+    /// exactly when bitwise equal; callers content-addressing by this
+    /// value resolve collisions with `PartialEq`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = pipedepth_trace::hash::Fnv64::new();
+        h.write_u32(self.width)
+            .write_u32(self.depth)
+            .write_f64(self.logic_fo4)
+            .write_f64(self.latch_overhead_fo4)
+            .write_u64(self.cache.l1_bytes)
+            .write_u32(self.cache.l1_ways)
+            .write_u64(self.cache.l1i_bytes)
+            .write_u32(self.cache.l1i_ways)
+            .write_u64(self.cache.l2_bytes)
+            .write_u32(self.cache.l2_ways)
+            .write_u64(self.cache.line_bytes)
+            .write_f64(self.cache.l2_latency_fo4)
+            .write_f64(self.cache.memory_latency_fo4)
+            .write_bool(self.cache.prefetch)
+            .write_u32(self.predictor.table_bits)
+            .write_u32(self.predictor.history_bits)
+            .write_u32(self.cache_ports)
+            .write_bool(self.features.forwarding)
+            .write_bool(self.features.stall_on_use)
+            .write_bool(self.features.scaled_queues)
+            .write_bool(self.features.issue == IssuePolicy::OutOfOrder);
+        h.finish()
+    }
 }
 
 /// Builder for [`SimConfig`], created by [`SimConfig::builder`].
@@ -746,6 +778,50 @@ mod tests {
         assert_eq!(cfg.fo4_to_cycles(22.5), 1);
         assert_eq!(cfg.fo4_to_cycles(23.0), 2);
         assert_eq!(cfg.fo4_to_cycles(280.0), 13);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = SimConfig::paper(8);
+        assert_eq!(base.fingerprint(), SimConfig::paper(8).fingerprint());
+        let mut variants = vec![SimConfig::paper(9)];
+        let mut v = base;
+        v.width = 2;
+        variants.push(v);
+        let mut v = base;
+        v.logic_fo4 = 141.0;
+        variants.push(v);
+        let mut v = base;
+        v.latch_overhead_fo4 = 3.0;
+        variants.push(v);
+        let mut v = base;
+        v.cache.l1_bytes *= 2;
+        variants.push(v);
+        let mut v = base;
+        v.cache.l2_latency_fo4 += 1.0;
+        variants.push(v);
+        let mut v = base;
+        v.cache.prefetch = false;
+        variants.push(v);
+        let mut v = base;
+        v.predictor.table_bits = 10;
+        variants.push(v);
+        let mut v = base;
+        v.cache_ports += 1;
+        variants.push(v);
+        let mut v = base;
+        v.features.forwarding = false;
+        variants.push(v);
+        let mut v = base;
+        v.features.issue = IssuePolicy::OutOfOrder;
+        variants.push(v);
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(
+                base.fingerprint(),
+                variant.fingerprint(),
+                "variant {i} must change the fingerprint"
+            );
+        }
     }
 
     #[test]

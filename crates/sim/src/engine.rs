@@ -13,14 +13,13 @@
 //! availability. For an in-order machine this is exact, and it yields the
 //! per-unit occupancy counts the power model needs.
 
-use crate::cache::Hierarchy;
+use crate::cache::{AccessResult, Hierarchy};
 use crate::config::{ConfigError, IssuePolicy, SimConfig, StagePlan, Unit};
 use crate::hazard::{HazardKind, HazardStats};
 use crate::predictor::Gshare;
 use crate::report::SimReport;
 use pipedepth_telemetry::Telemetry;
 use pipedepth_trace::isa::{Instruction, OpClass, Reg};
-use std::collections::VecDeque;
 
 /// A resource granting at most `width` acquisitions per cycle, in order.
 #[derive(Debug, Clone)]
@@ -75,20 +74,85 @@ enum WriterKind {
     FpUnit,
 }
 
-/// Ready-time scoreboard for one register file.
-#[derive(Debug, Clone)]
-struct Scoreboard {
-    ready: [u64; Reg::FILE_SIZE as usize],
-    writer: [WriterKind; Reg::FILE_SIZE as usize],
+/// Both register files flattened into one slot space: GPRs at
+/// `0..FILE_SIZE`, FPRs at `FILE_SIZE..2*FILE_SIZE`. A single pair of
+/// flat arrays keeps every ready-time lookup a direct index with no
+/// per-file dispatch on the hot path.
+const REG_SLOTS: usize = 2 * Reg::FILE_SIZE as usize;
+
+fn reg_slot(reg: Reg) -> usize {
+    match reg {
+        Reg::Gpr(i) => i as usize,
+        Reg::Fpr(i) => Reg::FILE_SIZE as usize + i as usize,
+    }
 }
 
-impl Scoreboard {
-    fn new() -> Self {
-        Scoreboard {
-            ready: [0; Reg::FILE_SIZE as usize],
-            writer: [WriterKind::Normal; Reg::FILE_SIZE as usize],
+/// Fixed-capacity ring of the most recent issue cycles, replacing the
+/// `VecDeque` issue history. The backing buffer is a power of two, so the
+/// oldest retained entry — the decoupling-queue floor — is one masked
+/// index away. Pushing past capacity overwrites the oldest slot, exactly
+/// the pop-front/push-back pattern of the old deque, with no branchy
+/// wraparound logic and no heap churn after construction.
+#[derive(Debug, Clone)]
+struct IssueRing {
+    buf: Box<[u64]>,
+    mask: usize,
+    capacity: usize,
+    /// Total pushes since construction (monotone; the live window is the
+    /// last `capacity` of them).
+    count: usize,
+}
+
+impl IssueRing {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        let size = capacity.next_power_of_two();
+        IssueRing {
+            buf: vec![0; size].into_boxed_slice(),
+            mask: size - 1,
+            capacity,
+            count: 0,
         }
     }
+
+    /// The queue floor: decode may not run ahead of the issue cycle of the
+    /// instruction `capacity` slots back (0 while the window is filling).
+    #[inline]
+    fn floor(&self) -> u64 {
+        if self.count >= self.capacity {
+            self.buf[(self.count - self.capacity) & self.mask]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, issue: u64) {
+        self.buf[self.count & self.mask] = issue;
+        self.count += 1;
+    }
+}
+
+/// Per-configuration latency tables, computed once at engine construction
+/// so the per-instruction path never re-derives a stage latency, converts
+/// an FO4 penalty, or walks `Unit::ALL`.
+#[derive(Debug, Clone, Copy)]
+struct Tables {
+    /// Stage latencies of the plan, widened once.
+    decode: u64,
+    agen: u64,
+    cache: u64,
+    execute: u64,
+    complete: u64,
+    /// Extra E-unit cycles per operation class (`class as usize` index).
+    exec_extra: [u64; OpClass::ALL.len()],
+    /// Miss penalty in cycles per access result (`result as usize` index):
+    /// `fo4_to_cycles(penalty_fo4(..))` with the float math paid up front.
+    miss_penalty: [u64; 3],
+    /// Hazard-stall cap: two full pipeline drains.
+    hazard_cap: u64,
+    /// Effective decode→issue decoupling capacity.
+    queue_capacity: usize,
 }
 
 /// Cycle-level timing of one instruction's passage through the machine.
@@ -129,15 +193,18 @@ pub struct Engine {
     cache_port: Port,
     retire_port: Port,
 
-    gpr: Scoreboard,
-    fpr: Scoreboard,
+    /// Flattened register scoreboards (see [`reg_slot`]).
+    reg_ready: [u64; REG_SLOTS],
+    reg_writer: [WriterKind; REG_SLOTS],
+    /// Per-configuration latency tables (see [`Tables`]).
+    tables: Tables,
 
     redirect_at: u64,
     /// Last instruction-cache line fetched (fetch accesses once per line).
     last_fetch_line: u64,
     /// Issue cycles of the most recent instructions, bounding how far the
     /// front end can run ahead (finite decoupling queues).
-    issue_history: VecDeque<u64>,
+    issue_history: IssueRing,
     last_decode: u64,
     last_issue: u64,
     last_retire: u64,
@@ -186,11 +253,38 @@ impl Engine {
         (8 + 2 * depth) as usize
     }
 
-    fn effective_queue_capacity(&self) -> usize {
-        if self.config.features.scaled_queues {
-            Engine::queue_capacity(self.config.depth)
-        } else {
-            16
+    fn tables_for(config: &SimConfig, plan: &StagePlan, caches: &Hierarchy) -> Tables {
+        let mut exec_extra = [0u64; OpClass::ALL.len()];
+        for class in OpClass::ALL {
+            // Extra E-unit cycles beyond the pipelined pass for multi-cycle
+            // (floating-point) operations. Following the paper's model —
+            // "floating point instructions execute individually and take
+            // multiple cycles to complete" — the iteration count is fixed in
+            // *cycles*, so FP latency shrinks in absolute time as the clock
+            // speeds up with depth. Combined with the serialisation of the
+            // FP unit this yields low α and deep optimum depths for FP
+            // workloads, as the paper reports.
+            let extra_passes = class.base_exec_cycles().saturating_sub(1) as u64;
+            exec_extra[class as usize] = extra_passes * 2;
+        }
+        let mut miss_penalty = [0u64; 3];
+        for result in [AccessResult::L1, AccessResult::L2, AccessResult::Memory] {
+            miss_penalty[result as usize] = config.fo4_to_cycles(caches.penalty_fo4(result));
+        }
+        Tables {
+            decode: plan.decode as u64,
+            agen: plan.agen as u64,
+            cache: plan.cache as u64,
+            execute: plan.execute as u64,
+            complete: plan.complete as u64,
+            exec_extra,
+            miss_penalty,
+            hazard_cap: 2 * config.depth as u64,
+            queue_capacity: if config.features.scaled_queues {
+                Engine::queue_capacity(config.depth)
+            } else {
+                16
+            },
         }
     }
 
@@ -212,20 +306,23 @@ impl Engine {
     pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let plan = StagePlan::try_for_depth(config.depth)?;
+        let caches = Hierarchy::try_new(config.cache)?;
+        let tables = Engine::tables_for(&config, &plan, &caches);
         Ok(Engine {
             config,
             plan,
-            caches: Hierarchy::try_new(config.cache)?,
+            caches,
             predictor: Gshare::try_new(config.predictor)?,
             decode_port: Port::new(config.width),
             issue_port: Port::new(config.width),
             cache_port: Port::new(config.cache_ports),
             retire_port: Port::new(config.width),
-            gpr: Scoreboard::new(),
-            fpr: Scoreboard::new(),
+            reg_ready: [0; REG_SLOTS],
+            reg_writer: [WriterKind::Normal; REG_SLOTS],
             redirect_at: 0,
             last_fetch_line: u64::MAX,
-            issue_history: VecDeque::with_capacity(Engine::queue_capacity(config.depth)),
+            issue_history: IssueRing::new(tables.queue_capacity),
+            tables,
             last_decode: 0,
             last_issue: 0,
             last_retire: 0,
@@ -273,44 +370,18 @@ impl Engine {
         &self.predictor
     }
 
-    fn board(&self, reg: Reg) -> (&Scoreboard, usize) {
-        match reg {
-            Reg::Gpr(i) => (&self.gpr, i as usize),
-            Reg::Fpr(i) => (&self.fpr, i as usize),
-        }
-    }
-
+    #[inline]
     fn set_ready(&mut self, reg: Reg, at: u64, writer: WriterKind) {
-        let board = match reg {
-            Reg::Gpr(_) => &mut self.gpr,
-            Reg::Fpr(_) => &mut self.fpr,
-        };
-        let i = match reg {
-            Reg::Gpr(i) | Reg::Fpr(i) => i as usize,
-        };
-        board.ready[i] = at;
-        board.writer[i] = writer;
+        let slot = reg_slot(reg);
+        self.reg_ready[slot] = at;
+        self.reg_writer[slot] = writer;
     }
 
+    #[inline]
     fn bump_activity(&mut self, unit: Unit, stages: u64) {
-        let idx = Unit::ALL
-            .iter()
-            .position(|&u| u == unit)
-            .expect("unit in ALL");
-        self.activity[idx] += stages;
-    }
-
-    /// Extra E-unit cycles beyond the pipelined pass for multi-cycle
-    /// (floating-point) operations. Following the paper's model —
-    /// "floating point instructions execute individually and take multiple
-    /// cycles to complete" — the iteration count is fixed in *cycles*, so
-    /// FP latency shrinks in absolute time as the clock speeds up with
-    /// depth. Combined with the serialisation of the FP unit this yields
-    /// low α and deep optimum depths for FP workloads, as the paper
-    /// reports.
-    fn extra_exec_cycles(&self, class: OpClass) -> u64 {
-        let extra_passes = class.base_exec_cycles().saturating_sub(1) as u64;
-        extra_passes * 2
+        // Unit is fieldless and `ALL` is in declaration order, so the
+        // discriminant is the activity index.
+        self.activity[unit as usize] += stages;
     }
 
     /// Simulates one instruction, returning the cycle it retires.
@@ -320,17 +391,12 @@ impl Engine {
 
     /// Simulates one instruction, returning its full stage timing.
     pub fn step_timing(&mut self, instr: &Instruction) -> InstrTiming {
-        let plan = self.plan;
+        let tables = self.tables;
 
         // ---- Decode (front end) --------------------------------------
         // Finite decoupling queues: decode cannot run more than
         // QUEUE_CAPACITY instructions ahead of issue.
-        let capacity = self.effective_queue_capacity();
-        let queue_floor = if self.issue_history.len() >= capacity {
-            *self.issue_history.front().expect("queue is full")
-        } else {
-            0
-        };
+        let queue_floor = self.issue_history.floor();
         let mut decode_req = self.last_decode.max(self.redirect_at).max(queue_floor);
 
         // ---- Instruction fetch ----------------------------------------
@@ -340,29 +406,28 @@ impl Engine {
         if line != self.last_fetch_line {
             self.last_fetch_line = line;
             let result = self.caches.fetch(instr.pc);
-            let fetch_extra = self.config.fo4_to_cycles(self.caches.penalty_fo4(result));
+            let fetch_extra = tables.miss_penalty[result as usize];
             if fetch_extra > 0 {
-                self.hazards.record(
-                    HazardKind::Memory,
-                    fetch_extra.min(2 * self.config.depth as u64),
-                );
+                self.hazards
+                    .record(HazardKind::Memory, fetch_extra.min(tables.hazard_cap));
                 self.memory_wait_cycles += fetch_extra;
                 decode_req += fetch_extra;
             }
         }
         let decode_cycle = self.decode_port.acquire(decode_req);
         self.last_decode = decode_cycle;
-        let decode_done = decode_cycle + plan.decode as u64;
+        let decode_done = decode_cycle + tables.decode;
 
         // ---- Source readiness ----------------------------------------
         let mut src_ready = 0u64;
         let mut src_writer = WriterKind::Normal;
         for s in instr.srcs() {
-            let (board, i) = self.board(s);
-            if board.ready[i] > src_ready {
-                src_ready = board.ready[i];
-                src_writer = board.writer[i];
-            } else if board.ready[i] == src_ready && board.writer[i] == WriterKind::Miss {
+            let slot = reg_slot(s);
+            let ready = self.reg_ready[slot];
+            if ready > src_ready {
+                src_ready = ready;
+                src_writer = self.reg_writer[slot];
+            } else if ready == src_ready && self.reg_writer[slot] == WriterKind::Miss {
                 src_writer = WriterKind::Miss;
             }
         }
@@ -375,7 +440,7 @@ impl Engine {
         let mut miss_extra = 0u64;
         if let Some(mem) = instr.mem {
             let agen_start = decode_done.max(src_ready);
-            let agen_done = agen_start + plan.agen as u64;
+            let agen_done = agen_start + tables.agen;
             if instr.class == OpClass::Store {
                 // Stores retire through a write buffer: they update cache
                 // state but neither contend for a load port nor stall the
@@ -386,19 +451,19 @@ impl Engine {
             } else {
                 let access_at = self.cache_port.acquire(agen_done);
                 let result = self.caches.access(mem.addr);
-                miss_extra = self.config.fo4_to_cycles(self.caches.penalty_fo4(result));
-                data_ready = access_at + plan.cache as u64 + miss_extra;
+                miss_extra = tables.miss_penalty[result as usize];
+                data_ready = access_at + tables.cache + miss_extra;
                 if instr.class == OpClass::Load && self.config.features.stall_on_use {
                     // Non-blocking cache, stall-on-use: the load itself
                     // proceeds down the pipe under a miss; only consumers
                     // wait for the returning data (via the scoreboard).
-                    pipe_ready = access_at + plan.cache as u64;
+                    pipe_ready = access_at + tables.cache;
                 } else if instr.class == OpClass::Load {
                     pipe_ready = data_ready;
                 }
             }
-            self.bump_activity(Unit::Agen, plan.agen as u64);
-            self.bump_activity(Unit::Cache, plan.cache as u64);
+            self.bump_activity(Unit::Agen, tables.agen);
+            self.bump_activity(Unit::Cache, tables.cache);
         }
 
         // AluRx consumes its memory operand in the E-unit, so it cannot
@@ -433,10 +498,7 @@ impl Engine {
             self.issue_port.close_cycle();
         }
         self.last_issue = issue;
-        if self.issue_history.len() >= self.effective_queue_capacity() {
-            self.issue_history.pop_front();
-        }
-        self.issue_history.push_back(issue);
+        self.issue_history.push(issue);
 
         // ---- Hazard attribution ---------------------------------------
         // A hazard is the *marginal* delay this instruction's own
@@ -448,7 +510,7 @@ impl Engine {
         // memory waits is absolute time, tracked separately below.
         let transit = decode_done
             + if is_mem {
-                (plan.agen + plan.cache) as u64
+                tables.agen + tables.cache
             } else {
                 0
             };
@@ -459,7 +521,7 @@ impl Engine {
         let own = queue_ready.max(src_ready).max(fp_ready);
         let stall = own.saturating_sub(floor);
         if stall > 0 {
-            let gamma_stall = stall.min(2 * self.config.depth as u64);
+            let gamma_stall = stall.min(tables.hazard_cap);
             // Classification precedence: a cache miss anywhere in the
             // dependence chain is a memory event; otherwise a register
             // dependence is a data event; waiting on the busy FP unit is
@@ -493,7 +555,7 @@ impl Engine {
         self.memory_wait_cycles += miss_extra;
 
         // ---- Execute ---------------------------------------------------
-        let exec_lat = plan.execute as u64 + self.extra_exec_cycles(instr.class);
+        let exec_lat = tables.execute + tables.exec_extra[instr.class as usize];
         let exec_done = issue + exec_lat;
         if instr.class.is_fp() {
             self.fp_busy_until = exec_done;
@@ -534,7 +596,7 @@ impl Engine {
         // The iterative tail of a multi-cycle FP operation spins a narrow
         // datapath, not the full E-unit latch complement; only the
         // pipelined pass is charged to the unit's activity.
-        self.bump_activity(Unit::Execute, plan.execute as u64);
+        self.bump_activity(Unit::Execute, tables.execute);
 
         // ---- Branch resolution ------------------------------------------
         if instr.class == OpClass::Branch {
@@ -548,23 +610,21 @@ impl Engine {
                 // resolution: a full decode→execute refill. For γ purposes
                 // the stall is capped like every other hazard.
                 let refill = resume.saturating_sub(decode_cycle + 1);
-                self.hazards.record(
-                    HazardKind::Control,
-                    refill.min(2 * self.config.depth as u64),
-                );
+                self.hazards
+                    .record(HazardKind::Control, refill.min(tables.hazard_cap));
                 self.redirect_at = resume;
             }
         }
 
         // ---- Completion / retire ----------------------------------------
-        let complete_done = exec_done + plan.complete as u64;
+        let complete_done = exec_done + tables.complete;
         let retire = self
             .retire_port
             .acquire(complete_done.max(self.last_retire));
         self.last_retire = retire;
         self.finish_cycle = self.finish_cycle.max(retire);
-        self.bump_activity(Unit::Decode, plan.decode as u64);
-        self.bump_activity(Unit::Complete, plan.complete as u64);
+        self.bump_activity(Unit::Decode, tables.decode);
+        self.bump_activity(Unit::Complete, tables.complete);
 
         // ---- Superscalar accounting -------------------------------------
         if self.last_issue_cycle_seen != Some(issue) {
@@ -639,6 +699,41 @@ impl Engine {
                 }
                 None => break,
             }
+        }
+        self.flush_telemetry();
+        self.report()
+    }
+
+    /// Slice-mode warmup: the counterpart of [`Engine::warm_up`] for a
+    /// materialised trace (e.g. one resident in a
+    /// [`pipedepth_trace::TraceArena`]). Simulates `trace[..count]` (or
+    /// the whole slice if shorter) with no statistics kept.
+    pub fn warm_up_slice(&mut self, trace: &[Instruction], count: u64) {
+        let n = usize::try_from(count)
+            .unwrap_or(usize::MAX)
+            .min(trace.len());
+        for instr in &trace[..n] {
+            self.step_timing(instr);
+        }
+        let warmed = self.instructions.saturating_sub(self.flushed.instructions);
+        self.telemetry
+            .counter("sim.warmup_instructions")
+            .add(warmed);
+        self.reset_stats();
+    }
+
+    /// Slice-mode run: the hot path for arena-resident traces. Identical
+    /// semantics to [`Engine::run`] over the same instructions — the same
+    /// `SimReport`, cycle for cycle — but instructions are borrowed
+    /// straight from the slice instead of being copied out of an iterator
+    /// one at a time, so a shared `Arc<[Instruction]>` stream can be
+    /// replayed against many configurations with zero per-cell trace cost.
+    pub fn run_slice(&mut self, trace: &[Instruction], count: u64) -> SimReport {
+        let n = usize::try_from(count)
+            .unwrap_or(usize::MAX)
+            .min(trace.len());
+        for instr in &trace[..n] {
+            self.step_timing(instr);
         }
         self.flush_telemetry();
         self.report()
@@ -730,6 +825,57 @@ mod tests {
             i = i.with_src(Reg::gpr(s));
         }
         i
+    }
+
+    #[test]
+    fn issue_ring_matches_deque_semantics() {
+        use std::collections::VecDeque;
+        // The ring must report exactly the floor the old VecDeque history
+        // produced: 0 while filling, then the oldest retained issue cycle.
+        for capacity in [1usize, 3, 16, 24, 56] {
+            let mut ring = IssueRing::new(capacity);
+            let mut deque: VecDeque<u64> = VecDeque::new();
+            for i in 0..200u64 {
+                let expected = if deque.len() >= capacity {
+                    *deque.front().unwrap()
+                } else {
+                    0
+                };
+                assert_eq!(ring.floor(), expected, "capacity {capacity}, push {i}");
+                let issue = i * 3 / 2; // monotone, with repeats
+                if deque.len() >= capacity {
+                    deque.pop_front();
+                }
+                deque.push_back(issue);
+                ring.push(issue);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_run_matches_streaming_run() {
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 11);
+        let trace = gen.take_vec(6_000);
+        let mut streaming = Engine::new(SimConfig::paper(14));
+        streaming.warm_up(trace[..2_000].iter().copied(), 2_000);
+        let a = streaming.run(trace[2_000..].iter().copied(), 4_000);
+        let mut sliced = Engine::new(SimConfig::paper(14));
+        sliced.warm_up_slice(&trace, 2_000);
+        let b = sliced.run_slice(&trace[2_000..], 4_000);
+        assert_eq!(a, b, "slice mode must reproduce the streaming report");
+    }
+
+    #[test]
+    fn slice_run_stops_at_slice_end() {
+        let mut gen = pipedepth_trace::TraceGenerator::new(
+            pipedepth_trace::WorkloadModel::spec_int_like(),
+            2,
+        );
+        let trace = gen.take_vec(1_000);
+        let mut e = Engine::new(SimConfig::paper(8));
+        let r = e.run_slice(&trace, 5_000);
+        assert_eq!(r.instructions, 1_000, "count beyond the slice is clamped");
     }
 
     #[test]

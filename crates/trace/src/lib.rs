@@ -12,6 +12,11 @@
 //!   the paper's four workload classes;
 //! * [`generator`] — the seeded trace generator: same seed, same trace,
 //!   replayable against every pipeline depth of a sweep;
+//! * [`arena`] — the content-addressed trace arena: each distinct
+//!   (model, seed, length) stream is materialized once into an
+//!   `Arc<[Instruction]>` and shared by every simulation cell;
+//! * [`hash`] — structural FNV-1a hashing over field bit patterns, the
+//!   content-addressing primitive used by the arena and the sim cache;
 //! * [`stats`] — aggregate trace statistics for validation and reporting;
 //! * [`codec`] — a compact binary trace format (generate once, replay
 //!   anywhere).
@@ -34,13 +39,17 @@
 //! assert!(stats.class_fraction(pipedepth_trace::isa::OpClass::Branch) > 0.1);
 //! ```
 
+pub mod arena;
 pub mod codec;
 pub mod generator;
+pub mod hash;
 pub mod isa;
 pub mod model;
 pub mod stats;
 
+pub use arena::{ArenaStats, TraceArena, TraceRequest};
 pub use generator::TraceGenerator;
+pub use hash::Fnv64;
 pub use isa::{BranchInfo, Instruction, MemRef, OpClass, Reg};
 pub use model::{BranchModel, InstructionMix, MemoryModel, WorkloadModel};
 pub use stats::TraceStats;

@@ -377,6 +377,44 @@ impl WorkloadModel {
             MemoryModel::new(256 * 1024, 0.98, 8),
         )
     }
+
+    /// Structural content hash of the model: FNV-1a over every field's bit
+    /// pattern (see [`crate::hash::Fnv64`]). Two models fingerprint equally
+    /// exactly when all fields are bitwise equal, so the fingerprint can
+    /// key content-addressed stores (the trace arena, the simulation
+    /// cache) without rendering the model to a string. Collisions must
+    /// still be resolved by `PartialEq` at the lookup site.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::hash::Fnv64::new();
+        for (_, frac) in self.mix.fractions() {
+            h.write_f64(frac);
+        }
+        h.write_f64(self.mean_dep_distance)
+            .write_f64(self.dep_density)
+            .write_u32(self.branches.static_sites)
+            .write_f64(self.branches.biased_fraction)
+            .write_f64(self.branches.bias)
+            .write_u64(self.branches.code_footprint);
+        let mem = |h: &mut crate::hash::Fnv64, m: &MemoryModel| {
+            h.write_u64(m.working_set)
+                .write_f64(m.spatial_locality)
+                .write_u64(m.stride)
+                .write_u64(m.hot_set)
+                .write_f64(m.hot_probability);
+        };
+        mem(&mut h, &self.memory);
+        h.write_f64(self.serial_fraction);
+        match &self.phases {
+            None => {
+                h.write_bool(false);
+            }
+            Some(p) => {
+                h.write_bool(true).write_u64(p.period);
+                mem(&mut h, &p.memory);
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -452,5 +490,33 @@ mod tests {
         assert!(legacy.memory.working_set > spec.memory.working_set);
         // And less predictable branches.
         assert!(legacy.branches.biased_fraction < spec.branches.biased_fraction);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let base = WorkloadModel::spec_int_like();
+        assert_eq!(
+            base.fingerprint(),
+            WorkloadModel::spec_int_like().fingerprint()
+        );
+        // Every structural dimension moves the fingerprint.
+        let mut deeper = base;
+        deeper.mean_dep_distance += 1.0;
+        let mut denser = base;
+        denser.dep_density = (denser.dep_density + 0.1).min(1.0);
+        let mut branchy = base;
+        branchy.branches.static_sites += 1;
+        let mut bigger = base;
+        bigger.memory.working_set *= 2;
+        let serial = base.with_serial_fraction(0.25);
+        let phased = base.with_phases(PhaseModel::new(1_000, MemoryModel::cache_hostile()));
+        for other in [deeper, denser, branchy, bigger, serial, phased] {
+            assert_ne!(base.fingerprint(), other.fingerprint());
+            assert_ne!(base, other);
+        }
+        assert_ne!(
+            WorkloadModel::legacy_like().fingerprint(),
+            WorkloadModel::modern_like().fingerprint()
+        );
     }
 }
