@@ -1,0 +1,266 @@
+//! The ratcheting baseline: recorded debt that may only shrink.
+//!
+//! `analysis.baseline.toml` records, per `(file, rule)` pair, how many
+//! violations existed when the baseline was last regenerated. The check
+//! fails when a pair's live count **exceeds** its recorded count (new debt)
+//! and also when it **falls below** it (stale entry: the debt was paid but
+//! the baseline still grants it — regenerate so the ratchet clicks down).
+//! Counts are used instead of line numbers so unrelated edits that shift
+//! code do not invalidate the baseline.
+//!
+//! The format is a deliberately tiny TOML subset, parsed and rendered by
+//! hand (this crate has no dependencies):
+//!
+//! ```toml
+//! version = 1
+//!
+//! [[entry]]
+//! file = "crates/sim/src/engine.rs"
+//! rule = "panic-path"
+//! count = 3
+//! ```
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Recorded (or live) violation counts per `(file, rule)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Counts keyed by `(file, rule)`, in sorted order.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+/// One `(file, rule)` pair whose live count differs from the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetDelta {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Live violation count.
+    pub actual: u64,
+    /// Count the baseline grants.
+    pub recorded: u64,
+}
+
+impl fmt::Display for RatchetDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} live vs {} baselined",
+            self.file, self.rule, self.actual, self.recorded
+        )
+    }
+}
+
+/// The verdict of comparing live violations against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ratchet {
+    /// Pairs with more live violations than the baseline grants.
+    pub new: Vec<RatchetDelta>,
+    /// Pairs with fewer live violations than recorded (stale grants).
+    pub stale: Vec<RatchetDelta>,
+}
+
+impl Ratchet {
+    /// Whether the tree is clean against the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Aggregates live violations into per-`(file, rule)` counts.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for v in violations {
+            *entries.entry((v.file.clone(), v.rule.to_string())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Total violations granted.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// The count granted to one `(file, rule)` pair (0 when absent).
+    pub fn granted(&self, file: &str, rule: &str) -> u64 {
+        self.entries
+            .get(&(file.to_string(), rule.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Parses the baseline file format. Unknown keys are rejected so typos
+    /// cannot silently widen the grant.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut version_seen = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = n + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                commit_entry(&mut current, &mut entries, lineno)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (&mut current, key) {
+                (None, "version") => {
+                    if value != "1" {
+                        return Err(format!("line {lineno}: unsupported baseline version {value}"));
+                    }
+                    version_seen = true;
+                }
+                (Some((file, _, _)), "file") => *file = Some(unquote(value, lineno)?),
+                (Some((_, rule, _)), "rule") => *rule = Some(unquote(value, lineno)?),
+                (Some((_, _, count)), "count") => {
+                    *count = Some(value.parse::<u64>().map_err(|_| {
+                        format!("line {lineno}: count must be an integer, got `{value}`")
+                    })?);
+                }
+                _ => return Err(format!("line {lineno}: unexpected key `{key}`")),
+            }
+        }
+        commit_entry(&mut current, &mut entries, text.lines().count())?;
+        if !version_seen {
+            return Err("baseline is missing `version = 1`".to_string());
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline in its canonical sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Ratcheting lint baseline for `pipedepth-analysis`.\n\
+             # Regenerate with: cargo run -p pipedepth-analysis -- check --update-baseline\n\
+             # Entries record *existing* debt; new violations and paid-off entries both\n\
+             # fail CI, so this file only ever shrinks.\n\
+             version = 1\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            out.push_str(&format!(
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Ratchets live counts against the recorded grant.
+    pub fn compare(actual: &Baseline, recorded: &Baseline) -> Ratchet {
+        let mut ratchet = Ratchet::default();
+        let keys: std::collections::BTreeSet<&(String, String)> =
+            actual.entries.keys().chain(recorded.entries.keys()).collect();
+        for key in keys {
+            let live = actual.entries.get(key).copied().unwrap_or(0);
+            let granted = recorded.entries.get(key).copied().unwrap_or(0);
+            let delta = RatchetDelta {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                actual: live,
+                recorded: granted,
+            };
+            match live.cmp(&granted) {
+                std::cmp::Ordering::Greater => ratchet.new.push(delta),
+                std::cmp::Ordering::Less => ratchet.stale.push(delta),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        ratchet
+    }
+}
+
+fn commit_entry(
+    current: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
+    entries: &mut BTreeMap<(String, String), u64>,
+    lineno: usize,
+) -> Result<(), String> {
+    let Some((file, rule, count)) = current.take() else {
+        return Ok(());
+    };
+    match (file, rule, count) {
+        (Some(file), Some(rule), Some(count)) => {
+            if entries.insert((file.clone(), rule.clone()), count).is_some() {
+                return Err(format!("duplicate baseline entry for {file} [{rule}]"));
+            }
+            Ok(())
+        }
+        _ => Err(format!(
+            "entry ending near line {lineno} must set `file`, `rule` and `count`"
+        )),
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+    v.map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(pairs: &[(&str, &str, u64)]) -> Baseline {
+        Baseline {
+            entries: pairs
+                .iter()
+                .map(|(f, r, c)| ((f.to_string(), r.to_string()), *c))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = baseline(&[
+            ("crates/a/src/lib.rs", "panic-path", 3),
+            ("crates/b/src/x.rs", "hash-collections", 1),
+        ]);
+        let parsed = Baseline::parse(&b.render()).expect("round trip");
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 4);
+    }
+
+    #[test]
+    fn equal_counts_are_clean() {
+        let live = baseline(&[("f.rs", "panic-path", 2)]);
+        let rec = baseline(&[("f.rs", "panic-path", 2)]);
+        assert!(Baseline::compare(&live, &rec).is_clean());
+    }
+
+    #[test]
+    fn excess_is_new_and_shortfall_is_stale() {
+        let live = baseline(&[("f.rs", "panic-path", 3), ("g.rs", "missing-docs", 0)]);
+        let rec = baseline(&[("f.rs", "panic-path", 2), ("g.rs", "missing-docs", 1)]);
+        let r = Baseline::compare(&live, &rec);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].actual, 3);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].file, "g.rs");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Baseline::parse("version = 2\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"f\"\n").is_err());
+        assert!(Baseline::parse("version = 1\nbogus = 3\n").is_err());
+        assert!(
+            Baseline::parse("version = 1\n[[entry]]\nfile = \"f\"\nrule = \"r\"\ncount = x\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn missing_version_is_rejected() {
+        assert!(Baseline::parse("[[entry]]\nfile = \"f\"\nrule = \"r\"\ncount = 1\n").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Ties discovery, lexing and the rules together into one workspace scan.
+
+use crate::baseline::{Baseline, Ratchet};
+use crate::lexer;
+use crate::rules::{lint_tokens, FileContext, FileRole, Violation};
+use crate::workspace::{self, SourceFile};
+use crate::AnalysisError;
+use std::path::Path;
+
+/// The outcome of scanning a workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisReport {
+    /// Every violation found, in file order.
+    pub violations: Vec<Violation>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl AnalysisReport {
+    /// Live violation counts in baseline form.
+    pub fn to_baseline(&self) -> Baseline {
+        Baseline::from_violations(&self.violations)
+    }
+
+    /// Ratchets this report against a recorded baseline.
+    pub fn ratchet(&self, recorded: &Baseline) -> Ratchet {
+        Baseline::compare(&self.to_baseline(), recorded)
+    }
+
+    /// The violations of one `(file, rule)` pair, for reporting new debt.
+    pub fn of(&self, file: &str, rule: &str) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.file == file && v.rule == rule)
+            .collect()
+    }
+}
+
+/// Lints a single source string. The public entry point used by the
+/// fixture tests; [`analyze_workspace`] drives it for every file on disk.
+pub fn lint_source(
+    crate_name: &str,
+    rel_path: &str,
+    role: FileRole,
+    source: &str,
+) -> Vec<Violation> {
+    let tokens = lexer::lex(source);
+    let ctx = FileContext {
+        crate_name,
+        rel_path,
+        role,
+    };
+    lint_tokens(&ctx, &tokens)
+}
+
+/// Scans every source file of the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> Result<AnalysisReport, AnalysisError> {
+    let files = workspace::discover(root)?;
+    let mut report = AnalysisReport::default();
+    for file in &files {
+        report
+            .violations
+            .extend(lint_file(file).map_err(|e| e.while_scanning(&file.rel_path))?);
+    }
+    report.files_scanned = files.len();
+    Ok(report)
+}
+
+fn lint_file(file: &SourceFile) -> Result<Vec<Violation>, AnalysisError> {
+    let source = workspace::read(&file.abs_path)?;
+    Ok(lint_source(
+        &file.crate_name,
+        &file.rel_path,
+        file.role,
+        &source,
+    ))
+}

@@ -1,0 +1,475 @@
+//! A lightweight Rust lexer — just enough structure for the rule engine.
+//!
+//! The lexer distinguishes identifiers, punctuation, string/char literals,
+//! lifetimes and the three comment flavours (line, block, doc), tracking
+//! the line number of every token. It deliberately does *not* build a
+//! syntax tree: the rules pattern-match over the token stream, which keeps
+//! the engine dependency-free and fast while still being immune to the
+//! classic grep failure modes (`"HashMap"` inside a string literal,
+//! `unwrap` inside a comment, `'a` lifetimes masquerading as chars).
+
+/// The classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'a'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Non-doc line comment (`// …`).
+    LineComment,
+    /// Non-doc block comment (`/* … */`).
+    BlockComment,
+    /// Doc comment (`/// …`, `//! …`, `/** … */`, `/*! … */`).
+    DocComment,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token of a lexed source file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's verbatim source text.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether this is the first token on its line.
+    pub first_on_line: bool,
+}
+
+impl Token<'_> {
+    /// Whether the token is any flavour of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Lexes a source file into tokens. Unterminated literals or comments are
+/// tolerated (the remainder of the file becomes one token): the engine
+/// lints what it can rather than failing the build for malformed input —
+/// `rustc` will reject such a file anyway.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        last_token_line: 0,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    last_token_line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                    continue;
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(start, line),
+                '"' => self.string(start, line),
+                'r' | 'b' if self.raw_or_byte_literal(start, line) => {}
+                '\'' => self.quote(start, line),
+                _ if is_ident_start(c) => self.ident(start, line),
+                _ if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let first_on_line = line != self.last_token_line;
+        self.last_token_line = line;
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            first_on_line,
+        });
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // `////…` is an ordinary comment; `///` and `//!` are doc comments.
+        let doc = (text.starts_with("///") && !text.starts_with("////"))
+            || text.starts_with("//!");
+        let kind = if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        };
+        self.push(kind, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        // `/**/` and `/***…` are not doc comments; `/**…` and `/*!…` are.
+        let doc = (text.starts_with("/**") && text.len() > 4 && !text.starts_with("/***"))
+            || text.starts_with("/*!");
+        let kind = if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.push(kind, start, line);
+    }
+
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` and raw
+    /// identifiers (`r#type`). Returns false when the `r`/`b` is just the
+    /// start of an ordinary identifier, leaving the cursor untouched.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> bool {
+        let rest = &self.src[self.pos..];
+        let (prefix_len, hashes) = match raw_literal_shape(rest) {
+            Some(shape) => shape,
+            None => return false,
+        };
+        if hashes == usize::MAX {
+            // Raw identifier `r#ident`: skip the prefix, lex as identifier.
+            self.pos += prefix_len;
+            self.ident(start, line);
+            return true;
+        }
+        if rest[prefix_len..].starts_with('\'') {
+            // Byte char `b'x'`.
+            self.pos += prefix_len;
+            self.quote(start, line);
+            return true;
+        }
+        // Consume prefix and opening quote.
+        for _ in 0..prefix_len + 1 {
+            self.bump();
+        }
+        let mut closer = String::from("\"");
+        closer.extend(std::iter::repeat_n('#', hashes));
+        if let Some(end) = self.src[self.pos..].find(&closer) {
+            for _ in 0..self.src[self.pos..self.pos + end + closer.len()].chars().count() {
+                self.bump();
+            }
+        } else {
+            self.pos = self.src.len();
+        }
+        self.push(TokenKind::Str, start, line);
+        true
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime/label).
+    fn quote(&mut self, start: usize, line: u32) {
+        self.bump(); // the quote (or `b` then quote)
+        if self.peek() == Some('\'') && self.peek_at(1) == Some('\'') {
+            // `'''` — a quote char literal written without escape; invalid
+            // in Rust, consume two quotes defensively.
+            self.bump();
+            self.bump();
+            self.push(TokenKind::Char, start, line);
+            return;
+        }
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal `'\n'`, `'\''`, `'\u{…}'`. The
+                // escaped character is consumed unconditionally so the
+                // quote in `'\''` does not read as the closer.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be `'a'` (char) or `'a`/`'label` (lifetime).
+                let mut probe = self.pos;
+                while let Some(nc) = self.src[probe..].chars().next() {
+                    if is_ident_continue(nc) {
+                        probe += nc.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if self.src[probe..].starts_with('\'') && probe == self.pos + c.len_utf8() {
+                    // Exactly one ident char then a quote: char literal.
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Char, start, line);
+                } else {
+                    while self.pos < probe {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+            }
+            Some(_) => {
+                // Non-ident char: `'+'` style char literal.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            None => self.push(TokenKind::Char, start, line),
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if c == '.' {
+                // Take the dot only when a digit follows (`1.5`, not `1.max`).
+                match self.peek_at(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start, line);
+    }
+}
+
+/// Recognises the prefix of a raw/byte literal at the start of `rest`.
+/// Returns `(prefix_len, hash_count)`; `hash_count == usize::MAX` flags a
+/// raw identifier. `None` means "not a literal prefix" (ordinary ident).
+fn raw_literal_shape(rest: &str) -> Option<(usize, usize)> {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    let mut saw_b = false;
+    let mut saw_r = false;
+    while i < bytes.len() && i < 2 {
+        match bytes[i] {
+            b'b' if !saw_b && !saw_r => saw_b = true,
+            b'r' if !saw_r => saw_r = true,
+            _ => break,
+        }
+        i += 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let mut hashes = 0;
+    let mut j = i;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if saw_r && hashes > 0 {
+        if j < bytes.len() && bytes[j] == b'"' {
+            return Some((j, hashes)); // r#"…"# / br##"…"##
+        }
+        if hashes == 1 && !saw_b && j < bytes.len() && is_ident_start_byte(bytes[j]) {
+            return Some((i + 1, usize::MAX)); // raw identifier r#ident
+        }
+        return None;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        return Some((j, 0)); // r"…" / b"…" / br"…"
+    }
+    if saw_b && !saw_r && hashes == 0 && j < bytes.len() && bytes[j] == b'\'' {
+        return Some((i, 0)); // byte char b'x'
+    }
+    None
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("use std::collections::HashMap;");
+        assert_eq!(toks[0], (TokenKind::Ident, "use".into()));
+        assert!(toks.contains(&(TokenKind::Ident, "HashMap".into())));
+        assert_eq!(toks.last(), Some(&(TokenKind::Punct(';'), ";".into())));
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = kinds(r#"let s = "HashMap::unwrap()";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let toks = kinds(r##"let s = r#"a "quoted" HashMap"# ;"##);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert_eq!(toks.last(), Some(&(TokenKind::Punct(';'), ";".into())));
+    }
+
+    #[test]
+    fn comment_flavours() {
+        let toks = kinds("/// doc\n//! inner\n// plain\n//// plain too\n/* block */\n/** blockdoc */ x");
+        let doc = toks.iter().filter(|(k, _)| *k == TokenKind::DocComment).count();
+        let plain = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+            .count();
+        assert_eq!(doc, 3);
+        assert_eq!(plain, 3);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn unwrap_in_char_context_not_ident() {
+        // The ident `unwrap` inside a string must not surface.
+        let toks = kinds(r#"call("unwrap", 'u');"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn line_numbers_and_first_on_line() {
+        let toks = lex("a\n  b c\n");
+        assert_eq!(toks[0].line, 1);
+        assert!(toks[0].first_on_line);
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[1].first_on_line);
+        assert_eq!(toks[2].line, 2);
+        assert!(!toks[2].first_on_line);
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_ident() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn numeric_method_calls_keep_the_dot() {
+        let toks = kinds("let x = 1.0_f64.sqrt(); let y = t.0;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "sqrt"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.0_f64"));
+    }
+}

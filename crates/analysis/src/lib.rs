@@ -1,0 +1,109 @@
+//! `pipedepth-analysis` — the workspace's own static-analysis gate.
+//!
+//! The repo's correctness story rests on byte-identical artifacts: the
+//! masked `manifest.json` must be invariant across thread counts, slice-
+//! and streaming-mode simulations must agree, golden figures must not
+//! drift. Those guarantees rot silently when someone iterates a `HashMap`
+//! into an artifact, reads `Instant::now()` on a result path, or adds an
+//! `unwrap()` to a library crate. This crate mechanically checks the
+//! source for exactly those hazards, the same way the workspace's
+//! simulators are mechanically cross-checked against the paper's theory.
+//!
+//! Three rule families (see [`rules`] for the full table):
+//!
+//! * **determinism** — no `HashMap`/`HashSet` outside tests, no
+//!   `Instant`/`SystemTime` outside the telemetry crate and the `repro`
+//!   driver;
+//! * **panic paths** — no `unwrap()`/`expect()`/`panic!`/`todo!`/
+//!   `unimplemented!` in library code (tests, benches, binaries and
+//!   examples are exempt);
+//! * **docs** — every `pub` item of the root facade and `pipedepth-core`
+//!   carries a doc comment.
+//!
+//! Violations resolve against the committed [`baseline`]
+//! (`analysis.baseline.toml`): recorded debt passes, new debt fails, and
+//! paid-off debt fails too until the baseline is regenerated — a ratchet
+//! that only tightens. Individual sites can opt out with a justified
+//! escape comment:
+//!
+//! ```text
+//! // analysis: allow(hash-collections) — key order never escapes this fn
+//! ```
+//!
+//! Run it as `cargo run -p pipedepth-analysis -- check` (CI runs exactly
+//! this), or `-- check --update-baseline` after paying debt down.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, Ratchet, RatchetDelta};
+pub use engine::{analyze_workspace, lint_source, AnalysisReport};
+pub use rules::{FileRole, RuleInfo, Violation, ALL_RULES};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors surfaced by workspace discovery, file IO or baseline parsing.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// An IO failure, annotated with the path involved.
+    Io {
+        /// The file or directory that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A manifest or baseline file that could not be understood.
+    Manifest {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl AnalysisError {
+    pub(crate) fn io(path: &Path, source: std::io::Error) -> Self {
+        AnalysisError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// Re-annotates an error with the workspace-relative file being
+    /// scanned when it occurred.
+    pub(crate) fn while_scanning(self, rel_path: &str) -> Self {
+        match self {
+            AnalysisError::Io { source, .. } => AnalysisError::Io {
+                path: PathBuf::from(rel_path),
+                source,
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            AnalysisError::Manifest { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Io { source, .. } => Some(source),
+            AnalysisError::Manifest { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! `pipedepth-analysis` CLI: `check` walks the workspace and enforces the
+//! determinism/panic/doc rules against the ratcheting baseline.
+//!
+//! ```text
+//! cargo run -p pipedepth-analysis -- check                    # enforce
+//! cargo run -p pipedepth-analysis -- check --update-baseline  # re-ratchet
+//! cargo run -p pipedepth-analysis -- rules                    # list rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or stale baseline, 2 usage/IO error.
+
+use pipedepth_analysis::baseline::Baseline;
+use pipedepth_analysis::engine::analyze_workspace;
+use pipedepth_analysis::workspace;
+use pipedepth_analysis::ALL_RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct CheckArgs {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match parse_check_args(&args[1..]) {
+            Ok(parsed) => run_check(parsed),
+            Err(msg) => usage_error(&msg),
+        },
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{:<24} {}", rule.id, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown subcommand `{other}`")),
+        None => usage_error("missing subcommand"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: pipedepth-analysis <check [--update-baseline] [--root DIR] \
+         [--baseline FILE] | rules>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut parsed = CheckArgs {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update-baseline" => parsed.update_baseline = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                parsed.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file path")?;
+                parsed.baseline = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run_check(args: CheckArgs) -> ExitCode {
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("error: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match workspace::find_root(&cwd) {
+                Ok(root) => root,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("analysis.baseline.toml"));
+
+    let report = match analyze_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let live = report.to_baseline();
+
+    if args.update_baseline {
+        let previous = load_baseline(&baseline_path).unwrap_or_default();
+        if let Err(e) = std::fs::write(&baseline_path, live.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline updated: {} -> {} violations across {} entries ({} files scanned)",
+            previous.total(),
+            live.total(),
+            live.entries.len(),
+            report.files_scanned,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let recorded = match load_baseline(&baseline_path) {
+        Some(recorded) => recorded,
+        None => {
+            println!(
+                "note: no baseline at {}; treating all violations as new",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+    };
+    let ratchet = report.ratchet(&recorded);
+    if ratchet.is_clean() {
+        println!(
+            "analysis clean: {} files scanned, {} baselined violations across {} entries",
+            report.files_scanned,
+            recorded.total(),
+            recorded.entries.len(),
+        );
+        return ExitCode::SUCCESS;
+    }
+    for delta in &ratchet.new {
+        println!(
+            "NEW {delta} — fix, justify with `// analysis: allow({}) — <reason>`, \
+             or (for pre-existing debt) regenerate the baseline",
+            delta.rule
+        );
+        for v in report.of(&delta.file, &delta.rule) {
+            println!("  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+    }
+    for delta in &ratchet.stale {
+        println!("STALE {delta} — debt paid down; run `check --update-baseline` to ratchet");
+    }
+    println!(
+        "analysis FAILED: {} new (file, rule) pair(s), {} stale baseline entr(ies)",
+        ratchet.new.len(),
+        ratchet.stale.len(),
+    );
+    ExitCode::FAILURE
+}
+
+/// Loads the committed baseline; `None` when the file does not exist.
+/// A present-but-malformed baseline terminates with exit code 2.
+fn load_baseline(path: &PathBuf) -> Option<Baseline> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match Baseline::parse(&text) {
+        Ok(baseline) => Some(baseline),
+        Err(msg) => {
+            eprintln!("error: {}: {msg}", path.display());
+            std::process::exit(2);
+        }
+    }
+}

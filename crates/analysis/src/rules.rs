@@ -1,0 +1,638 @@
+//! The lint rules: determinism, panic paths, documentation.
+//!
+//! Every rule has a stable string id — the same id used in baseline
+//! entries and in escape comments (`// analysis: allow(<rule>) — reason`).
+//!
+//! | id | enforces |
+//! |----|----------|
+//! | `hash-collections` | no `HashMap`/`HashSet` in non-test code — iteration order feeds artifacts |
+//! | `nondeterministic-time` | no `Instant`/`SystemTime` outside `pipedepth-telemetry` and the `repro` driver |
+//! | `panic-path` | no `.unwrap()`/`.expect()`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `missing-docs` | every `pub` item of the root facade and `pipedepth-core` carries a doc comment |
+//! | `escape-comment` | escape comments are well-formed, justified, and actually used |
+
+use crate::lexer::{Token, TokenKind};
+
+/// Where a source file sits in its package — determines which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code (`src/**`, excluding binary roots).
+    Lib,
+    /// Binary code (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule id (see module docs).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Static description of one rule, for `check rules` and escape
+/// validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable id used in baselines and escape comments.
+    pub id: &'static str,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// The determinism rule over hashed collections.
+pub const HASH_COLLECTIONS: &str = "hash-collections";
+/// The determinism rule over wall-clock sources.
+pub const NONDETERMINISTIC_TIME: &str = "nondeterministic-time";
+/// The no-panic rule for library code.
+pub const PANIC_PATH: &str = "panic-path";
+/// The documentation rule for the public facade and core theory crate.
+pub const MISSING_DOCS: &str = "missing-docs";
+/// Escape-comment hygiene (malformed, unjustified or unused escapes).
+pub const ESCAPE_COMMENT: &str = "escape-comment";
+
+/// Every rule the engine knows, in reporting order.
+pub const ALL_RULES: [RuleInfo; 5] = [
+    RuleInfo {
+        id: HASH_COLLECTIONS,
+        summary: "forbid HashMap/HashSet (nondeterministic iteration order) outside tests",
+    },
+    RuleInfo {
+        id: NONDETERMINISTIC_TIME,
+        summary: "forbid Instant/SystemTime outside pipedepth-telemetry and the repro driver",
+    },
+    RuleInfo {
+        id: PANIC_PATH,
+        summary: "forbid unwrap()/expect()/panic!/todo!/unimplemented! in library code",
+    },
+    RuleInfo {
+        id: MISSING_DOCS,
+        summary: "require doc comments on pub items in the root facade and pipedepth-core",
+    },
+    RuleInfo {
+        id: ESCAPE_COMMENT,
+        summary: "escape comments must name a known rule, give a reason, and suppress something",
+    },
+];
+
+/// Whether `id` names a rule the engine knows.
+pub fn is_known_rule(id: &str) -> bool {
+    ALL_RULES.iter().any(|r| r.id == id)
+}
+
+/// Crates whose package name exempts them from the time rule (the
+/// telemetry crate is the sanctioned clock owner).
+const TIME_EXEMPT_CRATES: [&str; 1] = ["pipedepth-telemetry"];
+
+/// Files exempt from the time rule by path: the `repro` driver stamps
+/// wall-clock phase timings into its (maskable) manifest fields.
+const TIME_EXEMPT_FILES: [&str; 1] = ["crates/experiments/src/bin/repro.rs"];
+
+/// Crates whose `pub` items must be documented.
+const DOC_CRATES: [&str; 2] = ["pipedepth", "pipedepth-core"];
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Package name from the owning `Cargo.toml`.
+    pub crate_name: &'a str,
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: &'a str,
+    /// The file's role in the package.
+    pub role: FileRole,
+}
+
+/// Runs every applicable rule over one lexed file and resolves escape
+/// comments, returning the surviving violations.
+pub fn lint_tokens(ctx: &FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> {
+    let in_test = test_spans(tokens);
+    let mut raw = Vec::new();
+    if matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
+        check_hash_collections(ctx, tokens, &in_test, &mut raw);
+        check_time_sources(ctx, tokens, &in_test, &mut raw);
+    }
+    if ctx.role == FileRole::Lib {
+        check_panic_paths(ctx, tokens, &in_test, &mut raw);
+        if DOC_CRATES.contains(&ctx.crate_name) {
+            check_missing_docs(ctx, tokens, &in_test, &mut raw);
+        }
+    }
+    apply_escapes(ctx, tokens, raw)
+}
+
+fn violation(ctx: &FileContext<'_>, rule: &'static str, line: u32, message: String) -> Violation {
+    Violation {
+        rule,
+        file: ctx.rel_path.to_string(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-span detection
+// ---------------------------------------------------------------------------
+
+/// Marks every token that sits inside a `#[cfg(test)]`- or
+/// `#[test]`-gated item (the item's attributes included), so rules can
+/// exempt unit-test code embedded in library files.
+fn test_spans(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some((attr_end, is_test)) = parse_attribute(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_end;
+        while j < tokens.len() && tokens[j].kind == TokenKind::Punct('#') {
+            match parse_attribute(tokens, j) {
+                Some((end, _)) => j = end,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` begins it; a `;` first means a
+        // bodiless item (e.g. an out-of-line module) — nothing to mark.
+        let mut body_end = j;
+        let mut depth = 0u32;
+        let mut k = j;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        body_end = k + 1;
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    body_end = k + 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k == tokens.len() {
+            body_end = tokens.len();
+        }
+        for flag in &mut in_test[attr_start..body_end] {
+            *flag = true;
+        }
+        i = body_end.max(attr_start + 1);
+    }
+    in_test
+}
+
+/// Parses the attribute starting at `#` token `i`. Returns the index one
+/// past the closing `]` and whether the attribute gates test code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not
+/// `#[cfg(not(test))]`).
+fn parse_attribute(tokens: &[Token<'_>], i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    // Inner attribute `#![…]` — same bracket structure.
+    if j < tokens.len() && tokens[j].kind == TokenKind::Punct('!') {
+        j += 1;
+    }
+    if j >= tokens.len() || tokens[j].kind != TokenKind::Punct('[') {
+        return None;
+    }
+    let mut depth = 0u32;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut saw_cfg_or_bare_test = false;
+    let mut first_ident: Option<&str> = None;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            TokenKind::Ident => {
+                let text = tokens[j].text;
+                if first_ident.is_none() {
+                    first_ident = Some(text);
+                }
+                match text {
+                    "test" => saw_test = true,
+                    "not" => saw_not = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if let Some(first) = first_ident {
+        saw_cfg_or_bare_test = first == "cfg" || first == "test";
+    }
+    Some((j, saw_test && saw_cfg_or_bare_test && !saw_not))
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+fn check_hash_collections(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text == "HashMap" || tok.text == "HashSet" {
+            out.push(violation(
+                ctx,
+                HASH_COLLECTIONS,
+                tok.line,
+                format!(
+                    "`{}` iterates in nondeterministic order; use the BTree equivalent \
+                     or justify with an escape comment",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn check_time_sources(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    if TIME_EXEMPT_CRATES.contains(&ctx.crate_name) || TIME_EXEMPT_FILES.contains(&ctx.rel_path) {
+        return;
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        if in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text == "Instant" || tok.text == "SystemTime" {
+            out.push(violation(
+                ctx,
+                NONDETERMINISTIC_TIME,
+                tok.line,
+                format!(
+                    "`{}` reads the wall clock; route timing through \
+                     `pipedepth_telemetry::Stopwatch` (only the telemetry crate and the \
+                     repro driver may touch the clock)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic-path rule
+// ---------------------------------------------------------------------------
+
+fn check_panic_paths(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    // Indices of non-comment tokens, for adjacency checks that must see
+    // through interleaved comments.
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    for (c, &i) in code.iter().enumerate() {
+        if in_test[i] || tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = tokens[i].text;
+        let prev = c.checked_sub(1).map(|p| tokens[code[p]].kind);
+        let next = code.get(c + 1).map(|&n| tokens[n].kind);
+        let hit = match text {
+            "unwrap" | "expect" => {
+                prev == Some(TokenKind::Punct('.')) && next == Some(TokenKind::Punct('('))
+            }
+            "panic" | "todo" | "unimplemented" => next == Some(TokenKind::Punct('!')),
+            _ => false,
+        };
+        if hit {
+            let display = match text {
+                "unwrap" | "expect" => format!(".{text}()"),
+                _ => format!("{text}!"),
+            };
+            out.push(violation(
+                ctx,
+                PANIC_PATH,
+                tokens[i].line,
+                format!(
+                    "`{display}` can panic in library code; return a `Result`, make the \
+                     path infallible, or justify with an escape comment"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Missing-docs rule
+// ---------------------------------------------------------------------------
+
+/// Item-introducing keywords that may follow `pub` (possibly after
+/// `async`/`unsafe`/`extern "C"` qualifiers).
+const ITEM_KEYWORDS: [&str; 12] = [
+    "fn", "struct", "enum", "union", "trait", "type", "const", "static", "mod", "use", "macro",
+    "impl",
+];
+
+fn check_missing_docs(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    for (c, &i) in code.iter().enumerate() {
+        if in_test[i] || tokens[i].kind != TokenKind::Ident || tokens[i].text != "pub" {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` — restricted visibility is not
+        // public API.
+        if code.get(c + 1).map(|&n| tokens[n].kind) == Some(TokenKind::Punct('(')) {
+            continue;
+        }
+        let Some(described) = described_item(tokens, &code, c) else {
+            continue;
+        };
+        if !has_doc_comment(tokens, i) {
+            out.push(violation(
+                ctx,
+                MISSING_DOCS,
+                tokens[i].line,
+                format!("public {described} lacks a doc comment (`///`)"),
+            ));
+        }
+    }
+}
+
+/// Classifies what the `pub` at code-index `c` introduces; `None` when it
+/// is not a documentable item (e.g. part of a macro body we can't parse).
+fn described_item(tokens: &[Token<'_>], code: &[usize], c: usize) -> Option<String> {
+    // Skip qualifier tokens to reach the item keyword.
+    let mut k = c + 1;
+    for _ in 0..4 {
+        let &n = code.get(k)?;
+        let tok = tokens[n];
+        match tok.kind {
+            TokenKind::Ident if ITEM_KEYWORDS.contains(&tok.text) => {
+                let name = code
+                    .get(k + 1)
+                    .map(|&m| tokens[m])
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| format!(" `{}`", t.text))
+                    .unwrap_or_default();
+                return Some(format!("{}{}", tok.text, name));
+            }
+            TokenKind::Ident if matches!(tok.text, "async" | "unsafe" | "extern") => {
+                k += 1;
+            }
+            TokenKind::Str => {
+                // The ABI string of `extern "C"`.
+                k += 1;
+            }
+            TokenKind::Ident => {
+                // `pub name: Type` — a struct field.
+                if code.get(k + 1).map(|&m| tokens[m].kind) == Some(TokenKind::Punct(':')) {
+                    return Some(format!("field `{}`", tok.text));
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether the item whose first token (the `pub`) sits at token index `i`
+/// carries a doc comment, looking backwards over any attributes.
+fn has_doc_comment(tokens: &[Token<'_>], i: usize) -> bool {
+    let mut j = i;
+    loop {
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+        match tokens[j].kind {
+            TokenKind::DocComment => {
+                // `//!` documents the enclosing module, not this item.
+                return !tokens[j].text.starts_with("//!") && !tokens[j].text.starts_with("/*!");
+            }
+            TokenKind::LineComment | TokenKind::BlockComment => continue,
+            TokenKind::Punct(']') => {
+                // Walk back over an attribute `#[…]`.
+                let mut depth = 1u32;
+                loop {
+                    if j == 0 {
+                        return false;
+                    }
+                    j -= 1;
+                    match tokens[j].kind {
+                        TokenKind::Punct(']') => depth += 1,
+                        TokenKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // Step back over the leading `#`.
+                if j > 0 && tokens[j - 1].kind == TokenKind::Punct('#') {
+                    j -= 1;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Escape comments
+// ---------------------------------------------------------------------------
+
+/// A parsed `// analysis: allow(<rule>) — <reason>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Escape {
+    rule: String,
+    line: u32,
+    /// Standalone comments (first token on their line) also cover the
+    /// next line; trailing comments cover only their own.
+    standalone: bool,
+}
+
+/// Parses escape comments, suppresses matching violations, and emits
+/// `escape-comment` violations for malformed, unknown-rule, unjustified
+/// or unused escapes.
+fn apply_escapes(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    raw: Vec<Violation>,
+) -> Vec<Violation> {
+    let mut escapes: Vec<Escape> = Vec::new();
+    let mut out: Vec<Violation> = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("analysis:") else {
+            continue;
+        };
+        match parse_escape(rest) {
+            Ok(rule) if !is_known_rule(&rule) => out.push(violation(
+                ctx,
+                ESCAPE_COMMENT,
+                tok.line,
+                format!("escape comment names unknown rule `{rule}`"),
+            )),
+            Ok(rule) => escapes.push(Escape {
+                rule,
+                line: tok.line,
+                standalone: tok.first_on_line,
+            }),
+            Err(why) => out.push(violation(ctx, ESCAPE_COMMENT, tok.line, why)),
+        }
+    }
+    let mut used = vec![false; escapes.len()];
+    for v in raw {
+        let suppressed = escapes.iter().enumerate().find(|(_, e)| {
+            e.rule == v.rule && (e.line == v.line || (e.standalone && e.line + 1 == v.line))
+        });
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(v),
+        }
+    }
+    for (e, _) in escapes.iter().zip(&used).filter(|(_, &u)| !u) {
+        out.push(violation(
+            ctx,
+            ESCAPE_COMMENT,
+            e.line,
+            format!(
+                "escape comment for `{}` suppresses nothing on its line (or the next); \
+                 remove it",
+                e.rule
+            ),
+        ));
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Parses the tail of an escape comment after `analysis:`. The grammar is
+/// `allow(<rule>) — <reason>`; the separator may be `—`, `--` or `:`, and
+/// the reason must be non-empty.
+fn parse_escape(rest: &str) -> Result<String, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("escape comment must read `analysis: allow(<rule>) — <reason>`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("escape comment is missing `)` after the rule name".to_string());
+    };
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "--", ":"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "escape for `{rule}` must give a reason: `analysis: allow({rule}) — <why>`"
+        ));
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(role: FileRole, crate_name: &str, src: &str) -> Vec<Violation> {
+        let tokens = lex(src);
+        let ctx = FileContext {
+            crate_name,
+            rel_path: "crates/x/src/lib.rs",
+            role,
+        };
+        lint_tokens(&ctx, &tokens)
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint(FileRole::Lib, "pipedepth-sim", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let v = lint(FileRole::Lib, "pipedepth-sim", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, PANIC_PATH);
+    }
+
+    #[test]
+    fn escape_requires_reason() {
+        let src = "fn f() { x.unwrap(); } // analysis: allow(panic-path)\n";
+        let v = lint(FileRole::Lib, "pipedepth-sim", src);
+        assert!(v.iter().any(|v| v.rule == ESCAPE_COMMENT));
+        assert!(v.iter().any(|v| v.rule == PANIC_PATH), "unjustified escape suppresses nothing");
+    }
+
+    #[test]
+    fn standalone_escape_covers_next_line() {
+        let src = "// analysis: allow(hash-collections) — order never escapes this fn\n\
+                   use std::collections::HashMap;\n";
+        assert!(lint(FileRole::Lib, "pipedepth-sim", src).is_empty());
+    }
+
+    #[test]
+    fn unused_escape_is_flagged() {
+        let src = "// analysis: allow(panic-path) — stale justification\nfn f() {}\n";
+        let v = lint(FileRole::Lib, "pipedepth-sim", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, ESCAPE_COMMENT);
+    }
+}

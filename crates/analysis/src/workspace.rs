@@ -1,0 +1,182 @@
+//! Workspace discovery: which `.rs` files exist, in which crate, in which
+//! role.
+//!
+//! Discovery is deliberately simple and deterministic: the root package
+//! plus every `crates/*` package, with each package's `src/`, `tests/`,
+//! `benches/` and `examples/` trees walked in sorted order. `vendor/`
+//! (offline dependency stand-ins) and `target/` are never scanned.
+
+use crate::rules::FileRole;
+use crate::AnalysisError;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Package name from the owning `Cargo.toml`.
+    pub crate_name: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// The file's role (library, binary, test, bench, example).
+    pub role: FileRole,
+}
+
+/// Enumerates every lintable source file under the workspace root, in
+/// deterministic (sorted) order.
+pub fn discover(root: &Path) -> Result<Vec<SourceFile>, AnalysisError> {
+    let mut packages: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in sorted_dir(&crates_dir)? {
+            if entry.join("Cargo.toml").is_file() {
+                packages.push(entry);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for pkg in packages {
+        let name = package_name(&pkg.join("Cargo.toml"))?;
+        collect_package(root, &pkg, &name, &mut files)?;
+    }
+    Ok(files)
+}
+
+/// Reads the `name = "…"` key of a manifest's `[package]` section.
+pub fn package_name(manifest: &Path) -> Result<String, AnalysisError> {
+    let text = read(manifest)?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let value = value.trim().trim_matches('"');
+                return Ok(value.to_string());
+            }
+        }
+    }
+    Err(AnalysisError::Manifest {
+        path: manifest.to_path_buf(),
+        message: "no `name` key in [package]".to_string(),
+    })
+}
+
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    name: &str,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), AnalysisError> {
+    let trees: [(&str, FileRole); 4] = [
+        ("src", FileRole::Lib),
+        ("tests", FileRole::Test),
+        ("benches", FileRole::Bench),
+        ("examples", FileRole::Example),
+    ];
+    for (dir, default_role) in trees {
+        let base = pkg.join(dir);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut found = Vec::new();
+        walk_rs(&base, &mut found)?;
+        found.sort();
+        for abs in found {
+            let rel = relative(root, &abs);
+            // The workspace root directory contains the member crates and
+            // vendored stubs; only the root package's own files belong to
+            // it.
+            if pkg == root && (rel.starts_with("crates/") || rel.starts_with("vendor/")) {
+                continue;
+            }
+            let role = if default_role == FileRole::Lib && is_binary_root(pkg, &abs) {
+                FileRole::Bin
+            } else {
+                default_role
+            };
+            files.push(SourceFile {
+                crate_name: name.to_string(),
+                rel_path: rel,
+                abs_path: abs,
+                role,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Whether a `src/` file is a binary crate root (`src/main.rs` or
+/// anything under `src/bin/`).
+fn is_binary_root(pkg: &Path, abs: &Path) -> bool {
+    abs == pkg.join("src").join("main.rs") || abs.starts_with(pkg.join("src").join("bin"))
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalysisError> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            let skip = entry
+                .file_name()
+                .is_some_and(|n| n == "target" || n == "vendor");
+            if !skip {
+                walk_rs(&entry, out)?;
+            }
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, AnalysisError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| AnalysisError::io(dir, e))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| AnalysisError::io(dir, e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Workspace-relative `/`-separated rendering of `abs`.
+fn relative(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Reads a file, wrapping IO errors with the offending path.
+pub fn read(path: &Path) -> Result<String, AnalysisError> {
+    std::fs::read_to_string(path).map_err(|e| AnalysisError::io(path, e))
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` section.
+pub fn find_root(start: &Path) -> Result<PathBuf, AnalysisError> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && read(&manifest)?.lines().any(|l| l.trim() == "[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(AnalysisError::Manifest {
+                path: start.to_path_buf(),
+                message: "no workspace root ([workspace] in Cargo.toml) above this directory"
+                    .to_string(),
+            });
+        }
+    }
+}

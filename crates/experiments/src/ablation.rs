@@ -179,6 +179,7 @@ pub fn run(workload: &Workload, config: &RunConfig) -> Ablation {
 }
 
 /// Registry spec: ablate the representative modern workload.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

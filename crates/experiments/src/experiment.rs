@@ -75,6 +75,7 @@ pub struct Outcomes {
 }
 
 /// Shared state for one experiment run.
+#[derive(Debug)]
 pub struct Context {
     /// The sweep configuration every experiment uses.
     pub config: RunConfig,
@@ -155,6 +156,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
 }
 
 /// The per-workload extracted-parameter table (`workloads.csv`).
+#[derive(Debug)]
 pub struct WorkloadTable;
 
 impl Experiment for WorkloadTable {

@@ -121,6 +121,7 @@ pub fn run(config: &RunConfig) -> ExtGating {
 
 /// Registry spec: the gating-degree sweep on the representative modern
 /// workload.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -68,6 +68,7 @@ pub fn run_with_model(model: &PipelineModel) -> Fig1 {
 }
 
 /// Registry spec: regenerate Figure 1 and emit `fig1.csv`.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

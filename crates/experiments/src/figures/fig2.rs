@@ -59,6 +59,7 @@ pub fn render_pipeline(plan: &StagePlan) -> String {
 }
 
 /// Registry spec: print the realised 8-stage pipeline structure.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

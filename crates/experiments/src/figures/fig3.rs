@@ -51,6 +51,7 @@ pub fn run_with_model(model: &LatchModel, lo: u32, hi: u32) -> Fig3 {
 }
 
 /// Registry spec: regenerate Figure 3 and emit `fig3.csv`.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -110,6 +110,7 @@ pub fn run(config: &RunConfig) -> Fig4 {
 
 /// Registry spec: build the three panels from the shared suite sweep and
 /// emit `fig4a.csv`–`fig4c.csv` plus a terminal chart of panel 4a.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

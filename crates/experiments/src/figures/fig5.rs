@@ -80,6 +80,7 @@ impl Fig5 {
 
 /// Registry spec: the four-metric comparison on the representative modern
 /// workload, with `fig5.csv` and a terminal chart.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

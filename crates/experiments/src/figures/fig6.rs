@@ -85,6 +85,7 @@ pub fn run(config: &RunConfig) -> Fig6 {
 }
 
 /// Registry spec: the full-suite optimum distribution with `fig6.csv`.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -83,6 +83,7 @@ pub fn run(config: &RunConfig) -> Fig7 {
 }
 
 /// Registry spec: the per-class breakdown of the suite optima.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -66,6 +66,7 @@ pub fn run(config: &RunConfig) -> Fig8 {
 
 /// Registry spec: the leakage sweep, parameterised from the representative
 /// SPECint extraction, with `fig8.csv`.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -81,6 +81,7 @@ pub fn run(config: &RunConfig) -> Fig9 {
 }
 
 /// Registry spec: the latch-growth-exponent sweep with `fig9.csv`.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

@@ -115,6 +115,7 @@ pub fn run(config: &RunConfig) -> Headline {
 }
 
 /// Registry spec: the headline numbers from the shared suite sweep.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {

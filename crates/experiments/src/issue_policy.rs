@@ -114,6 +114,7 @@ pub fn run(config: &RunConfig) -> IssuePolicyStudy {
 
 /// Registry spec: the in-order vs out-of-order comparison over the
 /// representative workloads.
+#[derive(Debug)]
 pub struct Spec;
 
 impl crate::experiment::Experiment for Spec {
