@@ -75,7 +75,9 @@ impl Baseline {
     pub fn from_violations(violations: &[Violation]) -> Baseline {
         let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
         for v in violations {
-            *entries.entry((v.file.clone(), v.rule.to_string())).or_insert(0) += 1;
+            *entries
+                .entry((v.file.clone(), v.rule.to_string()))
+                .or_insert(0) += 1;
         }
         Baseline { entries }
     }
@@ -111,13 +113,17 @@ impl Baseline {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
             };
             let (key, value) = (key.trim(), value.trim());
             match (&mut current, key) {
                 (None, "version") => {
                     if value != "1" {
-                        return Err(format!("line {lineno}: unsupported baseline version {value}"));
+                        return Err(format!(
+                            "line {lineno}: unsupported baseline version {value}"
+                        ));
                     }
                     version_seen = true;
                 }
@@ -158,8 +164,11 @@ impl Baseline {
     /// Ratchets live counts against the recorded grant.
     pub fn compare(actual: &Baseline, recorded: &Baseline) -> Ratchet {
         let mut ratchet = Ratchet::default();
-        let keys: std::collections::BTreeSet<&(String, String)> =
-            actual.entries.keys().chain(recorded.entries.keys()).collect();
+        let keys: std::collections::BTreeSet<&(String, String)> = actual
+            .entries
+            .keys()
+            .chain(recorded.entries.keys())
+            .collect();
         for key in keys {
             let live = actual.entries.get(key).copied().unwrap_or(0);
             let granted = recorded.entries.get(key).copied().unwrap_or(0);
@@ -189,7 +198,10 @@ fn commit_entry(
     };
     match (file, rule, count) {
         (Some(file), Some(rule), Some(count)) => {
-            if entries.insert((file.clone(), rule.clone()), count).is_some() {
+            if entries
+                .insert((file.clone(), rule.clone()), count)
+                .is_some()
+            {
                 return Err(format!("duplicate baseline entry for {file} [{rule}]"));
             }
             Ok(())

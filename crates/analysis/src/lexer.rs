@@ -140,8 +140,7 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start..self.pos];
         // `////…` is an ordinary comment; `///` and `//!` are doc comments.
-        let doc = (text.starts_with("///") && !text.starts_with("////"))
-            || text.starts_with("//!");
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
         let kind = if doc {
             TokenKind::DocComment
         } else {
@@ -226,7 +225,10 @@ impl<'a> Lexer<'a> {
         let mut closer = String::from("\"");
         closer.extend(std::iter::repeat_n('#', hashes));
         if let Some(end) = self.src[self.pos..].find(&closer) {
-            for _ in 0..self.src[self.pos..self.pos + end + closer.len()].chars().count() {
+            for _ in 0..self.src[self.pos..self.pos + end + closer.len()]
+                .chars()
+                .count()
+            {
                 self.bump();
             }
         } else {
@@ -403,21 +405,29 @@ mod tests {
     #[test]
     fn string_contents_are_opaque() {
         let toks = kinds(r#"let s = "HashMap::unwrap()";"#);
-        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
         assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
     }
 
     #[test]
     fn raw_string_with_hashes() {
         let toks = kinds(r##"let s = r#"a "quoted" HashMap"# ;"##);
-        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
         assert_eq!(toks.last(), Some(&(TokenKind::Punct(';'), ";".into())));
     }
 
     #[test]
     fn comment_flavours() {
-        let toks = kinds("/// doc\n//! inner\n// plain\n//// plain too\n/* block */\n/** blockdoc */ x");
-        let doc = toks.iter().filter(|(k, _)| *k == TokenKind::DocComment).count();
+        let toks =
+            kinds("/// doc\n//! inner\n// plain\n//// plain too\n/* block */\n/** blockdoc */ x");
+        let doc = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::DocComment)
+            .count();
         let plain = toks
             .iter()
             .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
@@ -436,7 +446,10 @@ mod tests {
     #[test]
     fn lifetime_vs_char() {
         let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
-        let lifetimes = toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
         let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 2);
@@ -446,7 +459,9 @@ mod tests {
     fn unwrap_in_char_context_not_ident() {
         // The ident `unwrap` inside a string must not surface.
         let toks = kinds(r#"call("unwrap", 'u');"#);
-        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
     }
 
     #[test]
@@ -463,13 +478,19 @@ mod tests {
     #[test]
     fn raw_identifier_lexes_as_ident() {
         let toks = kinds("let r#type = 1;");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
     }
 
     #[test]
     fn numeric_method_calls_keep_the_dot() {
         let toks = kinds("let x = 1.0_f64.sqrt(); let y = t.0;");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "sqrt"));
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.0_f64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "sqrt"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "1.0_f64"));
     }
 }

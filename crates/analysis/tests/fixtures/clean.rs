@@ -1,0 +1,16 @@
+//! Fixture: library code that satisfies every rule.
+use std::collections::BTreeMap;
+
+/// Ordered tallies.
+pub fn tallies(keys: &[&str]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for k in keys {
+        *out.entry(k.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Fallible lookup instead of a panicking index.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

@@ -1,0 +1,17 @@
+//! Fixture: malformed, unknown-rule and unused escape comments.
+
+// analysis: allow(made-up-rule) — not a rule the engine knows
+pub fn unknown_rule() {}
+
+// analysis: allow(panic-path)
+pub fn missing_reason() {}
+
+// analysis: allow(panic-path) — nothing here panics, so this is stale
+pub fn unused_escape() {}
+
+pub fn trailing_covers_own_line_only(v: Option<u32>) -> u32 {
+    // The escape sits on the line before the unwrap but is a *trailing*
+    // comment there, so it must not cover the next line.
+    let _ = v; // analysis: allow(panic-path) — wrong line entirely
+    v.unwrap()
+}

@@ -1,0 +1,20 @@
+//! Fixture: hash collections in library code, one justified escape.
+use std::collections::HashMap;
+
+pub fn tallies() -> HashMap<String, u64> {
+    HashMap::new()
+}
+
+// analysis: allow(hash-collections) — iteration order never observed
+pub type Scratch = std::collections::HashSet<u64>;
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may hash freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn uses_hash() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: public items with and without doc comments.
+
+/// Documented: no violation.
+pub struct Documented {
+    /// Documented field.
+    pub field: u32,
+    pub bare_field: u32,
+}
+
+pub struct Bare;
+
+/// Documented function.
+pub fn documented() {}
+
+pub fn bare() {}
+
+pub use std::collections::BTreeMap;
+
+pub(crate) fn crate_visible_needs_no_docs() {}
+
+fn private_needs_no_docs() {}
+
+pub mod bare_module {}

@@ -1,0 +1,33 @@
+//! Fixture: the five panic constructs in library code, plus exemptions.
+
+pub fn takes_shortcuts(input: Option<u32>, text: &str) -> u32 {
+    let a = input.unwrap();
+    let b: u32 = text.parse().expect("caller passes digits");
+    if a + b == 77 {
+        panic!("unlucky");
+    }
+    if a == 0 {
+        todo!("zero handling");
+    }
+    a + b
+}
+
+pub fn not_fooled_by_strings() -> &'static str {
+    // The lexer must not see idents inside literals or comments:
+    // .unwrap() panic! todo!
+    "call .unwrap() or panic! here is fine"
+}
+
+pub fn justified(xs: &[u32]) -> u32 {
+    // analysis: allow(panic-path) — slice is non-empty by construction
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: wall-clock reads in library code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,149 @@
+//! Fixture-driven tests of the rule engine: each fixture under
+//! `tests/fixtures/` is linted as a library file of a hypothetical crate
+//! and the surviving violations are checked rule by rule.
+
+use pipedepth_analysis::{lint_source, FileRole, Violation};
+
+fn lint(crate_name: &str, fixture: &str, source: &str) -> Vec<Violation> {
+    lint_source(
+        crate_name,
+        &format!("crates/fixture/src/{fixture}"),
+        FileRole::Lib,
+        source,
+    )
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn hash_collections_fixture() {
+    let src = include_str!("fixtures/hash_collections_bad.rs");
+    let v = lint("pipedepth-sim", "hash.rs", src);
+    assert_eq!(
+        rules_of(&v),
+        ["hash-collections"; 3],
+        "use + return type + constructor flagged; escaped alias and test \
+         module exempt: {v:#?}"
+    );
+    assert_eq!(v[0].line, 2, "the `use` line");
+}
+
+#[test]
+fn panic_path_fixture() {
+    // Linted as a crate outside the documented set so only panic-path fires.
+    let src = include_str!("fixtures/panic_path_bad.rs");
+    let v = lint("pipedepth-sim", "panic.rs", src);
+    assert_eq!(
+        rules_of(&v),
+        ["panic-path"; 4],
+        "unwrap, expect, panic!, todo! flagged; string literals, the \
+         justified escape and the test module exempt: {v:#?}"
+    );
+}
+
+#[test]
+fn panic_rules_exempt_non_library_roles() {
+    let src = include_str!("fixtures/panic_path_bad.rs");
+    for role in [FileRole::Test, FileRole::Bench, FileRole::Example] {
+        let v = lint_source("pipedepth-core", "crates/x/tests/t.rs", role, src);
+        assert!(v.is_empty(), "{role:?} must be exempt: {v:#?}");
+    }
+    let as_bin = lint_source("pipedepth-core", "crates/x/src/main.rs", FileRole::Bin, src);
+    // Binaries are exempt from panic-path itself; the now-pointless escape
+    // comment is still flagged as unused.
+    assert!(
+        as_bin.iter().all(|v| v.rule == "escape-comment"),
+        "panic-path does not apply to binaries: {as_bin:#?}"
+    );
+}
+
+#[test]
+fn time_fixture() {
+    let src = include_str!("fixtures/time_bad.rs");
+    let v = lint("pipedepth-sim", "time.rs", src);
+    assert_eq!(
+        rules_of(&v),
+        ["nondeterministic-time"; 4],
+        "three `Instant` mentions and one `SystemTime`: {v:#?}"
+    );
+}
+
+#[test]
+fn time_rule_exempts_telemetry_and_the_repro_driver() {
+    let src = include_str!("fixtures/time_bad.rs");
+    let telemetry = lint("pipedepth-telemetry", "time.rs", src);
+    assert!(
+        telemetry.is_empty(),
+        "telemetry owns the clock: {telemetry:#?}"
+    );
+    let repro = lint_source(
+        "pipedepth-experiments",
+        "crates/experiments/src/bin/repro.rs",
+        FileRole::Bin,
+        src,
+    );
+    assert!(
+        repro.is_empty(),
+        "the repro driver may time phases: {repro:#?}"
+    );
+}
+
+#[test]
+fn missing_docs_fixture() {
+    let src = include_str!("fixtures/missing_docs_bad.rs");
+    let v = lint("pipedepth-core", "docs.rs", src);
+    assert_eq!(
+        rules_of(&v),
+        ["missing-docs"; 5],
+        "bare field, unit struct, bare fn, pub use, bare mod: {v:#?}"
+    );
+    // The same file in a crate outside the documented set is clean.
+    assert!(lint("pipedepth-sim", "docs.rs", src).is_empty());
+}
+
+#[test]
+fn escape_fixture() {
+    let src = include_str!("fixtures/escapes_bad.rs");
+    let v = lint("pipedepth-core", "escapes.rs", src);
+    let escapes = v.iter().filter(|v| v.rule == "escape-comment").count();
+    let panics = v.iter().filter(|v| v.rule == "panic-path").count();
+    assert_eq!(
+        (escapes, panics),
+        (4, 1),
+        "unknown rule, missing reason, two unused escapes; the trailing \
+         escape does not cover the following line's unwrap: {v:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = include_str!("fixtures/clean.rs");
+    assert!(lint("pipedepth-core", "clean.rs", src).is_empty());
+}
+
+#[test]
+fn injected_hash_map_into_sim_fails() {
+    // The acceptance probe from the issue: a HashMap dropped into a sim
+    // library file must produce a violation.
+    let v = lint_source(
+        "pipedepth-sim",
+        "crates/sim/src/engine.rs",
+        FileRole::Lib,
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+    );
+    assert!(v.iter().all(|v| v.rule == "hash-collections"));
+    assert_eq!(v.len(), 3);
+}
+
+#[test]
+fn injected_unwrap_into_core_fails() {
+    let v = lint_source(
+        "pipedepth-core",
+        "crates/core/src/optimum.rs",
+        FileRole::Lib,
+        "/// Documented.\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(rules_of(&v), ["panic-path"]);
+}

@@ -1,0 +1,77 @@
+//! The ratchet contract: recorded debt passes, new debt fails, paid-off
+//! debt fails until the baseline is regenerated, and regeneration is a
+//! parse/render round trip.
+
+use pipedepth_analysis::{lint_source, AnalysisReport, Baseline, FileRole};
+
+fn report_of(sources: &[(&str, &str)]) -> AnalysisReport {
+    let mut violations = Vec::new();
+    for (file, src) in sources {
+        violations.extend(lint_source("pipedepth-sim", file, FileRole::Lib, src));
+    }
+    AnalysisReport {
+        files_scanned: sources.len(),
+        violations,
+    }
+}
+
+const DIRTY: &str = "use std::collections::HashMap;\n";
+
+#[test]
+fn recorded_debt_passes() {
+    let report = report_of(&[("crates/sim/src/a.rs", DIRTY)]);
+    let recorded = report.to_baseline();
+    assert_eq!(recorded.total(), 1);
+    assert!(report.ratchet(&recorded).is_clean());
+}
+
+#[test]
+fn new_debt_fails_even_in_an_already_dirty_file() {
+    let before = report_of(&[("crates/sim/src/a.rs", DIRTY)]);
+    let recorded = before.to_baseline();
+    let two = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
+    let after = report_of(&[("crates/sim/src/a.rs", two)]);
+    let ratchet = after.ratchet(&recorded);
+    assert_eq!(ratchet.new.len(), 1);
+    assert_eq!(ratchet.new[0].actual, 2);
+    assert_eq!(ratchet.new[0].recorded, 1);
+    assert!(ratchet.stale.is_empty());
+}
+
+#[test]
+fn paid_off_debt_is_stale_until_regenerated() {
+    let before = report_of(&[("crates/sim/src/a.rs", DIRTY)]);
+    let recorded = before.to_baseline();
+    let after = report_of(&[("crates/sim/src/a.rs", "pub fn clean() {}\n")]);
+    let ratchet = after.ratchet(&recorded);
+    assert!(ratchet.new.is_empty());
+    assert_eq!(ratchet.stale.len(), 1, "the grant must be revoked");
+    // Regenerating (what `check --update-baseline` writes) makes it clean.
+    let regenerated = after.to_baseline();
+    assert!(after.ratchet(&regenerated).is_clean());
+    assert!(regenerated.total() < recorded.total(), "the ratchet moved");
+}
+
+#[test]
+fn debt_moving_between_files_is_both_new_and_stale() {
+    let recorded = report_of(&[("crates/sim/src/a.rs", DIRTY)]).to_baseline();
+    let moved = report_of(&[("crates/sim/src/b.rs", DIRTY)]);
+    let ratchet = moved.ratchet(&recorded);
+    assert_eq!(ratchet.new.len(), 1);
+    assert_eq!(ratchet.stale.len(), 1);
+}
+
+#[test]
+fn baseline_file_round_trips_through_render_and_parse() {
+    let report = report_of(&[
+        ("crates/sim/src/a.rs", DIRTY),
+        (
+            "crates/sim/src/b.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        ),
+    ]);
+    let baseline = report.to_baseline();
+    let parsed = Baseline::parse(&baseline.render()).expect("canonical render parses");
+    assert_eq!(parsed, baseline);
+    assert!(report.ratchet(&parsed).is_clean());
+}

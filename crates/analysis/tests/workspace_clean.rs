@@ -1,0 +1,41 @@
+//! `cargo test` itself enforces the lint gate: scanning the real
+//! workspace must come out clean against the committed baseline. This is
+//! the same check CI runs via `cargo run -p pipedepth-analysis -- check`.
+
+use pipedepth_analysis::{analyze_workspace, Baseline};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_against_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the root")
+        .to_path_buf();
+    let baseline_path = root.join("analysis.baseline.toml");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+    let recorded = Baseline::parse(&text).expect("committed baseline parses");
+
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 50, "walked the whole workspace");
+
+    let ratchet = report.ratchet(&recorded);
+    let mut lines = Vec::new();
+    for delta in &ratchet.new {
+        lines.push(format!("NEW   {delta}"));
+        for v in report.of(&delta.file, &delta.rule) {
+            lines.push(format!("      {}:{} {}", v.file, v.line, v.message));
+        }
+    }
+    for delta in &ratchet.stale {
+        lines.push(format!("STALE {delta}"));
+    }
+    assert!(
+        ratchet.is_clean(),
+        "lint gate failed; fix the new violations or regenerate the \
+         baseline with `cargo run -p pipedepth-analysis -- check \
+         --update-baseline`:\n{}",
+        lines.join("\n")
+    );
+}

@@ -100,14 +100,16 @@ pub fn power_capped_design(model: &PipelineModel, budget: f64) -> BudgetedDesign
         };
     }
     // Power is monotone increasing in depth: find where it meets the budget
-    // on [lo, perf_opt].
+    // on [lo, perf_opt]. The early returns above bracket the crossing; if
+    // floating-point noise defeats the bracket anyway, `lo` is a depth known
+    // to satisfy the budget.
     let crossing = bisect(
         |p| model.power().total_power(p) - budget,
         lo,
         perf_opt,
         1e-10,
     )
-    .expect("monotone power crosses the budget in range");
+    .unwrap_or(lo);
     BudgetedDesign::Feasible(point_at(model, crossing))
 }
 

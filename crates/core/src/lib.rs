@@ -52,33 +52,54 @@
 //! * The optimum is highly sensitive to the latch-growth exponent β
 //!   (Fig. 9); β ≥ m removes the pipelined optimum entirely.
 
+/// Power-budgeted design selection and the power–performance frontier.
 pub mod budget;
+/// The metric-exponent crossover where a pipelined optimum appears.
 pub mod crossover;
+/// Energy-per-instruction and energy-delay-product views of the model.
 pub mod energy;
+/// The combined `BIPS^m/W` metric over the perf and power models.
 pub mod metric;
+/// The closed-form optimality condition `d Metric/dp = 0`.
 pub mod optimality;
+/// The optimum depth via quadratic, cubic and numeric routes.
 pub mod optimum;
+/// Technology, workload, power and metric parameters.
 pub mod params;
+/// The ISCA 2002 performance model `τ(p)`.
 pub mod perf;
+/// The latch-centric power model `P_T(p)`.
 pub mod power;
+/// Leakage, latch-growth and metric-exponent sensitivity sweeps.
 pub mod sensitivity;
 
+/// Power-capped design selection (paper §6 extensions).
 pub use budget::{frontier, power_capped_design, BudgetedDesign, FrontierPoint};
+/// The smallest metric exponent with a pipelined optimum.
 pub use crossover::{crossover_exponent, Crossover};
+/// Energy-oriented re-parameterisations of the metric family.
 pub use energy::{energy_delay_product, energy_per_instruction, minimize_energy_delay};
+/// The top-level model combining performance, power and the metric.
 pub use metric::PipelineModel;
+/// The optimality condition: coefficients, roots and special cases.
 pub use optimality::{
     cubic_optimum, gated_quadratic_optimum, metric_slope, necessary_condition, optimality_cubic,
     paper_quartic, quadratic_coefficients, quadratic_optimum, spurious_root_6a, spurious_root_6b,
     zero_leakage_condition,
 };
+/// The optimum depth through three cross-checked routes, plus the
+/// combined report.
 pub use optimum::{
     analytic_optimum, closed_form_optimum, numeric_optimum, report, Optimum, OptimumReport,
     DEPTH_RANGE,
 };
+/// The model's input parameter types.
 pub use params::{ClockGating, Fo4, MetricExponent, PowerParams, TechParams, WorkloadParams};
+/// The time-per-instruction performance model.
 pub use perf::PerfModel;
+/// The total-power model.
 pub use power::PowerModel;
+/// Parameter sweeps reproducing the paper's Figs. 8 and 9.
 pub use sensitivity::{
     exponent_beta_grid, gating_comparison, latch_growth_sweep, leakage_sweep,
     metric_exponent_sweep, normalized_leakage_curves, ExponentGrid, SweepConfig, SweepPoint,

@@ -159,9 +159,12 @@ pub fn cubic_optimum(model: &PipelineModel, m: MetricExponent) -> Option<f64> {
 /// `f_cg·f_s → κ/τ` substitution).
 ///
 /// The optimum depth is the positive zero of this function; it is positive
-/// below the optimum and negative above it.
+/// below the optimum and negative above it. A non-positive `depth` is
+/// outside the model's domain and yields `NAN`.
 pub fn metric_slope(model: &PipelineModel, depth: f64, m: MetricExponent) -> f64 {
-    assert!(depth > 0.0, "pipeline depth must be positive");
+    if depth.is_nan() || depth <= 0.0 {
+        return f64::NAN;
+    }
     let perf = model.perf();
     let tau = perf.time_per_instruction(depth);
     let dtau = perf.time_derivative(depth);
@@ -199,7 +202,8 @@ pub fn metric_slope(model: &PipelineModel, depth: f64, m: MetricExponent) -> f64
 ///
 /// (with `K = α·γ·N_H/N_I`). This extends the paper's Eq. 7 to the
 /// clock-gated case it only treats numerically. Returns `None` when the
-/// model is not completely gated or no positive root exists.
+/// model is not completely gated, `ref_depth` is not positive, or no
+/// positive root exists.
 pub fn gated_quadratic_optimum(
     model: &PipelineModel,
     m: MetricExponent,
@@ -208,7 +212,9 @@ pub fn gated_quadratic_optimum(
     let ClockGating::Complete { kappa } = model.power_params().gating else {
         return None;
     };
-    assert!(ref_depth > 0.0, "reference depth must be positive");
+    if ref_depth.is_nan() || ref_depth <= 0.0 {
+        return None;
+    }
     let tech = model.tech();
     let w_params = model.workload();
     let k = w_params.hazard_product();

@@ -9,7 +9,7 @@
 
 use super::cell::CellSpec;
 use pipedepth_sim::SimReport;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -48,7 +48,7 @@ type Bucket = Vec<(CellSpec, Arc<SimReport>)>;
 /// [`Arc`]s so concurrent readers never copy a report.
 #[derive(Debug, Default)]
 pub struct SimCache {
-    buckets: Mutex<HashMap<u64, Bucket>>,
+    buckets: Mutex<BTreeMap<u64, Bucket>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -62,7 +62,10 @@ impl SimCache {
 
     /// Looks up a finished cell without touching the hit/miss counters.
     pub fn get(&self, key: u64, spec: &CellSpec) -> Option<Arc<SimReport>> {
-        let buckets = self.buckets.lock().expect("cache lock");
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         buckets
             .get(&key)?
             .iter()
@@ -73,7 +76,10 @@ impl SimCache {
     /// Stores a finished cell. Returns whether the cell was actually
     /// inserted (false when an equal spec was already present).
     pub fn insert(&self, key: u64, spec: CellSpec, report: Arc<SimReport>) -> bool {
-        let mut buckets = self.buckets.lock().expect("cache lock");
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let bucket = buckets.entry(key).or_default();
         if bucket.iter().any(|(s, _)| s == &spec) {
             return false;
@@ -97,7 +103,7 @@ impl SimCache {
     pub fn len(&self) -> usize {
         self.buckets
             .lock()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .map(Vec::len)
             .sum()

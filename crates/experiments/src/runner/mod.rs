@@ -32,13 +32,12 @@ use crate::extract::extract_from_report;
 use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
 use pipedepth_power::metric;
 use pipedepth_sim::{SimConfig, SimReport};
-use pipedepth_telemetry::{Telemetry, DEFAULT_TIME_BUCKETS_US};
+use pipedepth_telemetry::{Stopwatch, Telemetry, DEFAULT_TIME_BUCKETS_US};
 use pipedepth_trace::{ArenaStats, TraceArena};
 use pipedepth_workloads::Workload;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 /// Executes simulation cells on a worker pool, backed by a shared cache.
 #[derive(Debug)]
@@ -155,6 +154,8 @@ impl Runner {
         }
         results
             .into_iter()
+            // analysis: allow(panic-path) — every slot is filled above: hits
+            // in the classification loop, misses by their waiter lists
             .map(|r| r.expect("every requested cell resolved"))
             .collect()
     }
@@ -168,7 +169,7 @@ impl Runner {
         let Some(arena) = &self.arena else {
             return;
         };
-        let mut staged: HashSet<u64> = HashSet::new();
+        let mut staged: BTreeSet<u64> = BTreeSet::new();
         for (_, spec) in pending {
             let request = pipedepth_trace::TraceRequest {
                 model: spec.model,
@@ -185,7 +186,7 @@ impl Runner {
     /// shared atomic work index over scoped worker threads.
     fn execute_pending(&self, pending: &[(u64, CellSpec)]) -> Vec<Arc<SimReport>> {
         let workers = self.threads.min(pending.len());
-        let batch_start = Instant::now();
+        let batch_start = Stopwatch::start();
         let busy_before = self.telemetry.counter("runner.worker_busy_us").value();
         let reports = if workers <= 1 {
             pending
@@ -204,17 +205,21 @@ impl Runner {
                             break;
                         };
                         let report = self.execute_cell(spec, batch_start);
+                        // analysis: allow(panic-path) — the atomic fetch_add
+                        // hands each index to exactly one worker
                         slots[i].set(report).expect("each index claimed once");
                     });
                 }
             });
             slots
                 .into_iter()
+                // analysis: allow(panic-path) — workers drain the shared
+                // index past pending.len(), so no slot is left unset
                 .map(|slot| slot.into_inner().expect("worker filled every slot"))
                 .collect()
         };
         if self.telemetry.is_enabled() && !pending.is_empty() {
-            let wall_us = batch_start.elapsed().as_secs_f64() * 1e6;
+            let wall_us = batch_start.elapsed_us();
             let busy_us = self
                 .telemetry
                 .counter("runner.worker_busy_us")
@@ -251,22 +256,22 @@ impl Runner {
 
     /// Runs one cell, recording its queue wait (batch start to pickup) and
     /// simulation time when telemetry is enabled.
-    fn execute_cell(&self, spec: &CellSpec, queued_at: Instant) -> Arc<SimReport> {
+    fn execute_cell(&self, spec: &CellSpec, queued_at: Stopwatch) -> Arc<SimReport> {
         if !self.telemetry.is_enabled() {
             return Arc::new(self.simulate(spec));
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.telemetry
             .histogram("runner.queue_wait_us", &DEFAULT_TIME_BUCKETS_US)
-            .record(start.duration_since(queued_at).as_secs_f64() * 1e6);
+            .record(queued_at.elapsed_us());
         let report = Arc::new(self.simulate(spec));
-        let busy = start.elapsed();
+        let busy_us = start.elapsed_us();
         self.telemetry
             .histogram("runner.cell_time_us", &DEFAULT_TIME_BUCKETS_US)
-            .record(busy.as_secs_f64() * 1e6);
+            .record(busy_us);
         self.telemetry
             .counter("runner.worker_busy_us")
-            .add(busy.as_micros() as u64);
+            .add(busy_us as u64);
         report
     }
 
@@ -372,6 +377,8 @@ fn curve_from_reports(
     WorkloadCurve {
         workload: workload.clone(),
         points,
+        // analysis: allow(panic-path) — the assert above pins reports to
+        // depths, and the loop extracts at the last depth if nothing else
         extracted: extracted.expect("sweep covered at least one depth"),
     }
 }

@@ -41,7 +41,7 @@ impl Summary {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -60,18 +60,13 @@ impl Summary {
 
 /// Linear-interpolated percentile (`q` in `[0, 1]`) of a sample.
 ///
-/// Returns `None` for an empty slice.
-///
-/// # Panics
-///
-/// Panics if `q` is outside `[0, 1]`.
+/// Returns `None` for an empty slice or when `q` is outside `[0, 1]`.
 pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
-    if samples.is_empty() {
+    if !(0.0..=1.0).contains(&q) || samples.is_empty() {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -182,9 +177,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile must be in")]
-    fn percentile_out_of_range_panics() {
-        let _ = percentile(&[1.0], 1.5);
+    fn percentile_out_of_range_is_none() {
+        assert_eq!(percentile(&[1.0], 1.5), None);
+        assert_eq!(percentile(&[1.0], -0.1), None);
+        assert_eq!(percentile(&[1.0], f64::NAN), None);
     }
 
     #[test]

@@ -83,12 +83,15 @@ impl LatchModel {
 
     /// The unit whose cycle hosts a merged (zero-stage) unit: the nearest
     /// following scaled unit with stages, else the nearest preceding one.
+    ///
+    /// Infallible by construction: a unit outside [`Unit::SCALED`] hosts
+    /// itself, and [`StagePlan`] guarantees Decode always has stages, so
+    /// the backward scan cannot come up empty.
     fn merge_host(&self, unit: Unit, plan: &StagePlan) -> Unit {
         let order = Unit::SCALED;
-        let pos = order
-            .iter()
-            .position(|&u| u == unit)
-            .expect("merged units are scaled units");
+        let Some(pos) = order.iter().position(|&u| u == unit) else {
+            return unit;
+        };
         for &u in &order[pos + 1..] {
             if plan.stages(u) > 0 {
                 return u;
@@ -99,8 +102,7 @@ impl LatchModel {
                 return u;
             }
         }
-        // StagePlan guarantees Decode and Execute always have stages.
-        unreachable!("stage plan always has at least one staged unit")
+        Unit::Decode
     }
 
     /// Total latch count of the machine at a stage plan: scaled units,

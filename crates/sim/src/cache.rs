@@ -34,15 +34,6 @@ pub struct CacheLevel {
 }
 
 impl CacheLevel {
-    /// Builds a level from size/associativity/line size.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CacheLevel::try_new`, which reports inconsistent geometry as a `ConfigError` instead of panicking"
-    )]
-    pub fn new(bytes: u64, ways: u32, line_bytes: u64) -> Self {
-        Self::try_new(bytes, ways, line_bytes).expect("cache geometry must be consistent")
-    }
-
     /// Builds a level from size/associativity/line size, validated.
     ///
     /// # Errors
@@ -349,12 +340,5 @@ mod tests {
             }),
             Err(ConfigError::CacheGeometry { level: "l2", .. })
         ));
-    }
-
-    #[test]
-    #[should_panic(expected = "power of two")]
-    fn deprecated_constructor_still_panics() {
-        #[allow(deprecated)]
-        let _ = CacheLevel::new(500, 2, 64);
     }
 }

@@ -228,16 +228,6 @@ pub struct StagePlan {
 impl StagePlan {
     /// Builds the plan for a target depth by largest-remainder apportioning
     /// of the scaled units' logic weights.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `StagePlan::try_for_depth`, which reports an invalid depth as a `ConfigError` instead of panicking"
-    )]
-    pub fn for_depth(depth: u32) -> Self {
-        Self::try_for_depth(depth).expect("depth must be in 2..=64")
-    }
-
-    /// Builds the plan for a target depth by largest-remainder apportioning
-    /// of the scaled units' logic weights.
     ///
     /// # Errors
     ///
@@ -597,6 +587,8 @@ impl SimConfig {
     /// `2..=64`; configurations from the fallible constructors are always
     /// in range.
     pub fn plan(&self) -> StagePlan {
+        // analysis: allow(panic-path) — documented above: only hand-mutating
+        // the public `depth` field out of 2..=64 can trip this
         StagePlan::try_for_depth(self.depth).expect("validated depth")
     }
 
@@ -847,13 +839,6 @@ mod tests {
             SimConfig::try_paper(65),
             Err(ConfigError::Depth { depth: 65 })
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "2..=64")]
-    fn deprecated_for_depth_still_panics() {
-        #[allow(deprecated)]
-        let _ = StagePlan::for_depth(1);
     }
 
     #[test]

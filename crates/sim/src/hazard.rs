@@ -5,7 +5,6 @@
 //! engine attributes every stall episode to the hazard kind whose constraint
 //! dominated it.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// The kinds of pipeline hazards the machine suffers.
@@ -45,10 +44,14 @@ impl fmt::Display for HazardKind {
 }
 
 /// Accumulated hazard statistics for one simulation.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Counters are dense arrays indexed by [`HazardKind`], so iteration
+/// order is the declaration order of the kinds — deterministic by
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HazardStats {
-    events: HashMap<HazardKind, u64>,
-    stall_cycles: HashMap<HazardKind, u64>,
+    events: [u64; HazardKind::ALL.len()],
+    stall_cycles: [u64; HazardKind::ALL.len()],
 }
 
 impl HazardStats {
@@ -65,28 +68,28 @@ impl HazardStats {
         if cycles == 0 {
             return;
         }
-        *self.events.entry(kind).or_insert(0) += 1;
-        *self.stall_cycles.entry(kind).or_insert(0) += cycles;
+        self.events[kind as usize] += 1;
+        self.stall_cycles[kind as usize] += cycles;
     }
 
     /// Number of hazard episodes of `kind`.
     pub fn events(&self, kind: HazardKind) -> u64 {
-        *self.events.get(&kind).unwrap_or(&0)
+        self.events[kind as usize]
     }
 
     /// Total stall cycles attributed to `kind`.
     pub fn stall_cycles(&self, kind: HazardKind) -> u64 {
-        *self.stall_cycles.get(&kind).unwrap_or(&0)
+        self.stall_cycles[kind as usize]
     }
 
     /// Total hazard episodes, the theory's `N_H`.
     pub fn total_events(&self) -> u64 {
-        self.events.values().sum()
+        self.events.iter().sum()
     }
 
     /// Total stall cycles across kinds.
     pub fn total_stall_cycles(&self) -> u64 {
-        self.stall_cycles.values().sum()
+        self.stall_cycles.iter().sum()
     }
 
     /// Mean stall per hazard in cycles (0 when no hazards).

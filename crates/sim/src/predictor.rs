@@ -59,15 +59,6 @@ pub struct Gshare {
 }
 
 impl Gshare {
-    /// Creates a predictor from its configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Gshare::try_new`, which reports invalid sizes as a `ConfigError` instead of panicking"
-    )]
-    pub fn new(config: PredictorConfig) -> Self {
-        Self::try_new(config).expect("predictor configuration must be valid")
-    }
-
     /// Creates a predictor from its configuration, validated.
     ///
     /// # Errors
@@ -234,15 +225,5 @@ mod tests {
             }),
             Err(ConfigError::PredictorHistoryBits { history_bits: 40 })
         ));
-    }
-
-    #[test]
-    #[should_panic(expected = "PredictorTableBits")]
-    fn deprecated_constructor_still_panics() {
-        #[allow(deprecated)]
-        let _ = Gshare::new(PredictorConfig {
-            table_bits: 0,
-            history_bits: 4,
-        });
     }
 }

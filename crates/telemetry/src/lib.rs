@@ -53,6 +53,31 @@ mod noop;
 #[cfg(not(feature = "capture"))]
 pub use noop::{Counter, Gauge, Histogram, Span, Telemetry};
 
+/// A wall-clock stopwatch for phase and cell timing.
+///
+/// This is the workspace's only sanctioned clock outside the `repro`
+/// driver: the determinism lint (`pipedepth-analysis`) forbids
+/// `std::time::Instant` in every other crate, so all wall-time
+/// measurements are routed through here and named `*_us` where they land
+/// in metrics — which lets artifact comparisons mask them uniformly.
+/// Unlike the metric types, the stopwatch is available even with the
+/// `capture` feature off; readings feed gauges and histograms that
+/// compile to no-ops in that configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_us(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e6
+    }
+}
+
 /// Default bucket upper bounds, in microseconds, for span/timing
 /// histograms (an implicit `+inf` bucket follows the last bound).
 pub const DEFAULT_TIME_BUCKETS_US: [f64; 12] = [

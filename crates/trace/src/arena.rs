@@ -34,7 +34,7 @@ use crate::hash::Fnv64;
 use crate::isa::Instruction;
 use crate::model::WorkloadModel;
 use pipedepth_telemetry::{Counter, Telemetry};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -96,7 +96,7 @@ type Bucket = Vec<(TraceRequest, Arc<[Instruction]>)>;
 /// Shared, content-addressed store of materialised instruction streams.
 #[derive(Debug, Default)]
 pub struct TraceArena {
-    buckets: Mutex<HashMap<u64, Bucket>>,
+    buckets: Mutex<BTreeMap<u64, Bucket>>,
     hits: AtomicU64,
     misses: AtomicU64,
     instructions: AtomicU64,
@@ -131,7 +131,10 @@ impl TraceArena {
     pub fn get_or_generate(&self, model: WorkloadModel, seed: u64, len: u64) -> Arc<[Instruction]> {
         let request = TraceRequest { model, seed, len };
         let key = request.key();
-        let mut buckets = self.buckets.lock().expect("arena lock");
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let bucket = buckets.entry(key).or_default();
         if let Some((_, stream)) = bucket.iter().find(|(r, _)| r == &request) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -154,7 +157,10 @@ impl TraceArena {
     /// miss); counts a hit when resident.
     pub fn get(&self, model: WorkloadModel, seed: u64, len: u64) -> Option<Arc<[Instruction]>> {
         let request = TraceRequest { model, seed, len };
-        let buckets = self.buckets.lock().expect("arena lock");
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let found = buckets
             .get(&request.key())?
             .iter()
@@ -172,7 +178,7 @@ impl TraceArena {
         let request = TraceRequest { model, seed, len };
         self.buckets
             .lock()
-            .expect("arena lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&request.key())
             .is_some_and(|b| b.iter().any(|(r, _)| r == &request))
     }
@@ -181,7 +187,7 @@ impl TraceArena {
     pub fn len(&self) -> usize {
         self.buckets
             .lock()
-            .expect("arena lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .map(Vec::len)
             .sum()
@@ -196,7 +202,7 @@ impl TraceArena {
     pub fn instructions_resident(&self) -> u64 {
         self.buckets
             .lock()
-            .expect("arena lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .flatten()
             .map(|(r, _)| r.len)

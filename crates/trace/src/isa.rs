@@ -46,7 +46,7 @@ impl fmt::Display for Reg {
 
 /// Operation class: determines which pipeline path an instruction takes and
 /// its execution latency class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     /// Register-only integer ALU operation (RR format): Decode → Rename →
     /// Execute queue → E-unit → Completion.

@@ -4,15 +4,18 @@
 //! harness to report workload characteristics alongside results.
 
 use crate::isa::{Instruction, OpClass, Reg};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters accumulated over a trace.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// All maps are BTree collections so that iterating the statistics (for
+/// reports or CSVs) is deterministic regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total instructions observed.
     pub instructions: u64,
-    /// Count per operation class.
-    pub per_class: HashMap<OpClass, u64>,
+    /// Count per operation class, ordered by class.
+    pub per_class: BTreeMap<OpClass, u64>,
     /// Dynamic branches observed.
     pub branches: u64,
     /// Taken branches observed.
@@ -27,9 +30,9 @@ pub struct TraceStats {
     dep_edges: u64,
     // Internal: last writer position per register.
     #[doc(hidden)]
-    last_writer: HashMap<Reg, u64>,
+    last_writer: BTreeMap<Reg, u64>,
     #[doc(hidden)]
-    lines: std::collections::HashSet<u64>,
+    lines: BTreeSet<u64>,
 }
 
 impl TraceStats {

@@ -56,20 +56,38 @@
 //! # Ok::<(), ConfigError>(())
 //! ```
 
+/// The analytic pipeline-depth theory ([`pipedepth_core`]).
 pub use pipedepth_core as model;
+/// Per-figure experiment drivers and the cell runner
+/// ([`pipedepth_experiments`]).
 pub use pipedepth_experiments as experiments;
+/// Polynomials, root finding, fitting and statistics ([`pipedepth_math`]).
 pub use pipedepth_math as math;
+/// The latch-based power model ([`pipedepth_power`]).
 pub use pipedepth_power as power;
+/// The cycle-accurate configurable-depth simulator ([`pipedepth_sim`]).
 pub use pipedepth_sim as sim;
+/// Metrics for the simulation stack ([`pipedepth_telemetry`]).
 pub use pipedepth_telemetry as telemetry;
+/// The synthetic instruction-trace substrate ([`pipedepth_trace`]).
 pub use pipedepth_trace as trace;
+/// The 55-workload suite ([`pipedepth_workloads`]).
 pub use pipedepth_workloads as workloads;
 
+/// The theory's inputs and model: technology, workload and power
+/// parameters, clock gating, and the metric family `BIPS^m/W`.
 pub use pipedepth_core::{
     ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
 };
+/// The experiment registry and harness: declarative figure specs, the
+/// run-wide configuration, the cell runner, and the output manifest.
 pub use pipedepth_experiments::{registry, Experiment, Manifest, RunConfig, Runner};
+/// The simulator surface: fallible machine configuration and the engine
+/// that turns traces into timing reports.
 pub use pipedepth_sim::{ConfigError, Engine, SimConfig, SimConfigBuilder, SimReport};
+/// The metrics handle and its point-in-time snapshot.
 pub use pipedepth_telemetry::{Snapshot, Telemetry};
+/// Deterministic trace generation from statistical workload models.
 pub use pipedepth_trace::{TraceGenerator, WorkloadModel};
+/// The paper's workload suite and its class representatives.
 pub use pipedepth_workloads::{representatives, suite, Workload};
