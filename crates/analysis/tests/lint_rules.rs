@@ -20,7 +20,7 @@ fn rules_of(violations: &[Violation]) -> Vec<&str> {
 #[test]
 fn hash_collections_fixture() {
     let src = include_str!("fixtures/hash_collections_bad.rs");
-    let v = lint("pipedepth-sim", "hash.rs", src);
+    let v = lint("pipedepth-trace", "hash.rs", src);
     assert_eq!(
         rules_of(&v),
         ["hash-collections"; 3],
@@ -34,7 +34,7 @@ fn hash_collections_fixture() {
 fn panic_path_fixture() {
     // Linted as a crate outside the documented set so only panic-path fires.
     let src = include_str!("fixtures/panic_path_bad.rs");
-    let v = lint("pipedepth-sim", "panic.rs", src);
+    let v = lint("pipedepth-trace", "panic.rs", src);
     assert_eq!(
         rules_of(&v),
         ["panic-path"; 4],
@@ -62,7 +62,7 @@ fn panic_rules_exempt_non_library_roles() {
 #[test]
 fn time_fixture() {
     let src = include_str!("fixtures/time_bad.rs");
-    let v = lint("pipedepth-sim", "time.rs", src);
+    let v = lint("pipedepth-trace", "time.rs", src);
     assert_eq!(
         rules_of(&v),
         ["nondeterministic-time"; 4],
@@ -100,7 +100,7 @@ fn missing_docs_fixture() {
         "bare field, unit struct, bare fn, pub use, bare mod: {v:#?}"
     );
     // The same file in a crate outside the documented set is clean.
-    assert!(lint("pipedepth-sim", "docs.rs", src).is_empty());
+    assert!(lint("pipedepth-trace", "docs.rs", src).is_empty());
 }
 
 #[test]
@@ -131,7 +131,7 @@ fn injected_hash_map_into_sim_fails() {
         "pipedepth-sim",
         "crates/sim/src/engine.rs",
         FileRole::Lib,
-        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+        "use std::collections::HashMap;\n/// Documented.\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
     );
     assert!(v.iter().all(|v| v.rule == "hash-collections"));
     assert_eq!(v.len(), 3);

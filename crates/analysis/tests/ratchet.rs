@@ -7,7 +7,7 @@ use pipedepth_analysis::{lint_source, AnalysisReport, Baseline, FileRole};
 fn report_of(sources: &[(&str, &str)]) -> AnalysisReport {
     let mut violations = Vec::new();
     for (file, src) in sources {
-        violations.extend(lint_source("pipedepth-sim", file, FileRole::Lib, src));
+        violations.extend(lint_source("pipedepth-trace", file, FileRole::Lib, src));
     }
     AnalysisReport {
         files_scanned: sources.len(),

@@ -58,6 +58,8 @@ pub mod budget;
 pub mod crossover;
 /// Energy-per-instruction and energy-delay-product views of the model.
 pub mod energy;
+/// Backend-agnostic cell evaluation (the analytic backend lives here).
+pub mod eval;
 /// The combined `BIPS^m/W` metric over the perf and power models.
 pub mod metric;
 /// The closed-form optimality condition `d Metric/dp = 0`.
@@ -79,6 +81,9 @@ pub use budget::{frontier, power_capped_design, BudgetedDesign, FrontierPoint};
 pub use crossover::{crossover_exponent, Crossover};
 /// Energy-oriented re-parameterisations of the metric family.
 pub use energy::{energy_delay_product, energy_per_instruction, minimize_energy_delay};
+/// Backend-agnostic evaluation: the trait, its request/result rows, and
+/// the closed-form backend.
+pub use eval::{AnalyticModel, CellSpec, EvalOutcome, Evaluator, WorkloadProfile};
 /// The top-level model combining performance, power and the metric.
 pub use metric::PipelineModel;
 /// The optimality condition: coefficients, roots and special cases.

@@ -191,6 +191,10 @@ impl crate::experiment::Experiment for Spec {
         "microarchitectural ablations (modern workload)"
     }
 
+    fn requires_sim(&self) -> bool {
+        true
+    }
+
     fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
         let w = suite_class(WorkloadClass::Modern)
             .into_iter()

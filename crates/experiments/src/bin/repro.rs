@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p pipedepth-experiments --bin repro -- \
 //!     [--quick] [--out DIR] [--only fig4,fig6] [--list] [--threads N] \
-//!     [--timing-details]
+//!     [--backend sim|model|both] [--timing-details]
 //! ```
 //!
 //! The binary is a thin driver over the experiment registry: it selects
@@ -14,7 +14,8 @@
 //! metrics, telemetry counters) plus the machine-readable
 //! `manifest.json` ([`pipedepth_experiments::manifest`]).
 
-use pipedepth_experiments::experiment::{registry, Context, Experiment};
+use pipedepth_experiments::eval::Backend;
+use pipedepth_experiments::experiment::{registry, select_experiments, Context, Experiment};
 use pipedepth_experiments::manifest::{Manifest, PhaseTiming};
 use pipedepth_experiments::paper;
 use pipedepth_experiments::runner::Runner;
@@ -35,6 +36,7 @@ struct Options {
     no_arena: bool,
     out_dir: PathBuf,
     only: Option<Vec<String>>,
+    backend: Backend,
 }
 
 fn parse_args() -> Options {
@@ -47,6 +49,7 @@ fn parse_args() -> Options {
         no_arena: false,
         out_dir: PathBuf::from("results"),
         only: None,
+        backend: Backend::Sim,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -78,11 +81,19 @@ fn parse_args() -> Options {
                 opts.only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
                 i += 1;
             }
+            "--backend" => {
+                let v = value(&args, i, "--backend");
+                opts.backend = v.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                });
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
-                     [--timing-details] [--no-arena]"
+                     [--backend sim|model|both] [--timing-details] [--no-arena]"
                 );
                 exit(2);
             }
@@ -96,23 +107,11 @@ fn select<'a>(
     specs: &'a [Box<dyn Experiment>],
     only: &Option<Vec<String>>,
 ) -> Vec<&'a dyn Experiment> {
-    match only {
-        None => specs.iter().map(|b| b.as_ref()).collect(),
-        Some(names) => names
-            .iter()
-            .map(|name| {
-                specs
-                    .iter()
-                    .find(|e| e.name() == name)
-                    .map(|b| b.as_ref())
-                    .unwrap_or_else(|| {
-                        let known: Vec<&str> = specs.iter().map(|e| e.name()).collect();
-                        eprintln!("unknown experiment {name:?}; known: {}", known.join(", "));
-                        exit(2);
-                    })
-            })
-            .collect(),
-    }
+    let names = only.clone().unwrap_or_default();
+    select_experiments(specs, &names).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    })
 }
 
 fn main() -> io::Result<()> {
@@ -127,6 +126,12 @@ fn main() -> io::Result<()> {
     }
 
     let selected = select(&specs, &opts.only);
+    // Under the pure analytic backend, specs that drive the simulator
+    // directly cannot run; they are skipped with a note rather than
+    // silently dropped from the report.
+    let (selected, skipped): (Vec<&dyn Experiment>, Vec<&dyn Experiment>) = selected
+        .into_iter()
+        .partition(|e| opts.backend.uses_sim() || !e.requires_sim());
     let config = if opts.quick {
         RunConfig::quick()
     } else {
@@ -138,14 +143,23 @@ fn main() -> io::Result<()> {
     if opts.no_arena {
         runner = runner.without_arena();
     }
-    let ctx = Context::new(config, runner);
+    let ctx = Context::with_backend(config, runner, opts.backend);
     println!(
-        "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s)",
+        "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s), \
+         {} backend",
         ctx.config.instructions,
         ctx.config.warmup,
         ctx.config.depths,
-        ctx.runner.threads()
+        ctx.runner.threads(),
+        ctx.backend()
     );
+    for e in &skipped {
+        println!(
+            "skipping {} ({}): needs the simulation backend",
+            e.name(),
+            e.title()
+        );
+    }
     let t0 = Instant::now();
     let mut phases: Vec<PhaseTiming> = Vec::new();
 

@@ -5,12 +5,16 @@
 //!
 //! ```text
 //! cargo run --release -p pipedepth-experiments --bin sweep -- \
-//!     [--workload NAME] [--instructions N] [--warmup N] [--max-depth D] [--list]
+//!     [--workload NAME] [--instructions N] [--warmup N] [--max-depth D] \
+//!     [--backend sim|model] [--list]
 //! ```
 //!
 //! `--list` prints the 55 workload names and exits. The default workload is
-//! `specint-00`.
+//! `specint-00`. `--backend model` skips the simulator entirely and sweeps
+//! the workload's fitted analytic profile through the paper's closed forms.
 
+use pipedepth_core::eval::{AnalyticModel, Evaluator};
+use pipedepth_experiments::eval::{cell_for, fitted_profile, Backend};
 use pipedepth_experiments::report::{fmt_sig, table};
 use pipedepth_experiments::sweep::{sweep_workload, RunConfig};
 use pipedepth_math::fit::cubic_peak_fit;
@@ -54,6 +58,18 @@ fn main() {
     let max_depth: u32 = arg_value(&args, "--max-depth")
         .map(|v| v.parse().expect("--max-depth takes a number"))
         .unwrap_or(25);
+    let backend: Backend = arg_value(&args, "--backend")
+        .map(|v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Backend::Sim);
+    if backend == Backend::Both {
+        eprintln!("sweep compares one backend at a time; use --backend sim or --backend model");
+        std::process::exit(2);
+    }
 
     let config = RunConfig {
         warmup,
@@ -62,22 +78,72 @@ fn main() {
         ..RunConfig::default()
     };
     println!(
-        "sweeping {} ({}), {} instructions per depth …\n",
+        "sweeping {} ({}), {} instructions per depth, {backend} backend …\n",
         workload.name, workload.class, instructions
     );
-    let curve = sweep_workload(workload, &config);
+    // (depth, cpi, bips, gated m=3, ungated m=3) rows, backend-agnostic.
+    let points: Vec<(u32, f64, f64, f64, f64)>;
+    let extracted_line: String;
+    if backend.uses_sim() {
+        let curve = sweep_workload(workload, &config);
+        points = curve
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.depth,
+                    p.cpi,
+                    p.throughput,
+                    p.metric_gated[2],
+                    p.metric_ungated[2],
+                )
+            })
+            .collect();
+        let x = &curve.extracted;
+        extracted_line = format!(
+            "extracted at depth {}: α = {:.2}, γ = {:.2}, N_H/N_I = {:.3}, κ = {:.3}, \
+             t_mem = {:.1} FO4",
+            x.ref_depth, x.alpha, x.gamma, x.hazard_rate, x.kappa, x.memory_time_fo4
+        );
+    } else {
+        let profile = fitted_profile(workload);
+        let model = AnalyticModel::paper();
+        points = config
+            .depths
+            .iter()
+            .map(|&depth| {
+                let out = model.evaluate(&cell_for(workload, profile, depth, &config));
+                (
+                    depth,
+                    out.cpi,
+                    out.throughput,
+                    out.metric_gated[2],
+                    out.metric_ungated[2],
+                )
+            })
+            .collect();
+        extracted_line = format!(
+            "fitted profile (ref depth {}): α = {:.2}, γ = {:.2}, N_H/N_I = {:.3}, κ = {:.3}, \
+             t_mem = {:.1} FO4",
+            config.ref_depth,
+            profile.alpha,
+            profile.gamma,
+            profile.hazard_rate,
+            profile.kappa,
+            profile.memory_time_fo4
+        );
+    }
 
-    let rows: Vec<Vec<String>> = curve
-        .points
+    let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| {
+        .map(|&(depth, cpi, bips, gated, ungated)| {
             vec![
-                p.depth.to_string(),
-                format!("{:.1}", 2.5 + 140.0 / p.depth as f64),
-                format!("{:.2}", p.cpi),
-                fmt_sig(p.throughput),
-                fmt_sig(p.metric_gated[2]),
-                fmt_sig(p.metric_ungated[2]),
+                depth.to_string(),
+                format!("{:.1}", 2.5 + 140.0 / depth as f64),
+                format!("{cpi:.2}"),
+                fmt_sig(bips),
+                fmt_sig(gated),
+                fmt_sig(ungated),
             ]
         })
         .collect();
@@ -96,16 +162,14 @@ fn main() {
         )
     );
 
-    let xs = curve.depths();
-    let m3 = cubic_peak_fit(&xs, &curve.gated_series(3)).expect("cubic fit");
-    let bips = cubic_peak_fit(&xs, &curve.throughput_series()).expect("cubic fit");
+    let xs: Vec<f64> = points.iter().map(|p| p.0 as f64).collect();
+    let gated: Vec<f64> = points.iter().map(|p| p.3).collect();
+    let bips_series: Vec<f64> = points.iter().map(|p| p.2).collect();
+    let m3 = cubic_peak_fit(&xs, &gated).expect("cubic fit");
+    let bips = cubic_peak_fit(&xs, &bips_series).expect("cubic fit");
     println!(
         "cubic-fit optima: BIPS³/W @ {:.1} stages, BIPS @ {:.1} stages",
         m3.peak_x, bips.peak_x
     );
-    let x = &curve.extracted;
-    println!(
-        "extracted at depth {}: α = {:.2}, γ = {:.2}, N_H/N_I = {:.3}, κ = {:.3}, t_mem = {:.1} FO4",
-        x.ref_depth, x.alpha, x.gamma, x.hazard_rate, x.kappa, x.memory_time_fo4
-    );
+    println!("{extracted_line}");
 }

@@ -1,0 +1,396 @@
+//! Backend selection and the simulation [`Evaluator`] backend.
+//!
+//! [`pipedepth_core::eval`] defines the backend-agnostic evaluation layer:
+//! [`CellSpec`] requests, [`EvalOutcome`] rows, the [`Evaluator`] trait and
+//! the closed-form [`AnalyticModel`]. This module supplies the other half:
+//!
+//! * [`SimBackend`] — the cycle-accurate backend, adapting the cell
+//!   [`Runner`] (and its simulation cache) to the [`Evaluator`] trait;
+//! * [`Backend`] — the `--backend {sim,model,both}` selector shared by the
+//!   `repro` and `sweep` binaries;
+//! * [`fitted_profile`] / [`model_curves`] — per-workload analytic
+//!   profiles (class means fitted from reference simulations, spread by a
+//!   deterministic per-workload perturbation, mirroring how the suite
+//!   itself perturbs the class trace models) and full analytic
+//!   [`WorkloadCurve`] sweeps built from them, so every figure can be
+//!   regenerated without instantiating a single simulator type.
+
+use crate::extract::{extract_from_report, ExtractedParams};
+use crate::runner::{CellSpec as SimCell, Runner};
+use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
+use pipedepth_core::eval::{AnalyticModel, CellSpec, EvalOutcome, Evaluator, WorkloadProfile};
+use pipedepth_power::{measure, metric, Gating, PowerConfig};
+use pipedepth_sim::{SimConfig, SimReport};
+use pipedepth_workloads::{suite, Workload, WorkloadClass};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which evaluation backend a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Cycle-accurate simulation only (the historical behaviour).
+    #[default]
+    Sim,
+    /// Closed-form analytic model only: no simulator in the call path.
+    Model,
+    /// Simulation as the primary source, with the analytic backend
+    /// available for cross-validation experiments.
+    Both,
+}
+
+impl Backend {
+    /// Every backend, in documentation order.
+    pub const ALL: [Backend; 3] = [Backend::Sim, Backend::Model, Backend::Both];
+
+    /// The stable CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Model => "model",
+            Backend::Both => "both",
+        }
+    }
+
+    /// Whether this backend runs the simulator.
+    pub fn uses_sim(self) -> bool {
+        matches!(self, Backend::Sim | Backend::Both)
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for an unrecognised `--backend` value, listing the valid names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend(pub String);
+
+impl fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend \"{}\" (valid backends: sim, model, both)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+impl FromStr for Backend {
+    type Err = UnknownBackend;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::ALL
+            .into_iter()
+            .find(|b| b.as_str() == s)
+            .ok_or_else(|| UnknownBackend(s.to_string()))
+    }
+}
+
+/// Per-class analytic base profiles: suite means of the reference-depth
+/// extractions (quick configuration, depth 10), fitted once and pinned.
+/// Each field's half-span mirrors the spread observed across that class's
+/// suite members, so analytic distributions (Figs. 6/7) stay
+/// non-degenerate.
+fn class_base(class: WorkloadClass) -> (WorkloadProfile, WorkloadProfile) {
+    let (base, span) = match class {
+        WorkloadClass::Legacy => (
+            [1.173, 0.579, 0.233, 0.2218, 22.0],
+            [0.08, 0.10, 0.09, 0.002, 0.38],
+        ),
+        WorkloadClass::SpecInt => (
+            [2.631, 0.337, 0.175, 0.2185, 4.04],
+            [0.11, 0.09, 0.20, 0.0015, 0.90],
+        ),
+        WorkloadClass::Modern => (
+            [1.785, 0.417, 0.199, 0.2206, 16.9],
+            [0.12, 0.10, 0.20, 0.002, 0.36],
+        ),
+        WorkloadClass::FloatingPoint => (
+            [2.272, 1.048, 0.057, 0.219, 45.2],
+            [0.17, 0.30, 0.51, 0.023, 0.28],
+        ),
+    };
+    (
+        WorkloadProfile {
+            alpha: base[0],
+            gamma: base[1],
+            hazard_rate: base[2],
+            kappa: base[3],
+            memory_time_fo4: base[4],
+        },
+        WorkloadProfile {
+            alpha: span[0],
+            gamma: span[1],
+            hazard_rate: span[2],
+            kappa: span[3],
+            memory_time_fo4: span[4],
+        },
+    )
+}
+
+/// A deterministic value in `[-1, 1]` from a workload's trace seed and a
+/// per-field lane, via splitmix-style mixing. No RNG state: the same
+/// workload always perturbs the same way.
+fn unit_jitter(seed: u64, lane: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(lane.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}
+
+/// The fitted analytic profile of one suite workload: its class base
+/// perturbed deterministically within the class's observed spread.
+pub fn fitted_profile(workload: &Workload) -> WorkloadProfile {
+    let (base, span) = class_base(workload.class);
+    let s = workload.trace_seed;
+    let vary = |b: f64, rel: f64, lane: u64| b * (1.0 + rel * unit_jitter(s, lane));
+    WorkloadProfile {
+        alpha: vary(base.alpha, span.alpha, 1).max(1.0),
+        gamma: vary(base.gamma, span.gamma, 2).clamp(1e-3, 1.5),
+        hazard_rate: vary(base.hazard_rate, span.hazard_rate, 3).max(1e-4),
+        kappa: vary(base.kappa, span.kappa, 4).max(1e-6),
+        memory_time_fo4: vary(base.memory_time_fo4, span.memory_time_fo4, 5).max(0.0),
+    }
+}
+
+/// The evaluation request for one `(workload, depth)` cell under a run
+/// configuration's power calibration.
+pub fn cell_for(
+    workload: &Workload,
+    profile: WorkloadProfile,
+    depth: u32,
+    config: &RunConfig,
+) -> CellSpec {
+    CellSpec {
+        workload: workload.name.clone(),
+        profile,
+        depth,
+        warmup: config.warmup,
+        instructions: config.instructions,
+        leakage_fraction: config.leakage_fraction,
+        ref_depth: config.ref_depth as f64,
+        latch_growth: 1.3,
+    }
+}
+
+/// Full analytic depth sweeps for a set of workloads — the model-backend
+/// replacement for [`Runner::sweep_all`]. No simulator type is touched:
+/// each curve is the closed-form evaluation of the workload's
+/// [`fitted_profile`] across the configured depths.
+pub fn model_curves(workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadCurve> {
+    let model = AnalyticModel::paper();
+    workloads
+        .iter()
+        .map(|w| {
+            let profile = fitted_profile(w);
+            let points = config
+                .depths
+                .iter()
+                .map(|&depth| {
+                    let out = model.evaluate(&cell_for(w, profile, depth, config));
+                    DepthPoint {
+                        depth,
+                        throughput: out.throughput,
+                        metric_gated: out.metric_gated,
+                        metric_ungated: out.metric_ungated,
+                        cpi: out.cpi,
+                    }
+                })
+                .collect();
+            WorkloadCurve {
+                workload: w.clone(),
+                points,
+                extracted: ExtractedParams::from_profile(&profile, config.ref_depth),
+            }
+        })
+        .collect()
+}
+
+/// The cycle-accurate [`Evaluator`] backend: adapts the cell [`Runner`]
+/// (worker pool, simulation cache, trace arena) to the backend-agnostic
+/// trait. Outcomes are derived from the [`SimReport`] exactly as the sweep
+/// layer derives its [`DepthPoint`]s, so a `SimBackend` evaluation of a
+/// swept cell reproduces the curve's numbers bit for bit (and hits the
+/// runner's cache instead of re-simulating).
+pub struct SimBackend<'a> {
+    runner: &'a Runner,
+    by_name: BTreeMap<String, Workload>,
+}
+
+impl<'a> SimBackend<'a> {
+    /// A simulation backend resolving workload ids against the full suite.
+    pub fn new(runner: &'a Runner) -> Self {
+        Self::with_workloads(runner, &suite())
+    }
+
+    /// A simulation backend resolving workload ids against an explicit
+    /// workload set (tests and custom sweeps).
+    pub fn with_workloads(runner: &'a Runner, workloads: &[Workload]) -> Self {
+        SimBackend {
+            runner,
+            by_name: workloads
+                .iter()
+                .map(|w| (w.name.clone(), w.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for SimBackend<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBackend")
+            .field("workloads", &self.by_name.len())
+            .finish()
+    }
+}
+
+impl Evaluator for SimBackend<'_> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    /// Simulates the cell (or retrieves it from the runner's cache) and
+    /// reduces the report to the common outcome row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell names a workload the backend does not know.
+    fn evaluate(&self, cell: &CellSpec) -> EvalOutcome {
+        let workload = self
+            .by_name
+            .get(&cell.workload)
+            // analysis: allow(panic-path) — `Evaluator::evaluate` has no error
+            // channel; an unknown workload id is a caller bug, documented above.
+            .unwrap_or_else(|| panic!("unknown workload \"{}\"", cell.workload));
+        let sim_cell = SimCell::new(
+            workload,
+            SimConfig::paper(cell.depth),
+            cell.warmup,
+            cell.instructions,
+        );
+        let report = &self.runner.run_cells(std::slice::from_ref(&sim_cell))[0];
+        outcome_from_report(report, cell)
+    }
+}
+
+/// Reduces a finished simulation report to the common outcome row, using
+/// the cell's power calibration.
+pub fn outcome_from_report(report: &SimReport, cell: &CellSpec) -> EvalOutcome {
+    let ref_depth = cell.ref_depth.round().max(2.0) as u32;
+    let gated = PowerConfig::paper(Gating::Gated, cell.leakage_fraction, ref_depth);
+    let ungated = PowerConfig::paper(Gating::Ungated, cell.leakage_fraction, ref_depth);
+    let tau = report.time_per_instruction_fo4();
+    EvalOutcome {
+        depth: cell.depth,
+        cpi: report.cpi(),
+        frequency: 1.0 / report.config.cycle_time_fo4(),
+        time_per_instruction_fo4: tau,
+        throughput: report.throughput(),
+        power_gated: measure(report, &gated).total(),
+        power_ungated: measure(report, &ungated).total(),
+        metric_gated: [
+            metric(report, &gated, 1.0),
+            metric(report, &gated, 2.0),
+            metric(report, &gated, 3.0),
+        ],
+        metric_ungated: [
+            metric(report, &ungated, 1.0),
+            metric(report, &ungated, 2.0),
+            metric(report, &ungated, 3.0),
+        ],
+        profile: extract_from_report(report, &gated).profile(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedepth_workloads::representatives;
+
+    fn tiny() -> RunConfig {
+        RunConfig {
+            warmup: 2_000,
+            instructions: 4_000,
+            depths: vec![4, 8, 12],
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_rejects() {
+        assert_eq!("sim".parse::<Backend>().unwrap(), Backend::Sim);
+        assert_eq!("model".parse::<Backend>().unwrap(), Backend::Model);
+        assert_eq!("both".parse::<Backend>().unwrap(), Backend::Both);
+        let err = "cuda".parse::<Backend>().unwrap_err();
+        assert!(err.to_string().contains("valid backends: sim, model, both"));
+    }
+
+    #[test]
+    fn fitted_profiles_are_deterministic_and_distinct() {
+        let ws = suite();
+        let profiles: Vec<WorkloadProfile> = ws.iter().map(fitted_profile).collect();
+        let again: Vec<WorkloadProfile> = ws.iter().map(fitted_profile).collect();
+        assert_eq!(profiles, again, "profiles are pure functions of the suite");
+        // Members of the same class must not collapse onto one point, or
+        // the analytic optimum distribution (Fig. 6) degenerates.
+        let alphas: Vec<f64> = ws
+            .iter()
+            .zip(&profiles)
+            .filter(|(w, _)| w.class == WorkloadClass::SpecInt)
+            .map(|(_, p)| p.alpha)
+            .collect();
+        let spread = alphas.iter().cloned().fold(f64::MIN, f64::max)
+            - alphas.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1e-3, "specint α spread {spread} is degenerate");
+    }
+
+    #[test]
+    fn model_curves_cover_every_depth_and_respect_gating() {
+        let ws = representatives();
+        let curves = model_curves(&ws, &tiny());
+        assert_eq!(curves.len(), ws.len());
+        for curve in &curves {
+            assert_eq!(curve.depths(), vec![4.0, 8.0, 12.0]);
+            for p in &curve.points {
+                assert!(p.throughput > 0.0);
+                for k in 0..3 {
+                    assert!(p.metric_gated[k] > p.metric_ungated[k]);
+                }
+            }
+            assert_eq!(curve.extracted.ref_depth, tiny().ref_depth);
+        }
+    }
+
+    #[test]
+    fn sim_backend_matches_the_sweep_layer_exactly() {
+        let runner = Runner::serial();
+        let cfg = tiny();
+        let w = &representatives()[1];
+        let curve = runner.sweep_workload(w, &cfg);
+        let backend = SimBackend::with_workloads(&runner, std::slice::from_ref(w));
+        for point in &curve.points {
+            let out = backend.evaluate(&cell_for(w, fitted_profile(w), point.depth, &cfg));
+            assert_eq!(out.cpi, point.cpi, "depth {}", point.depth);
+            assert_eq!(out.throughput, point.throughput);
+            assert_eq!(out.metric_gated, point.metric_gated);
+            assert_eq!(out.metric_ungated, point.metric_ungated);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn sim_backend_rejects_unknown_workloads() {
+        let runner = Runner::serial();
+        let backend = SimBackend::with_workloads(&runner, &[]);
+        let w = &representatives()[0];
+        backend.evaluate(&cell_for(w, fitted_profile(w), 8, &tiny()));
+    }
+}

@@ -8,10 +8,12 @@
 //! times them, prints summaries and writes artifacts; it contains no
 //! figure logic of its own.
 
+use crate::eval::{model_curves, Backend};
 use crate::report::Table;
 use crate::runner::Runner;
 use crate::sweep::{RunConfig, WorkloadCurve};
 use pipedepth_workloads::{suite, WorkloadClass};
+use std::fmt;
 use std::sync::OnceLock;
 
 /// A file an experiment wants written into the output directory.
@@ -84,24 +86,45 @@ pub struct Context {
     pub runner: Runner,
     /// Results deposited by finished experiments.
     pub outcomes: Outcomes,
+    /// The evaluation backend the suite curves come from.
+    backend: Backend,
     curves: OnceLock<Vec<WorkloadCurve>>,
 }
 
 impl Context {
-    /// A fresh context with an empty cache and no curves swept yet.
+    /// A fresh context with an empty cache and no curves swept yet, on the
+    /// simulation backend.
     pub fn new(config: RunConfig, runner: Runner) -> Self {
+        Self::with_backend(config, runner, Backend::Sim)
+    }
+
+    /// A fresh context on an explicit evaluation backend.
+    pub fn with_backend(config: RunConfig, runner: Runner, backend: Backend) -> Self {
         Context {
             config,
             runner,
             outcomes: Outcomes::default(),
+            backend,
             curves: OnceLock::new(),
         }
     }
 
-    /// The full-suite sweep, simulated on first use and shared afterwards.
+    /// The evaluation backend this context's curves come from.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The full-suite sweep, materialised on first use and shared
+    /// afterwards: simulated under the `sim`/`both` backends, evaluated in
+    /// closed form (no simulator in the call path) under `model`.
     pub fn curves(&self) -> &[WorkloadCurve] {
-        self.curves
-            .get_or_init(|| self.runner.sweep_all(&suite(), &self.config))
+        self.curves.get_or_init(|| {
+            if self.backend.uses_sim() {
+                self.runner.sweep_all(&suite(), &self.config)
+            } else {
+                model_curves(&suite(), &self.config)
+            }
+        })
     }
 
     /// Whether the suite sweep has been materialised yet.
@@ -131,6 +154,13 @@ pub trait Experiment {
     fn needs_curves(&self) -> bool {
         false
     }
+    /// Whether this experiment drives the simulator directly (beyond the
+    /// shared curves) and therefore cannot run under the pure `model`
+    /// backend. The driver skips such specs, with a note, when no
+    /// simulation backend is available.
+    fn requires_sim(&self) -> bool {
+        false
+    }
     /// Runs the experiment against the shared context.
     fn run(&self, ctx: &Context) -> ExperimentOutput;
 }
@@ -152,7 +182,60 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::ablation::Spec),
         Box::new(crate::issue_policy::Spec),
         Box::new(crate::figures::ext_gating::Spec),
+        Box::new(crate::figures::xval::Spec),
     ]
+}
+
+/// Error for `--only` selections naming unknown experiments: carries the
+/// unknown names and the full list of valid ones for the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The selector names that matched nothing.
+    pub unknown: Vec<String>,
+    /// Every valid experiment name, in registry order.
+    pub valid: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment{} {}; valid names: {}",
+            if self.unknown.len() == 1 { "" } else { "s" },
+            self.unknown
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Filters the registry by a `--only` selection, preserving registry
+/// order. An empty selection keeps everything. Selections naming an
+/// unknown experiment are an error — silently running nothing has bitten
+/// CI scripts before — listing the valid names.
+pub fn select_experiments<'a>(
+    specs: &'a [Box<dyn Experiment>],
+    only: &[String],
+) -> Result<Vec<&'a dyn Experiment>, UnknownExperiment> {
+    let valid: Vec<&'static str> = specs.iter().map(|e| e.name()).collect();
+    let unknown: Vec<String> = only
+        .iter()
+        .filter(|name| !valid.contains(&name.as_str()))
+        .cloned()
+        .collect();
+    if !unknown.is_empty() {
+        return Err(UnknownExperiment { unknown, valid });
+    }
+    Ok(specs
+        .iter()
+        .filter(|e| only.is_empty() || only.iter().any(|n| n == e.name()))
+        .map(|e| e.as_ref())
+        .collect())
 }
 
 /// The per-workload extracted-parameter table (`workloads.csv`).
@@ -229,6 +312,7 @@ mod tests {
                 "ablation",
                 "issue_policy",
                 "ext_gating",
+                "xval",
             ]
         );
         let mut dedup = names.clone();
@@ -260,5 +344,60 @@ mod tests {
         assert_eq!(ctx.curves().len(), suite().len());
         let modern = ctx.curve_for(WorkloadClass::Modern);
         assert_eq!(modern.workload.class, WorkloadClass::Modern);
+    }
+
+    #[test]
+    fn model_backend_sweeps_without_simulation() {
+        let cfg = RunConfig {
+            depths: vec![4, 10, 16],
+            ..RunConfig::default()
+        };
+        let ctx = Context::with_backend(cfg, Runner::serial(), Backend::Model);
+        let curves = ctx.curves();
+        assert_eq!(curves.len(), suite().len());
+        assert!(curves.iter().all(|c| c.points.len() == 3));
+        let stats = ctx.runner.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "model curves must not touch the simulation runner"
+        );
+    }
+
+    #[test]
+    fn selection_filters_in_registry_order() {
+        let specs = registry();
+        let picked = select_experiments(&specs, &["fig4".to_string(), "fig1".to_string()])
+            .expect("both names are valid");
+        let names: Vec<&str> = picked.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            ["fig1", "fig4"],
+            "registry order, not selection order"
+        );
+        let all = select_experiments(&specs, &[]).expect("empty selection is valid");
+        assert_eq!(all.len(), specs.len());
+    }
+
+    #[test]
+    fn unknown_selection_is_an_error_listing_valid_names() {
+        let specs = registry();
+        let err = select_experiments(&specs, &["fig4".to_string(), "fig99".to_string()])
+            .err()
+            .expect("fig99 does not exist");
+        assert_eq!(err.unknown, ["fig99"]);
+        let msg = err.to_string();
+        assert!(msg.contains("\"fig99\""), "{msg}");
+        assert!(msg.contains("fig4") && msg.contains("xval"), "{msg}");
+    }
+
+    #[test]
+    fn sim_only_specs_are_marked() {
+        let requires: Vec<&str> = registry()
+            .iter()
+            .filter(|e| e.requires_sim())
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(requires, ["ablation", "issue_policy", "ext_gating", "xval"]);
     }
 }

@@ -10,6 +10,7 @@
 
 use pipedepth_core::{
     ClockGating, MetricExponent, PipelineModel, PowerParams, TechParams, WorkloadParams,
+    WorkloadProfile,
 };
 use pipedepth_power::{extract_kappa, PowerConfig};
 use pipedepth_sim::SimReport;
@@ -46,6 +47,32 @@ impl ExtractedParams {
     /// The hazard product `α·γ·N_H/N_I`.
     pub fn hazard_product(&self) -> f64 {
         self.workload_params().hazard_product()
+    }
+
+    /// The extraction as a backend-agnostic [`WorkloadProfile`] — the
+    /// analytic [`Evaluator`](pipedepth_core::Evaluator) backend's input.
+    pub fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            alpha: self.alpha,
+            gamma: self.gamma,
+            hazard_rate: self.hazard_rate,
+            kappa: self.kappa,
+            memory_time_fo4: self.memory_time_fo4,
+        }
+    }
+
+    /// The reverse conversion: wraps a profile as extraction output, for
+    /// curve assemblies that carry `ExtractedParams` but were produced by
+    /// the analytic backend.
+    pub fn from_profile(profile: &WorkloadProfile, ref_depth: u32) -> Self {
+        ExtractedParams {
+            alpha: profile.alpha,
+            gamma: profile.gamma,
+            hazard_rate: profile.hazard_rate,
+            kappa: profile.kappa,
+            memory_time_fo4: profile.memory_time_fo4,
+            ref_depth,
+        }
     }
 }
 

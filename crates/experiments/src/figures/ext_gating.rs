@@ -137,6 +137,10 @@ impl crate::experiment::Experiment for Spec {
         true
     }
 
+    fn requires_sim(&self) -> bool {
+        true
+    }
+
     fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
         let curve = ctx.curve_for(WorkloadClass::Modern);
         let fig = run_for_with(&ctx.runner, &curve.workload, &curve.extracted, &ctx.config);

@@ -12,3 +12,4 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod headline;
+pub mod xval;

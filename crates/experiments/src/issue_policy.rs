@@ -126,6 +126,10 @@ impl crate::experiment::Experiment for Spec {
         "in-order vs out-of-order issue (representatives)"
     }
 
+    fn requires_sim(&self) -> bool {
+        true
+    }
+
     fn run(&self, ctx: &crate::experiment::Context) -> crate::experiment::ExperimentOutput {
         let study = run_for_with(&ctx.runner, &representatives(), &ctx.config);
         crate::experiment::ExperimentOutput::summary_only(study.to_string())

@@ -5,6 +5,9 @@
 //!   warmup + measurement windows, parallel across workloads);
 //! * [`extract`] — single-run extraction of the theory's parameters
 //!   (`α`, `γ`, `N_H/N_I`, κ) and assembly of the analytic model;
+//! * [`eval`] — backend selection (`--backend {sim,model,both}`) and the
+//!   simulation side of the backend-agnostic
+//!   [`Evaluator`](pipedepth_core::Evaluator) layer;
 //! * [`figures`] — one driver per figure: Fig. 1 (optimality quartic),
 //!   Fig. 3 (latch growth), Figs. 4a–c (theory vs simulation), Fig. 5
 //!   (metric comparison), Fig. 6 (optimum distribution), Fig. 7 (per-class
@@ -21,6 +24,7 @@
 //! report (`cargo run --release -p pipedepth-experiments --bin repro`).
 pub mod ablation;
 pub mod convergence;
+pub mod eval;
 pub mod experiment;
 pub mod extract;
 pub mod figures;
@@ -33,7 +37,13 @@ pub mod runner;
 pub mod series;
 pub mod sweep;
 
-pub use experiment::{registry, Artifact, Context, Experiment, ExperimentOutput};
+pub use eval::{
+    fitted_profile, model_curves, outcome_from_report, Backend, SimBackend, UnknownBackend,
+};
+pub use experiment::{
+    registry, select_experiments, Artifact, Context, Experiment, ExperimentOutput,
+    UnknownExperiment,
+};
 pub use extract::{
     extended_theory_curve, extract_from_report, theory_curve, theory_model, ExtractedParams,
 };

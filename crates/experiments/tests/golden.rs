@@ -119,7 +119,10 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
     #[cfg(feature = "telemetry")]
     for metric in [
         "\"sim.instructions\"",
-        "\"sim.hazards.control.events\"",
+        "\"sim.stage.hazard.control.events\"",
+        "\"sim.stage.frontend.fetch_stall_cycles\"",
+        "\"sim.stage.issue.distinct_cycles\"",
+        "\"sim.stage.exec.memory_wait_cycles\"",
         "\"sim.predictor.misses\"",
         "\"sim.cache.l1d.hits\"",
         "\"trace.instructions_generated\"",

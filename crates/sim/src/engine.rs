@@ -12,148 +12,23 @@
 //! times are computed from its predecessors' times and resource
 //! availability. For an in-order machine this is exact, and it yields the
 //! per-unit occupancy counts the power model needs.
+//!
+//! The engine itself is a thin per-instruction orchestrator over the
+//! explicit stage units of [`crate::stage`]: the [`FrontEnd`] fetches and
+//! decodes, the [`HazardUnit`] scores sources and classifies stalls, the
+//! [`IssueStage`] binds issue cycles, and the [`ExecCore`] runs the cache
+//! segment, the E-unit and retirement. [`Engine::step_timing`] wires their
+//! calls together in the exact operation order of the original fused body,
+//! so the decomposition is invisible in any [`SimReport`].
 
-use crate::cache::{AccessResult, Hierarchy};
+use crate::cache::Hierarchy;
 use crate::config::{ConfigError, IssuePolicy, SimConfig, StagePlan, Unit};
-use crate::hazard::{HazardKind, HazardStats};
+use crate::hazard::HazardKind;
 use crate::predictor::Gshare;
 use crate::report::SimReport;
+use crate::stage::{ExecCore, FrontEnd, HazardUnit, IssueStage, StallInputs, Tables};
 use pipedepth_telemetry::Telemetry;
-use pipedepth_trace::isa::{Instruction, OpClass, Reg};
-
-/// A resource granting at most `width` acquisitions per cycle, in order.
-#[derive(Debug, Clone)]
-struct Port {
-    width: u32,
-    cycle: u64,
-    used: u32,
-}
-
-impl Port {
-    fn new(width: u32) -> Self {
-        assert!(width >= 1, "port width must be at least 1");
-        Port {
-            width,
-            cycle: 0,
-            used: 0,
-        }
-    }
-
-    /// Grants a slot at the earliest cycle ≥ `at` consistent with previous
-    /// grants (grants never go backwards: the machine is in order).
-    fn acquire(&mut self, at: u64) -> u64 {
-        if at > self.cycle {
-            self.cycle = at;
-            self.used = 1;
-        } else if self.used < self.width {
-            self.used += 1;
-        } else {
-            self.cycle += 1;
-            self.used = 1;
-        }
-        self.cycle
-    }
-
-    /// Marks the current cycle exhausted, so the next grant opens a new
-    /// cycle (used by serialising instructions).
-    fn close_cycle(&mut self) {
-        self.used = self.width;
-    }
-}
-
-/// How the most recent writer of a register produced its value — used to
-/// classify the stalls of dependent instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WriterKind {
-    /// Ordinary pipelined producer.
-    Normal,
-    /// Producer was delayed by a cache miss.
-    Miss,
-    /// Producer was a multi-cycle FP operation (fixed-cycle latency:
-    /// waiting on it is occupancy, not a depth-scaled hazard).
-    FpUnit,
-}
-
-/// Both register files flattened into one slot space: GPRs at
-/// `0..FILE_SIZE`, FPRs at `FILE_SIZE..2*FILE_SIZE`. A single pair of
-/// flat arrays keeps every ready-time lookup a direct index with no
-/// per-file dispatch on the hot path.
-const REG_SLOTS: usize = 2 * Reg::FILE_SIZE as usize;
-
-fn reg_slot(reg: Reg) -> usize {
-    match reg {
-        Reg::Gpr(i) => i as usize,
-        Reg::Fpr(i) => Reg::FILE_SIZE as usize + i as usize,
-    }
-}
-
-/// Fixed-capacity ring of the most recent issue cycles, replacing the
-/// `VecDeque` issue history. The backing buffer is a power of two, so the
-/// oldest retained entry — the decoupling-queue floor — is one masked
-/// index away. Pushing past capacity overwrites the oldest slot, exactly
-/// the pop-front/push-back pattern of the old deque, with no branchy
-/// wraparound logic and no heap churn after construction.
-#[derive(Debug, Clone)]
-struct IssueRing {
-    buf: Box<[u64]>,
-    mask: usize,
-    capacity: usize,
-    /// Total pushes since construction (monotone; the live window is the
-    /// last `capacity` of them).
-    count: usize,
-}
-
-impl IssueRing {
-    fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1, "queue capacity must be at least 1");
-        let size = capacity.next_power_of_two();
-        IssueRing {
-            buf: vec![0; size].into_boxed_slice(),
-            mask: size - 1,
-            capacity,
-            count: 0,
-        }
-    }
-
-    /// The queue floor: decode may not run ahead of the issue cycle of the
-    /// instruction `capacity` slots back (0 while the window is filling).
-    #[inline]
-    fn floor(&self) -> u64 {
-        if self.count >= self.capacity {
-            self.buf[(self.count - self.capacity) & self.mask]
-        } else {
-            0
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, issue: u64) {
-        self.buf[self.count & self.mask] = issue;
-        self.count += 1;
-    }
-}
-
-/// Per-configuration latency tables, computed once at engine construction
-/// so the per-instruction path never re-derives a stage latency, converts
-/// an FO4 penalty, or walks `Unit::ALL`.
-#[derive(Debug, Clone, Copy)]
-struct Tables {
-    /// Stage latencies of the plan, widened once.
-    decode: u64,
-    agen: u64,
-    cache: u64,
-    execute: u64,
-    complete: u64,
-    /// Extra E-unit cycles per operation class (`class as usize` index).
-    exec_extra: [u64; OpClass::ALL.len()],
-    /// Miss penalty in cycles per access result (`result as usize` index):
-    /// `fo4_to_cycles(penalty_fo4(..))` with the float math paid up front.
-    miss_penalty: [u64; 3],
-    /// Hazard-stall cap: two full pipeline drains.
-    hazard_cap: u64,
-    /// Effective decode→issue decoupling capacity.
-    queue_capacity: usize,
-}
+use pipedepth_trace::isa::Instruction;
 
 /// Cycle-level timing of one instruction's passage through the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,42 +60,21 @@ pub struct InstrTiming {
 pub struct Engine {
     config: SimConfig,
     plan: StagePlan,
+    /// The cache hierarchy is shared state: the front end fetches code
+    /// lines and the exec core accesses data through the same hierarchy.
     caches: Hierarchy,
-    predictor: Gshare,
-
-    decode_port: Port,
-    issue_port: Port,
-    cache_port: Port,
-    retire_port: Port,
-
-    /// Flattened register scoreboards (see [`reg_slot`]).
-    reg_ready: [u64; REG_SLOTS],
-    reg_writer: [WriterKind; REG_SLOTS],
     /// Per-configuration latency tables (see [`Tables`]).
     tables: Tables,
 
-    redirect_at: u64,
-    /// Last instruction-cache line fetched (fetch accesses once per line).
-    last_fetch_line: u64,
-    /// Issue cycles of the most recent instructions, bounding how far the
-    /// front end can run ahead (finite decoupling queues).
-    issue_history: IssueRing,
-    last_decode: u64,
-    last_issue: u64,
-    last_retire: u64,
-    fp_busy_until: u64,
+    front_end: FrontEnd,
+    hazard_unit: HazardUnit,
+    issue_stage: IssueStage,
+    exec_core: ExecCore,
 
     instructions: u64,
-    finish_cycle: u64,
     /// Cycle at which the current measurement window opened.
     stats_base_cycle: u64,
-    distinct_issue_cycles: u64,
-    last_issue_cycle_seen: Option<u64>,
     activity: [u64; Unit::ALL.len()],
-    hazards: HazardStats,
-    branches: u64,
-    mispredicts: u64,
-    memory_wait_cycles: u64,
 
     telemetry: Telemetry,
     /// Statistic totals already flushed into the telemetry registry;
@@ -236,6 +90,11 @@ struct StatTotals {
     instructions: u64,
     hazard_events: [u64; HazardKind::ALL.len()],
     hazard_stalls: [u64; HazardKind::ALL.len()],
+    fetch_stall_cycles: u64,
+    redirects: u64,
+    serialized_ops: u64,
+    distinct_issue_cycles: u64,
+    memory_wait_cycles: u64,
     predictor_observed: u64,
     predictor_correct: u64,
     /// `(accesses, misses)` for the l1d, l1i, l2 levels.
@@ -251,41 +110,6 @@ impl Engine {
     /// With `scaled_queues` disabled the capacity is a fixed 16 entries.
     pub fn queue_capacity(depth: u32) -> usize {
         (8 + 2 * depth) as usize
-    }
-
-    fn tables_for(config: &SimConfig, plan: &StagePlan, caches: &Hierarchy) -> Tables {
-        let mut exec_extra = [0u64; OpClass::ALL.len()];
-        for class in OpClass::ALL {
-            // Extra E-unit cycles beyond the pipelined pass for multi-cycle
-            // (floating-point) operations. Following the paper's model —
-            // "floating point instructions execute individually and take
-            // multiple cycles to complete" — the iteration count is fixed in
-            // *cycles*, so FP latency shrinks in absolute time as the clock
-            // speeds up with depth. Combined with the serialisation of the
-            // FP unit this yields low α and deep optimum depths for FP
-            // workloads, as the paper reports.
-            let extra_passes = class.base_exec_cycles().saturating_sub(1) as u64;
-            exec_extra[class as usize] = extra_passes * 2;
-        }
-        let mut miss_penalty = [0u64; 3];
-        for result in [AccessResult::L1, AccessResult::L2, AccessResult::Memory] {
-            miss_penalty[result as usize] = config.fo4_to_cycles(caches.penalty_fo4(result));
-        }
-        Tables {
-            decode: plan.decode as u64,
-            agen: plan.agen as u64,
-            cache: plan.cache as u64,
-            execute: plan.execute as u64,
-            complete: plan.complete as u64,
-            exec_extra,
-            miss_penalty,
-            hazard_cap: 2 * config.depth as u64,
-            queue_capacity: if config.features.scaled_queues {
-                Engine::queue_capacity(config.depth)
-            } else {
-                16
-            },
-        }
     }
 
     /// Creates an engine for one pipeline configuration.
@@ -307,36 +131,19 @@ impl Engine {
         config.validate()?;
         let plan = StagePlan::try_for_depth(config.depth)?;
         let caches = Hierarchy::try_new(config.cache)?;
-        let tables = Engine::tables_for(&config, &plan, &caches);
+        let tables = Tables::new(&config, &plan, &caches);
         Ok(Engine {
+            front_end: FrontEnd::new(&config)?,
+            hazard_unit: HazardUnit::new(),
+            issue_stage: IssueStage::new(config.width, tables.queue_capacity),
+            exec_core: ExecCore::new(config.width, config.cache_ports),
             config,
             plan,
             caches,
-            predictor: Gshare::try_new(config.predictor)?,
-            decode_port: Port::new(config.width),
-            issue_port: Port::new(config.width),
-            cache_port: Port::new(config.cache_ports),
-            retire_port: Port::new(config.width),
-            reg_ready: [0; REG_SLOTS],
-            reg_writer: [WriterKind::Normal; REG_SLOTS],
-            redirect_at: 0,
-            last_fetch_line: u64::MAX,
-            issue_history: IssueRing::new(tables.queue_capacity),
             tables,
-            last_decode: 0,
-            last_issue: 0,
-            last_retire: 0,
-            fp_busy_until: 0,
             instructions: 0,
-            finish_cycle: 0,
             stats_base_cycle: 0,
-            distinct_issue_cycles: 0,
-            last_issue_cycle_seen: None,
             activity: [0; Unit::ALL.len()],
-            hazards: HazardStats::new(),
-            branches: 0,
-            mispredicts: 0,
-            memory_wait_cycles: 0,
             telemetry: Telemetry::disabled(),
             flushed: StatTotals::default(),
         })
@@ -367,14 +174,27 @@ impl Engine {
 
     /// The branch predictor (for inspection).
     pub fn predictor(&self) -> &Gshare {
-        &self.predictor
+        self.front_end.predictor()
     }
 
-    #[inline]
-    fn set_ready(&mut self, reg: Reg, at: u64, writer: WriterKind) {
-        let slot = reg_slot(reg);
-        self.reg_ready[slot] = at;
-        self.reg_writer[slot] = writer;
+    /// The fetch/decode front end (for inspection).
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.front_end
+    }
+
+    /// The scoreboard and stall classifier (for inspection).
+    pub fn hazard_unit(&self) -> &HazardUnit {
+        &self.hazard_unit
+    }
+
+    /// The issue stage (for inspection).
+    pub fn issue_stage(&self) -> &IssueStage {
+        &self.issue_stage
+    }
+
+    /// The execution core (for inspection).
+    pub fn exec_core(&self) -> &ExecCore {
+        &self.exec_core
     }
 
     #[inline]
@@ -390,251 +210,111 @@ impl Engine {
     }
 
     /// Simulates one instruction, returning its full stage timing.
+    ///
+    /// This is the cycle orchestrator: each stage unit resolves its own
+    /// segment, in the machine's order — fetch/decode, source scoreboard,
+    /// address/cache segment, issue, hazard attribution, execute, branch
+    /// resolution, retire.
     pub fn step_timing(&mut self, instr: &Instruction) -> InstrTiming {
         let tables = self.tables;
 
-        // ---- Decode (front end) --------------------------------------
-        // Finite decoupling queues: decode cannot run more than
-        // QUEUE_CAPACITY instructions ahead of issue.
-        let queue_floor = self.issue_history.floor();
-        let mut decode_req = self.last_decode.max(self.redirect_at).max(queue_floor);
+        // ---- Front end: fetch + decode --------------------------------
+        let queue_floor = self.issue_stage.queue_floor();
+        let fd = self.front_end.fetch_and_decode(
+            instr,
+            &mut self.caches,
+            &tables,
+            &mut self.hazard_unit,
+            queue_floor,
+        );
 
-        // ---- Instruction fetch ----------------------------------------
-        // One instruction-cache access per new code line; a fetch miss
-        // stalls decode for the (absolute-time) miss latency.
-        let line = instr.pc / self.config.cache.line_bytes;
-        if line != self.last_fetch_line {
-            self.last_fetch_line = line;
-            let result = self.caches.fetch(instr.pc);
-            let fetch_extra = tables.miss_penalty[result as usize];
-            if fetch_extra > 0 {
-                self.hazards
-                    .record(HazardKind::Memory, fetch_extra.min(tables.hazard_cap));
-                self.memory_wait_cycles += fetch_extra;
-                decode_req += fetch_extra;
-            }
-        }
-        let decode_cycle = self.decode_port.acquire(decode_req);
-        self.last_decode = decode_cycle;
-        let decode_done = decode_cycle + tables.decode;
+        // ---- Scoreboard: source readiness -----------------------------
+        let src = self.hazard_unit.sources(instr);
 
-        // ---- Source readiness ----------------------------------------
-        let mut src_ready = 0u64;
-        let mut src_writer = WriterKind::Normal;
-        for s in instr.srcs() {
-            let slot = reg_slot(s);
-            let ready = self.reg_ready[slot];
-            if ready > src_ready {
-                src_ready = ready;
-                src_writer = self.reg_writer[slot];
-            } else if ready == src_ready && self.reg_writer[slot] == WriterKind::Miss {
-                src_writer = WriterKind::Miss;
-            }
-        }
-        let src_from_miss = src_writer == WriterKind::Miss;
-
-        // ---- RX address/cache segment --------------------------------
+        // ---- RX address/cache segment ---------------------------------
         let is_mem = instr.class.is_memory();
-        let mut data_ready = decode_done;
-        let mut pipe_ready = decode_done;
-        let mut miss_extra = 0u64;
-        if let Some(mem) = instr.mem {
-            let agen_start = decode_done.max(src_ready);
-            let agen_done = agen_start + tables.agen;
-            if instr.class == OpClass::Store {
-                // Stores retire through a write buffer: they update cache
-                // state but neither contend for a load port nor stall the
-                // pipeline on a miss.
-                self.caches.access(mem.addr);
-                data_ready = agen_done;
-                pipe_ready = agen_done;
-            } else {
-                let access_at = self.cache_port.acquire(agen_done);
-                let result = self.caches.access(mem.addr);
-                miss_extra = tables.miss_penalty[result as usize];
-                data_ready = access_at + tables.cache + miss_extra;
-                if instr.class == OpClass::Load && self.config.features.stall_on_use {
-                    // Non-blocking cache, stall-on-use: the load itself
-                    // proceeds down the pipe under a miss; only consumers
-                    // wait for the returning data (via the scoreboard).
-                    pipe_ready = access_at + tables.cache;
-                } else if instr.class == OpClass::Load {
-                    pipe_ready = data_ready;
-                }
-            }
+        let seg = self.exec_core.memory_segment(
+            instr,
+            fd.decode_done,
+            src.ready,
+            &mut self.caches,
+            &tables,
+            self.config.features.stall_on_use,
+        );
+        if instr.mem.is_some() {
             self.bump_activity(Unit::Agen, tables.agen);
             self.bump_activity(Unit::Cache, tables.cache);
         }
 
-        // AluRx consumes its memory operand in the E-unit, so it cannot
-        // issue before the data arrives; loads and stores flow by.
-        if instr.class == OpClass::AluRx {
-            pipe_ready = data_ready;
-        }
-
         // ---- Issue to the E-unit (in order, width-limited) ------------
-        let queue_ready = if is_mem { pipe_ready } else { decode_done };
-        let fp_ready = if instr.class.is_fp() {
-            self.fp_busy_until
+        let queue_ready = if is_mem {
+            seg.pipe_ready
+        } else {
+            fd.decode_done
+        };
+        let fp_ready = self.exec_core.fp_ready(instr.class.is_fp());
+        let in_order = match self.config.features.issue {
+            IssuePolicy::InOrder => true,
+            // Out of order: only the instruction's own constraints gate its
+            // issue; the decoupling window plays the ROB's role.
+            IssuePolicy::OutOfOrder => false,
+        };
+        let order_floor = if in_order {
+            self.issue_stage.last_issue()
         } else {
             0
         };
-        let order_floor = match self.config.features.issue {
-            IssuePolicy::InOrder => self.last_issue,
-            // Out of order: only the instruction's own constraints gate its
-            // issue; the decoupling window (above) plays the ROB's role.
-            IssuePolicy::OutOfOrder => 0,
-        };
-        let mut base = queue_ready.max(src_ready).max(fp_ready).max(order_floor);
-        if instr.serial {
-            // Complex serialising operations issue alone: they start a new
-            // issue cycle and exhaust it.
-            base = base.max(self.last_issue + 1);
-            self.issue_port.close_cycle();
-        }
-        let prev_issue = self.last_issue;
-        let issue = self.issue_port.acquire(base);
-        if instr.serial {
-            self.issue_port.close_cycle();
-        }
-        self.last_issue = issue;
-        self.issue_history.push(issue);
+        let base = queue_ready.max(src.ready).max(fp_ready).max(order_floor);
+        let issued = self.issue_stage.bind(base, instr.serial);
 
         // ---- Hazard attribution ---------------------------------------
-        // A hazard is the *marginal* delay this instruction's own
-        // constraints add beyond both its unobstructed pipeline transit and
-        // the in-order backpressure floor (an older instruction's stall is
-        // that instruction's hazard, not a new one). Stalls are capped at
-        // two full pipeline drains when accounted toward γ: a stall cannot
-        // idle more pipeline than the machine has, and the residue of long
-        // memory waits is absolute time, tracked separately below.
-        let transit = decode_done
-            + if is_mem {
-                tables.agen + tables.cache
-            } else {
-                0
-            };
-        let floor = match self.config.features.issue {
-            IssuePolicy::InOrder => transit.max(prev_issue),
-            IssuePolicy::OutOfOrder => transit,
-        };
-        let own = queue_ready.max(src_ready).max(fp_ready);
-        let stall = own.saturating_sub(floor);
-        if stall > 0 {
-            let gamma_stall = stall.min(tables.hazard_cap);
-            // Classification precedence: a cache miss anywhere in the
-            // dependence chain is a memory event; otherwise a register
-            // dependence is a data event; waiting on the busy FP unit is
-            // occupancy (the machine is doing work — it surfaces as reduced
-            // superscalar degree α, as in the paper's multi-cycle FP model),
-            // not a hazard; everything else (ports, queues) is structural.
-            let load_use_blocked = instr.class == OpClass::AluRx && miss_extra > 0;
-            let kind = if load_use_blocked || src_from_miss {
-                Some(HazardKind::Memory)
-            } else if src_ready > floor {
-                // A dependent waiting on the fixed-cycle FP unit is
-                // occupancy (the unit is doing work at the clock rate), not
-                // a depth-scaled pipeline hazard — mirror the fp_ready case.
-                if src_writer == WriterKind::FpUnit {
-                    None
-                } else {
-                    Some(HazardKind::Data)
-                }
-            } else if fp_ready > floor {
-                None
-            } else {
-                Some(HazardKind::Structural)
-            };
-            if let Some(kind) = kind {
-                self.hazards.record(kind, gamma_stall);
-            }
-        }
-        // Absolute-time memory latency (does not scale with pipeline depth;
-        // reported as a per-instruction time so the theory comparison can
-        // treat it as the additive constant it is).
-        self.memory_wait_cycles += miss_extra;
+        self.hazard_unit.attribute(
+            &tables,
+            &StallInputs {
+                is_mem,
+                class: instr.class,
+                decode_done: fd.decode_done,
+                prev_issue: issued.prev,
+                in_order,
+                queue_ready,
+                src,
+                fp_ready,
+                miss_extra: seg.miss_extra,
+            },
+        );
 
-        // ---- Execute ---------------------------------------------------
-        let exec_lat = tables.execute + tables.exec_extra[instr.class as usize];
-        let exec_done = issue + exec_lat;
-        if instr.class.is_fp() {
-            self.fp_busy_until = exec_done;
-        }
-        if let Some(dst) = instr.dst {
-            // Full forwarding network: simple ALU results bypass to
-            // consumers one cycle after issue (real deep pipelines keep
-            // single-cycle ALU loops); loads bypass from the cache return;
-            // iterative FP forwards only when the unit finishes. The deep
-            // E-unit's full latency still gates branch resolution and
-            // retirement.
-            let alu_ready = if self.config.features.forwarding {
-                issue + 1
-            } else {
-                exec_done
-            };
-            let (ready_at, writer) = match instr.class {
-                OpClass::Load => (
-                    data_ready,
-                    if miss_extra > 0 {
-                        WriterKind::Miss
-                    } else {
-                        WriterKind::Normal
-                    },
-                ),
-                OpClass::Fp | OpClass::FpLong => (exec_done, WriterKind::FpUnit),
-                _ => (
-                    alu_ready,
-                    if miss_extra > 0 {
-                        WriterKind::Miss
-                    } else {
-                        WriterKind::Normal
-                    },
-                ),
-            };
-            self.set_ready(dst, ready_at, writer);
-        }
+        // ---- Execute + writeback --------------------------------------
+        let exec_done = self.exec_core.execute(
+            instr,
+            issued.at,
+            &tables,
+            self.config.features.forwarding,
+            &seg,
+            &mut self.hazard_unit,
+        );
         // The iterative tail of a multi-cycle FP operation spins a narrow
         // datapath, not the full E-unit latch complement; only the
         // pipelined pass is charged to the unit's activity.
         self.bump_activity(Unit::Execute, tables.execute);
 
-        // ---- Branch resolution ------------------------------------------
-        if instr.class == OpClass::Branch {
-            self.branches += 1;
-            let taken = instr.is_taken_branch();
-            let hit = self.predictor.observe(instr.pc, taken);
-            if !hit {
-                self.mispredicts += 1;
-                let resume = exec_done + 1;
-                // The flush stalls decode from right after the branch until
-                // resolution: a full decode→execute refill. For γ purposes
-                // the stall is capped like every other hazard.
-                let refill = resume.saturating_sub(decode_cycle + 1);
-                self.hazards
-                    .record(HazardKind::Control, refill.min(tables.hazard_cap));
-                self.redirect_at = resume;
-            }
-        }
+        // ---- Branch resolution ----------------------------------------
+        self.front_end.resolve_branch(
+            instr,
+            fd.decode_cycle,
+            exec_done,
+            &tables,
+            &mut self.hazard_unit,
+        );
 
-        // ---- Completion / retire ----------------------------------------
-        let complete_done = exec_done + tables.complete;
-        let retire = self
-            .retire_port
-            .acquire(complete_done.max(self.last_retire));
-        self.last_retire = retire;
-        self.finish_cycle = self.finish_cycle.max(retire);
+        // ---- Completion / retire --------------------------------------
+        let retire = self.exec_core.retire(exec_done + tables.complete);
         self.bump_activity(Unit::Decode, tables.decode);
         self.bump_activity(Unit::Complete, tables.complete);
 
-        // ---- Superscalar accounting -------------------------------------
-        if self.last_issue_cycle_seen != Some(issue) {
-            self.distinct_issue_cycles += 1;
-            self.last_issue_cycle_seen = Some(issue);
-        }
         self.instructions += 1;
         InstrTiming {
-            decode: decode_cycle,
-            issue,
+            decode: fd.decode_cycle,
+            issue: issued.at,
             exec_done,
             retire,
         }
@@ -671,16 +351,12 @@ impl Engine {
     /// timing) intact.
     pub fn reset_stats(&mut self) {
         self.instructions = 0;
-        self.distinct_issue_cycles = 0;
-        self.last_issue_cycle_seen = None;
         self.activity = [0; Unit::ALL.len()];
-        self.hazards = HazardStats::new();
-        self.branches = 0;
-        self.mispredicts = 0;
-        self.memory_wait_cycles = 0;
-        self.stats_base_cycle = self.finish_cycle;
+        self.stats_base_cycle = self.exec_core.finish_cycle();
         self.caches.reset_stats();
-        self.predictor.reset_stats();
+        self.front_end.reset_stats();
+        self.hazard_unit.reset_stats();
+        self.issue_stage.reset_stats();
         self.flushed = StatTotals::default();
     }
 
@@ -740,10 +416,16 @@ impl Engine {
     }
 
     fn stat_totals(&self) -> StatTotals {
+        let predictor = self.front_end.predictor();
         let mut totals = StatTotals {
             instructions: self.instructions,
-            predictor_observed: self.predictor.observed(),
-            predictor_correct: self.predictor.correct(),
+            fetch_stall_cycles: self.front_end.fetch_stall_cycles(),
+            redirects: self.front_end.mispredicts(),
+            serialized_ops: self.issue_stage.serialized_ops(),
+            distinct_issue_cycles: self.issue_stage.distinct_issue_cycles(),
+            memory_wait_cycles: self.hazard_unit.memory_wait_cycles(),
+            predictor_observed: predictor.observed(),
+            predictor_correct: predictor.correct(),
             cache: [
                 (self.caches.l1().accesses(), self.caches.l1().misses()),
                 (
@@ -755,14 +437,15 @@ impl Engine {
             ..StatTotals::default()
         };
         for (i, &kind) in HazardKind::ALL.iter().enumerate() {
-            totals.hazard_events[i] = self.hazards.events(kind);
-            totals.hazard_stalls[i] = self.hazards.stall_cycles(kind);
+            totals.hazard_events[i] = self.hazard_unit.stats().events(kind);
+            totals.hazard_stalls[i] = self.hazard_unit.stats().stall_cycles(kind);
         }
         totals
     }
 
     /// Flushes the delta of every statistic since the last flush into the
-    /// attached telemetry registry. No-op when telemetry is disabled.
+    /// attached telemetry registry, under per-stage `sim.stage.*` names.
+    /// No-op when telemetry is disabled.
     fn flush_telemetry(&mut self) {
         if !self.telemetry.is_enabled() {
             return;
@@ -773,11 +456,27 @@ impl Engine {
         t.counter("sim.instructions")
             .add(now.instructions.saturating_sub(prev.instructions));
         for (i, kind) in HazardKind::ALL.iter().enumerate() {
-            t.counter(&format!("sim.hazards.{kind}.events"))
+            t.counter(&format!("sim.stage.hazard.{kind}.events"))
                 .add(now.hazard_events[i].saturating_sub(prev.hazard_events[i]));
-            t.counter(&format!("sim.hazards.{kind}.stall_cycles"))
+            t.counter(&format!("sim.stage.hazard.{kind}.stall_cycles"))
                 .add(now.hazard_stalls[i].saturating_sub(prev.hazard_stalls[i]));
         }
+        t.counter("sim.stage.frontend.fetch_stall_cycles").add(
+            now.fetch_stall_cycles
+                .saturating_sub(prev.fetch_stall_cycles),
+        );
+        t.counter("sim.stage.frontend.redirects")
+            .add(now.redirects.saturating_sub(prev.redirects));
+        t.counter("sim.stage.issue.serialized_ops")
+            .add(now.serialized_ops.saturating_sub(prev.serialized_ops));
+        t.counter("sim.stage.issue.distinct_cycles").add(
+            now.distinct_issue_cycles
+                .saturating_sub(prev.distinct_issue_cycles),
+        );
+        t.counter("sim.stage.exec.memory_wait_cycles").add(
+            now.memory_wait_cycles
+                .saturating_sub(prev.memory_wait_cycles),
+        );
         let observed = now
             .predictor_observed
             .saturating_sub(prev.predictor_observed);
@@ -800,16 +499,18 @@ impl Engine {
             self.config,
             self.plan,
             self.instructions,
-            self.finish_cycle.saturating_sub(self.stats_base_cycle),
-            self.distinct_issue_cycles,
+            self.exec_core
+                .finish_cycle()
+                .saturating_sub(self.stats_base_cycle),
+            self.issue_stage.distinct_issue_cycles(),
             &self.activity,
-            self.hazards.clone(),
-            self.branches,
-            self.mispredicts,
+            self.hazard_unit.stats().clone(),
+            self.front_end.branches(),
+            self.front_end.mispredicts(),
             self.caches.l1().miss_rate(),
             self.caches.l2().miss_rate(),
             self.caches.l1i().map(|c| c.miss_rate()).unwrap_or(0.0),
-            self.memory_wait_cycles,
+            self.hazard_unit.memory_wait_cycles(),
         )
     }
 }
@@ -817,7 +518,8 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pipedepth_trace::isa::{BranchInfo, MemRef};
+    use crate::hazard::HazardKind;
+    use pipedepth_trace::isa::{BranchInfo, MemRef, OpClass, Reg};
 
     fn alu(pc: u64, dst: u8, srcs: &[u8]) -> Instruction {
         let mut i = Instruction::new(pc, OpClass::AluRr).with_dst(Reg::gpr(dst));
@@ -825,31 +527,6 @@ mod tests {
             i = i.with_src(Reg::gpr(s));
         }
         i
-    }
-
-    #[test]
-    fn issue_ring_matches_deque_semantics() {
-        use std::collections::VecDeque;
-        // The ring must report exactly the floor the old VecDeque history
-        // produced: 0 while filling, then the oldest retained issue cycle.
-        for capacity in [1usize, 3, 16, 24, 56] {
-            let mut ring = IssueRing::new(capacity);
-            let mut deque: VecDeque<u64> = VecDeque::new();
-            for i in 0..200u64 {
-                let expected = if deque.len() >= capacity {
-                    *deque.front().unwrap()
-                } else {
-                    0
-                };
-                assert_eq!(ring.floor(), expected, "capacity {capacity}, push {i}");
-                let issue = i * 3 / 2; // monotone, with repeats
-                if deque.len() >= capacity {
-                    deque.pop_front();
-                }
-                deque.push_back(issue);
-                ring.push(issue);
-            }
-        }
     }
 
     #[test]
@@ -876,16 +553,6 @@ mod tests {
         let mut e = Engine::new(SimConfig::paper(8));
         let r = e.run_slice(&trace, 5_000);
         assert_eq!(r.instructions, 1_000, "count beyond the slice is clamped");
-    }
-
-    #[test]
-    fn port_respects_width() {
-        let mut p = Port::new(2);
-        assert_eq!(p.acquire(5), 5);
-        assert_eq!(p.acquire(5), 5);
-        assert_eq!(p.acquire(5), 6);
-        assert_eq!(p.acquire(5), 6, "in-order port never goes back");
-        assert_eq!(p.acquire(10), 10);
     }
 
     #[test]
@@ -1232,6 +899,24 @@ mod tests {
         assert!(Engine::try_new(SimConfig::paper(8)).is_ok());
     }
 
+    #[test]
+    fn stage_units_are_inspectable() {
+        let mut e = Engine::new(SimConfig::paper(10));
+        let mut gen =
+            pipedepth_trace::TraceGenerator::new(pipedepth_trace::WorkloadModel::modern_like(), 23);
+        let r = e.run(&mut gen, 5_000);
+        // The report is assembled from the units' own counters.
+        assert_eq!(e.front_end().branches(), r.branches);
+        assert_eq!(e.front_end().mispredicts(), r.mispredicts);
+        assert_eq!(
+            e.issue_stage().distinct_issue_cycles(),
+            r.distinct_issue_cycles
+        );
+        assert_eq!(e.hazard_unit().stats(), &r.hazards);
+        assert_eq!(e.hazard_unit().memory_wait_cycles(), r.memory_wait_cycles);
+        assert!(e.exec_core().finish_cycle() >= r.cycles);
+    }
+
     #[cfg(feature = "telemetry")]
     #[test]
     fn run_flushes_aggregate_counters() {
@@ -1250,16 +935,29 @@ mod tests {
         );
         for kind in HazardKind::ALL {
             assert_eq!(
-                snap.counter(&format!("sim.hazards.{kind}.events")),
+                snap.counter(&format!("sim.stage.hazard.{kind}.events")),
                 report.hazards.events(kind),
                 "hazard {kind}"
             );
             assert_eq!(
-                snap.counter(&format!("sim.hazards.{kind}.stall_cycles")),
+                snap.counter(&format!("sim.stage.hazard.{kind}.stall_cycles")),
                 report.hazards.stall_cycles(kind),
                 "hazard {kind}"
             );
         }
+        // Per-stage counters track the report's view of the same window.
+        assert_eq!(
+            snap.counter("sim.stage.frontend.redirects"),
+            report.mispredicts
+        );
+        assert_eq!(
+            snap.counter("sim.stage.issue.distinct_cycles"),
+            report.distinct_issue_cycles
+        );
+        assert_eq!(
+            snap.counter("sim.stage.exec.memory_wait_cycles"),
+            report.memory_wait_cycles
+        );
         assert!(snap.counter("sim.cache.l1d.hits") > 0);
         assert!(snap.counter("sim.cache.l1i.hits") > 0);
         // A second run adds only its own delta.

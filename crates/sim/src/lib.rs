@@ -13,6 +13,8 @@
 //! * [`cache`] — a two-level set-associative data-cache hierarchy with
 //!   FO4-denominated (absolute-time) miss latencies;
 //! * [`engine`] — the deterministic interval timing engine;
+//! * [`stage`] — the explicit stage units ([`FrontEnd`], [`HazardUnit`],
+//!   [`IssueStage`], [`ExecCore`]) the engine orchestrates each cycle;
 //! * [`hazard`] — hazard classification and the `γ`/`N_H` accounting;
 //! * [`report`] — results plus extraction of the theory's workload
 //!   parameters (`α`, `γ`, `N_H/N_I`) from a single simulation.
@@ -37,17 +39,33 @@
 //! assert!(times[1] < times[0]);
 //! ```
 
+/// The two-level cache hierarchy and its access bookkeeping.
 pub mod cache;
+/// Simulator configuration: stage plans, feature toggles, the builder.
 pub mod config;
+/// The cycle orchestrator driving the stage units over a trace.
 pub mod engine;
+/// Hazard taxonomy and per-kind stall statistics.
 pub mod hazard;
+/// The branch predictor model.
 pub mod predictor;
+/// The immutable end-of-run [`SimReport`].
 pub mod report;
+/// The explicit stage units the engine is composed of.
+pub mod stage;
 
+/// Configuration surface: `SimConfig`, its builder, and the plan types.
 pub use config::{
     CacheConfig, ConfigError, Features, IssuePolicy, PredictorConfig, SimConfig, SimConfigBuilder,
     StagePlan, Unit,
 };
+/// The engine and its per-instruction timing record.
 pub use engine::{Engine, InstrTiming};
+/// Hazard kinds and their aggregate statistics.
 pub use hazard::{HazardKind, HazardStats};
+/// The end-of-run report.
 pub use report::SimReport;
+/// The stage units and their hand-off records.
+pub use stage::{
+    ExecCore, FetchDecode, FrontEnd, HazardUnit, IssueRing, IssueStage, Issued, MemorySegment, Port,
+};

@@ -1,0 +1,160 @@
+//! The execution core: cache access, the E-unit, writeback and retire.
+
+use super::{HazardUnit, Port, Tables, WriterKind};
+use crate::cache::Hierarchy;
+use pipedepth_trace::isa::{Instruction, OpClass};
+
+/// Timing of the RX address/cache segment of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySegment {
+    /// Cycle the instruction's result data is available to consumers.
+    pub data_ready: u64,
+    /// Cycle the instruction itself can proceed down the pipe (under
+    /// stall-on-use a missed load flows on while consumers wait).
+    pub pipe_ready: u64,
+    /// Absolute-time miss penalty this access paid, in cycles.
+    pub miss_extra: u64,
+}
+
+/// The execution core: the cache and retire ports, the unpipelined FP
+/// unit's busy time, writeback into the scoreboard, and in-order
+/// retirement.
+#[derive(Debug, Clone)]
+pub struct ExecCore {
+    cache_port: Port,
+    retire_port: Port,
+    fp_busy_until: u64,
+    last_retire: u64,
+    finish_cycle: u64,
+}
+
+impl ExecCore {
+    /// An execution core with a `width`-wide retire port and
+    /// `cache_ports` load ports.
+    pub(crate) fn new(width: u32, cache_ports: u32) -> Self {
+        ExecCore {
+            cache_port: Port::new(cache_ports),
+            retire_port: Port::new(width),
+            fp_busy_until: 0,
+            last_retire: 0,
+            finish_cycle: 0,
+        }
+    }
+
+    /// The cycle the last retired instruction left the machine.
+    pub fn finish_cycle(&self) -> u64 {
+        self.finish_cycle
+    }
+
+    /// When the unpipelined FP unit stops gating `instr` (0 for non-FP).
+    pub(crate) fn fp_ready(&self, is_fp: bool) -> u64 {
+        if is_fp {
+            self.fp_busy_until
+        } else {
+            0
+        }
+    }
+
+    /// Runs the RX address-generation/cache segment of one instruction.
+    ///
+    /// Stores retire through a write buffer: they update cache state but
+    /// neither contend for a load port nor stall the pipeline on a miss.
+    /// Loads acquire a cache port; under stall-on-use a missed load itself
+    /// proceeds down the pipe and only consumers wait (via the scoreboard).
+    /// An `AluRx` consumes its memory operand in the E-unit, so it cannot
+    /// issue before the data arrives.
+    pub(crate) fn memory_segment(
+        &mut self,
+        instr: &Instruction,
+        decode_done: u64,
+        src_ready: u64,
+        caches: &mut Hierarchy,
+        tables: &Tables,
+        stall_on_use: bool,
+    ) -> MemorySegment {
+        let mut data_ready = decode_done;
+        let mut pipe_ready = decode_done;
+        let mut miss_extra = 0u64;
+        if let Some(mem) = instr.mem {
+            let agen_start = decode_done.max(src_ready);
+            let agen_done = agen_start + tables.agen;
+            if instr.class == OpClass::Store {
+                caches.access(mem.addr);
+                data_ready = agen_done;
+                pipe_ready = agen_done;
+            } else {
+                let access_at = self.cache_port.acquire(agen_done);
+                let result = caches.access(mem.addr);
+                miss_extra = tables.miss_penalty[result as usize];
+                data_ready = access_at + tables.cache + miss_extra;
+                if instr.class == OpClass::Load && stall_on_use {
+                    // Non-blocking cache, stall-on-use: the load itself
+                    // proceeds down the pipe under a miss; only consumers
+                    // wait for the returning data (via the scoreboard).
+                    pipe_ready = access_at + tables.cache;
+                } else if instr.class == OpClass::Load {
+                    pipe_ready = data_ready;
+                }
+            }
+        }
+        if instr.class == OpClass::AluRx {
+            pipe_ready = data_ready;
+        }
+        MemorySegment {
+            data_ready,
+            pipe_ready,
+            miss_extra,
+        }
+    }
+
+    /// Executes one issued instruction: computes its E-unit completion,
+    /// occupies the FP unit for multi-cycle FP operations, and writes the
+    /// destination's ready time back into the scoreboard.
+    pub(crate) fn execute(
+        &mut self,
+        instr: &Instruction,
+        issue: u64,
+        tables: &Tables,
+        forwarding: bool,
+        seg: &MemorySegment,
+        hazards: &mut HazardUnit,
+    ) -> u64 {
+        let exec_lat = tables.execute + tables.exec_extra[instr.class as usize];
+        let exec_done = issue + exec_lat;
+        if instr.class.is_fp() {
+            self.fp_busy_until = exec_done;
+        }
+        if let Some(dst) = instr.dst {
+            // Full forwarding network: simple ALU results bypass to
+            // consumers one cycle after issue (real deep pipelines keep
+            // single-cycle ALU loops); loads bypass from the cache return;
+            // iterative FP forwards only when the unit finishes. The deep
+            // E-unit's full latency still gates branch resolution and
+            // retirement.
+            let alu_ready = if forwarding { issue + 1 } else { exec_done };
+            let miss_writer = if seg.miss_extra > 0 {
+                WriterKind::Miss
+            } else {
+                WriterKind::Normal
+            };
+            let (ready_at, writer) = match instr.class {
+                OpClass::Load => (seg.data_ready, miss_writer),
+                OpClass::Fp | OpClass::FpLong => (exec_done, WriterKind::FpUnit),
+                _ => (alu_ready, miss_writer),
+            };
+            hazards.set_ready(dst, ready_at, writer);
+        }
+        exec_done
+    }
+
+    /// Retires one instruction in order through the retire port, tracking
+    /// the machine's finish cycle.
+    pub(crate) fn retire(&mut self, complete_done: u64) -> u64 {
+        let retire = self
+            .retire_port
+            .acquire(complete_done.max(self.last_retire));
+        self.last_retire = retire;
+        self.finish_cycle = self.finish_cycle.max(retire);
+        retire
+    }
+}

@@ -1,0 +1,153 @@
+//! The fetch/decode front end.
+
+use super::{HazardUnit, Port, Tables};
+use crate::cache::Hierarchy;
+use crate::config::{ConfigError, SimConfig};
+use crate::hazard::HazardKind;
+use crate::predictor::Gshare;
+use pipedepth_trace::isa::{Instruction, OpClass};
+
+/// Decode timing produced by the front end's fetch/decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchDecode {
+    /// Cycle the instruction entered decode.
+    pub decode_cycle: u64,
+    /// Cycle decode finished (entry plus the plan's decode latency).
+    pub decode_done: u64,
+}
+
+/// The front end: instruction fetch, the decode port, the branch predictor
+/// and misprediction redirects.
+///
+/// Owns everything the machine uses to get an instruction *into* the
+/// pipeline: the once-per-line instruction-cache fetch filter, the
+/// width-limited decode port, the gshare predictor, and the redirect cycle
+/// a mispredicted branch stalls decode until.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    decode_port: Port,
+    predictor: Gshare,
+    /// Decode may not restart before this cycle (branch redirect).
+    redirect_at: u64,
+    /// Last instruction-cache line fetched (fetch accesses once per line).
+    last_fetch_line: u64,
+    last_decode: u64,
+    branches: u64,
+    mispredicts: u64,
+    /// Decode cycles lost to instruction-fetch misses (absolute-time).
+    fetch_stall_cycles: u64,
+}
+
+impl FrontEnd {
+    /// Builds the front end for one configuration.
+    pub(crate) fn new(config: &SimConfig) -> Result<Self, ConfigError> {
+        Ok(FrontEnd {
+            decode_port: Port::new(config.width),
+            predictor: Gshare::try_new(config.predictor)?,
+            redirect_at: 0,
+            last_fetch_line: u64::MAX,
+            last_decode: 0,
+            branches: 0,
+            mispredicts: 0,
+            fetch_stall_cycles: 0,
+        })
+    }
+
+    /// The branch predictor (for inspection).
+    pub fn predictor(&self) -> &Gshare {
+        &self.predictor
+    }
+
+    /// Dynamic branches observed in the current measurement window.
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Mispredicted branches in the current measurement window.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Decode cycles lost to instruction-fetch misses in the current
+    /// measurement window.
+    pub fn fetch_stall_cycles(&self) -> u64 {
+        self.fetch_stall_cycles
+    }
+
+    /// Fetches and decodes one instruction: applies the decoupling-queue
+    /// floor and any pending redirect, charges an instruction-cache access
+    /// once per new code line (a fetch miss stalls decode for the
+    /// absolute-time miss latency and records a memory hazard), then grants
+    /// a decode slot.
+    pub(crate) fn fetch_and_decode(
+        &mut self,
+        instr: &Instruction,
+        caches: &mut Hierarchy,
+        tables: &Tables,
+        hazards: &mut HazardUnit,
+        queue_floor: u64,
+    ) -> FetchDecode {
+        // Finite decoupling queues: decode cannot run more than the queue
+        // capacity ahead of issue.
+        let mut decode_req = self.last_decode.max(self.redirect_at).max(queue_floor);
+
+        // One instruction-cache access per new code line; a fetch miss
+        // stalls decode for the (absolute-time) miss latency.
+        let line = instr.pc / tables.line_bytes;
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            let result = caches.fetch(instr.pc);
+            let fetch_extra = tables.miss_penalty[result as usize];
+            if fetch_extra > 0 {
+                hazards.record_capped(HazardKind::Memory, fetch_extra, tables.hazard_cap);
+                hazards.add_memory_wait(fetch_extra);
+                self.fetch_stall_cycles += fetch_extra;
+                decode_req += fetch_extra;
+            }
+        }
+        let decode_cycle = self.decode_port.acquire(decode_req);
+        self.last_decode = decode_cycle;
+        FetchDecode {
+            decode_cycle,
+            decode_done: decode_cycle + tables.decode,
+        }
+    }
+
+    /// Resolves a branch at execute: observes the predictor and, on a
+    /// mispredict, records the control-hazard refill and sets the redirect
+    /// cycle decode resumes at. Non-branches are a no-op.
+    pub(crate) fn resolve_branch(
+        &mut self,
+        instr: &Instruction,
+        decode_cycle: u64,
+        exec_done: u64,
+        tables: &Tables,
+        hazards: &mut HazardUnit,
+    ) {
+        if instr.class != OpClass::Branch {
+            return;
+        }
+        self.branches += 1;
+        let taken = instr.is_taken_branch();
+        let hit = self.predictor.observe(instr.pc, taken);
+        if !hit {
+            self.mispredicts += 1;
+            let resume = exec_done + 1;
+            // The flush stalls decode from right after the branch until
+            // resolution: a full decode→execute refill. For γ purposes
+            // the stall is capped like every other hazard.
+            let refill = resume.saturating_sub(decode_cycle + 1);
+            hazards.record_capped(HazardKind::Control, refill, tables.hazard_cap);
+            self.redirect_at = resume;
+        }
+    }
+
+    /// Zeroes the front end's statistics, keeping microarchitectural state
+    /// (predictor tables, decode timing, pending redirect) intact.
+    pub(crate) fn reset_stats(&mut self) {
+        self.branches = 0;
+        self.mispredicts = 0;
+        self.fetch_stall_cycles = 0;
+        self.predictor.reset_stats();
+    }
+}

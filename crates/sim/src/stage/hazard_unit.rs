@@ -1,0 +1,198 @@
+//! The register scoreboard and stall classification.
+
+use super::Tables;
+use crate::hazard::{HazardKind, HazardStats};
+use pipedepth_trace::isa::{Instruction, OpClass, Reg};
+
+/// How the most recent writer of a register produced its value — used to
+/// classify the stalls of dependent instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriterKind {
+    /// Ordinary pipelined producer.
+    Normal,
+    /// Producer was delayed by a cache miss.
+    Miss,
+    /// Producer was a multi-cycle FP operation (fixed-cycle latency:
+    /// waiting on it is occupancy, not a depth-scaled hazard).
+    FpUnit,
+}
+
+/// Both register files flattened into one slot space: GPRs at
+/// `0..FILE_SIZE`, FPRs at `FILE_SIZE..2*FILE_SIZE`. A single pair of
+/// flat arrays keeps every ready-time lookup a direct index with no
+/// per-file dispatch on the hot path.
+const REG_SLOTS: usize = 2 * Reg::FILE_SIZE as usize;
+
+fn reg_slot(reg: Reg) -> usize {
+    match reg {
+        Reg::Gpr(i) => i as usize,
+        Reg::Fpr(i) => Reg::FILE_SIZE as usize + i as usize,
+    }
+}
+
+/// The readiness of an instruction's source operands: the cycle the last
+/// one arrives and the kind of producer that wrote it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SourceReadiness {
+    pub(crate) ready: u64,
+    pub(crate) writer: WriterKind,
+}
+
+/// Everything the hazard classifier needs to attribute one instruction's
+/// stall, gathered by the orchestrator after the issue cycle is known.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StallInputs {
+    pub(crate) is_mem: bool,
+    pub(crate) class: OpClass,
+    pub(crate) decode_done: u64,
+    /// Issue cycle of the previous instruction (the in-order floor).
+    pub(crate) prev_issue: u64,
+    pub(crate) in_order: bool,
+    pub(crate) queue_ready: u64,
+    pub(crate) src: SourceReadiness,
+    pub(crate) fp_ready: u64,
+    pub(crate) miss_extra: u64,
+}
+
+/// The hazard unit: the register scoreboard plus the stall classification
+/// that produces the theory's `γ` and `N_H` inputs.
+///
+/// Owns the flattened register-ready scoreboard, the per-kind
+/// [`HazardStats`], and the absolute-time memory-wait accumulator the
+/// theory comparison treats as the additive `t_mem` constant.
+#[derive(Debug, Clone)]
+pub struct HazardUnit {
+    /// Flattened register scoreboards (see `reg_slot`).
+    reg_ready: [u64; REG_SLOTS],
+    reg_writer: [WriterKind; REG_SLOTS],
+    stats: HazardStats,
+    memory_wait_cycles: u64,
+}
+
+impl HazardUnit {
+    /// A fresh scoreboard: every register ready at cycle 0.
+    pub(crate) fn new() -> Self {
+        HazardUnit {
+            reg_ready: [0; REG_SLOTS],
+            reg_writer: [WriterKind::Normal; REG_SLOTS],
+            stats: HazardStats::new(),
+            memory_wait_cycles: 0,
+        }
+    }
+
+    /// Hazard statistics of the current measurement window.
+    pub fn stats(&self) -> &HazardStats {
+        &self.stats
+    }
+
+    /// Total cycles spent waiting on cache-miss latency (absolute-time
+    /// component, excluded from the γ accounting).
+    pub fn memory_wait_cycles(&self) -> u64 {
+        self.memory_wait_cycles
+    }
+
+    /// When the latest-arriving source of `instr` is ready, and what kind
+    /// of producer wrote it (ties at equal readiness prefer a miss writer,
+    /// so a dependent of a missed load classifies as a memory stall).
+    pub(crate) fn sources(&self, instr: &Instruction) -> SourceReadiness {
+        let mut ready = 0u64;
+        let mut writer = WriterKind::Normal;
+        for s in instr.srcs() {
+            let slot = reg_slot(s);
+            let at = self.reg_ready[slot];
+            if at > ready {
+                ready = at;
+                writer = self.reg_writer[slot];
+            } else if at == ready && self.reg_writer[slot] == WriterKind::Miss {
+                writer = WriterKind::Miss;
+            }
+        }
+        SourceReadiness { ready, writer }
+    }
+
+    /// Marks `reg` ready at cycle `at`, remembering the producer kind.
+    #[inline]
+    pub(crate) fn set_ready(&mut self, reg: Reg, at: u64, writer: WriterKind) {
+        let slot = reg_slot(reg);
+        self.reg_ready[slot] = at;
+        self.reg_writer[slot] = writer;
+    }
+
+    /// Records one hazard episode, capped at `cap` cycles for γ purposes.
+    pub(crate) fn record_capped(&mut self, kind: HazardKind, cycles: u64, cap: u64) {
+        self.stats.record(kind, cycles.min(cap));
+    }
+
+    /// Accumulates absolute-time memory-wait cycles.
+    pub(crate) fn add_memory_wait(&mut self, cycles: u64) {
+        self.memory_wait_cycles += cycles;
+    }
+
+    /// Attributes one instruction's stall to the hazard kind whose
+    /// constraint dominated it, and accumulates its absolute-time miss
+    /// latency.
+    ///
+    /// A hazard is the *marginal* delay this instruction's own constraints
+    /// add beyond both its unobstructed pipeline transit and the in-order
+    /// backpressure floor (an older instruction's stall is that
+    /// instruction's hazard, not a new one). Stalls are capped at two full
+    /// pipeline drains when accounted toward γ: a stall cannot idle more
+    /// pipeline than the machine has, and the residue of long memory waits
+    /// is absolute time, tracked separately.
+    pub(crate) fn attribute(&mut self, tables: &Tables, inp: &StallInputs) {
+        let transit = inp.decode_done
+            + if inp.is_mem {
+                tables.agen + tables.cache
+            } else {
+                0
+            };
+        let floor = if inp.in_order {
+            transit.max(inp.prev_issue)
+        } else {
+            transit
+        };
+        let own = inp.queue_ready.max(inp.src.ready).max(inp.fp_ready);
+        let stall = own.saturating_sub(floor);
+        if stall > 0 {
+            let gamma_stall = stall.min(tables.hazard_cap);
+            // Classification precedence: a cache miss anywhere in the
+            // dependence chain is a memory event; otherwise a register
+            // dependence is a data event; waiting on the busy FP unit is
+            // occupancy (the machine is doing work — it surfaces as reduced
+            // superscalar degree α, as in the paper's multi-cycle FP model),
+            // not a hazard; everything else (ports, queues) is structural.
+            let load_use_blocked = inp.class == OpClass::AluRx && inp.miss_extra > 0;
+            let src_from_miss = inp.src.writer == WriterKind::Miss;
+            let kind = if load_use_blocked || src_from_miss {
+                Some(HazardKind::Memory)
+            } else if inp.src.ready > floor {
+                // A dependent waiting on the fixed-cycle FP unit is
+                // occupancy (the unit is doing work at the clock rate), not
+                // a depth-scaled pipeline hazard — mirror the fp_ready case.
+                if inp.src.writer == WriterKind::FpUnit {
+                    None
+                } else {
+                    Some(HazardKind::Data)
+                }
+            } else if inp.fp_ready > floor {
+                None
+            } else {
+                Some(HazardKind::Structural)
+            };
+            if let Some(kind) = kind {
+                self.stats.record(kind, gamma_stall);
+            }
+        }
+        // Absolute-time memory latency (does not scale with pipeline depth;
+        // reported as a per-instruction time so the theory comparison can
+        // treat it as the additive constant it is).
+        self.memory_wait_cycles += inp.miss_extra;
+    }
+
+    /// Zeroes the window statistics, keeping the scoreboard (in-flight
+    /// register timing) intact.
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = HazardStats::new();
+        self.memory_wait_cycles = 0;
+    }
+}
