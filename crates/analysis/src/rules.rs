@@ -100,7 +100,12 @@ const TIME_EXEMPT_CRATES: [&str; 1] = ["pipedepth-telemetry"];
 const TIME_EXEMPT_FILES: [&str; 1] = ["crates/experiments/src/bin/repro.rs"];
 
 /// Crates whose `pub` items must be documented.
-const DOC_CRATES: [&str; 3] = ["pipedepth", "pipedepth-core", "pipedepth-sim"];
+const DOC_CRATES: [&str; 4] = [
+    "pipedepth",
+    "pipedepth-core",
+    "pipedepth-sim",
+    "pipedepth-serve",
+];
 
 /// Everything the rules need to know about one file.
 #[derive(Debug, Clone, Copy)]

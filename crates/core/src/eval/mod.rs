@@ -15,9 +15,13 @@
 //!   per-instruction time, throughput, gated/ungated power and the six
 //!   `BIPS^m/W` metrics;
 //! * [`Evaluator`] — the backend trait, `fn evaluate(&self, &CellSpec) ->
-//!   EvalOutcome`;
+//!   Result<EvalOutcome, EvalError>`, plus a batched entry point that
+//!   backends can override to answer N cells in one dispatch;
 //! * [`AnalyticModel`] — the closed-form backend, evaluating the paper's
-//!   extended theory (`τ_total = τ(p) + t_mem`) directly from the profile.
+//!   extended theory (`τ_total = τ(p) + t_mem`) directly from the profile;
+//! * [`EvalCache`] / [`ShardedCache`] — the concurrent result cache
+//!   shared by the experiment runner and the `pipedepth-serve` service
+//!   (see [`cache`](crate::eval::cache)).
 //!
 //! The simulation backend lives in the experiments crate (the simulator
 //! does not depend on this crate), implementing the same trait, so runners
@@ -28,6 +32,14 @@
 //! workspace — every figure is scale-free or normalised — so outcomes are
 //! comparable *within* a backend and, for CPI/throughput, across backends.
 
+/// The sharded, backend-agnostic result cache.
+pub mod cache;
+
+/// The cache trait and its sharded implementation (see [`cache`]).
+pub use cache::{CacheStats, EvalCache, ShardedCache};
+
+/// Evaluation failures, re-exported from the crate error surface.
+pub use crate::error::EvalError;
 use crate::params::{ClockGating, MetricExponent, PowerParams, TechParams, WorkloadParams};
 use crate::perf::PerfModel;
 
@@ -102,6 +114,80 @@ impl CellSpec {
             latch_growth: 1.3,
         }
     }
+
+    /// Content hash of the cell: FNV-1a over the workload id and the bit
+    /// patterns of every numeric field. No allocation; collisions are
+    /// resolved by full [`PartialEq`] comparison wherever the key is used
+    /// (see [`EvalCache`]), so the hash only needs to spread well.
+    pub fn key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        };
+        for byte in self.workload.bytes() {
+            eat(byte);
+        }
+        eat(0xff); // separator: "ab" + depth 1 must differ from "ab\x01"
+        for word in [
+            u64::from(self.depth),
+            self.warmup,
+            self.instructions,
+            self.profile.alpha.to_bits(),
+            self.profile.gamma.to_bits(),
+            self.profile.hazard_rate.to_bits(),
+            self.profile.kappa.to_bits(),
+            self.profile.memory_time_fo4.to_bits(),
+            self.leakage_fraction.to_bits(),
+            self.ref_depth.to_bits(),
+            self.latch_growth.to_bits(),
+        ] {
+            for byte in word.to_le_bytes() {
+                eat(byte);
+            }
+        }
+        h
+    }
+
+    /// Checks the cell for the failure modes every backend rejects:
+    /// unpipelined or zero depth, non-finite profile fields, and a power
+    /// calibration outside the model's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::InvalidCell`] naming the offending field.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        if self.depth < 1 {
+            return Err(EvalError::invalid("depth must be at least 1 stage"));
+        }
+        let finite = [
+            ("alpha", self.profile.alpha),
+            ("gamma", self.profile.gamma),
+            ("hazard_rate", self.profile.hazard_rate),
+            ("kappa", self.profile.kappa),
+            ("memory_time_fo4", self.profile.memory_time_fo4),
+            ("leakage_fraction", self.leakage_fraction),
+            ("ref_depth", self.ref_depth),
+            ("latch_growth", self.latch_growth),
+        ];
+        for (name, value) in finite {
+            if !value.is_finite() {
+                return Err(EvalError::invalid(format!("{name} must be finite")));
+            }
+        }
+        if !(0.0..1.0).contains(&self.leakage_fraction) {
+            return Err(EvalError::invalid("leakage_fraction must be in [0, 1)"));
+        }
+        if self.ref_depth < 1.0 {
+            return Err(EvalError::invalid("ref_depth must be at least 1"));
+        }
+        if self.latch_growth <= 0.0 {
+            return Err(EvalError::invalid("latch_growth must be positive"));
+        }
+        Ok(())
+    }
 }
 
 /// The common result row every backend produces for one cell.
@@ -147,13 +233,33 @@ impl EvalOutcome {
 /// Implementations must be deterministic: the same [`CellSpec`] always
 /// yields the same [`EvalOutcome`]. They must also be usable behind
 /// `dyn Evaluator` from worker threads, hence the `Send + Sync` bound.
+///
+/// Failures are values, not panics: an unknown workload, an out-of-range
+/// depth or a backend fault comes back as an [`EvalError`], which serving
+/// layers map onto their wire protocol.
 pub trait Evaluator: Send + Sync {
     /// A short stable backend name (e.g. `"model"`, `"sim"`), used in
     /// logs and experiment records.
     fn name(&self) -> &'static str;
 
     /// Evaluates one cell.
-    fn evaluate(&self, cell: &CellSpec) -> EvalOutcome;
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] when the cell is invalid for this backend
+    /// or the backend fails to produce an outcome.
+    fn evaluate(&self, cell: &CellSpec) -> Result<EvalOutcome, EvalError>;
+
+    /// Evaluates a batch of cells, returning one result per cell in
+    /// order.
+    ///
+    /// The default implementation evaluates cell by cell; backends with a
+    /// per-dispatch cost (the simulation backend's worker-pool fan-out)
+    /// override it to answer the whole batch in **one** dispatch — the
+    /// hook the serving layer's request coalescing is built on.
+    fn evaluate_batch(&self, cells: &[CellSpec]) -> Vec<Result<EvalOutcome, EvalError>> {
+        cells.iter().map(|cell| self.evaluate(cell)).collect()
+    }
 }
 
 /// The closed-form backend: evaluates the paper's extended theory
@@ -187,7 +293,8 @@ impl Evaluator for AnalyticModel {
         "model"
     }
 
-    fn evaluate(&self, cell: &CellSpec) -> EvalOutcome {
+    fn evaluate(&self, cell: &CellSpec) -> Result<EvalOutcome, EvalError> {
+        cell.validate()?;
         let depth = f64::from(cell.depth);
         let workload = cell.profile.workload_params();
         let perf = PerfModel::new(self.tech, workload);
@@ -219,7 +326,7 @@ impl Evaluator for AnalyticModel {
             metric_ungated[m - 1] = 1.0 / (tau_m * power_ungated);
         }
 
-        EvalOutcome {
+        Ok(EvalOutcome {
             depth: cell.depth,
             cpi: tau / cycle_time,
             frequency,
@@ -230,7 +337,7 @@ impl Evaluator for AnalyticModel {
             metric_gated,
             metric_ungated,
             profile: cell.profile,
-        }
+        })
     }
 }
 
@@ -252,7 +359,7 @@ mod tests {
     fn analytic_outcome_is_internally_consistent() {
         let model = AnalyticModel::paper();
         let cell = CellSpec::new("test", profile(), 10);
-        let out = model.evaluate(&cell);
+        let out = model.evaluate(&cell).expect("valid cell");
         assert_eq!(out.depth, 10);
         assert!(out.cpi > 1.0, "deep pipe with hazards cannot be sub-1 CPI");
         assert!((out.throughput - 1.0 / out.time_per_instruction_fo4).abs() < 1e-15);
@@ -266,7 +373,9 @@ mod tests {
     #[test]
     fn gating_saves_power_at_low_utilisation() {
         let model = AnalyticModel::paper();
-        let out = model.evaluate(&CellSpec::new("test", profile(), 15));
+        let out = model
+            .evaluate(&CellSpec::new("test", profile(), 15))
+            .expect("valid cell");
         // κ = 0.05 switchings/FO4 is far below the ungated clock rate.
         assert!(out.power_gated < out.power_ungated);
         assert!(out.metric_gated[2] > out.metric_ungated[2]);
@@ -276,7 +385,12 @@ mod tests {
     fn throughput_peaks_at_an_interior_depth() {
         let model = AnalyticModel::paper();
         let bips: Vec<f64> = (2..=25)
-            .map(|p| model.evaluate(&CellSpec::new("t", profile(), p)).throughput)
+            .map(|p| {
+                model
+                    .evaluate(&CellSpec::new("t", profile(), p))
+                    .expect("valid cell")
+                    .throughput
+            })
             .collect();
         let best = bips
             .iter()
@@ -294,13 +408,64 @@ mod tests {
     fn evaluator_is_object_safe() {
         let backend: Box<dyn Evaluator> = Box::new(AnalyticModel::paper());
         assert_eq!(backend.name(), "model");
-        let out = backend.evaluate(&CellSpec::new("t", profile(), 8));
+        let out = backend
+            .evaluate(&CellSpec::new("t", profile(), 8))
+            .expect("valid cell");
         assert!(out.throughput > 0.0);
     }
 
     #[test]
+    fn invalid_cells_are_rejected_not_panicked() {
+        let model = AnalyticModel::paper();
+        let zero_depth = CellSpec::new("t", profile(), 0);
+        assert!(matches!(
+            model.evaluate(&zero_depth),
+            Err(EvalError::InvalidCell { .. })
+        ));
+        let mut bad_profile = CellSpec::new("t", profile(), 8);
+        bad_profile.profile.alpha = f64::NAN;
+        assert!(bad_profile.validate().is_err());
+        let mut bad_leakage = CellSpec::new("t", profile(), 8);
+        bad_leakage.leakage_fraction = 1.5;
+        let err = bad_leakage.validate().unwrap_err();
+        assert!(err.to_string().contains("leakage_fraction"), "{err}");
+    }
+
+    #[test]
+    fn batch_default_matches_cell_by_cell() {
+        let model = AnalyticModel::paper();
+        let cells = [
+            CellSpec::new("a", profile(), 6),
+            CellSpec::new("b", profile(), 0),
+            CellSpec::new("c", profile(), 12),
+        ];
+        let batch = model.evaluate_batch(&cells);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], model.evaluate(&cells[0]));
+        assert!(batch[1].is_err());
+        assert_eq!(batch[2], model.evaluate(&cells[2]));
+    }
+
+    #[test]
+    fn cell_keys_are_content_addressed() {
+        let base = CellSpec::new("legacy-00", profile(), 10);
+        assert_eq!(base.key(), base.clone().key());
+        let mut deeper = base.clone();
+        deeper.depth = 11;
+        let mut renamed = base.clone();
+        renamed.workload = "legacy-01".into();
+        let mut recalibrated = base.clone();
+        recalibrated.leakage_fraction = 0.3;
+        for other in [deeper, renamed, recalibrated] {
+            assert_ne!(base.key(), other.key());
+        }
+    }
+
+    #[test]
     fn metric_accessor_maps_exponents() {
-        let out = AnalyticModel::paper().evaluate(&CellSpec::new("t", profile(), 12));
+        let out = AnalyticModel::paper()
+            .evaluate(&CellSpec::new("t", profile(), 12))
+            .expect("valid cell");
         assert_eq!(
             out.metric(true, MetricExponent::BIPS_PER_WATT),
             out.metric_gated[0]

@@ -58,6 +58,8 @@ pub mod budget;
 pub mod crossover;
 /// Energy-per-instruction and energy-delay-product views of the model.
 pub mod energy;
+/// The crate-level error surface (`Error`, `EvalError`).
+pub mod error;
 /// Backend-agnostic cell evaluation (the analytic backend lives here).
 pub mod eval;
 /// The combined `BIPS^m/W` metric over the perf and power models.
@@ -81,9 +83,15 @@ pub use budget::{frontier, power_capped_design, BudgetedDesign, FrontierPoint};
 pub use crossover::{crossover_exponent, Crossover};
 /// Energy-oriented re-parameterisations of the metric family.
 pub use energy::{energy_delay_product, energy_per_instruction, minimize_energy_delay};
-/// Backend-agnostic evaluation: the trait, its request/result rows, and
-/// the closed-form backend.
-pub use eval::{AnalyticModel, CellSpec, EvalOutcome, Evaluator, WorkloadProfile};
+/// The workspace-level error surface: configuration rejections and
+/// evaluation failures behind one `#[non_exhaustive]` enum.
+pub use error::{Error, EvalError};
+/// Backend-agnostic evaluation: the trait, its request/result rows, the
+/// shared result cache, and the closed-form backend.
+pub use eval::{
+    AnalyticModel, CacheStats, CellSpec, EvalCache, EvalOutcome, Evaluator, ShardedCache,
+    WorkloadProfile,
+};
 /// The top-level model combining performance, power and the metric.
 pub use metric::PipelineModel;
 /// The optimality condition: coefficients, roots and special cases.

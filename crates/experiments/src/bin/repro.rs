@@ -34,6 +34,7 @@ struct Options {
     threads: usize,
     timing_details: bool,
     no_arena: bool,
+    no_cache: bool,
     out_dir: PathBuf,
     only: Option<Vec<String>>,
     backend: Backend,
@@ -47,6 +48,7 @@ fn parse_args() -> Options {
         threads: 0,
         timing_details: false,
         no_arena: false,
+        no_cache: false,
         out_dir: PathBuf::from("results"),
         only: None,
         backend: Backend::Sim,
@@ -64,6 +66,7 @@ fn parse_args() -> Options {
             "--list" => opts.list = true,
             "--timing-details" => opts.timing_details = true,
             "--no-arena" => opts.no_arena = true,
+            "--no-cache" => opts.no_cache = true,
             "--out" => {
                 opts.out_dir = PathBuf::from(value(&args, i, "--out"));
                 i += 1;
@@ -93,7 +96,7 @@ fn parse_args() -> Options {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
-                     [--backend sim|model|both] [--timing-details] [--no-arena]"
+                     [--backend sim|model|both] [--timing-details] [--no-arena] [--no-cache]"
                 );
                 exit(2);
             }
@@ -142,6 +145,9 @@ fn main() -> io::Result<()> {
     let mut runner = Runner::new(opts.threads).with_telemetry(telemetry.clone());
     if opts.no_arena {
         runner = runner.without_arena();
+    }
+    if opts.no_cache {
+        runner = runner.without_cache();
     }
     let ctx = Context::with_backend(config, runner, opts.backend);
     println!(
@@ -226,14 +232,17 @@ fn main() -> io::Result<()> {
         let _ = writeln!(report, "| {} | {:.1?} |", phase.name, phase.wall);
     }
     let stats = ctx.runner.cache_stats();
-    let cache_line = format!(
-        "simulation cache: {} cells simulated, {} served from cache, {} requested \
-         (hit rate {:.1}%)",
-        stats.misses,
-        stats.hits,
-        stats.requested(),
-        100.0 * stats.hit_rate()
-    );
+    let cache_line = match &stats {
+        Some(stats) => format!(
+            "simulation cache: {} cells simulated, {} served from cache, {} requested \
+             (hit rate {:.1}%)",
+            stats.misses,
+            stats.hits,
+            stats.requested(),
+            100.0 * stats.hit_rate()
+        ),
+        None => "simulation cache: disabled (--no-cache); every batch re-simulated".to_string(),
+    };
     let _ = writeln!(report, "\n{cache_line}");
     let arena = ctx.runner.arena_stats();
     let arena_line = match &arena {

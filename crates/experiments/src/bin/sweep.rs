@@ -112,7 +112,9 @@ fn main() {
             .depths
             .iter()
             .map(|&depth| {
-                let out = model.evaluate(&cell_for(workload, profile, depth, &config));
+                let out = model
+                    .evaluate(&cell_for(workload, profile, depth, &config))
+                    .expect("fitted cells are valid by construction");
                 (
                     depth,
                     out.cpi,

@@ -18,13 +18,17 @@
 use crate::extract::{extract_from_report, ExtractedParams};
 use crate::runner::{CellSpec as SimCell, Runner};
 use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
-use pipedepth_core::eval::{AnalyticModel, CellSpec, EvalOutcome, Evaluator, WorkloadProfile};
+use pipedepth_core::eval::{
+    AnalyticModel, CellSpec, EvalError, EvalOutcome, Evaluator, WorkloadProfile,
+};
 use pipedepth_power::{measure, metric, Gating, PowerConfig};
 use pipedepth_sim::{SimConfig, SimReport};
 use pipedepth_workloads::{suite, Workload, WorkloadClass};
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Which evaluation backend a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -195,7 +199,11 @@ pub fn model_curves(workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadC
                 .depths
                 .iter()
                 .map(|&depth| {
-                    let out = model.evaluate(&cell_for(w, profile, depth, config));
+                    let out = model
+                        .evaluate(&cell_for(w, profile, depth, config))
+                        // analysis: allow(panic-path) — fitted profiles are
+                        // finite and clamped, so these cells never fail
+                        .expect("fitted cells are valid by construction");
                     DepthPoint {
                         depth,
                         throughput: out.throughput,
@@ -220,20 +228,25 @@ pub fn model_curves(workloads: &[Workload], config: &RunConfig) -> Vec<WorkloadC
 /// layer derives its [`DepthPoint`]s, so a `SimBackend` evaluation of a
 /// swept cell reproduces the curve's numbers bit for bit (and hits the
 /// runner's cache instead of re-simulating).
-pub struct SimBackend<'a> {
-    runner: &'a Runner,
+///
+/// Generic over how the runner is held — a borrow for experiment code
+/// (`SimBackend::new(&runner)`), an owning [`Arc`] for long-lived
+/// consumers like the `pipedepth-serve` service (`SimBackend::new(arc)`).
+/// The default parameter makes `SimBackend` (unannotated) the owning form.
+pub struct SimBackend<R: Borrow<Runner> = Arc<Runner>> {
+    runner: R,
     by_name: BTreeMap<String, Workload>,
 }
 
-impl<'a> SimBackend<'a> {
+impl<R: Borrow<Runner>> SimBackend<R> {
     /// A simulation backend resolving workload ids against the full suite.
-    pub fn new(runner: &'a Runner) -> Self {
+    pub fn new(runner: R) -> Self {
         Self::with_workloads(runner, &suite())
     }
 
     /// A simulation backend resolving workload ids against an explicit
     /// workload set (tests and custom sweeps).
-    pub fn with_workloads(runner: &'a Runner, workloads: &[Workload]) -> Self {
+    pub fn with_workloads(runner: R, workloads: &[Workload]) -> Self {
         SimBackend {
             runner,
             by_name: workloads
@@ -242,9 +255,32 @@ impl<'a> SimBackend<'a> {
                 .collect(),
         }
     }
+
+    /// The underlying cell runner.
+    pub fn runner(&self) -> &Runner {
+        self.runner.borrow()
+    }
+
+    /// Resolves one evaluation cell into a runnable simulation cell,
+    /// rejecting unknown workloads and out-of-range machines as values.
+    fn prepare(&self, cell: &CellSpec) -> Result<SimCell, EvalError> {
+        cell.validate()?;
+        let workload = self
+            .by_name
+            .get(&cell.workload)
+            .ok_or_else(|| EvalError::invalid(format!("unknown workload \"{}\"", cell.workload)))?;
+        let config =
+            SimConfig::try_paper(cell.depth).map_err(|e| EvalError::invalid(e.to_string()))?;
+        Ok(SimCell::new(
+            workload,
+            config,
+            cell.warmup,
+            cell.instructions,
+        ))
+    }
 }
 
-impl fmt::Debug for SimBackend<'_> {
+impl<R: Borrow<Runner>> fmt::Debug for SimBackend<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimBackend")
             .field("workloads", &self.by_name.len())
@@ -252,32 +288,45 @@ impl fmt::Debug for SimBackend<'_> {
     }
 }
 
-impl Evaluator for SimBackend<'_> {
+impl<R: Borrow<Runner> + Send + Sync> Evaluator for SimBackend<R> {
     fn name(&self) -> &'static str {
         "sim"
     }
 
     /// Simulates the cell (or retrieves it from the runner's cache) and
     /// reduces the report to the common outcome row.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the cell names a workload the backend does not know.
-    fn evaluate(&self, cell: &CellSpec) -> EvalOutcome {
-        let workload = self
-            .by_name
-            .get(&cell.workload)
-            // analysis: allow(panic-path) — `Evaluator::evaluate` has no error
-            // channel; an unknown workload id is a caller bug, documented above.
-            .unwrap_or_else(|| panic!("unknown workload \"{}\"", cell.workload));
-        let sim_cell = SimCell::new(
-            workload,
-            SimConfig::paper(cell.depth),
-            cell.warmup,
-            cell.instructions,
-        );
-        let report = &self.runner.run_cells(std::slice::from_ref(&sim_cell))[0];
-        outcome_from_report(report, cell)
+    fn evaluate(&self, cell: &CellSpec) -> Result<EvalOutcome, EvalError> {
+        let sim_cell = self.prepare(cell)?;
+        let report = &self.runner().run_cells(std::slice::from_ref(&sim_cell))[0];
+        Ok(outcome_from_report(report, cell))
+    }
+
+    /// Answers the whole batch in **one** runner dispatch: invalid cells
+    /// fail fast as values, every runnable cell joins a single
+    /// [`Runner::run_cells`] call (which coalesces duplicates and fans out
+    /// over the worker pool once), and outcomes are mapped back in order.
+    fn evaluate_batch(&self, cells: &[CellSpec]) -> Vec<Result<EvalOutcome, EvalError>> {
+        let prepared: Vec<Result<SimCell, EvalError>> =
+            cells.iter().map(|cell| self.prepare(cell)).collect();
+        let runnable: Vec<SimCell> = prepared
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .copied()
+            .collect();
+        let reports = self.runner().run_cells(&runnable);
+        let mut reports = reports.iter();
+        prepared
+            .into_iter()
+            .zip(cells)
+            .map(|(prep, cell)| {
+                prep.map(|_| {
+                    // analysis: allow(panic-path) — run_cells returns one
+                    // report per runnable cell, in order, by contract
+                    let report = reports.next().expect("one report per runnable cell");
+                    outcome_from_report(report, cell)
+                })
+            })
+            .collect()
     }
 }
 
@@ -377,7 +426,9 @@ mod tests {
         let curve = runner.sweep_workload(w, &cfg);
         let backend = SimBackend::with_workloads(&runner, std::slice::from_ref(w));
         for point in &curve.points {
-            let out = backend.evaluate(&cell_for(w, fitted_profile(w), point.depth, &cfg));
+            let out = backend
+                .evaluate(&cell_for(w, fitted_profile(w), point.depth, &cfg))
+                .expect("swept cells are valid");
             assert_eq!(out.cpi, point.cpi, "depth {}", point.depth);
             assert_eq!(out.throughput, point.throughput);
             assert_eq!(out.metric_gated, point.metric_gated);
@@ -386,11 +437,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown workload")]
-    fn sim_backend_rejects_unknown_workloads() {
+    fn sim_backend_rejects_unknown_workloads_as_values() {
         let runner = Runner::serial();
         let backend = SimBackend::with_workloads(&runner, &[]);
         let w = &representatives()[0];
-        backend.evaluate(&cell_for(w, fitted_profile(w), 8, &tiny()));
+        let err = backend
+            .evaluate(&cell_for(w, fitted_profile(w), 8, &tiny()))
+            .expect_err("no workloads registered");
+        assert_eq!(err.code(), "invalid_cell");
+        assert!(err.to_string().contains("unknown workload"));
+    }
+
+    #[test]
+    fn sim_backend_rejects_out_of_range_depths_as_values() {
+        let runner = Runner::serial();
+        let w = &representatives()[0];
+        let backend = SimBackend::with_workloads(&runner, std::slice::from_ref(w));
+        let err = backend
+            .evaluate(&cell_for(w, fitted_profile(w), 99, &tiny()))
+            .expect_err("depth 99 is outside the machine's range");
+        assert_eq!(err.code(), "invalid_cell");
+    }
+
+    #[test]
+    fn batch_evaluation_is_one_dispatch_and_matches_single_cells() {
+        let runner = Runner::serial();
+        let cfg = tiny();
+        let w = &representatives()[0];
+        let backend = SimBackend::with_workloads(&runner, std::slice::from_ref(w));
+        let mut cells: Vec<CellSpec> = cfg
+            .depths
+            .iter()
+            .map(|&d| cell_for(w, fitted_profile(w), d, &cfg))
+            .collect();
+        // An invalid cell in the middle must not poison its neighbours.
+        cells.insert(1, cell_for(w, fitted_profile(w), 99, &cfg));
+        let batch = backend.evaluate_batch(&cells);
+        assert_eq!(batch.len(), cells.len());
+        assert!(batch[1].is_err(), "invalid cell fails as a value");
+        // One dispatch: the runner saw exactly the runnable cells, once.
+        let stats = runner.cache_stats().expect("cache enabled by default");
+        assert_eq!(stats.requested(), cfg.depths.len() as u64);
+        for (i, result) in batch.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let single = backend.evaluate(&cells[i]).expect("valid cell");
+            assert_eq!(result.as_ref().expect("valid cell"), &single);
+        }
+    }
+
+    #[test]
+    fn sim_backend_works_behind_an_owning_arc() {
+        use std::sync::Arc;
+        let runner = Arc::new(Runner::serial());
+        let cfg = tiny();
+        let w = &representatives()[0];
+        let backend: SimBackend =
+            SimBackend::with_workloads(Arc::clone(&runner), std::slice::from_ref(w));
+        let out = backend
+            .evaluate(&cell_for(w, fitted_profile(w), 8, &cfg))
+            .expect("valid cell");
+        assert!(out.throughput > 0.0);
+        // The borrow-based and Arc-based forms drive the same runner type.
+        let borrowed = SimBackend::with_workloads(&*runner, std::slice::from_ref(w));
+        assert_eq!(
+            borrowed
+                .evaluate(&cell_for(w, fitted_profile(w), 8, &cfg))
+                .expect("valid cell"),
+            out
+        );
+    }
+
+    #[test]
+    fn crate_error_wraps_sim_config_rejections_with_source() {
+        use std::error::Error as _;
+        let rejection = SimConfig::try_paper(99).expect_err("depth 99 invalid");
+        let err = pipedepth_core::Error::config(rejection);
+        assert!(err.to_string().contains("configuration rejected"));
+        let source = err.source().expect("source preserved");
+        assert!(source.to_string().contains("99"), "source: {source}");
     }
 }

@@ -120,7 +120,11 @@ pub fn run_for(ctx: &Context) -> Xval {
             .iter()
             .map(|point| {
                 let cell = cell_for(&curve.workload, profile, point.depth, &ctx.config);
-                let out = model.evaluate(&cell);
+                let out = model
+                    .evaluate(&cell)
+                    // analysis: allow(panic-path) — extracted profiles come
+                    // from finished simulations, so these cells are valid
+                    .expect("extracted cells are valid");
                 XvalRow {
                     workload: curve.workload.name.clone(),
                     class: curve.workload.class,
@@ -158,7 +162,11 @@ pub fn run_for(ctx: &Context) -> Xval {
             point.depth,
             &ctx.config,
         );
-        let out = backend.evaluate(&cell);
+        let out = backend
+            .evaluate(&cell)
+            // analysis: allow(panic-path) — the cell re-requests a point the
+            // sweep already simulated, so it is valid by construction
+            .expect("swept cells are valid");
         assert_eq!(
             (out.cpi, out.throughput, out.metric_gated),
             (point.cpi, point.throughput, point.metric_gated),

@@ -42,8 +42,9 @@ pub struct Manifest {
     pub config: RunConfig,
     /// Per-phase wall times, in execution order.
     pub phases: Vec<PhaseTiming>,
-    /// Simulation-cache counters at the end of the run.
-    pub cache: CacheStats,
+    /// Simulation-cache counters at the end of the run; `None` when the
+    /// cache was disabled (`--no-cache`).
+    pub cache: Option<CacheStats>,
     /// Trace-arena counters at the end of the run; `None` when the arena
     /// was disabled (`--no-arena`).
     pub arena: Option<ArenaStats>,
@@ -106,17 +107,18 @@ impl Manifest {
             );
         }
         out.push_str("  ],\n");
-        out.push_str("  \"cache\": {\n");
-        let _ = writeln!(out, "    \"hits\": {},", self.cache.hits);
-        let _ = writeln!(out, "    \"misses\": {},", self.cache.misses);
-        let _ = writeln!(out, "    \"inserts\": {},", self.cache.inserts);
-        let _ = writeln!(out, "    \"requested\": {},", self.cache.requested());
-        let _ = writeln!(
-            out,
-            "    \"hit_rate\": {}",
-            json::number(self.cache.hit_rate())
-        );
-        out.push_str("  },\n");
+        match &self.cache {
+            Some(cache) => {
+                out.push_str("  \"cache\": {\n");
+                let _ = writeln!(out, "    \"hits\": {},", cache.hits);
+                let _ = writeln!(out, "    \"misses\": {},", cache.misses);
+                let _ = writeln!(out, "    \"inserts\": {},", cache.inserts);
+                let _ = writeln!(out, "    \"requested\": {},", cache.requested());
+                let _ = writeln!(out, "    \"hit_rate\": {}", json::number(cache.hit_rate()));
+                out.push_str("  },\n");
+            }
+            None => out.push_str("  \"cache\": null,\n"),
+        }
         match &self.arena {
             Some(arena) => {
                 out.push_str("  \"arena\": {\n");
@@ -170,11 +172,11 @@ mod tests {
                     wall: Duration::from_micros(250),
                 },
             ],
-            cache: CacheStats {
+            cache: Some(CacheStats {
                 hits: 1,
                 misses: 3,
                 inserts: 3,
-            },
+            }),
             arena: Some(ArenaStats {
                 hits: 9,
                 misses: 1,

@@ -6,129 +6,32 @@
 //! in-order arm likewise — so one shared cache turns those re-runs into
 //! lookups. Keys come from [`CellSpec::key`]; collisions are resolved by
 //! exact spec comparison.
+//!
+//! The implementation is no longer private to the runner: it was promoted
+//! to [`pipedepth_core::eval::ShardedCache`] so the `pipedepth-serve`
+//! evaluation service consumes the *same* sharded, poison-tolerant cache
+//! for its `EvalOutcome`s. This module pins the runner's instantiation
+//! (simulation cells mapping to shared [`SimReport`]s) and its tests.
 
 use super::cell::CellSpec;
+use pipedepth_core::eval::ShardedCache;
 use pipedepth_sim::SimReport;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
-/// Hit/miss/insert counters of a [`SimCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Requested cells served without a fresh simulation.
-    pub hits: u64,
-    /// Cells that had to be simulated.
-    pub misses: u64,
-    /// Distinct cells stored since creation.
-    pub inserts: u64,
-}
+pub use pipedepth_core::eval::CacheStats;
 
-impl CacheStats {
-    /// Total cells requested.
-    pub fn requested(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of requests served from the cache (0 when idle).
-    pub fn hit_rate(&self) -> f64 {
-        if self.requested() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.requested() as f64
-        }
-    }
-}
-
-/// One key's entries; the spec is kept alongside the report to resolve
-/// hash collisions by exact comparison.
-type Bucket = Vec<(CellSpec, Arc<SimReport>)>;
-
-/// Shared simulation cache. Thread-safe; reports are handed out as
-/// [`Arc`]s so concurrent readers never copy a report.
-#[derive(Debug, Default)]
-pub struct SimCache {
-    buckets: Mutex<BTreeMap<u64, Bucket>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-}
-
-impl SimCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        SimCache::default()
-    }
-
-    /// Looks up a finished cell without touching the hit/miss counters.
-    pub fn get(&self, key: u64, spec: &CellSpec) -> Option<Arc<SimReport>> {
-        let buckets = self
-            .buckets
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        buckets
-            .get(&key)?
-            .iter()
-            .find(|(s, _)| s == spec)
-            .map(|(_, r)| Arc::clone(r))
-    }
-
-    /// Stores a finished cell. Returns whether the cell was actually
-    /// inserted (false when an equal spec was already present).
-    pub fn insert(&self, key: u64, spec: CellSpec, report: Arc<SimReport>) -> bool {
-        let mut buckets = self
-            .buckets
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let bucket = buckets.entry(key).or_default();
-        if bucket.iter().any(|(s, _)| s == &spec) {
-            return false;
-        }
-        bucket.push((spec, report));
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        true
-    }
-
-    /// Records cells served without simulation.
-    pub fn count_hits(&self, n: u64) {
-        self.hits.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Records cells that were simulated.
-    pub fn count_misses(&self, n: u64) {
-        self.misses.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Number of distinct cells stored.
-    pub fn len(&self) -> usize {
-        self.buckets
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .values()
-            .map(Vec::len)
-            .sum()
-    }
-
-    /// True when no cell has been stored yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Current hit/miss/insert counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-        }
-    }
-}
+/// Shared simulation cache: the workspace [`ShardedCache`] keyed by
+/// [`CellSpec::key`], holding one [`SimReport`] per distinct cell.
+/// Thread-safe; reports are handed out as [`std::sync::Arc`]s so
+/// concurrent readers never copy a report.
+pub type SimCache = ShardedCache<CellSpec, SimReport>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipedepth_core::eval::EvalCache;
     use pipedepth_sim::SimConfig;
     use pipedepth_workloads::representatives;
+    use std::sync::Arc;
 
     fn spec(depth: u32) -> CellSpec {
         CellSpec::new(&representatives()[0], SimConfig::paper(depth), 200, 400)
@@ -177,5 +80,18 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.requested(), 4);
         assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usable_through_the_eval_cache_trait() {
+        // The serve crate consumes the cache behind the trait; make sure
+        // the runner's instantiation satisfies it too.
+        let cache = SimCache::new();
+        let dyn_cache: &dyn EvalCache<CellSpec, SimReport> = &cache;
+        let s = spec(6);
+        let report = Arc::new(s.execute());
+        assert!(dyn_cache.insert(s.key(), s, report));
+        assert!(dyn_cache.get(s.key(), &s).is_some());
+        assert_eq!(dyn_cache.len(), 1);
     }
 }

@@ -43,7 +43,9 @@ use std::sync::{Arc, OnceLock};
 #[derive(Debug)]
 pub struct Runner {
     threads: usize,
-    cache: SimCache,
+    /// Shared result cache; `None` re-simulates every cell, every batch
+    /// (the `--no-cache` escape hatch). In-batch duplicates still coalesce.
+    cache: Option<SimCache>,
     telemetry: Telemetry,
     /// Shared trace store; `None` routes every cell through the streaming
     /// path (the `--no-arena` escape hatch).
@@ -63,7 +65,7 @@ impl Runner {
         };
         Runner {
             threads,
-            cache: SimCache::new(),
+            cache: Some(SimCache::new()),
             telemetry: Telemetry::disabled(),
             arena: Some(TraceArena::new()),
         }
@@ -94,14 +96,22 @@ impl Runner {
         self
     }
 
+    /// Disables the result cache: every batch re-simulates its cells (the
+    /// `--no-cache` escape hatch; in-batch duplicates still coalesce). An
+    /// A/B lever for the cache itself and a memory cap for huge sweeps.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
     /// Worker count this runner schedules onto.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Cache hit/miss counters so far.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+    /// Cache hit/miss counters so far; `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SimCache::stats)
     }
 
     /// Arena service counters so far; `None` when the arena is disabled.
@@ -120,7 +130,7 @@ impl Runner {
         let mut hits: u64 = 0;
         for (i, cell) in cells.iter().enumerate() {
             let key = cell.key();
-            if let Some(report) = self.cache.get(key, cell) {
+            if let Some(report) = self.cache.as_ref().and_then(|c| c.get(key, cell)) {
                 results[i] = Some(report);
                 hits += 1;
             } else if let Some(j) = pending.iter().position(|(k, c)| *k == key && c == cell) {
@@ -131,8 +141,10 @@ impl Runner {
                 waiters.push(vec![i]);
             }
         }
-        self.cache.count_hits(hits);
-        self.cache.count_misses(pending.len() as u64);
+        if let Some(cache) = &self.cache {
+            cache.count_hits(hits);
+            cache.count_misses(pending.len() as u64);
+        }
         self.telemetry
             .counter("runner.cells_requested")
             .add(cells.len() as u64);
@@ -145,7 +157,11 @@ impl Runner {
         let computed = self.execute_pending(&pending);
 
         for (((key, spec), slots), report) in pending.into_iter().zip(waiters).zip(computed) {
-            if self.cache.insert(key, spec, Arc::clone(&report)) {
+            let inserted = match &self.cache {
+                Some(cache) => cache.insert(key, spec, Arc::clone(&report)),
+                None => false,
+            };
+            if inserted {
                 self.telemetry.counter("runner.cache_inserts").inc();
             }
             for i in slots {
@@ -411,10 +427,38 @@ mod tests {
         for (a, b) in first.iter().zip(&again) {
             assert!(Arc::ptr_eq(a, b), "second batch must reuse reports");
         }
-        let stats = runner.cache_stats();
+        let stats = runner.cache_stats().expect("cache enabled by default");
         assert_eq!(stats.misses, cells.len() as u64);
         assert_eq!(stats.hits, cells.len() as u64);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_re_simulates_but_matches() {
+        let runner = Runner::serial().without_cache();
+        assert!(runner.cache_stats().is_none());
+        let cells = cells_of(&representatives()[0], &tiny());
+        let first = runner.run_cells(&cells);
+        let again = runner.run_cells(&cells);
+        for (a, b) in first.iter().zip(&again) {
+            assert!(!Arc::ptr_eq(a, b), "no cache means fresh reports");
+            assert_eq!(**a, **b, "results must still be deterministic");
+        }
+        let cached = Runner::serial().run_cells(&cells);
+        for (a, b) in first.iter().zip(&cached) {
+            assert_eq!(**a, **b, "cache must not change results");
+        }
+    }
+
+    #[test]
+    fn disabled_cache_still_coalesces_within_a_batch() {
+        let runner = Runner::serial().without_cache();
+        let base = cells_of(&representatives()[0], &tiny());
+        let doubled: Vec<CellSpec> = base.iter().chain(base.iter()).copied().collect();
+        let reports = runner.run_cells(&doubled);
+        for (a, b) in reports[..base.len()].iter().zip(&reports[base.len()..]) {
+            assert!(Arc::ptr_eq(a, b), "in-batch duplicates share one run");
+        }
     }
 
     #[test]
@@ -423,7 +467,8 @@ mod tests {
         let base = cells_of(&representatives()[0], &tiny());
         let doubled: Vec<CellSpec> = base.iter().chain(base.iter()).copied().collect();
         let reports = runner.run_cells(&doubled);
-        assert_eq!(runner.cache_stats().misses, base.len() as u64);
+        let stats = runner.cache_stats().expect("cache enabled by default");
+        assert_eq!(stats.misses, base.len() as u64);
         for (a, b) in reports[..base.len()].iter().zip(&reports[base.len()..]) {
             assert!(Arc::ptr_eq(a, b));
         }
@@ -534,6 +579,7 @@ mod tests {
             ..SimConfig::paper(depth)
         });
         assert_ne!(paper.points, wide.points);
-        assert_eq!(runner.cache_stats().misses, 2 * cfg.depths.len() as u64);
+        let stats = runner.cache_stats().expect("cache enabled by default");
+        assert_eq!(stats.misses, 2 * cfg.depths.len() as u64);
     }
 }

@@ -70,7 +70,10 @@ fn grid() -> &'static Vec<GridRow> {
         for (workload, _) in WORKLOADS {
             // Fit the analytic profile where the harness fits it: one
             // simulation at the reference depth.
-            let fitted = backend.evaluate(&cell(workload, config.ref_depth)).profile;
+            let fitted = backend
+                .evaluate(&cell(workload, config.ref_depth))
+                .expect("reference cell is valid")
+                .profile;
             for depth in DEPTHS {
                 let sim_cell = cell(workload, depth);
                 let model_cell = CellSpec {
@@ -80,8 +83,8 @@ fn grid() -> &'static Vec<GridRow> {
                 rows.push(GridRow {
                     workload,
                     depth,
-                    cpi_sim: backend.evaluate(&sim_cell).cpi,
-                    cpi_model: model.evaluate(&model_cell).cpi,
+                    cpi_sim: backend.evaluate(&sim_cell).expect("valid cell").cpi,
+                    cpi_model: model.evaluate(&model_cell).expect("valid cell").cpi,
                 });
             }
         }
@@ -145,7 +148,7 @@ fn both_backends_are_deterministic() {
     let backend = SimBackend::new(&runner);
     let model = AnalyticModel::paper();
     let sim_cell = cell("specint-00", 12);
-    let fitted = backend.evaluate(&sim_cell).profile;
+    let fitted = backend.evaluate(&sim_cell).expect("valid cell").profile;
     let model_cell = CellSpec {
         profile: fitted,
         ..sim_cell.clone()

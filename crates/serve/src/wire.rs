@@ -1,0 +1,672 @@
+//! Versioned wire types for the evaluation service.
+//!
+//! Everything the service reads or writes over HTTP lives here, under a
+//! version module ([`v1`](crate::wire::v1)) so a future `v2` can coexist behind the same
+//! server. Decoding is tolerant: unknown fields are ignored (pinned by
+//! tests), missing optional fields take the service's defaults, and every
+//! response carries a `schema_version` field so clients can dispatch.
+//! Encoding reuses the telemetry crate's JSON escaping and
+//! shortest-roundtrip number rendering — the same helpers the run manifest
+//! is written with — so numbers survive a decode/encode round trip bit for
+//! bit.
+
+/// Version 1 of the wire protocol.
+pub mod v1 {
+    use crate::json::{parse, Json, ParseError};
+    use pipedepth_core::eval::{CellSpec, EvalOutcome, WorkloadProfile};
+    use pipedepth_core::EvalError;
+    use pipedepth_telemetry::json::{escape, number};
+    use std::fmt;
+    use std::fmt::Write as _;
+    use std::str::FromStr;
+
+    /// The protocol version stamped on every v1 request and response.
+    pub const SCHEMA_VERSION: u64 = 1;
+
+    /// Which backend a request asks for.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub enum WireBackend {
+        /// Cycle-accurate simulation; a missed deadline is an error.
+        Sim,
+        /// Closed-form analytic model; answers in microseconds.
+        Model,
+        /// Simulation when the deadline allows, analytic degradation
+        /// (flagged `degraded: true`) when it does not.
+        #[default]
+        Auto,
+    }
+
+    impl WireBackend {
+        /// The stable wire name.
+        pub fn as_str(self) -> &'static str {
+            match self {
+                WireBackend::Sim => "sim",
+                WireBackend::Model => "model",
+                WireBackend::Auto => "auto",
+            }
+        }
+    }
+
+    impl fmt::Display for WireBackend {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(self.as_str())
+        }
+    }
+
+    impl FromStr for WireBackend {
+        type Err = DecodeError;
+
+        fn from_str(s: &str) -> Result<Self, Self::Err> {
+            match s {
+                "sim" => Ok(WireBackend::Sim),
+                "model" => Ok(WireBackend::Model),
+                "auto" => Ok(WireBackend::Auto),
+                other => Err(DecodeError::field(
+                    "backend",
+                    format!("unknown backend {other:?} (valid: sim, model, auto)"),
+                )),
+            }
+        }
+    }
+
+    /// Why a request body was rejected.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum DecodeError {
+        /// The body is not valid JSON.
+        Syntax(ParseError),
+        /// The body is JSON but a field is missing, mistyped or invalid.
+        Field {
+            /// The offending field.
+            field: &'static str,
+            /// What was wrong.
+            message: String,
+        },
+        /// The body declares a schema version this module does not speak.
+        Version {
+            /// The declared version.
+            declared: u64,
+        },
+    }
+
+    impl DecodeError {
+        fn field(field: &'static str, message: impl Into<String>) -> Self {
+            DecodeError::Field {
+                field,
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for DecodeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                DecodeError::Syntax(e) => write!(f, "{e}"),
+                DecodeError::Field { field, message } => {
+                    write!(f, "field \"{field}\": {message}")
+                }
+                DecodeError::Version { declared } => write!(
+                    f,
+                    "unsupported schema_version {declared} (this server speaks {SCHEMA_VERSION})"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for DecodeError {}
+
+    impl From<ParseError> for DecodeError {
+        fn from(e: ParseError) -> Self {
+            DecodeError::Syntax(e)
+        }
+    }
+
+    /// One requested cell, before the service fills defaults.
+    ///
+    /// Only `workload` and `depth` are required; the profile defaults to
+    /// the service's fitted profile for the workload, and the sizing and
+    /// power-calibration fields default to the service configuration.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WireCell {
+        /// Stable workload id (e.g. `"specint-03"`).
+        pub workload: String,
+        /// Pipeline depth, in stages.
+        pub depth: u32,
+        /// Optional explicit profile; `None` asks the service to use the
+        /// workload's fitted profile.
+        pub profile: Option<WorkloadProfile>,
+        /// Optional warmup-instruction override.
+        pub warmup: Option<u64>,
+        /// Optional measured-instruction override.
+        pub instructions: Option<u64>,
+        /// Optional leakage-fraction override.
+        pub leakage_fraction: Option<f64>,
+        /// Optional reference-depth override.
+        pub ref_depth: Option<f64>,
+        /// Optional latch-growth override.
+        pub latch_growth: Option<f64>,
+    }
+
+    impl WireCell {
+        /// A cell naming only the required fields.
+        pub fn new(workload: impl Into<String>, depth: u32) -> Self {
+            WireCell {
+                workload: workload.into(),
+                depth,
+                profile: None,
+                warmup: None,
+                instructions: None,
+                leakage_fraction: None,
+                ref_depth: None,
+                latch_growth: None,
+            }
+        }
+
+        /// Resolves the wire cell into an evaluation [`CellSpec`], taking
+        /// defaults from a template cell (the service builds the template
+        /// from its configuration and the workload's fitted profile).
+        pub fn resolve(&self, template: &CellSpec) -> CellSpec {
+            CellSpec {
+                workload: self.workload.clone(),
+                profile: self.profile.unwrap_or(template.profile),
+                depth: self.depth,
+                warmup: self.warmup.unwrap_or(template.warmup),
+                instructions: self.instructions.unwrap_or(template.instructions),
+                leakage_fraction: self.leakage_fraction.unwrap_or(template.leakage_fraction),
+                ref_depth: self.ref_depth.unwrap_or(template.ref_depth),
+                latch_growth: self.latch_growth.unwrap_or(template.latch_growth),
+            }
+        }
+    }
+
+    /// A `POST /v1/evaluate` request body.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct EvaluateRequest {
+        /// Requested backend (`auto` when omitted).
+        pub backend: WireBackend,
+        /// Per-request deadline in milliseconds; `None` uses the server's
+        /// default. `Some(0)` means "no simulation time at all": `auto`
+        /// degrades to the analytic model, `sim` misses the deadline.
+        pub deadline_ms: Option<u64>,
+        /// The cells to evaluate, answered in order.
+        pub cells: Vec<WireCell>,
+    }
+
+    impl EvaluateRequest {
+        /// Decodes a request body.
+        ///
+        /// Unknown fields anywhere in the document are ignored, so newer
+        /// clients can talk to this server. A declared `schema_version`
+        /// other than [`SCHEMA_VERSION`] is rejected; an omitted one is
+        /// accepted as v1.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`DecodeError`] naming the first offending field.
+        pub fn decode(body: &str) -> Result<Self, DecodeError> {
+            let doc = parse(body)?;
+            if let Some(version) = doc.get("schema_version") {
+                let declared = version
+                    .as_u64()
+                    .ok_or_else(|| DecodeError::field("schema_version", "must be an integer"))?;
+                if declared != SCHEMA_VERSION {
+                    return Err(DecodeError::Version { declared });
+                }
+            }
+            let backend = match doc.get("backend") {
+                None => WireBackend::default(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| DecodeError::field("backend", "must be a string"))?
+                    .parse()?,
+            };
+            let deadline_ms = match doc.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    DecodeError::field("deadline_ms", "must be a non-negative integer")
+                })?),
+            };
+            let cells = doc
+                .get("cells")
+                .ok_or_else(|| DecodeError::field("cells", "required"))?
+                .as_array()
+                .ok_or_else(|| DecodeError::field("cells", "must be an array"))?
+                .iter()
+                .map(decode_cell)
+                .collect::<Result<Vec<WireCell>, DecodeError>>()?;
+            if cells.is_empty() {
+                return Err(DecodeError::field("cells", "must not be empty"));
+            }
+            Ok(EvaluateRequest {
+                backend,
+                deadline_ms,
+                cells,
+            })
+        }
+
+        /// Encodes the request as a v1 body (client side; also used by the
+        /// round-trip tests).
+        pub fn encode(&self) -> String {
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"schema_version\": {SCHEMA_VERSION}, \"backend\": \"{}\"",
+                self.backend
+            );
+            if let Some(deadline) = self.deadline_ms {
+                let _ = write!(out, ", \"deadline_ms\": {deadline}");
+            }
+            out.push_str(", \"cells\": [");
+            for (i, cell) in self.cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                encode_cell(&mut out, cell);
+            }
+            out.push_str("]}");
+            out
+        }
+    }
+
+    fn opt_f64(doc: &Json, field: &'static str) -> Result<Option<f64>, DecodeError> {
+        match doc.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| DecodeError::field(field, "must be a number")),
+        }
+    }
+
+    fn opt_u64(doc: &Json, field: &'static str) -> Result<Option<u64>, DecodeError> {
+        match doc.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| DecodeError::field(field, "must be a non-negative integer")),
+        }
+    }
+
+    fn decode_cell(doc: &Json) -> Result<WireCell, DecodeError> {
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| DecodeError::field("workload", "required string"))?
+            .to_string();
+        let depth =
+            doc.get("depth")
+                .and_then(Json::as_u64)
+                .filter(|&d| d <= u64::from(u32::MAX))
+                .ok_or_else(|| DecodeError::field("depth", "required integer"))? as u32;
+        let profile = match doc.get("profile") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(decode_profile(p)?),
+        };
+        Ok(WireCell {
+            workload,
+            depth,
+            profile,
+            warmup: opt_u64(doc, "warmup")?,
+            instructions: opt_u64(doc, "instructions")?,
+            leakage_fraction: opt_f64(doc, "leakage_fraction")?,
+            ref_depth: opt_f64(doc, "ref_depth")?,
+            latch_growth: opt_f64(doc, "latch_growth")?,
+        })
+    }
+
+    fn decode_profile(doc: &Json) -> Result<WorkloadProfile, DecodeError> {
+        let req = |field: &'static str| -> Result<f64, DecodeError> {
+            doc.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| DecodeError::field("profile", format!("{field} must be a number")))
+        };
+        Ok(WorkloadProfile {
+            alpha: req("alpha")?,
+            gamma: req("gamma")?,
+            hazard_rate: req("hazard_rate")?,
+            kappa: req("kappa")?,
+            memory_time_fo4: req("memory_time_fo4")?,
+        })
+    }
+
+    fn encode_profile(out: &mut String, p: &WorkloadProfile) {
+        let _ = write!(
+            out,
+            "{{\"alpha\": {}, \"gamma\": {}, \"hazard_rate\": {}, \"kappa\": {}, \
+             \"memory_time_fo4\": {}}}",
+            number(p.alpha),
+            number(p.gamma),
+            number(p.hazard_rate),
+            number(p.kappa),
+            number(p.memory_time_fo4),
+        );
+    }
+
+    fn encode_cell(out: &mut String, cell: &WireCell) {
+        let _ = write!(
+            out,
+            "{{\"workload\": \"{}\", \"depth\": {}",
+            escape(&cell.workload),
+            cell.depth
+        );
+        if let Some(p) = &cell.profile {
+            out.push_str(", \"profile\": ");
+            encode_profile(out, p);
+        }
+        if let Some(v) = cell.warmup {
+            let _ = write!(out, ", \"warmup\": {v}");
+        }
+        if let Some(v) = cell.instructions {
+            let _ = write!(out, ", \"instructions\": {v}");
+        }
+        if let Some(v) = cell.leakage_fraction {
+            let _ = write!(out, ", \"leakage_fraction\": {}", number(v));
+        }
+        if let Some(v) = cell.ref_depth {
+            let _ = write!(out, ", \"ref_depth\": {}", number(v));
+        }
+        if let Some(v) = cell.latch_growth {
+            let _ = write!(out, ", \"latch_growth\": {}", number(v));
+        }
+        out.push('}');
+    }
+
+    /// One cell's answer inside an [`EvaluateResponse`].
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct CellResult {
+        /// The evaluation outcome, or why it failed.
+        pub outcome: Result<EvalOutcome, EvalError>,
+        /// The backend that actually answered (`"sim"` or `"model"`).
+        pub backend: &'static str,
+        /// True when an `auto` request fell back to the analytic model
+        /// because the deadline ruled simulation out.
+        pub degraded: bool,
+    }
+
+    /// A `POST /v1/evaluate` response body.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct EvaluateResponse {
+        /// One result per requested cell, in request order.
+        pub results: Vec<CellResult>,
+    }
+
+    impl EvaluateResponse {
+        /// Encodes the response as a v1 body.
+        pub fn encode(&self) -> String {
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"schema_version\": {SCHEMA_VERSION}, \"results\": ["
+            );
+            for (i, result) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                encode_result(&mut out, result);
+            }
+            out.push_str("]}");
+            out
+        }
+    }
+
+    fn encode_result(out: &mut String, result: &CellResult) {
+        match &result.outcome {
+            Ok(outcome) => {
+                let _ = write!(
+                    out,
+                    "{{\"backend\": \"{}\", \"degraded\": {}, \"outcome\": ",
+                    result.backend, result.degraded
+                );
+                encode_outcome(out, outcome);
+                out.push('}');
+            }
+            Err(err) => {
+                let _ = write!(
+                    out,
+                    "{{\"backend\": \"{}\", \"degraded\": {}, \"error\": \
+                     {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+                    result.backend,
+                    result.degraded,
+                    err.code(),
+                    escape(&err.to_string()),
+                );
+            }
+        }
+    }
+
+    fn encode_metric_triple(out: &mut String, name: &str, m: &[f64; 3]) {
+        let _ = write!(
+            out,
+            "\"{name}\": [{}, {}, {}]",
+            number(m[0]),
+            number(m[1]),
+            number(m[2])
+        );
+    }
+
+    /// Renders one [`EvalOutcome`] as its wire object.
+    pub fn encode_outcome(out: &mut String, o: &EvalOutcome) {
+        let _ = write!(
+            out,
+            "{{\"depth\": {}, \"cpi\": {}, \"frequency\": {}, \
+             \"time_per_instruction_fo4\": {}, \"throughput\": {}, \
+             \"power_gated\": {}, \"power_ungated\": {}, ",
+            o.depth,
+            number(o.cpi),
+            number(o.frequency),
+            number(o.time_per_instruction_fo4),
+            number(o.throughput),
+            number(o.power_gated),
+            number(o.power_ungated),
+        );
+        encode_metric_triple(out, "metric_gated", &o.metric_gated);
+        out.push_str(", ");
+        encode_metric_triple(out, "metric_ungated", &o.metric_ungated);
+        out.push_str(", \"profile\": ");
+        encode_profile(out, &o.profile);
+        out.push('}');
+    }
+
+    /// A `GET /v1/optimum` response body.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct OptimumResponse {
+        /// The workload the optimum was computed for.
+        pub workload: String,
+        /// The metric exponent `m` of `BIPS^m/W`.
+        pub m: u32,
+        /// The depth maximising the metric over the searched range.
+        pub optimum_depth: u32,
+        /// The metric value at the optimum.
+        pub metric: f64,
+        /// Throughput at the optimum, instructions per FO4.
+        pub throughput: f64,
+        /// The depth maximising raw performance, for contrast.
+        pub perf_only_depth: u32,
+    }
+
+    impl OptimumResponse {
+        /// Encodes the response as a v1 body.
+        pub fn encode(&self) -> String {
+            format!(
+                "{{\"schema_version\": {SCHEMA_VERSION}, \"workload\": \"{}\", \"m\": {}, \
+                 \"optimum_depth\": {}, \"metric\": {}, \"throughput\": {}, \
+                 \"perf_only_depth\": {}}}",
+                escape(&self.workload),
+                self.m,
+                self.optimum_depth,
+                number(self.metric),
+                number(self.throughput),
+                self.perf_only_depth,
+            )
+        }
+    }
+
+    /// Renders a wire error object (non-2xx bodies share this shape).
+    pub fn encode_error(code: &str, message: &str) -> String {
+        format!(
+            "{{\"schema_version\": {SCHEMA_VERSION}, \"error\": {{\"code\": \"{}\", \
+             \"message\": \"{}\"}}}}",
+            escape(code),
+            escape(message)
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn profile() -> WorkloadProfile {
+            WorkloadProfile {
+                alpha: 2.0,
+                gamma: 0.4,
+                hazard_rate: 0.15,
+                kappa: 0.22,
+                memory_time_fo4: 12.5,
+            }
+        }
+
+        #[test]
+        fn request_round_trips() {
+            let req = EvaluateRequest {
+                backend: WireBackend::Sim,
+                deadline_ms: Some(250),
+                cells: vec![
+                    WireCell {
+                        profile: Some(profile()),
+                        warmup: Some(1000),
+                        instructions: Some(2000),
+                        leakage_fraction: Some(0.2),
+                        ref_depth: Some(10.0),
+                        latch_growth: Some(1.1),
+                        ..WireCell::new("specint-00", 12)
+                    },
+                    WireCell::new("fp-01", 8),
+                ],
+            };
+            let decoded = EvaluateRequest::decode(&req.encode()).expect("round trip");
+            assert_eq!(decoded, req);
+        }
+
+        #[test]
+        fn unknown_fields_are_tolerated_everywhere() {
+            let body = r#"{
+                "schema_version": 1,
+                "backend": "model",
+                "future_flag": {"nested": [1, 2, 3]},
+                "cells": [
+                    {"workload": "legacy-00", "depth": 9, "annotation": "ignore me",
+                     "profile": {"alpha": 2, "gamma": 0.4, "hazard_rate": 0.1,
+                                 "kappa": 0.2, "memory_time_fo4": 10, "extra": true}}
+                ]
+            }"#;
+            let req = EvaluateRequest::decode(body).expect("unknown fields ignored");
+            assert_eq!(req.backend, WireBackend::Model);
+            assert_eq!(req.cells[0].workload, "legacy-00");
+            assert_eq!(req.cells[0].depth, 9);
+            assert_eq!(req.cells[0].profile.expect("profile decoded").alpha, 2.0);
+        }
+
+        #[test]
+        fn omitted_optionals_default() {
+            let req = EvaluateRequest::decode(
+                r#"{"cells": [{"workload": "w", "depth": 4}], "deadline_ms": null}"#,
+            )
+            .expect("minimal body");
+            assert_eq!(req.backend, WireBackend::Auto);
+            assert_eq!(req.deadline_ms, None);
+            assert_eq!(req.cells[0].profile, None);
+            assert_eq!(req.cells[0].warmup, None);
+        }
+
+        #[test]
+        fn wrong_schema_version_is_rejected() {
+            let err = EvaluateRequest::decode(
+                r#"{"schema_version": 2, "cells": [{"workload": "w", "depth": 4}]}"#,
+            )
+            .expect_err("v2 is not spoken here");
+            assert!(matches!(err, DecodeError::Version { declared: 2 }), "{err}");
+            assert!(err.to_string().contains("schema_version 2"));
+        }
+
+        #[test]
+        fn missing_and_mistyped_fields_are_named() {
+            let err = EvaluateRequest::decode(r#"{"backend": "sim"}"#).expect_err("no cells");
+            assert!(err.to_string().contains("cells"));
+            let err = EvaluateRequest::decode(r#"{"cells": []}"#).expect_err("empty cells");
+            assert!(err.to_string().contains("must not be empty"));
+            let err =
+                EvaluateRequest::decode(r#"{"cells": [{"workload": "w"}]}"#).expect_err("no depth");
+            assert!(err.to_string().contains("depth"));
+            let err = EvaluateRequest::decode(
+                r#"{"backend": "gpu", "cells": [{"workload": "w", "depth": 4}]}"#,
+            )
+            .expect_err("unknown backend");
+            assert!(err.to_string().contains("gpu"));
+        }
+
+        #[test]
+        fn responses_carry_schema_version_and_error_codes() {
+            let response = EvaluateResponse {
+                results: vec![CellResult {
+                    outcome: Err(EvalError::invalid("bad \"cell\"")),
+                    backend: "sim",
+                    degraded: false,
+                }],
+            };
+            let body = response.encode();
+            assert!(body.starts_with("{\"schema_version\": 1, "), "{body}");
+            assert!(body.contains("\"code\": \"invalid_cell\""), "{body}");
+            assert!(body.contains("bad \\\"cell\\\""), "escaped: {body}");
+            let doc = parse(&body).expect("responses are valid JSON");
+            assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        }
+
+        #[test]
+        fn outcome_numbers_survive_a_parse() {
+            let outcome = EvalOutcome {
+                depth: 11,
+                cpi: 1.25,
+                frequency: 0.0625,
+                time_per_instruction_fo4: 20.0,
+                throughput: 0.05,
+                power_gated: 3.5,
+                power_ungated: 7.25,
+                metric_gated: [0.1, 0.2, 0.3],
+                metric_ungated: [0.05, 0.1, 0.15],
+                profile: profile(),
+            };
+            let mut body = String::new();
+            encode_outcome(&mut body, &outcome);
+            let doc = parse(&body).expect("valid JSON");
+            assert_eq!(doc.get("depth").and_then(Json::as_u64), Some(11));
+            assert_eq!(doc.get("cpi").and_then(Json::as_f64), Some(1.25));
+            let gated = doc
+                .get("metric_gated")
+                .and_then(Json::as_array)
+                .expect("array");
+            assert_eq!(gated[2].as_f64(), Some(0.3));
+            assert_eq!(
+                doc.get("profile")
+                    .and_then(|p| p.get("memory_time_fo4"))
+                    .and_then(Json::as_f64),
+                Some(12.5)
+            );
+        }
+
+        #[test]
+        fn optimum_response_shape() {
+            let body = OptimumResponse {
+                workload: "fp-00".into(),
+                m: 3,
+                optimum_depth: 9,
+                metric: 0.125,
+                throughput: 0.04,
+                perf_only_depth: 22,
+            }
+            .encode();
+            let doc = parse(&body).expect("valid JSON");
+            assert_eq!(doc.get("optimum_depth").and_then(Json::as_u64), Some(9));
+            assert_eq!(doc.get("perf_only_depth").and_then(Json::as_u64), Some(22));
+        }
+    }
+}

@@ -155,6 +155,36 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`) from the bucket counts:
+    /// the upper bound of the bucket holding the target observation,
+    /// clamped to the observed extremes. Observations landing in the
+    /// implicit overflow bucket estimate as the largest observed value.
+    /// `None` when the histogram is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // The rank of the target observation, 1-based: q = 0 maps to the
+        // first observation, q = 1 to the last.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let estimate = match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    // Overflow bucket: all we know is "above the last
+                    // bound"; the observed max is the tightest estimate.
+                    None => self.max?,
+                };
+                let lo = self.min.unwrap_or(estimate);
+                let hi = self.max.unwrap_or(estimate);
+                return Some(estimate.clamp(lo, hi));
+            }
+        }
+        self.max
+    }
+
     /// Renders the histogram as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let bounds: Vec<String> = self.bounds.iter().map(|&b| json::number(b)).collect();
@@ -262,6 +292,43 @@ mod tests {
         };
         assert_eq!(h.mean(), 0.0);
         assert!(h.to_json().contains("\"min\": null"));
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+    }
+
+    #[test]
+    fn quantiles_estimate_from_bucket_bounds() {
+        // 10 observations: 4 in (..=10], 4 in (10..=100], 2 overflow.
+        let h = HistogramSnapshot {
+            bounds: vec![10.0, 100.0],
+            buckets: vec![4, 4, 2],
+            count: 10,
+            sum: 500.0,
+            min: Some(2.0),
+            max: Some(400.0),
+        };
+        assert_eq!(h.quantile(0.0), Some(10.0), "q=0 lands in the first bucket");
+        assert_eq!(h.quantile(0.4), Some(10.0));
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        assert_eq!(h.quantile(0.8), Some(100.0));
+        assert_eq!(h.quantile(0.99), Some(400.0), "overflow estimates as max");
+        assert_eq!(h.quantile(1.0), Some(400.0));
+        assert_eq!(h.quantile(1.5), None, "out-of-range q");
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_is_clamped_to_observed_extremes() {
+        // All observations in one bucket whose bound (1000) far exceeds
+        // anything observed: the estimate must not exceed the max.
+        let h = HistogramSnapshot {
+            bounds: vec![1000.0],
+            buckets: vec![5, 0],
+            count: 5,
+            sum: 15.0,
+            min: Some(1.0),
+            max: Some(5.0),
+        };
+        assert_eq!(h.quantile(0.5), Some(5.0));
     }
 
     #[test]
