@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pipedepth_sim::cache::Hierarchy;
 use pipedepth_sim::predictor::Gshare;
-use pipedepth_sim::{CacheConfig, Engine, PredictorConfig, SimConfig};
+use pipedepth_sim::{
+    annotate, replay, replay_sweep, CacheConfig, Engine, PredictorConfig, SimConfig,
+};
+use pipedepth_telemetry::Telemetry;
 use pipedepth_trace::{TraceArena, TraceGenerator, WorkloadModel};
 use std::hint::black_box;
 
@@ -118,6 +121,65 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Annotate-once vs. a full engine pass, and the replay kernel against
+/// the engine at one depth: the three costs whose ratio justifies the
+/// sweep kernel. `annotate` must sit well below one engine pass (it is
+/// paid once per stream), and `replay` below the engine (it is paid per
+/// depth).
+fn bench_annotate_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annotate_vs_full");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    let arena = TraceArena::new();
+    let trace = arena.get_or_generate(WorkloadModel::spec_int_like(), 1, N);
+    let config = SimConfig::paper(12);
+    let notes = annotate(&trace, config.cache, config.predictor).expect("valid configuration");
+    group.bench_function("annotate_once", |b| {
+        b.iter(|| black_box(annotate(black_box(&trace), config.cache, config.predictor)))
+    });
+    group.bench_function("engine_full_pass", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(config);
+            black_box(engine.run_slice(black_box(&trace), N))
+        })
+    });
+    group.bench_function("replay_one_depth", |b| {
+        b.iter(|| black_box(replay(black_box(&notes), config, 0, N)))
+    });
+    group.finish();
+}
+
+/// Batched multi-depth replay: one annotation walk advancing 1/4/8/16
+/// depth lanes. Per-lane cost should fall as lanes amortise the
+/// annotation walk, and even lanes = 1 must beat a full engine pass.
+fn bench_sweep_kernel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_kernel_scaling");
+    const N: u64 = 50_000;
+    let arena = TraceArena::new();
+    let trace = arena.get_or_generate(WorkloadModel::spec_int_like(), 1, N);
+    let base = SimConfig::paper(2);
+    let notes = annotate(&trace, base.cache, base.predictor).expect("valid configuration");
+    for lanes in [1usize, 4, 8, 16] {
+        // Per-lane throughput: N instructions advanced through each lane.
+        group.throughput(Throughput::Elements(N * lanes as u64));
+        let configs: Vec<SimConfig> = (0..lanes)
+            .map(|i| SimConfig::paper(2 + (i as u32 * 23) / lanes.max(1) as u32))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lanes", lanes), &configs, |b, configs| {
+            b.iter(|| {
+                black_box(replay_sweep(
+                    black_box(&notes),
+                    configs,
+                    0,
+                    N,
+                    &Telemetry::disabled(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
     const N: u64 = 200_000;
@@ -162,6 +224,7 @@ criterion_group! {
     name = simulator;
     config = Criterion::default().sample_size(10);
     targets = bench_engine_depths, bench_engine_classes, bench_engine_paths,
+              bench_annotate_vs_full, bench_sweep_kernel_scaling,
               bench_trace_materialization, bench_trace_generation,
               bench_cache, bench_predictor
 }

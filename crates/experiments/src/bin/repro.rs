@@ -35,6 +35,7 @@ struct Options {
     timing_details: bool,
     no_arena: bool,
     no_cache: bool,
+    no_sweep_kernel: bool,
     out_dir: PathBuf,
     only: Option<Vec<String>>,
     backend: Backend,
@@ -49,6 +50,7 @@ fn parse_args() -> Options {
         timing_details: false,
         no_arena: false,
         no_cache: false,
+        no_sweep_kernel: false,
         out_dir: PathBuf::from("results"),
         only: None,
         backend: Backend::Sim,
@@ -67,6 +69,7 @@ fn parse_args() -> Options {
             "--timing-details" => opts.timing_details = true,
             "--no-arena" => opts.no_arena = true,
             "--no-cache" => opts.no_cache = true,
+            "--no-sweep-kernel" => opts.no_sweep_kernel = true,
             "--out" => {
                 opts.out_dir = PathBuf::from(value(&args, i, "--out"));
                 i += 1;
@@ -96,7 +99,8 @@ fn parse_args() -> Options {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
-                     [--backend sim|model|both] [--timing-details] [--no-arena] [--no-cache]"
+                     [--backend sim|model|both] [--timing-details] [--no-arena] [--no-cache] \
+                     [--no-sweep-kernel]"
                 );
                 exit(2);
             }
@@ -148,6 +152,9 @@ fn main() -> io::Result<()> {
     }
     if opts.no_cache {
         runner = runner.without_cache();
+    }
+    if opts.no_sweep_kernel {
+        runner = runner.without_sweep_kernel();
     }
     let ctx = Context::with_backend(config, runner, opts.backend);
     println!(
@@ -257,6 +264,19 @@ fn main() -> io::Result<()> {
         None => "trace arena: disabled (--no-arena); every cell regenerated its trace".to_string(),
     };
     let _ = writeln!(report, "\n{arena_line}");
+    let kernel = ctx
+        .runner
+        .sweep_kernel_enabled()
+        .then(|| ctx.runner.annotation_stats());
+    let kernel_line = match &kernel {
+        Some(k) => format!(
+            "sweep kernel: {} streams annotated ({} instructions), {} annotation reuses",
+            k.misses, k.instructions_annotated, k.hits
+        ),
+        None => "sweep kernel: disabled (--no-sweep-kernel); every cell ran the stage engine"
+            .to_string(),
+    };
+    let _ = writeln!(report, "\n{kernel_line}");
 
     let snapshot = telemetry.snapshot();
     report.push_str(&telemetry_section(&snapshot));
@@ -267,6 +287,7 @@ fn main() -> io::Result<()> {
         phases,
         cache: stats,
         arena,
+        sweep_kernel: kernel,
         metrics: snapshot,
         total_wall: t0.elapsed(),
     };
@@ -279,6 +300,7 @@ fn main() -> io::Result<()> {
 
     println!("\n{cache_line}");
     println!("{arena_line}");
+    println!("{kernel_line}");
     println!("data written to {}", opts.out_dir.display());
     println!("total time: {:.1?}", manifest.total_wall);
     Ok(())

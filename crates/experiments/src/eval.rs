@@ -328,6 +328,25 @@ impl<R: Borrow<Runner> + Send + Sync> Evaluator for SimBackend<R> {
             })
             .collect()
     }
+
+    /// Answers a depth sweep in one runner dispatch. The runner recognises
+    /// the resulting cells — identical in everything but depth — and
+    /// routes them through the annotate-once / replay-per-depth sweep
+    /// kernel: one trace pass advances every depth lane.
+    fn evaluate_sweep(
+        &self,
+        base: &CellSpec,
+        depths: &[u32],
+    ) -> Vec<Result<EvalOutcome, EvalError>> {
+        let cells: Vec<CellSpec> = depths
+            .iter()
+            .map(|&depth| CellSpec {
+                depth,
+                ..base.clone()
+            })
+            .collect();
+        self.evaluate_batch(&cells)
+    }
 }
 
 /// Reduces a finished simulation report to the common outcome row, using
@@ -483,6 +502,36 @@ mod tests {
                 continue;
             }
             let single = backend.evaluate(&cells[i]).expect("valid cell");
+            assert_eq!(result.as_ref().expect("valid cell"), &single);
+        }
+    }
+
+    #[test]
+    fn sweep_evaluation_is_one_dispatch_and_matches_single_cells() {
+        let runner = Runner::serial();
+        let cfg = tiny();
+        let w = &representatives()[2];
+        let backend = SimBackend::with_workloads(&runner, std::slice::from_ref(w));
+        let base = cell_for(w, fitted_profile(w), cfg.depths[0], &cfg);
+        let depths = [4u32, 99, 8, 12];
+        let sweep = backend.evaluate_sweep(&base, &depths);
+        assert_eq!(sweep.len(), depths.len());
+        assert!(sweep[1].is_err(), "out-of-range depth fails as a value");
+        // One dispatch: the runner saw exactly the runnable depths, once.
+        let stats = runner.cache_stats().expect("cache enabled by default");
+        assert_eq!(stats.requested(), 3);
+        // And the kernel-backed sweep matches per-cell evaluation exactly.
+        let reference = Runner::serial().without_sweep_kernel();
+        let ref_backend = SimBackend::with_workloads(&reference, std::slice::from_ref(w));
+        for (&depth, result) in depths.iter().zip(&sweep) {
+            if depth == 99 {
+                continue;
+            }
+            let cell = CellSpec {
+                depth,
+                ..base.clone()
+            };
+            let single = ref_backend.evaluate(&cell).expect("valid cell");
             assert_eq!(result.as_ref().expect("valid cell"), &single);
         }
     }

@@ -13,6 +13,7 @@
 
 use crate::runner::CacheStats;
 use crate::sweep::RunConfig;
+use pipedepth_sim::AnnotateStats;
 use pipedepth_telemetry::{json, Snapshot};
 use pipedepth_trace::ArenaStats;
 use std::fmt::Write as _;
@@ -21,8 +22,11 @@ use std::time::Duration;
 /// Version of the manifest layout; bumped on breaking changes so consumers
 /// can reject manifests they do not understand. Version 2 added the
 /// `arena` section (trace-arena service counters, or `null` when the arena
-/// is disabled via `--no-arena`).
-pub const SCHEMA_VERSION: u32 = 2;
+/// is disabled via `--no-arena`). Version 3 added the single-line
+/// `sweep_kernel` section (annotation-store counters, or `null` when the
+/// kernel is disabled via `--no-sweep-kernel`) — kept to one line so
+/// kernel-A/B consumers can drop it wholesale.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Wall time of one named phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +52,9 @@ pub struct Manifest {
     /// Trace-arena counters at the end of the run; `None` when the arena
     /// was disabled (`--no-arena`).
     pub arena: Option<ArenaStats>,
+    /// Annotation-store counters of the sweep kernel; `None` when the
+    /// kernel was disabled (`--no-sweep-kernel`).
+    pub sweep_kernel: Option<AnnotateStats>,
     /// Snapshot of every telemetry metric (empty when telemetry is
     /// disabled or compiled out).
     pub metrics: Snapshot,
@@ -135,6 +142,20 @@ impl Manifest {
             }
             None => out.push_str("  \"arena\": null,\n"),
         }
+        // The whole section stays on ONE line containing `sweep_kernel`,
+        // enabled or not, so the kernel-A/B manifest comparison can delete
+        // it (and nothing else) with a single line filter.
+        match &self.sweep_kernel {
+            Some(stats) => {
+                let _ = writeln!(
+                    out,
+                    "  \"sweep_kernel\": {{\"enabled\": true, \"annotation_hits\": {}, \
+                     \"annotation_misses\": {}, \"instructions_annotated\": {}}},",
+                    stats.hits, stats.misses, stats.instructions_annotated
+                );
+            }
+            None => out.push_str("  \"sweep_kernel\": null,\n"),
+        }
         out.push_str("  \"metrics\": {\n");
         for (i, metric) in self.metrics.metrics.iter().enumerate() {
             let comma = if i + 1 == self.metrics.metrics.len() {
@@ -182,6 +203,11 @@ mod tests {
                 misses: 1,
                 instructions_materialized: 30_000,
             }),
+            sweep_kernel: Some(AnnotateStats {
+                hits: 8,
+                misses: 2,
+                instructions_annotated: 12_000,
+            }),
             metrics: Snapshot::default(),
             total_wall: Duration::from_micros(2000),
         }
@@ -197,7 +223,7 @@ mod tests {
     #[test]
     fn renders_schema_version_and_sections() {
         let rendered = manifest().to_json();
-        assert!(rendered.starts_with("{\n  \"schema_version\": 2,\n"));
+        assert!(rendered.starts_with("{\n  \"schema_version\": 3,\n"));
         for needle in [
             "\"config\": {",
             "\"digest\": ",
@@ -205,6 +231,8 @@ mod tests {
             "\"cache\": {",
             "\"arena\": {",
             "\"instructions_materialized\": 30000",
+            "\"sweep_kernel\": {\"enabled\": true",
+            "\"instructions_annotated\": 12000",
             "\"metrics\": {",
             "\"hit_rate\": 0.25",
             "\"hit_rate\": 0.9",
@@ -220,6 +248,36 @@ mod tests {
         let rendered = m.to_json();
         assert!(rendered.contains("\"arena\": null,"));
         assert!(!rendered.contains("\"arena\": {"));
+    }
+
+    #[test]
+    fn sweep_kernel_section_stays_on_one_line() {
+        // The kernel-A/B comparison deletes every line containing
+        // `sweep_kernel`; the section must therefore never span lines,
+        // enabled or disabled.
+        let enabled = manifest().to_json();
+        let mut m = manifest();
+        m.sweep_kernel = None;
+        let disabled = m.to_json();
+        for rendered in [&enabled, &disabled] {
+            assert_eq!(
+                rendered
+                    .lines()
+                    .filter(|l| l.contains("sweep_kernel"))
+                    .count(),
+                1,
+                "sweep_kernel must occupy exactly one line"
+            );
+        }
+        assert!(disabled.contains("\"sweep_kernel\": null,"));
+        // Dropping that one line makes the two manifests identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("sweep_kernel"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&enabled), strip(&disabled));
     }
 
     #[test]

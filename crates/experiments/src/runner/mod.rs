@@ -31,13 +31,32 @@ pub use cell::CellSpec;
 use crate::extract::extract_from_report;
 use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
 use pipedepth_power::metric;
-use pipedepth_sim::{SimConfig, SimReport};
+use pipedepth_sim::{replay_sweep, AnnotatedTrace, AnnotationStore, SimConfig, SimReport};
 use pipedepth_telemetry::{Stopwatch, Telemetry, DEFAULT_TIME_BUCKETS_US};
-use pipedepth_trace::{ArenaStats, TraceArena};
+use pipedepth_trace::{ArenaStats, Instruction, TraceArena, TraceRequest};
 use pipedepth_workloads::Workload;
-use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// One pending cell's pre-staged inputs: the trace-request key and the
+/// arena-resident stream, or `None` when the arena is disabled.
+type StagedCell = Option<(u64, Arc<[Instruction]>)>;
+
+/// One schedulable unit of a batch: either a single cell on the stage
+/// engine, or a whole same-workload depth group on the annotate/replay
+/// sweep kernel.
+#[derive(Debug)]
+enum WorkItem {
+    /// Index into the pending list; runs the full stage engine.
+    Cell(usize),
+    /// Pending indices differing only in pipeline depth, plus the one
+    /// annotation their replay lanes share.
+    Group {
+        members: Vec<usize>,
+        annotation: Arc<AnnotatedTrace>,
+    },
+}
 
 /// Executes simulation cells on a worker pool, backed by a shared cache.
 #[derive(Debug)]
@@ -50,6 +69,16 @@ pub struct Runner {
     /// Shared trace store; `None` routes every cell through the streaming
     /// path (the `--no-arena` escape hatch).
     arena: Option<TraceArena>,
+    /// Routes same-workload depth groups through the annotate-once /
+    /// replay-per-depth kernel; `false` restores the per-cell engine path
+    /// (the `--no-sweep-kernel` escape hatch).
+    sweep_kernel: bool,
+    /// Shared annotations, one per (stream, cache, predictor), reused
+    /// across batches exactly as the arena shares streams.
+    annotations: AnnotationStore,
+    /// Watermark of the process-global fingerprint-memo hit counter, so
+    /// each batch flushes only its own delta into telemetry.
+    memo_hits_seen: AtomicU64,
 }
 
 impl Runner {
@@ -68,6 +97,9 @@ impl Runner {
             cache: Some(SimCache::new()),
             telemetry: Telemetry::disabled(),
             arena: Some(TraceArena::new()),
+            sweep_kernel: true,
+            annotations: AnnotationStore::new(),
+            memo_hits_seen: AtomicU64::new(pipedepth_trace::fingerprint_memo_hits()),
         }
     }
 
@@ -84,6 +116,7 @@ impl Runner {
         if let Some(arena) = self.arena.as_mut() {
             arena.attach_telemetry(&telemetry);
         }
+        self.annotations.attach_telemetry(&telemetry);
         self.telemetry = telemetry;
         self
     }
@@ -104,6 +137,16 @@ impl Runner {
         self
     }
 
+    /// Disables the annotate/replay sweep kernel: every cell runs the full
+    /// stage engine, as before the kernel existed. The `--no-sweep-kernel`
+    /// escape hatch, and the A/B lever the equivalence CI check flips —
+    /// the two paths are bit-identical by construction (see the
+    /// `replay_equivalence` suite in `pipedepth-sim`).
+    pub fn without_sweep_kernel(mut self) -> Self {
+        self.sweep_kernel = false;
+        self
+    }
+
     /// Worker count this runner schedules onto.
     pub fn threads(&self) -> usize {
         self.threads
@@ -117,6 +160,17 @@ impl Runner {
     /// Arena service counters so far; `None` when the arena is disabled.
     pub fn arena_stats(&self) -> Option<ArenaStats> {
         self.arena.as_ref().map(TraceArena::stats)
+    }
+
+    /// Whether the annotate/replay sweep kernel is enabled.
+    pub fn sweep_kernel_enabled(&self) -> bool {
+        self.sweep_kernel
+    }
+
+    /// Annotation-store counters so far (all zero until the first depth
+    /// group runs through the sweep kernel).
+    pub fn annotation_stats(&self) -> pipedepth_sim::AnnotateStats {
+        self.annotations.stats()
     }
 
     /// Runs a batch of cells, returning one report per requested cell in
@@ -153,8 +207,10 @@ impl Runner {
             .counter("runner.cells_simulated")
             .add(pending.len() as u64);
 
-        self.pre_stage(&pending);
-        let computed = self.execute_pending(&pending);
+        let staged = self.pre_stage(&pending);
+        let items = self.plan_items(&pending, &staged);
+        let computed = self.execute_items(&pending, &items);
+        self.flush_memo_hits();
 
         for (((key, spec), slots), report) in pending.into_iter().zip(waiters).zip(computed) {
             let inserted = match &self.cache {
@@ -181,59 +237,133 @@ impl Runner {
     /// distinct stream counts an arena miss (the one generation); each
     /// executed cell's lookup then counts a hit — so the counters are
     /// deterministic for any thread count, and workers never generate.
-    fn pre_stage(&self, pending: &[(u64, CellSpec)]) {
+    /// Returns each cell's request key and staged stream (one entry per
+    /// pending cell, `None` without an arena), so the sweep-kernel
+    /// planner can annotate without extra arena traffic — and without
+    /// recomputing a single fingerprint, keeping the memo-hit counter
+    /// identical whether or not the kernel is enabled.
+    fn pre_stage(&self, pending: &[(u64, CellSpec)]) -> Vec<StagedCell> {
         let Some(arena) = &self.arena else {
-            return;
+            return vec![None; pending.len()];
         };
-        let mut staged: BTreeSet<u64> = BTreeSet::new();
-        for (_, spec) in pending {
-            let request = pipedepth_trace::TraceRequest {
-                model: spec.model,
-                seed: spec.trace_seed,
-                len: spec.trace_len(),
-            };
-            if staged.insert(request.key()) {
-                arena.get_or_generate(request.model, request.seed, request.len);
-            }
-        }
+        let mut by_key: BTreeMap<u64, Arc<[Instruction]>> = BTreeMap::new();
+        pending
+            .iter()
+            .map(|(_, spec)| {
+                let request = TraceRequest {
+                    model: spec.model,
+                    seed: spec.trace_seed,
+                    len: spec.trace_len(),
+                };
+                let key = request.key();
+                let trace = by_key
+                    .entry(key)
+                    .or_insert_with(|| {
+                        arena.get_or_generate(request.model, request.seed, request.len)
+                    })
+                    .clone();
+                Some((key, trace))
+            })
+            .collect()
     }
 
-    /// Simulates the pending cells, in order when serial, otherwise via a
-    /// shared atomic work index over scoped worker threads.
-    fn execute_pending(&self, pending: &[(u64, CellSpec)]) -> Vec<Arc<SimReport>> {
-        let workers = self.threads.min(pending.len());
+    /// Partitions the pending cells into schedulable work items. With the
+    /// sweep kernel enabled (and the arena present), cells that differ
+    /// only in pipeline depth become one [`WorkItem::Group`] sharing one
+    /// annotation — annotated here, serially, so the annotation-store
+    /// counters are deterministic for any thread count. Everything else
+    /// stays a [`WorkItem::Cell`] on the stage engine.
+    ///
+    /// Grouping compares cells structurally ([`PartialEq`] with the depth
+    /// field neutralised) rather than by hash, so enabling the kernel
+    /// changes no fingerprint or cache-counter accounting.
+    fn plan_items(&self, pending: &[(u64, CellSpec)], staged: &[StagedCell]) -> Vec<WorkItem> {
+        if !self.sweep_kernel || self.arena.is_none() {
+            return (0..pending.len()).map(WorkItem::Cell).collect();
+        }
+        let mates = |a: &CellSpec, b: &CellSpec| {
+            a.model == b.model
+                && a.trace_seed == b.trace_seed
+                && a.warmup == b.warmup
+                && a.instructions == b.instructions
+                && SimConfig { depth: 0, ..a.sim } == SimConfig { depth: 0, ..b.sim }
+        };
+        let mut assigned = vec![false; pending.len()];
+        let mut items = Vec::new();
+        for i in 0..pending.len() {
+            if assigned[i] {
+                continue;
+            }
+            assigned[i] = true;
+            let mut members = vec![i];
+            for j in (i + 1)..pending.len() {
+                if !assigned[j] && mates(&pending[i].1, &pending[j].1) {
+                    assigned[j] = true;
+                    members.push(j);
+                }
+            }
+            if members.len() < 2 {
+                items.push(WorkItem::Cell(i));
+                continue;
+            }
+            let spec = &pending[i].1;
+            let annotation = staged[i].as_ref().and_then(|(key, trace)| {
+                self.annotations
+                    .get_or_annotate(*key, trace, spec.sim.cache, spec.sim.predictor)
+                    .ok()
+            });
+            match annotation {
+                Some(annotation) => items.push(WorkItem::Group {
+                    members,
+                    annotation,
+                }),
+                // An unstaged stream or an unannotatable configuration
+                // falls back to the engine path, which shares its
+                // validation and error surface.
+                None => items.extend(members.into_iter().map(WorkItem::Cell)),
+            }
+        }
+        items
+    }
+
+    /// Executes the planned work items, in order when serial, otherwise
+    /// via a shared atomic work index over scoped worker threads. Returns
+    /// one report per pending cell, in pending order.
+    fn execute_items(
+        &self,
+        pending: &[(u64, CellSpec)],
+        items: &[WorkItem],
+    ) -> Vec<Arc<SimReport>> {
+        let workers = self.threads.min(items.len());
         let batch_start = Stopwatch::start();
         let busy_before = self.telemetry.counter("runner.worker_busy_us").value();
-        let reports = if workers <= 1 {
-            pending
-                .iter()
-                .map(|(_, spec)| self.execute_cell(spec, batch_start))
-                .collect()
+        let slots: Vec<OnceLock<Arc<SimReport>>> =
+            (0..pending.len()).map(|_| OnceLock::new()).collect();
+        if workers <= 1 {
+            for item in items {
+                self.execute_item(item, pending, &slots, batch_start);
+            }
         } else {
-            let slots: Vec<OnceLock<Arc<SimReport>>> =
-                (0..pending.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((_, spec)) = pending.get(i) else {
+                        let Some(item) = items.get(i) else {
                             break;
                         };
-                        let report = self.execute_cell(spec, batch_start);
-                        // analysis: allow(panic-path) — the atomic fetch_add
-                        // hands each index to exactly one worker
-                        slots[i].set(report).expect("each index claimed once");
+                        self.execute_item(item, pending, &slots, batch_start);
                     });
                 }
             });
-            slots
-                .into_iter()
-                // analysis: allow(panic-path) — workers drain the shared
-                // index past pending.len(), so no slot is left unset
-                .map(|slot| slot.into_inner().expect("worker filled every slot"))
-                .collect()
-        };
+        }
+        let reports: Vec<Arc<SimReport>> = slots
+            .into_iter()
+            // analysis: allow(panic-path) — the planner assigns every
+            // pending index to exactly one work item, and workers drain
+            // the shared index past items.len(), so no slot is left unset
+            .map(|slot| slot.into_inner().expect("every planned cell executed"))
+            .collect();
         if self.telemetry.is_enabled() && !pending.is_empty() {
             let wall_us = batch_start.elapsed_us();
             let busy_us = self
@@ -289,6 +419,107 @@ impl Runner {
             .counter("runner.worker_busy_us")
             .add(busy_us as u64);
         report
+    }
+
+    /// Executes one work item, filling the result slot of every pending
+    /// cell it covers.
+    fn execute_item(
+        &self,
+        item: &WorkItem,
+        pending: &[(u64, CellSpec)],
+        slots: &[OnceLock<Arc<SimReport>>],
+        queued_at: Stopwatch,
+    ) {
+        match item {
+            WorkItem::Cell(i) => {
+                let report = self.execute_cell(&pending[*i].1, queued_at);
+                // analysis: allow(panic-path) — the planner assigns each
+                // pending index to exactly one work item
+                slots[*i].set(report).expect("each cell planned once");
+            }
+            WorkItem::Group {
+                members,
+                annotation,
+            } => {
+                let reports = self.execute_group(members, annotation, pending, queued_at);
+                for (&i, report) in members.iter().zip(reports) {
+                    // analysis: allow(panic-path) — see the Cell arm
+                    slots[i].set(report).expect("each cell planned once");
+                }
+            }
+        }
+    }
+
+    /// Runs one depth group through the sweep kernel: every member lane
+    /// advances through the shared annotation in a single pass. Arena and
+    /// timing telemetry mirror the per-cell path — one arena lookup and
+    /// one queue-wait/cell-time sample per member — so scheduling counters
+    /// are invariant under the kernel A/B switch.
+    fn execute_group(
+        &self,
+        members: &[usize],
+        annotation: &AnnotatedTrace,
+        pending: &[(u64, CellSpec)],
+        queued_at: Stopwatch,
+    ) -> Vec<Arc<SimReport>> {
+        let start = Stopwatch::start();
+        if let Some(arena) = &self.arena {
+            for &i in members {
+                let spec = &pending[i].1;
+                let _ = arena.get_or_generate(spec.model, spec.trace_seed, spec.trace_len());
+            }
+        }
+        let lead = &pending[members[0]].1;
+        let configs: Vec<SimConfig> = members.iter().map(|&i| pending[i].1.sim).collect();
+        let reports = replay_sweep(
+            annotation,
+            &configs,
+            lead.warmup,
+            lead.instructions,
+            &self.telemetry,
+        )
+        // analysis: allow(panic-path) — the same configurations construct
+        // engines on the per-cell path; annotation already validated the
+        // cache and predictor, and the planner only groups engine-legal
+        // cells
+        .expect("sweep-kernel lanes share the engine's validated configs");
+        if self.telemetry.is_enabled() {
+            let wait_us = queued_at.elapsed_us();
+            let busy_us = start.elapsed_us();
+            let per_cell_us = busy_us / members.len() as f64;
+            for _ in members {
+                self.telemetry
+                    .histogram("runner.queue_wait_us", &DEFAULT_TIME_BUCKETS_US)
+                    .record(wait_us);
+                self.telemetry
+                    .histogram("runner.cell_time_us", &DEFAULT_TIME_BUCKETS_US)
+                    .record(per_cell_us);
+            }
+            self.telemetry.counter("runner.sweep_kernel.groups").inc();
+            self.telemetry
+                .counter("runner.sweep_kernel.cells")
+                .add(members.len() as u64);
+            self.telemetry
+                .counter("runner.worker_busy_us")
+                .add(busy_us as u64);
+        }
+        reports.into_iter().map(Arc::new).collect()
+    }
+
+    /// Flushes the delta of the process-global [`WorkloadModel`]
+    /// fingerprint-memo hit counter into telemetry, against this runner's
+    /// own watermark.
+    ///
+    /// [`WorkloadModel`]: pipedepth_trace::WorkloadModel
+    fn flush_memo_hits(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let seen = pipedepth_trace::fingerprint_memo_hits();
+        let prev = self.memo_hits_seen.swap(seen, Ordering::Relaxed);
+        self.telemetry
+            .counter("trace.arena.fingerprint_memo_hits")
+            .add(seen.saturating_sub(prev));
     }
 
     /// Sweeps one workload on the paper machine.
@@ -566,6 +797,109 @@ mod tests {
             let wait = snap.histogram("runner.queue_wait_us").expect("queue wait");
             assert_eq!(wait.count, cells);
         }
+    }
+
+    #[test]
+    fn sweep_kernel_matches_the_engine_path_bit_for_bit() {
+        let ws = representatives();
+        let cfg = tiny();
+        let kernel = Runner::serial().sweep_all(&ws, &cfg);
+        let engine = Runner::serial().without_sweep_kernel().sweep_all(&ws, &cfg);
+        assert_eq!(kernel, engine, "--no-sweep-kernel must not change curves");
+    }
+
+    #[test]
+    fn sweep_kernel_preserves_arena_and_cache_counters() {
+        let ws = representatives();
+        let cfg = tiny();
+        let stats = |runner: Runner| {
+            runner.sweep_all(&ws, &cfg);
+            (
+                runner.arena_stats().expect("arena on"),
+                runner.cache_stats().expect("cache on"),
+            )
+        };
+        let (arena_on, cache_on) = stats(Runner::serial());
+        let (arena_off, cache_off) = stats(Runner::serial().without_sweep_kernel());
+        assert_eq!(
+            arena_on, arena_off,
+            "kernel must not perturb arena counters"
+        );
+        assert_eq!(cache_on.hits, cache_off.hits);
+        assert_eq!(cache_on.misses, cache_off.misses);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn sweep_kernel_groups_whole_depth_sweeps() {
+        let ws = representatives();
+        let cfg = tiny();
+        let telemetry = Telemetry::new();
+        let runner = Runner::new(2).with_telemetry(telemetry.clone());
+        runner.sweep_all(&ws, &cfg);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("runner.sweep_kernel.groups"), ws.len() as u64);
+        assert_eq!(
+            snap.counter("runner.sweep_kernel.cells"),
+            (ws.len() * cfg.depths.len()) as u64
+        );
+        // One annotation pass per workload stream, reused by every lane.
+        assert_eq!(snap.counter("trace.annotate.misses"), ws.len() as u64);
+        assert_eq!(snap.counter("trace.annotate.hits"), 0);
+        // Scheduling histograms still observe one sample per cell.
+        let cells = (ws.len() * cfg.depths.len()) as u64;
+        let hist = snap.histogram("runner.cell_time_us").expect("cell timing");
+        assert_eq!(hist.count, cells);
+        let wait = snap.histogram("runner.queue_wait_us").expect("queue wait");
+        assert_eq!(wait.count, cells);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn singletons_and_disabled_kernel_skip_grouping() {
+        let ws = representatives();
+        let single_depth = RunConfig {
+            depths: vec![8],
+            ..tiny()
+        };
+        let telemetry = Telemetry::new();
+        let runner = Runner::serial().with_telemetry(telemetry.clone());
+        runner.sweep_all(&ws, &single_depth);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("runner.sweep_kernel.groups"), 0);
+        assert_eq!(snap.counter("runner.sweep_kernel.cells"), 0);
+
+        let telemetry = Telemetry::new();
+        let runner = Runner::serial()
+            .without_sweep_kernel()
+            .with_telemetry(telemetry.clone());
+        runner.sweep_all(&ws, &tiny());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("runner.sweep_kernel.groups"), 0);
+        assert_eq!(snap.counter("trace.annotate.misses"), 0);
+    }
+
+    #[test]
+    fn kernel_groups_custom_machines_separately() {
+        // Width-2 cells group with each other but never with the paper
+        // machine: grouping compares the full depth-neutralised config.
+        let runner = Runner::serial();
+        let w = &representatives()[0];
+        let cfg = tiny();
+        let paper = runner.sweep_workload(w, &cfg);
+        let wide = runner.sweep_workload_with(w, &cfg, |depth| SimConfig {
+            width: 2,
+            ..SimConfig::paper(depth)
+        });
+        let reference = Runner::serial().without_sweep_kernel();
+        assert_eq!(paper, reference.sweep_workload(w, &cfg));
+        assert_eq!(
+            wide,
+            reference.sweep_workload_with(w, &cfg, |depth| SimConfig {
+                width: 2,
+                ..SimConfig::paper(depth)
+            })
+        );
     }
 
     #[test]

@@ -113,7 +113,8 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         masked_manifest(&dir_b),
         "masked manifest must not depend on the thread count"
     );
-    assert!(masked.contains("\"schema_version\": 2"));
+    assert!(masked.contains("\"schema_version\": 3"));
+    assert!(masked.contains("\"sweep_kernel\": {\"enabled\": true"));
     assert!(masked.contains("\"digest\": "));
     assert!(masked.contains("\"hit_rate\": "));
     #[cfg(feature = "telemetry")]
@@ -130,6 +131,11 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         "\"trace.arena.misses\"",
         "\"runner.cells_simulated\"",
         "\"runner.cache_hits\"",
+        "\"runner.sweep_kernel.groups\"",
+        "\"runner.sweep_kernel.cells\"",
+        "\"trace.annotate.misses\"",
+        "\"trace.annotate.instructions_annotated\"",
+        "\"trace.arena.fingerprint_memo_hits\"",
     ] {
         assert!(masked.contains(metric), "{metric} missing from manifest");
     }

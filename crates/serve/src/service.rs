@@ -447,7 +447,7 @@ impl EvalService {
                 .histogram("serve.batch_size", &BATCH_SIZE_BOUNDS)
                 .record(batch.len() as f64);
             let specs: Vec<CellSpec> = batch.iter().map(|c| c.spec.clone()).collect();
-            let results = self.sim.evaluate_batch(&specs);
+            let results = self.dispatch_specs(&specs);
             // Publish outcomes BEFORE `finish` retires the cells from the
             // coalescing index: `submit_with` probes the cache under the
             // queue lock, so a live-index miss there must already see
@@ -469,6 +469,73 @@ impl EvalService {
                 .gauge("serve.queue_depth")
                 .set(self.queue.depth() as f64);
         }
+    }
+
+    /// Evaluates one drained batch, routing same-workload depth groups
+    /// through [`Evaluator::evaluate_sweep`] — the simulation backend's
+    /// annotate-once / replay-per-depth kernel — so a coalesced sweep
+    /// request costs one annotation and one batched trace pass. Cells
+    /// with no sweep mates in the batch go through one ordinary
+    /// [`Evaluator::evaluate_batch`] dispatch, as before.
+    fn dispatch_specs(&self, specs: &[CellSpec]) -> Vec<Result<EvalOutcome, EvalError>> {
+        // Two cells are sweep mates when they differ only in depth.
+        let mates = |a: &CellSpec, b: &CellSpec| {
+            a.workload == b.workload
+                && a.profile == b.profile
+                && a.warmup == b.warmup
+                && a.instructions == b.instructions
+                && a.leakage_fraction == b.leakage_fraction
+                && a.ref_depth == b.ref_depth
+                && a.latch_growth == b.latch_growth
+        };
+        let mut results: Vec<Option<Result<EvalOutcome, EvalError>>> = vec![None; specs.len()];
+        let mut assigned = vec![false; specs.len()];
+        let mut loners: Vec<usize> = Vec::new();
+        for i in 0..specs.len() {
+            if assigned[i] {
+                continue;
+            }
+            assigned[i] = true;
+            let mut members = vec![i];
+            for j in (i + 1)..specs.len() {
+                if !assigned[j] && mates(&specs[i], &specs[j]) {
+                    assigned[j] = true;
+                    members.push(j);
+                }
+            }
+            if members.len() < 2 {
+                loners.push(i);
+                continue;
+            }
+            let depths: Vec<u32> = members.iter().map(|&j| specs[j].depth).collect();
+            self.telemetry.counter("serve.sweep_kernel.groups").inc();
+            self.telemetry
+                .counter("serve.sweep_kernel.cells")
+                .add(members.len() as u64);
+            for (&j, outcome) in members
+                .iter()
+                .zip(self.sim.evaluate_sweep(&specs[i], &depths))
+            {
+                results[j] = Some(outcome);
+            }
+        }
+        if !loners.is_empty() {
+            let cells: Vec<CellSpec> = loners.iter().map(|&i| specs[i].clone()).collect();
+            for (&i, outcome) in loners.iter().zip(self.sim.evaluate_batch(&cells)) {
+                results[i] = Some(outcome);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(EvalError::Backend {
+                        backend: "sim".to_string(),
+                        message: "internal: cell left undispatched".to_string(),
+                    })
+                })
+            })
+            .collect()
     }
 
     /// Stops admitting work; dispatch workers drain and exit.
@@ -666,6 +733,41 @@ mod tests {
         assert_eq!(again.results[0].outcome, resp.results[0].outcome);
         let snap = svc.telemetry().snapshot();
         assert!(snap.counter("serve.cache_hits") >= 2);
+    }
+
+    #[test]
+    fn depth_sweeps_route_through_the_sweep_kernel_seam() {
+        let svc = service(quick_config());
+        let cells = vec![
+            WireCell::new("modern-01", 6),
+            WireCell::new("modern-01", 10),
+            WireCell::new("modern-01", 14),
+            WireCell::new("legacy-02", 9), // a loner: no sweep mates
+        ];
+        let resp = with_workers(&svc, || {
+            svc.evaluate(&request(WireBackend::Sim, None, cells))
+                .expect("admitted")
+        });
+        for r in &resp.results {
+            assert_eq!(r.backend, "sim");
+            assert!(r.outcome.is_ok());
+        }
+        let snap = svc.telemetry().snapshot();
+        assert_eq!(snap.counter("serve.sweep_kernel.groups"), 1);
+        assert_eq!(snap.counter("serve.sweep_kernel.cells"), 3);
+        // The seam changes routing, not results: a fresh service answers
+        // the same cells identically through the per-cell path.
+        let reference = service(quick_config());
+        let again = with_workers(&reference, || {
+            reference
+                .evaluate(&request(
+                    WireBackend::Sim,
+                    None,
+                    vec![WireCell::new("modern-01", 10)],
+                ))
+                .expect("admitted")
+        });
+        assert_eq!(again.results[0].outcome, resp.results[1].outcome);
     }
 
     #[test]

@@ -211,11 +211,7 @@ impl Hierarchy {
 
     /// Extra latency in FO4 beyond the pipelined L1 access for a result.
     pub fn penalty_fo4(&self, result: AccessResult) -> f64 {
-        match result {
-            AccessResult::L1 => 0.0,
-            AccessResult::L2 => self.config.l2_latency_fo4,
-            AccessResult::Memory => self.config.l2_latency_fo4 + self.config.memory_latency_fo4,
-        }
+        self.config.penalty_fo4(result)
     }
 
     /// Zeroes all levels' counters without touching contents.

@@ -397,6 +397,18 @@ impl CacheConfig {
         }
         Ok(())
     }
+
+    /// Extra latency in FO4 beyond the pipelined L1 access for an access
+    /// satisfied at `result`'s level. This is pure configuration — no cache
+    /// state — so both the live [`crate::cache::Hierarchy`] and the replay
+    /// kernel's latency tables derive miss penalties from the same source.
+    pub fn penalty_fo4(&self, result: crate::cache::AccessResult) -> f64 {
+        match result {
+            crate::cache::AccessResult::L1 => 0.0,
+            crate::cache::AccessResult::L2 => self.l2_latency_fo4,
+            crate::cache::AccessResult::Memory => self.l2_latency_fo4 + self.memory_latency_fo4,
+        }
+    }
 }
 
 impl Default for CacheConfig {

@@ -30,6 +30,41 @@ use crate::stage::{ExecCore, FrontEnd, HazardUnit, IssueStage, StallInputs, Tabl
 use pipedepth_telemetry::Telemetry;
 use pipedepth_trace::isa::Instruction;
 
+/// Static telemetry metric names for the aggregate flush, resolved at
+/// compile time so neither the engine nor the replay kernel formats or
+/// allocates a single string when flushing a run window. Array entries
+/// follow [`HazardKind::ALL`] order and the report's l1d/l1i/l2 cache
+/// order respectively, and must stay in lockstep with the names tested by
+/// the manifest/telemetry suites.
+pub(crate) mod metric_names {
+    /// `sim.stage.hazard.<kind>.events`, in `HazardKind::ALL` order.
+    pub(crate) const HAZARD_EVENTS: [&str; 4] = [
+        "sim.stage.hazard.control.events",
+        "sim.stage.hazard.data.events",
+        "sim.stage.hazard.memory.events",
+        "sim.stage.hazard.structural.events",
+    ];
+    /// `sim.stage.hazard.<kind>.stall_cycles`, in `HazardKind::ALL` order.
+    pub(crate) const HAZARD_STALL_CYCLES: [&str; 4] = [
+        "sim.stage.hazard.control.stall_cycles",
+        "sim.stage.hazard.data.stall_cycles",
+        "sim.stage.hazard.memory.stall_cycles",
+        "sim.stage.hazard.structural.stall_cycles",
+    ];
+    /// `sim.cache.<level>.hits` for the l1d, l1i, l2 levels.
+    pub(crate) const CACHE_HITS: [&str; 3] = [
+        "sim.cache.l1d.hits",
+        "sim.cache.l1i.hits",
+        "sim.cache.l2.hits",
+    ];
+    /// `sim.cache.<level>.misses` for the l1d, l1i, l2 levels.
+    pub(crate) const CACHE_MISSES: [&str; 3] = [
+        "sim.cache.l1d.misses",
+        "sim.cache.l1i.misses",
+        "sim.cache.l2.misses",
+    ];
+}
+
 /// Cycle-level timing of one instruction's passage through the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstrTiming {
@@ -131,7 +166,7 @@ impl Engine {
         config.validate()?;
         let plan = StagePlan::try_for_depth(config.depth)?;
         let caches = Hierarchy::try_new(config.cache)?;
-        let tables = Tables::new(&config, &plan, &caches);
+        let tables = Tables::new(&config, &plan);
         Ok(Engine {
             front_end: FrontEnd::new(&config)?,
             hazard_unit: HazardUnit::new(),
@@ -455,10 +490,10 @@ impl Engine {
         let t = &self.telemetry;
         t.counter("sim.instructions")
             .add(now.instructions.saturating_sub(prev.instructions));
-        for (i, kind) in HazardKind::ALL.iter().enumerate() {
-            t.counter(&format!("sim.stage.hazard.{kind}.events"))
+        for i in 0..HazardKind::ALL.len() {
+            t.counter(metric_names::HAZARD_EVENTS[i])
                 .add(now.hazard_events[i].saturating_sub(prev.hazard_events[i]));
-            t.counter(&format!("sim.stage.hazard.{kind}.stall_cycles"))
+            t.counter(metric_names::HAZARD_STALL_CYCLES[i])
                 .add(now.hazard_stalls[i].saturating_sub(prev.hazard_stalls[i]));
         }
         t.counter("sim.stage.frontend.fetch_stall_cycles").add(
@@ -484,12 +519,12 @@ impl Engine {
         t.counter("sim.predictor.hits").add(hits);
         t.counter("sim.predictor.misses")
             .add(observed.saturating_sub(hits));
-        for (i, level) in ["l1d", "l1i", "l2"].iter().enumerate() {
+        for i in 0..3 {
             let accesses = now.cache[i].0.saturating_sub(prev.cache[i].0);
             let misses = now.cache[i].1.saturating_sub(prev.cache[i].1);
-            t.counter(&format!("sim.cache.{level}.hits"))
+            t.counter(metric_names::CACHE_HITS[i])
                 .add(accesses.saturating_sub(misses));
-            t.counter(&format!("sim.cache.{level}.misses")).add(misses);
+            t.counter(metric_names::CACHE_MISSES[i]).add(misses);
         }
     }
 

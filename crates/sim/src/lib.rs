@@ -39,6 +39,8 @@
 //! assert!(times[1] < times[0]);
 //! ```
 
+/// The annotate pass: depth-invariant event classification, once per trace.
+pub mod annotate;
 /// The two-level cache hierarchy and its access bookkeeping.
 pub mod cache;
 /// Simulator configuration: stage plans, feature toggles, the builder.
@@ -49,11 +51,18 @@ pub mod engine;
 pub mod hazard;
 /// The branch predictor model.
 pub mod predictor;
+/// The depth-batched timing replay kernel over an annotation.
+pub mod replay;
 /// The immutable end-of-run [`SimReport`].
 pub mod report;
 /// The explicit stage units the engine is composed of.
 pub mod stage;
 
+/// The annotate-once surface: the SoA annotation, the one-pass classifier
+/// and the content-addressed store.
+pub use annotate::{
+    annotate, annotation_fingerprint, AnnotateStats, AnnotatedTrace, AnnotationStore,
+};
 /// Configuration surface: `SimConfig`, its builder, and the plan types.
 pub use config::{
     CacheConfig, ConfigError, Features, IssuePolicy, PredictorConfig, SimConfig, SimConfigBuilder,
@@ -63,6 +72,8 @@ pub use config::{
 pub use engine::{Engine, InstrTiming};
 /// Hazard kinds and their aggregate statistics.
 pub use hazard::{HazardKind, HazardStats};
+/// The per-depth and batched multi-depth replay kernels.
+pub use replay::{replay, replay_sweep};
 /// The end-of-run report.
 pub use report::SimReport;
 /// The stage units and their hand-off records.

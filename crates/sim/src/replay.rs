@@ -1,0 +1,615 @@
+//! The replay pass: a tight per-depth timing kernel over an
+//! [`AnnotatedTrace`], batched across depth lanes.
+//!
+//! With fetch classes, data-access classes and branch outcomes resolved
+//! once by [`crate::annotate()`], what remains per depth is pure interval
+//! timing: port acquisitions, stage-latency arithmetic, the scoreboard,
+//! and hazard attribution. [`replay_sweep`] walks the annotation **once**,
+//! decoding each instruction's note a single time and advancing every
+//! depth lane through it before moving on — so a whole sweep costs one
+//! linear pass over the annotation's struct-of-arrays columns instead of
+//! D independent engine passes, each re-running the cache and predictor
+//! models.
+//!
+//! Each `Lane` is the timing-only residue of one [`crate::Engine`]:
+//! four ports, the issue ring, a flat 32-slot scoreboard and a handful of
+//! scalars (≈ half a kilobyte), so a full 24-lane sweep's mutable state
+//! stays cache-resident while the annotation streams through. Exactness is
+//! the contract: every port acquisition and every hazard record happens in
+//! the precise order of the stage engine, and the differential suite
+//! (`sim/tests/replay_equivalence.rs`) pins the resulting [`SimReport`]s
+//! bit-identical to [`crate::Engine`]'s.
+
+use crate::annotate::{AnnotatedTrace, FLAG_MEM, FLAG_SERIAL, NO_REG};
+use crate::config::{ConfigError, IssuePolicy, SimConfig, StagePlan, Unit};
+use crate::engine::metric_names;
+use crate::hazard::{HazardKind, HazardStats};
+use crate::report::SimReport;
+use crate::stage::{IssueRing, Port, Tables, WriterKind, REG_SLOTS};
+use pipedepth_telemetry::Telemetry;
+use pipedepth_trace::isa::OpClass;
+
+/// One instruction's note, decoded from the annotation columns once per
+/// position and shared by every lane.
+#[derive(Debug, Clone, Copy)]
+struct Note {
+    class: OpClass,
+    is_mem: bool,
+    is_fp: bool,
+    has_mem: bool,
+    serial: bool,
+    dst: u8,
+    src: [u8; 2],
+    fetch: u8,
+    data: u8,
+    branch: u8,
+}
+
+impl AnnotatedTrace {
+    #[inline]
+    fn note(&self, i: usize) -> Note {
+        let class = OpClass::ALL[self.classes[i] as usize];
+        let flags = self.flags[i];
+        Note {
+            class,
+            is_mem: class.is_memory(),
+            is_fp: class.is_fp(),
+            has_mem: flags & FLAG_MEM != 0,
+            serial: flags & FLAG_SERIAL != 0,
+            dst: self.dst[i],
+            src: self.src[i],
+            fetch: self.fetch[i],
+            data: self.data[i],
+            branch: self.branch[i],
+        }
+    }
+}
+
+/// The timing-only state of one depth configuration: the residue of an
+/// [`crate::Engine`] once the cache arrays, predictor table and trace
+/// decoding are factored out into the annotation.
+#[derive(Debug, Clone)]
+struct Lane {
+    config: SimConfig,
+    plan: StagePlan,
+    tables: Tables,
+    in_order: bool,
+    forwarding: bool,
+    stall_on_use: bool,
+
+    // Front end.
+    decode_port: Port,
+    redirect_at: u64,
+    last_decode: u64,
+    // Scoreboard.
+    reg_ready: [u64; REG_SLOTS],
+    reg_writer: [WriterKind; REG_SLOTS],
+    // Issue.
+    issue_port: Port,
+    ring: IssueRing,
+    last_issue: u64,
+    last_issue_cycle_seen: Option<u64>,
+    // Exec core.
+    cache_port: Port,
+    retire_port: Port,
+    fp_busy_until: u64,
+    last_retire: u64,
+    finish_cycle: u64,
+
+    // Window statistics (zeroed at the warmup boundary).
+    stats_base_cycle: u64,
+    instructions: u64,
+    activity: [u64; Unit::ALL.len()],
+    hazards: HazardStats,
+    memory_wait: u64,
+    fetch_stall_cycles: u64,
+    branches: u64,
+    mispredicts: u64,
+    serialized: u64,
+    distinct: u64,
+    /// `(accesses, misses)` for the l1d, l1i, l2 levels.
+    cache: [(u64, u64); 3],
+}
+
+impl Lane {
+    fn new(config: SimConfig) -> Result<Lane, ConfigError> {
+        config.validate()?;
+        let plan = StagePlan::try_for_depth(config.depth)?;
+        let tables = Tables::new(&config, &plan);
+        Ok(Lane {
+            in_order: match config.features.issue {
+                IssuePolicy::InOrder => true,
+                IssuePolicy::OutOfOrder => false,
+            },
+            forwarding: config.features.forwarding,
+            stall_on_use: config.features.stall_on_use,
+            decode_port: Port::new(config.width),
+            redirect_at: 0,
+            last_decode: 0,
+            reg_ready: [0; REG_SLOTS],
+            reg_writer: [WriterKind::Normal; REG_SLOTS],
+            issue_port: Port::new(config.width),
+            ring: IssueRing::new(tables.queue_capacity),
+            last_issue: 0,
+            last_issue_cycle_seen: None,
+            cache_port: Port::new(config.cache_ports),
+            retire_port: Port::new(config.width),
+            fp_busy_until: 0,
+            last_retire: 0,
+            finish_cycle: 0,
+            stats_base_cycle: 0,
+            instructions: 0,
+            activity: [0; Unit::ALL.len()],
+            hazards: HazardStats::new(),
+            memory_wait: 0,
+            fetch_stall_cycles: 0,
+            branches: 0,
+            mispredicts: 0,
+            serialized: 0,
+            distinct: 0,
+            cache: [(0, 0); 3],
+            config,
+            plan,
+            tables,
+        })
+    }
+
+    /// Advances this lane through one annotated instruction, in exactly
+    /// the stage engine's operation order.
+    fn step(&mut self, n: &Note) {
+        let tables = self.tables;
+
+        // ---- Front end: fetch + decode --------------------------------
+        let queue_floor = self.ring.floor();
+        let mut decode_req = self.last_decode.max(self.redirect_at).max(queue_floor);
+        if n.fetch != 0 {
+            self.cache[1].0 += 1;
+            if n.fetch >= 2 {
+                self.cache[1].1 += 1;
+                self.cache[2].0 += 1;
+            }
+            if n.fetch == 3 {
+                self.cache[2].1 += 1;
+            }
+            let fetch_extra = tables.miss_penalty[(n.fetch - 1) as usize];
+            if fetch_extra > 0 {
+                self.hazards
+                    .record(HazardKind::Memory, fetch_extra.min(tables.hazard_cap));
+                self.memory_wait += fetch_extra;
+                self.fetch_stall_cycles += fetch_extra;
+                decode_req += fetch_extra;
+            }
+        }
+        let decode_cycle = self.decode_port.acquire(decode_req);
+        self.last_decode = decode_cycle;
+        let decode_done = decode_cycle + tables.decode;
+
+        // ---- Scoreboard: source readiness -----------------------------
+        let mut src_ready = 0u64;
+        let mut src_writer = WriterKind::Normal;
+        for &s in &n.src {
+            if s == NO_REG {
+                continue;
+            }
+            let slot = s as usize;
+            let at = self.reg_ready[slot];
+            if at > src_ready {
+                src_ready = at;
+                src_writer = self.reg_writer[slot];
+            } else if at == src_ready && self.reg_writer[slot] == WriterKind::Miss {
+                src_writer = WriterKind::Miss;
+            }
+        }
+
+        // ---- RX address/cache segment ---------------------------------
+        let mut data_ready = decode_done;
+        let mut pipe_ready = decode_done;
+        let mut miss_extra = 0u64;
+        if n.has_mem {
+            let agen_done = decode_done.max(src_ready) + tables.agen;
+            self.cache[0].0 += 1;
+            if n.data >= 2 {
+                self.cache[0].1 += 1;
+                self.cache[2].0 += 1;
+            }
+            if n.data == 3 {
+                self.cache[2].1 += 1;
+            }
+            if n.class == OpClass::Store {
+                data_ready = agen_done;
+                pipe_ready = agen_done;
+            } else {
+                let access_at = self.cache_port.acquire(agen_done);
+                miss_extra = tables.miss_penalty[(n.data - 1) as usize];
+                data_ready = access_at + tables.cache + miss_extra;
+                if n.class == OpClass::Load && self.stall_on_use {
+                    pipe_ready = access_at + tables.cache;
+                } else if n.class == OpClass::Load {
+                    pipe_ready = data_ready;
+                }
+            }
+        }
+        if n.class == OpClass::AluRx {
+            pipe_ready = data_ready;
+        }
+        if n.has_mem {
+            self.activity[Unit::Agen as usize] += tables.agen;
+            self.activity[Unit::Cache as usize] += tables.cache;
+        }
+
+        // ---- Issue to the E-unit (in order, width-limited) ------------
+        let queue_ready = if n.is_mem { pipe_ready } else { decode_done };
+        let fp_ready = if n.is_fp { self.fp_busy_until } else { 0 };
+        let order_floor = if self.in_order { self.last_issue } else { 0 };
+        let mut base = queue_ready.max(src_ready).max(fp_ready).max(order_floor);
+        if n.serial {
+            base = base.max(self.last_issue + 1);
+            self.issue_port.close_cycle();
+            self.serialized += 1;
+        }
+        let prev_issue = self.last_issue;
+        let at = self.issue_port.acquire(base);
+        if n.serial {
+            self.issue_port.close_cycle();
+        }
+        self.last_issue = at;
+        self.ring.push(at);
+        if self.last_issue_cycle_seen != Some(at) {
+            self.distinct += 1;
+            self.last_issue_cycle_seen = Some(at);
+        }
+
+        // ---- Hazard attribution ---------------------------------------
+        let transit = decode_done
+            + if n.is_mem {
+                tables.agen + tables.cache
+            } else {
+                0
+            };
+        let floor = if self.in_order {
+            transit.max(prev_issue)
+        } else {
+            transit
+        };
+        let own = queue_ready.max(src_ready).max(fp_ready);
+        let stall = own.saturating_sub(floor);
+        if stall > 0 {
+            let gamma_stall = stall.min(tables.hazard_cap);
+            let load_use_blocked = n.class == OpClass::AluRx && miss_extra > 0;
+            let kind = if load_use_blocked || src_writer == WriterKind::Miss {
+                Some(HazardKind::Memory)
+            } else if src_ready > floor {
+                if src_writer == WriterKind::FpUnit {
+                    None
+                } else {
+                    Some(HazardKind::Data)
+                }
+            } else if fp_ready > floor {
+                None
+            } else {
+                Some(HazardKind::Structural)
+            };
+            if let Some(kind) = kind {
+                self.hazards.record(kind, gamma_stall);
+            }
+        }
+        self.memory_wait += miss_extra;
+
+        // ---- Execute + writeback --------------------------------------
+        let exec_done = at + tables.execute + tables.exec_extra[n.class as usize];
+        if n.is_fp {
+            self.fp_busy_until = exec_done;
+        }
+        if n.dst != NO_REG {
+            let alu_ready = if self.forwarding { at + 1 } else { exec_done };
+            let miss_writer = if miss_extra > 0 {
+                WriterKind::Miss
+            } else {
+                WriterKind::Normal
+            };
+            let (ready_at, writer) = match n.class {
+                OpClass::Load => (data_ready, miss_writer),
+                OpClass::Fp | OpClass::FpLong => (exec_done, WriterKind::FpUnit),
+                _ => (alu_ready, miss_writer),
+            };
+            self.reg_ready[n.dst as usize] = ready_at;
+            self.reg_writer[n.dst as usize] = writer;
+        }
+        self.activity[Unit::Execute as usize] += tables.execute;
+
+        // ---- Branch resolution ----------------------------------------
+        if n.branch != 0 {
+            self.branches += 1;
+            if n.branch == 2 {
+                self.mispredicts += 1;
+                let resume = exec_done + 1;
+                let refill = resume.saturating_sub(decode_cycle + 1);
+                self.hazards
+                    .record(HazardKind::Control, refill.min(tables.hazard_cap));
+                self.redirect_at = resume;
+            }
+        }
+
+        // ---- Completion / retire --------------------------------------
+        let retire = self
+            .retire_port
+            .acquire((exec_done + tables.complete).max(self.last_retire));
+        self.last_retire = retire;
+        self.finish_cycle = self.finish_cycle.max(retire);
+        self.activity[Unit::Decode as usize] += tables.decode;
+        self.activity[Unit::Complete as usize] += tables.complete;
+        self.instructions += 1;
+    }
+
+    /// Opens a fresh measurement window at the warmup boundary: zeroes
+    /// every statistic while keeping all timing state (ports, scoreboard,
+    /// redirect, FP occupancy, decoupling window) intact — the mirror of
+    /// [`crate::Engine::reset_stats`].
+    fn reset_stats(&mut self) {
+        self.instructions = 0;
+        self.activity = [0; Unit::ALL.len()];
+        self.stats_base_cycle = self.finish_cycle;
+        self.hazards = HazardStats::new();
+        self.memory_wait = 0;
+        self.fetch_stall_cycles = 0;
+        self.branches = 0;
+        self.mispredicts = 0;
+        self.serialized = 0;
+        self.distinct = 0;
+        self.last_issue_cycle_seen = None;
+        self.cache = [(0, 0); 3];
+    }
+
+    fn report(&self) -> SimReport {
+        let rate = |(accesses, misses): (u64, u64)| {
+            if accesses == 0 {
+                0.0
+            } else {
+                misses as f64 / accesses as f64
+            }
+        };
+        SimReport::gather(
+            self.config,
+            self.plan,
+            self.instructions,
+            self.finish_cycle.saturating_sub(self.stats_base_cycle),
+            self.distinct,
+            &self.activity,
+            self.hazards.clone(),
+            self.branches,
+            self.mispredicts,
+            rate(self.cache[0]),
+            rate(self.cache[2]),
+            rate(self.cache[1]),
+            self.memory_wait,
+        )
+    }
+}
+
+/// Replays an annotation against every configuration in `configs` in one
+/// batched pass: `warmup` instructions of untimed training per lane, then
+/// up to `instructions` measured ones (clamped to the annotation length,
+/// exactly like [`crate::Engine::run_slice`]). Returns one [`SimReport`]
+/// per configuration, in order — each bit-identical to what a fresh
+/// [`crate::Engine`] produces over the same stream.
+///
+/// The annotation must have been produced from the same stream with each
+/// configuration's own `cache`/`predictor` settings (lanes may differ in
+/// depth, width, ports and feature toggles — everything that does not feed
+/// the annotation).
+///
+/// With telemetry attached, the run flushes the same aggregate `sim.*`
+/// counters as the engine, summed across lanes, once at the end of the
+/// pass.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] found validating any configuration.
+pub fn replay_sweep(
+    notes: &AnnotatedTrace,
+    configs: &[SimConfig],
+    warmup: u64,
+    instructions: u64,
+    telemetry: &Telemetry,
+) -> Result<Vec<SimReport>, ConfigError> {
+    let mut lanes = configs
+        .iter()
+        .map(|&config| Lane::new(config))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let split = usize::try_from(warmup)
+        .unwrap_or(usize::MAX)
+        .min(notes.len());
+    for i in 0..split {
+        let n = notes.note(i);
+        for lane in &mut lanes {
+            lane.step(&n);
+        }
+    }
+    let warmed: u64 = lanes.iter().map(|l| l.instructions).sum();
+    telemetry.counter("sim.warmup_instructions").add(warmed);
+    for lane in &mut lanes {
+        lane.reset_stats();
+    }
+
+    let measured = usize::try_from(instructions)
+        .unwrap_or(usize::MAX)
+        .min(notes.len() - split);
+    for i in split..split + measured {
+        let n = notes.note(i);
+        for lane in &mut lanes {
+            lane.step(&n);
+        }
+    }
+    flush_telemetry(&lanes, telemetry);
+    Ok(lanes.iter().map(Lane::report).collect())
+}
+
+/// Replays an annotation against one configuration — the single-depth
+/// convenience wrapper over [`replay_sweep`], with telemetry disabled.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] found validating the configuration.
+pub fn replay(
+    notes: &AnnotatedTrace,
+    config: SimConfig,
+    warmup: u64,
+    instructions: u64,
+) -> Result<SimReport, ConfigError> {
+    let mut reports = replay_sweep(
+        notes,
+        std::slice::from_ref(&config),
+        warmup,
+        instructions,
+        &Telemetry::disabled(),
+    )?;
+    // analysis: allow(panic-path) — replay_sweep returns exactly one report
+    // per input configuration, and one configuration was passed.
+    Ok(reports.pop().expect("one report per configuration"))
+}
+
+/// Flushes the lanes' summed window statistics into the same static-name
+/// `sim.*` counters the engine flushes, once per replay pass.
+fn flush_telemetry(lanes: &[Lane], telemetry: &Telemetry) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let sum = |f: &dyn Fn(&Lane) -> u64| lanes.iter().map(f).sum::<u64>();
+    let t = telemetry;
+    t.counter("sim.instructions").add(sum(&|l| l.instructions));
+    for (i, &kind) in HazardKind::ALL.iter().enumerate() {
+        t.counter(metric_names::HAZARD_EVENTS[i])
+            .add(sum(&|l| l.hazards.events(kind)));
+        t.counter(metric_names::HAZARD_STALL_CYCLES[i])
+            .add(sum(&|l| l.hazards.stall_cycles(kind)));
+    }
+    t.counter("sim.stage.frontend.fetch_stall_cycles")
+        .add(sum(&|l| l.fetch_stall_cycles));
+    t.counter("sim.stage.frontend.redirects")
+        .add(sum(&|l| l.mispredicts));
+    t.counter("sim.stage.issue.serialized_ops")
+        .add(sum(&|l| l.serialized));
+    t.counter("sim.stage.issue.distinct_cycles")
+        .add(sum(&|l| l.distinct));
+    t.counter("sim.stage.exec.memory_wait_cycles")
+        .add(sum(&|l| l.memory_wait));
+    // Every branch in the window is one predictor observation: hits are
+    // the correctly predicted ones, misses the rest — the engine's
+    // observed/correct deltas expressed through the annotation.
+    t.counter("sim.predictor.hits")
+        .add(sum(&|l| l.branches - l.mispredicts));
+    t.counter("sim.predictor.misses")
+        .add(sum(&|l| l.mispredicts));
+    for i in 0..3 {
+        t.counter(metric_names::CACHE_HITS[i])
+            .add(sum(&|l| l.cache[i].0 - l.cache[i].1));
+        t.counter(metric_names::CACHE_MISSES[i])
+            .add(sum(&|l| l.cache[i].1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::engine::Engine;
+    use pipedepth_trace::{TraceGenerator, WorkloadModel};
+
+    fn trace(n: usize) -> Vec<pipedepth_trace::isa::Instruction> {
+        TraceGenerator::new(WorkloadModel::modern_like(), 11).take_vec(n)
+    }
+
+    #[test]
+    fn single_depth_replay_matches_engine() {
+        let stream = trace(6_000);
+        let config = SimConfig::paper(14);
+        let notes = annotate(&stream, config.cache, config.predictor).expect("valid config");
+        let mut engine = Engine::new(config);
+        engine.warm_up_slice(&stream, 2_000);
+        let expected = engine.run_slice(&stream[2_000..], 4_000);
+        let got = replay(&notes, config, 2_000, 4_000).expect("valid config");
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn batched_lanes_match_individual_replays() {
+        let stream = trace(5_000);
+        let base = SimConfig::paper(10);
+        let notes = annotate(&stream, base.cache, base.predictor).expect("valid config");
+        let configs: Vec<SimConfig> = [4, 10, 22].iter().map(|&d| SimConfig::paper(d)).collect();
+        let batched = replay_sweep(&notes, &configs, 1_000, 4_000, &Telemetry::disabled())
+            .expect("valid configs");
+        for (config, report) in configs.iter().zip(&batched) {
+            let single = replay(&notes, *config, 1_000, 4_000).expect("valid config");
+            assert_eq!(&single, report, "depth {}", config.depth);
+        }
+    }
+
+    #[test]
+    fn replay_clamps_to_annotation_length() {
+        let stream = trace(1_000);
+        let config = SimConfig::paper(8);
+        let notes = annotate(&stream, config.cache, config.predictor).expect("valid config");
+        let r = replay(&notes, config, 0, 5_000).expect("valid config");
+        assert_eq!(r.instructions, 1_000);
+        let all_warm = replay(&notes, config, 5_000, 5_000).expect("valid config");
+        assert_eq!(all_warm.instructions, 0, "everything consumed by warmup");
+    }
+
+    #[test]
+    fn replay_rejects_invalid_config() {
+        let stream = trace(100);
+        let good = SimConfig::paper(8);
+        let notes = annotate(&stream, good.cache, good.predictor).expect("valid config");
+        let mut bad = good;
+        bad.width = 0;
+        assert!(replay(&notes, bad, 0, 100).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sweep_flushes_engine_identical_counters() {
+        let stream = trace(4_000);
+        let config = SimConfig::paper(12);
+        let notes = annotate(&stream, config.cache, config.predictor).expect("valid config");
+
+        let engine_telemetry = Telemetry::new();
+        let mut engine = Engine::new(config).with_telemetry(engine_telemetry.clone());
+        engine.warm_up_slice(&stream, 1_000);
+        engine.run_slice(&stream[1_000..], 3_000);
+
+        let replay_telemetry = Telemetry::new();
+        replay_sweep(&notes, &[config], 1_000, 3_000, &replay_telemetry).expect("valid config");
+
+        let a = engine_telemetry.snapshot();
+        let b = replay_telemetry.snapshot();
+        for name in [
+            "sim.instructions",
+            "sim.warmup_instructions",
+            "sim.stage.frontend.fetch_stall_cycles",
+            "sim.stage.frontend.redirects",
+            "sim.stage.issue.serialized_ops",
+            "sim.stage.issue.distinct_cycles",
+            "sim.stage.exec.memory_wait_cycles",
+            "sim.predictor.hits",
+            "sim.predictor.misses",
+            "sim.cache.l1d.hits",
+            "sim.cache.l1d.misses",
+            "sim.cache.l1i.hits",
+            "sim.cache.l1i.misses",
+            "sim.cache.l2.hits",
+            "sim.cache.l2.misses",
+            "sim.stage.hazard.control.events",
+            "sim.stage.hazard.control.stall_cycles",
+            "sim.stage.hazard.data.events",
+            "sim.stage.hazard.data.stall_cycles",
+            "sim.stage.hazard.memory.events",
+            "sim.stage.hazard.memory.stall_cycles",
+            "sim.stage.hazard.structural.events",
+            "sim.stage.hazard.structural.stall_cycles",
+        ] {
+            assert_eq!(a.counter(name), b.counter(name), "counter {name}");
+        }
+    }
+}

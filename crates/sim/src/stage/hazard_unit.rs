@@ -21,9 +21,9 @@ pub(crate) enum WriterKind {
 /// `0..FILE_SIZE`, FPRs at `FILE_SIZE..2*FILE_SIZE`. A single pair of
 /// flat arrays keeps every ready-time lookup a direct index with no
 /// per-file dispatch on the hot path.
-const REG_SLOTS: usize = 2 * Reg::FILE_SIZE as usize;
+pub(crate) const REG_SLOTS: usize = 2 * Reg::FILE_SIZE as usize;
 
-fn reg_slot(reg: Reg) -> usize {
+pub(crate) fn reg_slot(reg: Reg) -> usize {
     match reg {
         Reg::Gpr(i) => i as usize,
         Reg::Fpr(i) => Reg::FILE_SIZE as usize + i as usize,

@@ -34,9 +34,9 @@ pub use hazard_unit::HazardUnit;
 /// The issue queue, its ring buffer, and the issue-grant record.
 pub use issue_stage::{IssueRing, IssueStage, Issued};
 
-pub(crate) use hazard_unit::{StallInputs, WriterKind};
+pub(crate) use hazard_unit::{reg_slot, StallInputs, WriterKind, REG_SLOTS};
 
-use crate::cache::{AccessResult, Hierarchy};
+use crate::cache::AccessResult;
 use crate::config::{SimConfig, StagePlan};
 use pipedepth_trace::isa::OpClass;
 
@@ -115,7 +115,7 @@ pub(crate) struct Tables {
 }
 
 impl Tables {
-    pub(crate) fn new(config: &SimConfig, plan: &StagePlan, caches: &Hierarchy) -> Tables {
+    pub(crate) fn new(config: &SimConfig, plan: &StagePlan) -> Tables {
         let mut exec_extra = [0u64; OpClass::ALL.len()];
         for class in OpClass::ALL {
             // Extra E-unit cycles beyond the pipelined pass for multi-cycle
@@ -131,7 +131,7 @@ impl Tables {
         }
         let mut miss_penalty = [0u64; 3];
         for result in [AccessResult::L1, AccessResult::L2, AccessResult::Memory] {
-            miss_penalty[result as usize] = config.fo4_to_cycles(caches.penalty_fo4(result));
+            miss_penalty[result as usize] = config.fo4_to_cycles(config.cache.penalty_fo4(result));
         }
         Tables {
             decode: plan.decode as u64,

@@ -51,5 +51,5 @@ pub use arena::{ArenaStats, TraceArena, TraceRequest};
 pub use generator::TraceGenerator;
 pub use hash::Fnv64;
 pub use isa::{BranchInfo, Instruction, MemRef, OpClass, Reg};
-pub use model::{BranchModel, InstructionMix, MemoryModel, WorkloadModel};
+pub use model::{fingerprint_memo_hits, BranchModel, InstructionMix, MemoryModel, WorkloadModel};
 pub use stats::TraceStats;

@@ -8,6 +8,8 @@
 //! entire application" — this type is the synthetic equivalent.
 
 use crate::isa::OpClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Instruction-mix fractions. Must sum to 1 (validated by
 /// [`InstructionMix::new`]).
@@ -384,7 +386,40 @@ impl WorkloadModel {
     /// key content-addressed stores (the trace arena, the simulation
     /// cache) without rendering the model to a string. Collisions must
     /// still be resolved by `PartialEq` at the lookup site.
+    ///
+    /// The hash is memoized process-wide: an experiment run fingerprints
+    /// the same handful of models once per *cell* (`CellSpec::key()`, the
+    /// arena, the sim cache), so after each model's first walk every call
+    /// is a short scan of a tiny table. [`fingerprint_memo_hits`] counts
+    /// the walks saved.
     pub fn fingerprint(&self) -> u64 {
+        let memo = FINGERPRINT_MEMO.get_or_init(|| Mutex::new(Vec::new()));
+        {
+            let table = memo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some((_, hash)) = table.iter().find(|(m, _)| m == self) {
+                let hash = *hash;
+                drop(table);
+                FINGERPRINT_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+                return hash;
+            }
+        }
+        let hash = self.fingerprint_uncached();
+        let mut table = memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Re-check under the lock: a racing thread may have inserted the
+        // same model between our probe and this insert.
+        if !table.iter().any(|(m, _)| m == self) {
+            table.push((*self, hash));
+        }
+        hash
+    }
+
+    /// The full field walk behind [`WorkloadModel::fingerprint`], always
+    /// recomputed (the memoized path must agree with this by definition).
+    pub fn fingerprint_uncached(&self) -> u64 {
         let mut h = crate::hash::Fnv64::new();
         for (_, frac) in self.mix.fractions() {
             h.write_f64(frac);
@@ -415,6 +450,22 @@ impl WorkloadModel {
         }
         h.finish()
     }
+}
+
+/// Process-wide fingerprint memo: `(model, hash)` pairs, linearly scanned.
+/// An experiment run touches a dozen-odd distinct models, so a flat vector
+/// with `PartialEq` probing beats any hash structure — and stays fully
+/// deterministic.
+static FINGERPRINT_MEMO: OnceLock<Mutex<Vec<(WorkloadModel, u64)>>> = OnceLock::new();
+/// Fingerprint calls served from the memo since process start.
+static FINGERPRINT_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`WorkloadModel::fingerprint`] calls served from the memo since
+/// process start (monotone; consumers flush deltas against their own
+/// watermark, as the experiment runner does for
+/// `trace.arena.fingerprint_memo_hits`).
+pub fn fingerprint_memo_hits() -> u64 {
+    FINGERPRINT_MEMO_HITS.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -518,5 +569,26 @@ mod tests {
             WorkloadModel::legacy_like().fingerprint(),
             WorkloadModel::modern_like().fingerprint()
         );
+    }
+
+    #[test]
+    fn fingerprint_memo_agrees_with_the_field_walk() {
+        let models = [
+            WorkloadModel::spec_int_like(),
+            WorkloadModel::legacy_like(),
+            WorkloadModel::modern_like(),
+            WorkloadModel::spec_fp_like(),
+            WorkloadModel::spec_int_like().with_serial_fraction(0.3),
+        ];
+        for m in models {
+            // First call may populate the memo, second is served from it;
+            // both must equal the always-recomputed walk.
+            assert_eq!(m.fingerprint(), m.fingerprint_uncached());
+            assert_eq!(m.fingerprint(), m.fingerprint_uncached());
+        }
+        // Re-fingerprinting a known model is a memo hit.
+        let before = fingerprint_memo_hits();
+        let _ = WorkloadModel::spec_int_like().fingerprint();
+        assert!(fingerprint_memo_hits() > before, "memo hit not counted");
     }
 }
