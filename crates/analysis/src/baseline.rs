@@ -1,44 +1,67 @@
 //! The ratcheting baseline: recorded debt that may only shrink.
 //!
-//! `analysis.baseline.toml` records, per `(file, rule)` pair, how many
-//! violations existed when the baseline was last regenerated. The check
-//! fails when a pair's live count **exceeds** its recorded count (new debt)
-//! and also when it **falls below** it (stale entry: the debt was paid but
-//! the baseline still grants it — regenerate so the ratchet clicks down).
-//! Counts are used instead of line numbers so unrelated edits that shift
-//! code do not invalidate the baseline.
+//! `analysis.baseline.toml` (format version 2) records one entry per
+//! distinct `(file, rule, fingerprint)` violation, where the fingerprint
+//! is an FNV-1a hash of the offending line's trimmed text. Keying on
+//! content instead of line numbers means unrelated edits *above* a waived
+//! violation do not churn the baseline — the line number is stored only
+//! as a navigation hint. Identical lines violating the same rule in the
+//! same file share a key; the entry's `count` covers them as a multiset.
+//!
+//! The check fails when a live violation has no matching grant (new debt)
+//! and when a grant matches nothing live (stale entry: the debt was paid
+//! but the baseline still grants it — regenerate so the ratchet clicks
+//! down).
 //!
 //! The format is a deliberately tiny TOML subset, parsed and rendered by
 //! hand (this crate has no dependencies):
 //!
 //! ```toml
-//! version = 1
+//! version = 2
 //!
 //! [[entry]]
 //! file = "crates/sim/src/engine.rs"
 //! rule = "panic-path"
-//! count = 3
+//! fingerprint = "64c5b03ef8bbcc29"
+//! line = 120
+//! count = 1
 //! ```
 
 use crate::rules::Violation;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Recorded (or live) violation counts per `(file, rule)`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Baseline {
-    /// Counts keyed by `(file, rule)`, in sorted order.
-    pub entries: BTreeMap<(String, String), u64>,
+/// What one baseline entry grants: a violation multiplicity plus the
+/// line hint recorded at regeneration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// How many identical violations the entry covers.
+    pub count: u64,
+    /// 1-based line the first covered violation sat on when recorded
+    /// (a hint only — matching is by fingerprint).
+    pub line: u32,
 }
 
-/// One `(file, rule)` pair whose live count differs from the baseline.
+/// Recorded (or live) violations keyed by `(file, rule, fingerprint)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Grants in sorted key order.
+    pub entries: BTreeMap<(String, String, u64), Grant>,
+}
+
+/// One `(file, rule, fingerprint)` key whose live multiplicity differs
+/// from the baseline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RatchetDelta {
     /// Workspace-relative file.
     pub file: String,
     /// Rule id.
     pub rule: String,
-    /// Live violation count.
+    /// Content fingerprint of the offending line.
+    pub fingerprint: u64,
+    /// Line hint (live when present, else the recorded hint).
+    pub line: u32,
+    /// Live violation count for the key.
     pub actual: u64,
     /// Count the baseline grants.
     pub recorded: u64,
@@ -48,8 +71,8 @@ impl fmt::Display for RatchetDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} [{}]: {} live vs {} baselined",
-            self.file, self.rule, self.actual, self.recorded
+            "{}:{} [{}] {} live vs {} baselined (fingerprint {:016x})",
+            self.file, self.line, self.rule, self.actual, self.recorded, self.fingerprint
         )
     }
 }
@@ -57,9 +80,9 @@ impl fmt::Display for RatchetDelta {
 /// The verdict of comparing live violations against the baseline.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Ratchet {
-    /// Pairs with more live violations than the baseline grants.
+    /// Keys with more live violations than the baseline grants.
     pub new: Vec<RatchetDelta>,
-    /// Pairs with fewer live violations than recorded (stale grants).
+    /// Keys with fewer live violations than recorded (stale grants).
     pub stale: Vec<RatchetDelta>,
 }
 
@@ -70,36 +93,83 @@ impl Ratchet {
     }
 }
 
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content fingerprint of one source line: FNV-1a of its trimmed
+/// text, so re-indentation does not churn the baseline.
+pub fn fingerprint_line(line: &str) -> u64 {
+    fnv1a64(line.trim().as_bytes())
+}
+
 impl Baseline {
-    /// Aggregates live violations into per-`(file, rule)` counts.
+    /// Aggregates live violations into fingerprint-keyed grants. The line
+    /// hint of a multi-violation key is its first (lowest) line.
     pub fn from_violations(violations: &[Violation]) -> Baseline {
-        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut entries: BTreeMap<(String, String, u64), Grant> = BTreeMap::new();
         for v in violations {
-            *entries
-                .entry((v.file.clone(), v.rule.to_string()))
-                .or_insert(0) += 1;
+            let grant = entries
+                .entry((v.file.clone(), v.rule.to_string(), v.fingerprint))
+                .or_insert(Grant {
+                    count: 0,
+                    line: v.line,
+                });
+            grant.count += 1;
+            grant.line = grant.line.min(v.line);
         }
         Baseline { entries }
     }
 
     /// Total violations granted.
     pub fn total(&self) -> u64 {
-        self.entries.values().sum()
+        self.entries.values().map(|g| g.count).sum()
     }
 
-    /// The count granted to one `(file, rule)` pair (0 when absent).
-    pub fn granted(&self, file: &str, rule: &str) -> u64 {
-        self.entries
-            .get(&(file.to_string(), rule.to_string()))
-            .copied()
-            .unwrap_or(0)
+    /// For each violation, in order, whether a grant covers it (grants
+    /// are consumed as a multiset, first come first served).
+    pub fn covered_mask(&self, violations: &[Violation]) -> Vec<bool> {
+        let mut budget: BTreeMap<(&str, &str, u64), u64> = self
+            .entries
+            .iter()
+            .map(|((f, r, fp), g)| ((f.as_str(), r.as_str(), *fp), g.count))
+            .collect();
+        violations
+            .iter()
+            .map(
+                |v| match budget.get_mut(&(v.file.as_str(), v.rule, v.fingerprint)) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                },
+            )
+            .collect()
     }
 
-    /// Parses the baseline file format. Unknown keys are rejected so typos
-    /// cannot silently widen the grant.
+    /// Live violations not covered by any grant, in input order — the
+    /// concrete sites behind [`Ratchet::new`], for reporting.
+    pub fn unmatched<'a>(&self, violations: &'a [Violation]) -> Vec<&'a Violation> {
+        self.covered_mask(violations)
+            .into_iter()
+            .zip(violations)
+            .filter_map(|(covered, v)| if covered { None } else { Some(v) })
+            .collect()
+    }
+
+    /// Parses the baseline file format. Unknown keys are rejected so
+    /// typos cannot silently widen the grant; a version-1 (count-keyed)
+    /// baseline is rejected with a pointer at regeneration.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        let mut entries = BTreeMap::new();
-        let mut current: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut entries: BTreeMap<(String, String, u64), Grant> = BTreeMap::new();
+        let mut current: Option<Partial> = None;
         let mut version_seen = false;
         for (n, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -109,7 +179,7 @@ impl Baseline {
             }
             if line == "[[entry]]" {
                 commit_entry(&mut current, &mut entries, lineno)?;
-                current = Some((None, None, None));
+                current = Some((None, None, None, None, None));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -120,16 +190,32 @@ impl Baseline {
             let (key, value) = (key.trim(), value.trim());
             match (&mut current, key) {
                 (None, "version") => {
-                    if value != "1" {
+                    if value == "1" {
+                        return Err("legacy version-1 (count-keyed) baseline; regenerate with \
+                             `cargo run -p pipedepth-analysis -- check --update-baseline`"
+                            .to_string());
+                    }
+                    if value != "2" {
                         return Err(format!(
                             "line {lineno}: unsupported baseline version {value}"
                         ));
                     }
                     version_seen = true;
                 }
-                (Some((file, _, _)), "file") => *file = Some(unquote(value, lineno)?),
-                (Some((_, rule, _)), "rule") => *rule = Some(unquote(value, lineno)?),
-                (Some((_, _, count)), "count") => {
+                (Some((file, ..)), "file") => *file = Some(unquote(value, lineno)?),
+                (Some((_, rule, ..)), "rule") => *rule = Some(unquote(value, lineno)?),
+                (Some((_, _, fp, ..)), "fingerprint") => {
+                    let hex = unquote(value, lineno)?;
+                    *fp = Some(u64::from_str_radix(&hex, 16).map_err(|_| {
+                        format!("line {lineno}: fingerprint must be hex, got `{hex}`")
+                    })?);
+                }
+                (Some((_, _, _, hint, _)), "line") => {
+                    *hint = Some(value.parse::<u32>().map_err(|_| {
+                        format!("line {lineno}: line must be an integer, got `{value}`")
+                    })?);
+                }
+                (Some((.., count)), "count") => {
                     *count = Some(value.parse::<u64>().map_err(|_| {
                         format!("line {lineno}: count must be an integer, got `{value}`")
                     })?);
@@ -139,7 +225,7 @@ impl Baseline {
         }
         commit_entry(&mut current, &mut entries, text.lines().count())?;
         if !version_seen {
-            return Err("baseline is missing `version = 1`".to_string());
+            return Err("baseline is missing `version = 2`".to_string());
         }
         Ok(Baseline { entries })
     }
@@ -149,36 +235,43 @@ impl Baseline {
         let mut out = String::from(
             "# Ratcheting lint baseline for `pipedepth-analysis`.\n\
              # Regenerate with: cargo run -p pipedepth-analysis -- check --update-baseline\n\
-             # Entries record *existing* debt; new violations and paid-off entries both\n\
-             # fail CI, so this file only ever shrinks.\n\
-             version = 1\n",
+             # Entries record *existing* debt keyed by (file, rule, line-content\n\
+             # fingerprint); the line number is a navigation hint only. New violations\n\
+             # and paid-off entries both fail CI, so this file only ever shrinks.\n\
+             version = 2\n",
         );
-        for ((file, rule), count) in &self.entries {
+        for ((file, rule, fp), grant) in &self.entries {
             out.push_str(&format!(
-                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\n\
+                 fingerprint = \"{fp:016x}\"\nline = {}\ncount = {}\n",
+                grant.line, grant.count
             ));
         }
         out
     }
 
-    /// Ratchets live counts against the recorded grant.
+    /// Ratchets live grants against the recorded grant.
     pub fn compare(actual: &Baseline, recorded: &Baseline) -> Ratchet {
         let mut ratchet = Ratchet::default();
-        let keys: std::collections::BTreeSet<&(String, String)> = actual
+        let keys: std::collections::BTreeSet<&(String, String, u64)> = actual
             .entries
             .keys()
             .chain(recorded.entries.keys())
             .collect();
         for key in keys {
-            let live = actual.entries.get(key).copied().unwrap_or(0);
-            let granted = recorded.entries.get(key).copied().unwrap_or(0);
+            let live = actual.entries.get(key).copied();
+            let granted = recorded.entries.get(key).copied();
+            let actual_n = live.map(|g| g.count).unwrap_or(0);
+            let recorded_n = granted.map(|g| g.count).unwrap_or(0);
             let delta = RatchetDelta {
                 file: key.0.clone(),
                 rule: key.1.clone(),
-                actual: live,
-                recorded: granted,
+                fingerprint: key.2,
+                line: live.or(granted).map(|g| g.line).unwrap_or(0),
+                actual: actual_n,
+                recorded: recorded_n,
             };
-            match live.cmp(&granted) {
+            match actual_n.cmp(&recorded_n) {
                 std::cmp::Ordering::Greater => ratchet.new.push(delta),
                 std::cmp::Ordering::Less => ratchet.stale.push(delta),
                 std::cmp::Ordering::Equal => {}
@@ -188,26 +281,37 @@ impl Baseline {
     }
 }
 
+type Partial = (
+    Option<String>,
+    Option<String>,
+    Option<u64>,
+    Option<u32>,
+    Option<u64>,
+);
+
 fn commit_entry(
-    current: &mut Option<(Option<String>, Option<String>, Option<u64>)>,
-    entries: &mut BTreeMap<(String, String), u64>,
+    current: &mut Option<Partial>,
+    entries: &mut BTreeMap<(String, String, u64), Grant>,
     lineno: usize,
 ) -> Result<(), String> {
-    let Some((file, rule, count)) = current.take() else {
+    let Some((file, rule, fp, line, count)) = current.take() else {
         return Ok(());
     };
-    match (file, rule, count) {
-        (Some(file), Some(rule), Some(count)) => {
+    match (file, rule, fp, line, count) {
+        (Some(file), Some(rule), Some(fp), Some(line), Some(count)) => {
             if entries
-                .insert((file.clone(), rule.clone()), count)
+                .insert((file.clone(), rule.clone(), fp), Grant { count, line })
                 .is_some()
             {
-                return Err(format!("duplicate baseline entry for {file} [{rule}]"));
+                return Err(format!(
+                    "duplicate baseline entry for {file} [{rule}] {fp:016x}"
+                ));
             }
             Ok(())
         }
         _ => Err(format!(
-            "entry ending near line {lineno} must set `file`, `rule` and `count`"
+            "entry ending near line {lineno} must set `file`, `rule`, `fingerprint`, \
+             `line` and `count`"
         )),
     }
 }
@@ -222,57 +326,80 @@ fn unquote(value: &str, lineno: usize) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn baseline(pairs: &[(&str, &str, u64)]) -> Baseline {
-        Baseline {
-            entries: pairs
-                .iter()
-                .map(|(f, r, c)| ((f.to_string(), r.to_string()), *c))
-                .collect(),
+    fn viol(file: &str, rule: &'static str, line: u32, fp: u64) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            fingerprint: fp,
+            message: String::new(),
         }
     }
 
     #[test]
     fn render_parse_round_trip() {
-        let b = baseline(&[
-            ("crates/a/src/lib.rs", "panic-path", 3),
-            ("crates/b/src/x.rs", "hash-collections", 1),
+        let b = Baseline::from_violations(&[
+            viol("crates/a/src/lib.rs", "panic-path", 3, 0xdead),
+            viol("crates/a/src/lib.rs", "panic-path", 9, 0xdead),
+            viol("crates/b/src/x.rs", "hash-collections", 1, 0xbeef),
         ]);
         let parsed = Baseline::parse(&b.render()).expect("round trip");
         assert_eq!(parsed, b);
-        assert_eq!(parsed.total(), 4);
+        assert_eq!(parsed.total(), 3);
     }
 
     #[test]
-    fn equal_counts_are_clean() {
-        let live = baseline(&[("f.rs", "panic-path", 2)]);
-        let rec = baseline(&[("f.rs", "panic-path", 2)]);
-        assert!(Baseline::compare(&live, &rec).is_clean());
+    fn matching_fingerprints_on_different_lines_are_clean() {
+        let recorded = Baseline::from_violations(&[viol("f.rs", "panic-path", 10, 7)]);
+        let live = Baseline::from_violations(&[viol("f.rs", "panic-path", 42, 7)]);
+        assert!(Baseline::compare(&live, &recorded).is_clean());
     }
 
     #[test]
-    fn excess_is_new_and_shortfall_is_stale() {
-        let live = baseline(&[("f.rs", "panic-path", 3), ("g.rs", "missing-docs", 0)]);
-        let rec = baseline(&[("f.rs", "panic-path", 2), ("g.rs", "missing-docs", 1)]);
-        let r = Baseline::compare(&live, &rec);
+    fn different_fingerprints_are_both_new_and_stale() {
+        let recorded = Baseline::from_violations(&[viol("f.rs", "panic-path", 10, 7)]);
+        let live = Baseline::from_violations(&[viol("f.rs", "panic-path", 10, 8)]);
+        let r = Baseline::compare(&live, &recorded);
         assert_eq!(r.new.len(), 1);
-        assert_eq!(r.new[0].actual, 3);
         assert_eq!(r.stale.len(), 1);
-        assert_eq!(r.stale[0].file, "g.rs");
     }
 
     #[test]
-    fn rejects_malformed_input() {
-        assert!(Baseline::parse("version = 2\n").is_err());
+    fn unmatched_respects_the_grant_multiset() {
+        let recorded = Baseline::from_violations(&[viol("f.rs", "panic-path", 10, 7)]);
+        let live = [
+            viol("f.rs", "panic-path", 10, 7),
+            viol("f.rs", "panic-path", 20, 7),
+        ];
+        let extra = recorded.unmatched(&live);
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].line, 20, "the first occurrence consumed the grant");
+    }
+
+    #[test]
+    fn rejects_malformed_and_legacy_input() {
+        let legacy = Baseline::parse("version = 1\n");
+        assert!(legacy.is_err());
+        assert!(format!("{legacy:?}").contains("legacy"));
+        assert!(Baseline::parse("version = 3\n").is_err());
         assert!(Baseline::parse("[[entry]]\nfile = \"f\"\n").is_err());
-        assert!(Baseline::parse("version = 1\nbogus = 3\n").is_err());
-        assert!(
-            Baseline::parse("version = 1\n[[entry]]\nfile = \"f\"\nrule = \"r\"\ncount = x\n")
-                .is_err()
-        );
+        assert!(Baseline::parse("version = 2\nbogus = 3\n").is_err());
+        assert!(Baseline::parse(
+            "version = 2\n[[entry]]\nfile = \"f\"\nrule = \"r\"\n\
+             fingerprint = \"zz\"\nline = 1\ncount = 1\n"
+        )
+        .is_err());
     }
 
     #[test]
-    fn missing_version_is_rejected() {
-        assert!(Baseline::parse("[[entry]]\nfile = \"f\"\nrule = \"r\"\ncount = 1\n").is_err());
+    fn fingerprint_ignores_indentation() {
+        assert_eq!(
+            fingerprint_line("  x.unwrap();"),
+            fingerprint_line("\tx.unwrap();")
+        );
+        assert_ne!(
+            fingerprint_line("x.unwrap();"),
+            fingerprint_line("y.unwrap();")
+        );
     }
 }

@@ -1,23 +1,55 @@
-//! Ties discovery, lexing and the rules together into one workspace scan.
+//! Ties discovery, lexing, the semantic model and both rule layers
+//! together into one workspace scan.
+//!
+//! Scanning runs in two phases. Phase one is per-file and embarrassingly
+//! parallel: lex, build the [`FileModel`], run the per-file rules,
+//! collect escape comments, fingerprint every line. Phase two is serial:
+//! assemble the [`WorkspaceModel`], run the cross-file rule families,
+//! resolve each file's escapes against *all* of its violations, attach
+//! content fingerprints, and sort. The merge is keyed by discovery
+//! index, so output is byte-identical for every `--threads` setting.
 
-use crate::baseline::{Baseline, Ratchet};
+use crate::baseline::{fingerprint_line, Baseline, Ratchet};
+use crate::escapes::{self, Escape};
 use crate::lexer;
-use crate::rules::{lint_tokens, FileContext, FileRole, Violation};
+use crate::model::{FileModel, WorkspaceModel};
+use crate::registry::Registry;
+use crate::rules::{self, FileContext, FileRole, Violation};
 use crate::workspace::{self, SourceFile};
+use crate::xrules;
 use crate::AnalysisError;
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Workspace-relative path of the CLI documentation the
+/// `flag-doc-drift` rule reconciles against.
+pub const EXPERIMENTS_DOC: &str = "EXPERIMENTS.md";
+/// Workspace-relative path of the telemetry registry.
+pub const TELEMETRY_REGISTRY: &str = "telemetry.registry.toml";
+
+/// Tuning knobs for a workspace scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanOptions {
+    /// Worker threads for the per-file phase; 0 means one per available
+    /// CPU (capped by the file count). Output is identical either way.
+    pub threads: usize,
+}
 
 /// The outcome of scanning a workspace.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AnalysisReport {
-    /// Every violation found, in file order.
+    /// Every surviving violation, sorted by (file, line, rule).
     pub violations: Vec<Violation>,
     /// Number of source files scanned.
     pub files_scanned: usize,
+    /// The semantic model the cross-file rules ran over.
+    pub model: WorkspaceModel,
 }
 
 impl AnalysisReport {
-    /// Live violation counts in baseline form.
+    /// Live violations in baseline form.
     pub fn to_baseline(&self) -> Baseline {
         Baseline::from_violations(&self.violations)
     }
@@ -36,42 +68,295 @@ impl AnalysisReport {
     }
 }
 
-/// Lints a single source string. The public entry point used by the
-/// fixture tests; [`analyze_workspace`] drives it for every file on disk.
+/// One source file presented in memory, for fixture-style scans that
+/// exercise the cross-file rules without touching disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSource {
+    /// Package name the file belongs to.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// The file's role.
+    pub role: FileRole,
+    /// The file's source text.
+    pub text: String,
+}
+
+/// An in-memory workspace: sources plus the two contract documents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemWorkspace {
+    /// The source files, in discovery order.
+    pub sources: Vec<MemSource>,
+    /// The EXPERIMENTS.md text (empty string when absent).
+    pub experiments_md: String,
+    /// The telemetry.registry.toml text (empty string = empty registry).
+    pub registry_toml: String,
+}
+
+/// Per-file scan result produced by the parallel phase.
+struct FileScan {
+    model: FileModel,
+    raw: Vec<Violation>,
+    escapes: Vec<Escape>,
+    /// Malformed/unknown-rule escape violations (never suppressible).
+    escape_violations: Vec<Violation>,
+    /// FNV-1a fingerprint of each line's trimmed text.
+    line_fps: Vec<u64>,
+}
+
+/// Lints a single source string with per-file rules and escape
+/// resolution — the entry point fixture tests use; cross-file rules need
+/// [`analyze_sources`] or [`analyze_workspace`].
 pub fn lint_source(
     crate_name: &str,
     rel_path: &str,
     role: FileRole,
     source: &str,
 ) -> Vec<Violation> {
+    let scan = scan_source(crate_name, rel_path, role, source);
+    let mut out = escapes::resolve(rel_path, &scan.escapes, scan.raw);
+    out.extend(scan.escape_violations);
+    attach_fingerprints(&mut out, rel_path, &scan.line_fps);
+    sort_violations(&mut out);
+    out
+}
+
+/// Scans every source file of the workspace rooted at `root`, using one
+/// thread (see [`analyze_workspace_with`] for the parallel variant).
+pub fn analyze_workspace(root: &Path) -> Result<AnalysisReport, AnalysisError> {
+    analyze_workspace_with(root, ScanOptions { threads: 1 })
+}
+
+/// Scans every source file of the workspace rooted at `root` with the
+/// given options, then runs the cross-file rule families.
+pub fn analyze_workspace_with(
+    root: &Path,
+    opts: ScanOptions,
+) -> Result<AnalysisReport, AnalysisError> {
+    let files = workspace::discover(root)?;
+    let scans = scan_files(&files, opts.threads)?;
+    let experiments = read_optional(&root.join(EXPERIMENTS_DOC))?;
+    let registry_text = read_optional(&root.join(TELEMETRY_REGISTRY))?;
+    finish(scans, files.len(), &experiments, &registry_text)
+}
+
+/// Scans an in-memory workspace — the same pipeline as
+/// [`analyze_workspace_with`], minus the filesystem.
+pub fn analyze_sources(ws: &MemWorkspace) -> Result<AnalysisReport, AnalysisError> {
+    let scans = ws
+        .sources
+        .iter()
+        .map(|s| scan_source(&s.crate_name, &s.rel_path, s.role, &s.text))
+        .collect();
+    finish(
+        scans,
+        ws.sources.len(),
+        &ws.experiments_md,
+        &ws.registry_toml,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Phase one: per-file scans
+// ---------------------------------------------------------------------------
+
+fn scan_source(crate_name: &str, rel_path: &str, role: FileRole, source: &str) -> FileScan {
     let tokens = lexer::lex(source);
     let ctx = FileContext {
         crate_name,
         rel_path,
         role,
     };
-    lint_tokens(&ctx, &tokens)
-}
-
-/// Scans every source file of the workspace rooted at `root`.
-pub fn analyze_workspace(root: &Path) -> Result<AnalysisReport, AnalysisError> {
-    let files = workspace::discover(root)?;
-    let mut report = AnalysisReport::default();
-    for file in &files {
-        report
-            .violations
-            .extend(lint_file(file).map_err(|e| e.while_scanning(&file.rel_path))?);
+    let line_fps = source.lines().map(fingerprint_line).collect();
+    if !matches!(role, FileRole::Lib | FileRole::Bin) {
+        return FileScan {
+            model: FileModel::from_tokens(&ctx, &[], &[]),
+            raw: Vec::new(),
+            escapes: Vec::new(),
+            escape_violations: Vec::new(),
+            line_fps,
+        };
     }
-    report.files_scanned = files.len();
-    Ok(report)
+    let in_test = rules::test_spans(&tokens);
+    let model = FileModel::from_tokens(&ctx, &tokens, &in_test);
+    let raw = rules::per_file_violations(&ctx, &tokens, &in_test);
+    let (escapes, escape_violations) = escapes::collect(&ctx, &tokens);
+    FileScan {
+        model,
+        raw,
+        escapes,
+        escape_violations,
+        line_fps,
+    }
 }
 
-fn lint_file(file: &SourceFile) -> Result<Vec<Violation>, AnalysisError> {
-    let source = workspace::read(&file.abs_path)?;
-    Ok(lint_source(
+fn scan_file(file: &SourceFile) -> Result<FileScan, AnalysisError> {
+    let source = workspace::read(&file.abs_path).map_err(|e| e.while_scanning(&file.rel_path))?;
+    Ok(scan_source(
         &file.crate_name,
         &file.rel_path,
         file.role,
         &source,
     ))
+}
+
+/// Scans all files, fanning out over `threads` workers (0 = one per
+/// CPU). Results are merged by discovery index, so the outcome does not
+/// depend on scheduling. Worker coordination deliberately uses an atomic
+/// work index plus one `OnceLock` slot per file — no locks for the
+/// analyzer's own lock-order rule to reason about.
+fn scan_files(files: &[SourceFile], threads: usize) -> Result<Vec<FileScan>, AnalysisError> {
+    let worker_count = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .clamp(1, files.len().max(1));
+    if worker_count <= 1 {
+        return files.iter().map(scan_file).collect();
+    }
+    let slots: Vec<OnceLock<Result<FileScan, AnalysisError>>> =
+        (0..files.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let Some(slot) = slots.get(i) else { break };
+                let _ = slot.set(scan_file(file));
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(files.len());
+    for (slot, file) in slots.into_iter().zip(files) {
+        match slot.into_inner() {
+            Some(result) => out.push(result?),
+            None => {
+                return Err(AnalysisError::Manifest {
+                    path: file.rel_path.clone().into(),
+                    message: "internal error: file scan produced no result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Phase two: cross-file rules, escapes, fingerprints, ordering
+// ---------------------------------------------------------------------------
+
+fn finish(
+    scans: Vec<FileScan>,
+    files_scanned: usize,
+    experiments: &str,
+    registry_text: &str,
+) -> Result<AnalysisReport, AnalysisError> {
+    let registry = if registry_text.trim().is_empty() {
+        Registry::default()
+    } else {
+        Registry::parse(registry_text).map_err(|message| AnalysisError::Manifest {
+            path: TELEMETRY_REGISTRY.into(),
+            message,
+        })?
+    };
+
+    let model = WorkspaceModel {
+        files: scans.iter().map(|s| s.model.clone()).collect(),
+    };
+    let mut cross = xrules::check_lock_order(&model);
+    cross.extend(xrules::check_telemetry_contract(
+        &model,
+        &registry,
+        TELEMETRY_REGISTRY,
+    ));
+    cross.extend(xrules::check_flag_doc_drift(
+        &model,
+        experiments,
+        EXPERIMENTS_DOC,
+    ));
+    cross.extend(xrules::check_determinism_taint(&model));
+
+    // Group everything by source file so each file's escapes can resolve
+    // against all of its violations, cross-file ones included.
+    // Violations anchored in the two contract documents have no escapes.
+    let mut grouped: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for s in &scans {
+        grouped.entry(s.model.rel_path.clone()).or_default();
+    }
+    for v in scans.iter().flat_map(|s| s.raw.iter()) {
+        if let Some(bucket) = grouped.get_mut(&v.file) {
+            bucket.push(v.clone());
+        }
+    }
+    let mut doc_violations = Vec::new();
+    for v in cross {
+        match grouped.get_mut(&v.file) {
+            Some(bucket) => bucket.push(v),
+            None => doc_violations.push(v),
+        }
+    }
+
+    let mut violations = Vec::new();
+    for s in &scans {
+        let raw = grouped.remove(&s.model.rel_path).unwrap_or_default();
+        let mut resolved = escapes::resolve(&s.model.rel_path, &s.escapes, raw);
+        resolved.extend(s.escape_violations.iter().cloned());
+        attach_fingerprints(&mut resolved, &s.model.rel_path, &s.line_fps);
+        violations.extend(resolved);
+    }
+    let doc_fps: Vec<u64> = experiments.lines().map(fingerprint_line).collect();
+    let reg_fps: Vec<u64> = registry_text.lines().map(fingerprint_line).collect();
+    for mut v in doc_violations {
+        let fps = if v.file == EXPERIMENTS_DOC {
+            &doc_fps
+        } else {
+            &reg_fps
+        };
+        v.fingerprint = line_fp(fps, v.line);
+        violations.push(v);
+    }
+    sort_violations(&mut violations);
+    Ok(AnalysisReport {
+        violations,
+        files_scanned,
+        model,
+    })
+}
+
+/// Stamps each violation of one file with its line's content
+/// fingerprint.
+fn attach_fingerprints(violations: &mut [Violation], rel_path: &str, line_fps: &[u64]) {
+    for v in violations {
+        if v.file == rel_path {
+            v.fingerprint = line_fp(line_fps, v.line);
+        }
+    }
+}
+
+fn line_fp(line_fps: &[u64], line: u32) -> u64 {
+    (line as usize)
+        .checked_sub(1)
+        .and_then(|i| line_fps.get(i))
+        .copied()
+        .unwrap_or_else(|| fingerprint_line(""))
+}
+
+/// The one canonical violation order: file, then line, then rule, then
+/// message (two violations can share a line and rule).
+fn sort_violations(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+}
+
+fn read_optional(path: &Path) -> Result<String, AnalysisError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
+        Err(e) => Err(AnalysisError::io(path, e)),
+    }
 }

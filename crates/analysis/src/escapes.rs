@@ -1,0 +1,135 @@
+//! Escape comments: `// analysis: allow(<rule>) — <reason>`.
+//!
+//! Collection and resolution are separate steps because cross-file rules
+//! (lock-order, determinism-taint, …) produce violations *after* every
+//! file has been scanned: the engine collects each file's escapes during
+//! the parallel scan, then resolves them once all per-file and cross-file
+//! violations for that file are known. Malformed or unknown-rule escapes
+//! are violations in their own right and are never suppressible; unused
+//! escapes are flagged so stale justifications cannot linger.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{is_known_rule, FileContext, Violation, ESCAPE_COMMENT};
+
+/// A parsed, well-formed escape comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Escape {
+    /// The rule the escape suppresses.
+    pub(crate) rule: String,
+    /// 1-based line of the comment.
+    pub(crate) line: u32,
+    /// Standalone comments (first token on their line) also cover the
+    /// next code line — intervening comment or blank lines (a wrapped
+    /// reason) do not break the association. Trailing comments cover
+    /// only their own line.
+    pub(crate) covers: Option<u32>,
+}
+
+/// Parses every escape comment of one file. Returns the well-formed
+/// escapes plus `escape-comment` violations for malformed or
+/// unknown-rule ones.
+pub(crate) fn collect(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+) -> (Vec<Escape>, Vec<Violation>) {
+    let code_lines: std::collections::BTreeSet<u32> = tokens
+        .iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.line)
+        .collect();
+    let mut escapes = Vec::new();
+    let mut violations = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("analysis:") else {
+            continue;
+        };
+        match parse_escape(rest) {
+            Ok(rule) if !is_known_rule(&rule) => violations.push(Violation {
+                rule: ESCAPE_COMMENT,
+                file: ctx.rel_path.to_string(),
+                line: tok.line,
+                fingerprint: 0,
+                message: format!("escape comment names unknown rule `{rule}`"),
+            }),
+            Ok(rule) => escapes.push(Escape {
+                rule,
+                line: tok.line,
+                covers: if tok.first_on_line {
+                    code_lines.range(tok.line + 1..).next().copied()
+                } else {
+                    None
+                },
+            }),
+            Err(why) => violations.push(Violation {
+                rule: ESCAPE_COMMENT,
+                file: ctx.rel_path.to_string(),
+                line: tok.line,
+                fingerprint: 0,
+                message: why,
+            }),
+        }
+    }
+    (escapes, violations)
+}
+
+/// Suppresses `raw` violations matched by an escape and appends an
+/// `escape-comment` violation for every escape that suppressed nothing.
+/// `rel_path` names the file the escapes came from.
+pub(crate) fn resolve(rel_path: &str, escapes: &[Escape], raw: Vec<Violation>) -> Vec<Violation> {
+    let mut used = vec![false; escapes.len()];
+    let mut out = Vec::with_capacity(raw.len());
+    for v in raw {
+        let suppressed = escapes
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.rule == v.rule && (e.line == v.line || e.covers == Some(v.line)));
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(v),
+        }
+    }
+    for (e, _) in escapes.iter().zip(&used).filter(|(_, &u)| !u) {
+        out.push(Violation {
+            rule: ESCAPE_COMMENT,
+            file: rel_path.to_string(),
+            line: e.line,
+            fingerprint: 0,
+            message: format!(
+                "escape comment for `{}` suppresses nothing on its line (or the next \
+                 code line); remove it",
+                e.rule
+            ),
+        });
+    }
+    out
+}
+
+/// Parses the tail of an escape comment after `analysis:`. The grammar is
+/// `allow(<rule>) — <reason>`; the separator may be `—`, `--` or `:`, and
+/// the reason must be non-empty.
+fn parse_escape(rest: &str) -> Result<String, String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("escape comment must read `analysis: allow(<rule>) — <reason>`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("escape comment is missing `)` after the rule name".to_string());
+    };
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "--", ":"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "escape for `{rule}` must give a reason: `analysis: allow({rule}) — <why>`"
+        ));
+    }
+    Ok(rule)
+}

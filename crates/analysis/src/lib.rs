@@ -9,38 +9,83 @@
 //! source for exactly those hazards, the same way the workspace's
 //! simulators are mechanically cross-checked against the paper's theory.
 //!
-//! Three rule families (see [`rules`] for the full table):
+//! The checks run over a workspace [`model`] — per-file item outlines,
+//! the `use` graph, lock-acquisition facts, telemetry metric names and
+//! CLI flag literals — built from a hand-rolled token [`lexer`]. On top
+//! of it sit per-file rules and four cross-file rule families (see
+//! [`rules`] for the full table):
 //!
 //! * **determinism** — no `HashMap`/`HashSet` outside tests, no
 //!   `Instant`/`SystemTime` outside the telemetry crate and the `repro`
-//!   driver;
-//! * **panic paths** — no `unwrap()`/`expect()`/`panic!`/`todo!`/
-//!   `unimplemented!` in library code (tests, benches, binaries and
-//!   examples are exempt);
-//! * **docs** — every `pub` item of the root facade and `pipedepth-core`
-//!   carries a doc comment.
+//!   driver, and (`determinism-taint`) no other crate importing helpers
+//!   an exempted crate re-exports on top of those types;
+//! * **concurrency** — `lock-order` flags inconsistent pairwise lock
+//!   acquisition orders anywhere in the workspace and blocking calls
+//!   (`.join()`, channel sends/receives, condvar waits) made while a
+//!   guard is live;
+//! * **contracts** — `telemetry-contract` reconciles every metric name
+//!   emitted by the code against the checked-in
+//!   `telemetry.registry.toml`, and `flag-doc-drift` reconciles CLI flag
+//!   strings against `EXPERIMENTS.md`, both directions;
+//! * **panic paths / docs** — no `unwrap()`/`expect()`/`panic!` in
+//!   library code; every `pub` item of the documented crates carries a
+//!   doc comment.
 //!
 //! Violations resolve against the committed [`baseline`]
 //! (`analysis.baseline.toml`): recorded debt passes, new debt fails, and
 //! paid-off debt fails too until the baseline is regenerated — a ratchet
-//! that only tightens. Individual sites can opt out with a justified
-//! escape comment:
+//! that only tightens. Baseline entries are keyed by a fingerprint of
+//! the offending line's text, so edits elsewhere in a file do not churn
+//! the ledger. Individual sites can opt out with a justified escape
+//! comment:
 //!
 //! ```text
 //! // analysis: allow(hash-collections) — key order never escapes this fn
 //! ```
 //!
 //! Run it as `cargo run -p pipedepth-analysis -- check` (CI runs exactly
-//! this), or `-- check --update-baseline` after paying debt down.
+//! this, with `--format github`), `-- check --update-baseline` after
+//! paying debt down, or `-- metrics` to draft the telemetry registry.
+//! Scanning is parallel (`--threads N`) with byte-identical output for
+//! every thread count, and `--format json` emits a machine-readable
+//! [`report`].
 
+/// The fingerprint-keyed debt ledger and its ratchet semantics.
 pub mod baseline;
+/// Workspace scanning: parallel per-file phase plus cross-file rules.
 pub mod engine;
+mod escapes;
+/// The hand-rolled Rust token lexer everything else is built on.
 pub mod lexer;
+/// The semantic model: item outlines, use graph, lock/metric/flag facts.
+pub mod model;
+/// The `telemetry.registry.toml` format and its canonical renderer.
+pub mod registry;
+/// JSON and GitHub-annotation renderings of a scan.
+pub mod report;
+/// Per-file rule implementations and the rule table.
 pub mod rules;
+/// Deterministic workspace discovery.
 pub mod workspace;
+mod xrules;
 
-pub use baseline::{Baseline, Ratchet, RatchetDelta};
-pub use engine::{analyze_workspace, lint_source, AnalysisReport};
+/// Baseline ledger types and the line-content fingerprint function.
+pub use baseline::{fingerprint_line, Baseline, Ratchet, RatchetDelta};
+/// Scan entry points, options and the in-memory workspace for fixtures.
+pub use engine::{
+    analyze_sources, analyze_workspace, analyze_workspace_with, lint_source, AnalysisReport,
+    MemSource, MemWorkspace, ScanOptions, EXPERIMENTS_DOC, TELEMETRY_REGISTRY,
+};
+/// The semantic model the cross-file rule families run over.
+pub use model::{
+    BlockingCall, FileModel, FlagDef, FnFacts, ItemKind, ItemOutline, LockEdge, MetricKind,
+    MetricUse, TaintedExport, UseImport, WorkspaceModel,
+};
+/// The parsed telemetry registry.
+pub use registry::{Registry, RegistryEntry};
+/// Machine-readable report renderers.
+pub use report::{render_github, render_json};
+/// Rule metadata and the violation type.
 pub use rules::{FileRole, RuleInfo, Violation, ALL_RULES};
 
 use std::fmt;

@@ -1,25 +1,45 @@
 //! `pipedepth-analysis` CLI: `check` walks the workspace and enforces the
-//! determinism/panic/doc rules against the ratcheting baseline.
+//! determinism/concurrency/contract/panic/doc rules against the
+//! ratcheting baseline; `metrics` drafts the telemetry registry.
 //!
 //! ```text
 //! cargo run -p pipedepth-analysis -- check                    # enforce
 //! cargo run -p pipedepth-analysis -- check --update-baseline  # re-ratchet
+//! cargo run -p pipedepth-analysis -- check --format json      # machine output
+//! cargo run -p pipedepth-analysis -- metrics                  # draft registry
+//! cargo run -p pipedepth-analysis -- metrics --check          # registry gate
 //! cargo run -p pipedepth-analysis -- rules                    # list rules
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations or stale baseline, 2 usage/IO error.
 
 use pipedepth_analysis::baseline::Baseline;
-use pipedepth_analysis::engine::analyze_workspace;
-use pipedepth_analysis::workspace;
-use pipedepth_analysis::ALL_RULES;
+use pipedepth_analysis::engine::{analyze_workspace_with, ScanOptions};
+use pipedepth_analysis::registry::Registry;
+use pipedepth_analysis::rules::TELEMETRY_CONTRACT;
+use pipedepth_analysis::{report as report_fmt, workspace, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 struct CheckArgs {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     update_baseline: bool,
+    format: Format,
+    threads: usize,
+    report_path: Option<PathBuf>,
+}
+
+struct MetricsArgs {
+    root: Option<PathBuf>,
+    check: bool,
 }
 
 fn main() -> ExitCode {
@@ -27,6 +47,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => match parse_check_args(&args[1..]) {
             Ok(parsed) => run_check(parsed),
+            Err(msg) => usage_error(&msg),
+        },
+        Some("metrics") => match parse_metrics_args(&args[1..]) {
+            Ok(parsed) => run_metrics(parsed),
             Err(msg) => usage_error(&msg),
         },
         Some("rules") => {
@@ -44,7 +68,8 @@ fn usage_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: pipedepth-analysis <check [--update-baseline] [--root DIR] \
-         [--baseline FILE] | rules>"
+         [--baseline FILE] [--format text|json|github] [--threads N] \
+         [--report FILE] | metrics [--check] [--root DIR] | rules>"
     );
     ExitCode::from(2)
 }
@@ -54,6 +79,9 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
         root: None,
         baseline: None,
         update_baseline: false,
+        format: Format::Text,
+        threads: 0,
+        report_path: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,37 +95,79 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
                 let v = it.next().ok_or("--baseline requires a file path")?;
                 parsed.baseline = Some(PathBuf::from(v));
             }
+            "--format" => {
+                let v = it.next().ok_or("--format requires text, json or github")?;
+                parsed.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a count")?;
+                parsed.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--report" => {
+                let v = it.next().ok_or("--report requires a file path")?;
+                parsed.report_path = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(parsed)
 }
 
-fn run_check(args: CheckArgs) -> ExitCode {
-    let root = match args.root {
-        Some(root) => root,
-        None => {
-            let cwd = match std::env::current_dir() {
-                Ok(cwd) => cwd,
-                Err(e) => {
-                    eprintln!("error: cannot read current directory: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            match workspace::find_root(&cwd) {
-                Ok(root) => root,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
+fn parse_metrics_args(args: &[String]) -> Result<MetricsArgs, String> {
+    let mut parsed = MetricsArgs {
+        root: None,
+        check: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => parsed.check = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                parsed.root = Some(PathBuf::from(v));
             }
+            other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    Ok(parsed)
+}
+
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    match root {
+        Some(root) => Ok(root),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| {
+                eprintln!("error: cannot read current directory: {e}");
+                ExitCode::from(2)
+            })?;
+            workspace::find_root(&cwd).map_err(|e| {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            })
+        }
+    }
+}
+
+fn run_check(args: CheckArgs) -> ExitCode {
+    let root = match resolve_root(args.root) {
+        Ok(root) => root,
+        Err(code) => return code,
     };
     let baseline_path = args
         .baseline
         .unwrap_or_else(|| root.join("analysis.baseline.toml"));
 
-    let report = match analyze_workspace(&root) {
+    let opts = ScanOptions {
+        threads: args.threads,
+    };
+    let report = match analyze_workspace_with(&root, opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
@@ -107,7 +177,12 @@ fn run_check(args: CheckArgs) -> ExitCode {
     let live = report.to_baseline();
 
     if args.update_baseline {
-        let previous = load_baseline(&baseline_path).unwrap_or_default();
+        // Regeneration replaces the file wholesale, so a legacy or
+        // malformed previous baseline is no obstacle — treat it as empty.
+        let previous = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| Baseline::parse(&text).ok())
+            .unwrap_or_default();
         if let Err(e) = std::fs::write(&baseline_path, live.render()) {
             eprintln!("error: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
@@ -125,14 +200,49 @@ fn run_check(args: CheckArgs) -> ExitCode {
     let recorded = match load_baseline(&baseline_path) {
         Some(recorded) => recorded,
         None => {
-            println!(
-                "note: no baseline at {}; treating all violations as new",
-                baseline_path.display()
-            );
+            if args.format == Format::Text {
+                println!(
+                    "note: no baseline at {}; treating all violations as new",
+                    baseline_path.display()
+                );
+            }
             Baseline::default()
         }
     };
     let ratchet = report.ratchet(&recorded);
+
+    if let Some(path) = &args.report_path {
+        let json = report_fmt::render_json(&report, &recorded, &ratchet);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match args.format {
+        Format::Json => {
+            print!("{}", report_fmt::render_json(&report, &recorded, &ratchet));
+        }
+        Format::Github => {
+            print!(
+                "{}",
+                report_fmt::render_github(&report, &recorded, &ratchet)
+            );
+            print_text_summary(&report, &recorded, &ratchet);
+        }
+        Format::Text => print_text_summary(&report, &recorded, &ratchet),
+    }
+    if ratchet.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_text_summary(
+    report: &pipedepth_analysis::AnalysisReport,
+    recorded: &Baseline,
+    ratchet: &pipedepth_analysis::Ratchet,
+) {
     if ratchet.is_clean() {
         println!(
             "analysis clean: {} files scanned, {} baselined violations across {} entries",
@@ -140,7 +250,7 @@ fn run_check(args: CheckArgs) -> ExitCode {
             recorded.total(),
             recorded.entries.len(),
         );
-        return ExitCode::SUCCESS;
+        return;
     }
     for delta in &ratchet.new {
         println!(
@@ -156,9 +266,47 @@ fn run_check(args: CheckArgs) -> ExitCode {
         println!("STALE {delta} — debt paid down; run `check --update-baseline` to ratchet");
     }
     println!(
-        "analysis FAILED: {} new (file, rule) pair(s), {} stale baseline entr(ies)",
+        "analysis FAILED: {} new violation group(s), {} stale baseline entr(ies)",
         ratchet.new.len(),
         ratchet.stale.len(),
+    );
+}
+
+/// `metrics` prints a canonical registry drafted from the live metric
+/// inventory; `--check` instead fails (exit 1) if the committed registry
+/// diverges from the code, ignoring the baseline entirely.
+fn run_metrics(args: MetricsArgs) -> ExitCode {
+    let root = match resolve_root(args.root) {
+        Ok(root) => root,
+        Err(code) => return code,
+    };
+    let report = match analyze_workspace_with(&root, ScanOptions { threads: 0 }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.check {
+        print!("{}", Registry::suggested(&report.model).render());
+        return ExitCode::SUCCESS;
+    }
+    let divergences: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == TELEMETRY_CONTRACT)
+        .collect();
+    if divergences.is_empty() {
+        println!("telemetry registry matches the code");
+        return ExitCode::SUCCESS;
+    }
+    for v in &divergences {
+        println!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    println!(
+        "metrics check FAILED: {} divergence(s) between code and {}",
+        divergences.len(),
+        pipedepth_analysis::TELEMETRY_REGISTRY,
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,1195 @@
+//! The workspace semantic model.
+//!
+//! [`FileModel::from_source`] distils one lexed file into fact tables:
+//! an item outline (fns, types, impls, the `pub` surface), `use` imports,
+//! per-fn lock-acquisition sequences, telemetry metric-name literals, CLI
+//! flag literals, and taint-relevant `pub` signatures. [`WorkspaceModel`]
+//! collects the per-file models of every scanned file in discovery order;
+//! the cross-file rule families (the private `xrules` module) consume it.
+//!
+//! Extraction is purely lexical — the model trades type resolution for
+//! zero dependencies, so facts key on conventions the workspace actually
+//! follows: lock identity is the receiver field/method name before
+//! `.lock()`, metric names are string literals passed to
+//! `counter`/`gauge`/`histogram` (or declared in a `mod metric_names`
+//! table), and CLI flags are whole string literals shaped like `--flag`.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{self, FileContext, FileRole};
+
+/// What kind of declaration an [`ItemOutline`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free function or method).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `type` alias.
+    TypeAlias,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `use` declaration.
+    Use,
+    /// `macro`/`macro_rules!` definition.
+    Macro,
+    /// `impl` block (named by its self type).
+    Impl,
+}
+
+impl ItemKind {
+    fn from_keyword(kw: &str) -> Option<ItemKind> {
+        Some(match kw {
+            "fn" => ItemKind::Fn,
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            "union" => ItemKind::Union,
+            "trait" => ItemKind::Trait,
+            "type" => ItemKind::TypeAlias,
+            "const" => ItemKind::Const,
+            "static" => ItemKind::Static,
+            "mod" => ItemKind::Mod,
+            "use" => ItemKind::Use,
+            "macro" | "macro_rules" => ItemKind::Macro,
+            "impl" => ItemKind::Impl,
+            _ => return None,
+        })
+    }
+
+    /// Whether the item form may carry a brace-delimited body (as opposed
+    /// to always terminating at a `;`, like `use` or `const`).
+    fn takes_body(self) -> bool {
+        !matches!(
+            self,
+            ItemKind::TypeAlias | ItemKind::Const | ItemKind::Static | ItemKind::Use
+        )
+    }
+}
+
+/// One item in a file's outline: top-level items plus items nested inside
+/// `mod`/`impl`/`trait` bodies. Function bodies are opaque (nested fns and
+/// closures are not outlined) and `#[cfg(test)]` items are skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemOutline {
+    /// The item's kind.
+    pub kind: ItemKind,
+    /// The item's name; empty for `use` declarations and unreadable
+    /// `impl` self types.
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Whether the item is unrestricted `pub` (`pub(crate)` and friends
+    /// count as private).
+    pub is_pub: bool,
+}
+
+/// The telemetry instrument family a metric name was used with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Value distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The registry spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    pub(crate) fn from_method(name: &str) -> Option<MetricKind> {
+        Some(match name {
+            "counter" => MetricKind::Counter,
+            "gauge" => MetricKind::Gauge,
+            "histogram" => MetricKind::Histogram,
+            _ => return None,
+        })
+    }
+}
+
+/// One metric-name string literal observed in code: either passed
+/// directly to `counter`/`gauge`/`histogram`, or declared in a
+/// `mod metric_names` static name table (table entries count as
+/// counters by workspace convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricUse {
+    /// The metric name (unquoted literal).
+    pub name: String,
+    /// The instrument family it was used with.
+    pub kind: MetricKind,
+    /// 1-based line of the literal.
+    pub line: u32,
+}
+
+/// One CLI flag string literal (`"--flag"`) found in a binary root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagDef {
+    /// The flag, including the leading `--`.
+    pub flag: String,
+    /// 1-based line of the literal.
+    pub line: u32,
+}
+
+/// One leaf of a `use` declaration (groups and globs expanded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Path segments as written; a trailing `*` segment marks a glob.
+    pub path: Vec<String>,
+    /// The `as` rename, when present.
+    pub alias: Option<String>,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// Whether the declaration is an unrestricted `pub use` re-export.
+    pub is_pub: bool,
+}
+
+impl UseImport {
+    /// The first path segment — the crate (or `crate`/`self`/`std`…)
+    /// the import resolves against.
+    pub fn crate_ref(&self) -> &str {
+        self.path.first().map(String::as_str).unwrap_or("")
+    }
+
+    /// The name the import binds locally: the rename if present,
+    /// otherwise the last path segment (`*` for globs).
+    pub fn leaf(&self) -> &str {
+        self.alias
+            .as_deref()
+            .unwrap_or_else(|| self.path.last().map(String::as_str).unwrap_or(""))
+    }
+}
+
+/// A `pub` item whose signature (or re-export path) mentions a
+/// nondeterminism source — the seed facts for the `determinism-taint`
+/// rule, which flags other crates importing such items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintedExport {
+    /// The exported name as importers see it.
+    pub item: String,
+    /// The nondeterminism source that taints it (`Instant`,
+    /// `SystemTime`, `HashMap` or `HashSet`).
+    pub via: &'static str,
+    /// 1-based line of the exporting item.
+    pub line: u32,
+}
+
+/// One "lock B acquired while lock A's guard was live" observation
+/// inside a single function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The lock already held (`crate::receiver` form).
+    pub held: String,
+    /// Line where the held guard was acquired.
+    pub held_line: u32,
+    /// The lock being acquired.
+    pub acquired: String,
+    /// Line of the new acquisition.
+    pub line: u32,
+}
+
+/// A potentially blocking call (`.join()`, `.wait()`, channel
+/// send/recv) made while a lock guard was lexically live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingCall {
+    /// The call, e.g. `.join()`.
+    pub method: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// The lock whose guard was held across the call.
+    pub held: String,
+    /// Line where that guard was acquired.
+    pub held_line: u32,
+}
+
+/// Concurrency facts for one function: the lock-acquisition edges and
+/// guard-across-blocking-call observations its body exhibits. Functions
+/// with no such facts are omitted from the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnFacts {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Ordered lock-pair observations.
+    pub edges: Vec<LockEdge>,
+    /// Blocking calls made while holding a guard.
+    pub blocking: Vec<BlockingCall>,
+}
+
+/// Everything the cross-file rules need to know about one source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileModel {
+    /// Package name from the owning `Cargo.toml`.
+    pub crate_name: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The file's role in its package.
+    pub role: FileRole,
+    /// Item outline (empty for exempt roles).
+    pub items: Vec<ItemOutline>,
+    /// Expanded `use` leaves.
+    pub imports: Vec<UseImport>,
+    /// Metric-name literals.
+    pub metrics: Vec<MetricUse>,
+    /// CLI flag literals (binary roots only).
+    pub flags: Vec<FlagDef>,
+    /// `pub` items whose signatures expose nondeterminism sources.
+    pub tainted_exports: Vec<TaintedExport>,
+    /// Per-fn concurrency facts (only fns that have any).
+    pub lock_facts: Vec<FnFacts>,
+}
+
+/// The per-file models of every scanned file, in discovery order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkspaceModel {
+    /// One model per `Lib`/`Bin` source file.
+    pub files: Vec<FileModel>,
+}
+
+/// Names that carry time-based nondeterminism through a signature.
+pub(crate) const TAINTED_TIME: [&str; 2] = ["Instant", "SystemTime"];
+/// Names that carry iteration-order nondeterminism through a signature.
+pub(crate) const TAINTED_HASH: [&str; 2] = ["HashMap", "HashSet"];
+
+fn taint_of(name: &str) -> Option<&'static str> {
+    TAINTED_TIME
+        .iter()
+        .chain(TAINTED_HASH.iter())
+        .find(|&&t| t == name)
+        .copied()
+}
+
+/// Whether `via` is a time-based taint (subject to the time-rule
+/// exemptions) rather than a hash-based one.
+pub(crate) fn is_time_taint(via: &str) -> bool {
+    TAINTED_TIME.contains(&via)
+}
+
+impl FileModel {
+    /// Builds the model for one source string. Exempt roles (tests,
+    /// benches, examples) yield an empty model.
+    pub fn from_source(
+        crate_name: &str,
+        rel_path: &str,
+        role: FileRole,
+        source: &str,
+    ) -> FileModel {
+        let tokens = lex(source);
+        let in_test = rules::test_spans(&tokens);
+        let ctx = FileContext {
+            crate_name,
+            rel_path,
+            role,
+        };
+        FileModel::from_tokens(&ctx, &tokens, &in_test)
+    }
+
+    pub(crate) fn from_tokens(
+        ctx: &FileContext<'_>,
+        tokens: &[Token<'_>],
+        in_test: &[bool],
+    ) -> FileModel {
+        let mut model = FileModel {
+            crate_name: ctx.crate_name.to_string(),
+            rel_path: ctx.rel_path.to_string(),
+            role: ctx.role,
+            items: Vec::new(),
+            imports: Vec::new(),
+            metrics: Vec::new(),
+            flags: Vec::new(),
+            tainted_exports: Vec::new(),
+            lock_facts: Vec::new(),
+        };
+        if !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
+            return model;
+        }
+        let scan = Scan::new(tokens, in_test);
+        let raw = scan.items();
+        for item in &raw {
+            model.items.push(ItemOutline {
+                kind: item.kind,
+                name: item.name.clone(),
+                line: item.line,
+                is_pub: item.is_pub,
+            });
+            match item.kind {
+                ItemKind::Use => {
+                    let start = scan.imports(item, &mut model.imports);
+                    if item.is_pub {
+                        for imp in &model.imports[start..] {
+                            if let Some(via) = imp.path.iter().find_map(|s| taint_of(s)) {
+                                model.tainted_exports.push(TaintedExport {
+                                    item: imp.leaf().to_string(),
+                                    via,
+                                    line: imp.line,
+                                });
+                            }
+                        }
+                    }
+                }
+                ItemKind::Fn => {
+                    if item.is_pub && ctx.role == FileRole::Lib {
+                        scan.signature_taint(item, &mut model.tainted_exports);
+                    }
+                    if let Some(facts) = scan.lock_facts(ctx.crate_name, item) {
+                        model.lock_facts.push(facts);
+                    }
+                }
+                ItemKind::TypeAlias | ItemKind::Const | ItemKind::Static
+                    if item.is_pub && ctx.role == FileRole::Lib =>
+                {
+                    scan.signature_taint(item, &mut model.tainted_exports);
+                }
+                ItemKind::Mod if item.name == "metric_names" => {
+                    scan.metric_table(item, &mut model.metrics);
+                }
+                _ => {}
+            }
+        }
+        scan.metric_calls(&mut model.metrics);
+        if ctx.role == FileRole::Bin {
+            scan.flag_literals(&mut model.flags);
+        }
+        model
+    }
+}
+
+impl WorkspaceModel {
+    /// Looks up the model of one file by workspace-relative path.
+    pub fn file(&self, rel_path: &str) -> Option<&FileModel> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+
+    /// All tainted exports of `crate_name` (dash-separated package name).
+    pub(crate) fn tainted_of(&self, crate_name: &str) -> Vec<&TaintedExport> {
+        self.files
+            .iter()
+            .filter(|f| f.crate_name == crate_name && f.role == FileRole::Lib)
+            .flat_map(|f| f.tainted_exports.iter())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level extraction
+// ---------------------------------------------------------------------------
+
+/// A parsed item with the token-index spans extraction needs.
+struct RawItem {
+    kind: ItemKind,
+    name: String,
+    line: u32,
+    is_pub: bool,
+    /// Code index of the introducing keyword.
+    kw_c: usize,
+    /// Code index one past the signature (the body `{` or the `;`).
+    sig_end_c: usize,
+    /// Code indices of the body braces, when the item has a body.
+    body: Option<(usize, usize)>,
+    /// Code index one past the whole item.
+    end_c: usize,
+}
+
+struct Scan<'a, 'b> {
+    toks: &'a [Token<'b>],
+    /// Indices of non-comment tokens.
+    code: Vec<usize>,
+    in_test: &'a [bool],
+}
+
+/// Methods treated as lock acquisitions when called with zero arguments.
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+impl<'a, 'b> Scan<'a, 'b> {
+    fn new(toks: &'a [Token<'b>], in_test: &'a [bool]) -> Scan<'a, 'b> {
+        let code = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        Scan {
+            toks,
+            code,
+            in_test,
+        }
+    }
+
+    fn tok(&self, c: usize) -> Option<&Token<'b>> {
+        self.code.get(c).map(|&i| &self.toks[i])
+    }
+
+    fn ident(&self, c: usize) -> Option<&'b str> {
+        self.tok(c)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+    }
+
+    fn punct(&self, c: usize) -> Option<char> {
+        match self.tok(c).map(|t| t.kind) {
+            Some(TokenKind::Punct(ch)) => Some(ch),
+            _ => None,
+        }
+    }
+
+    fn line(&self, c: usize) -> u32 {
+        self.tok(c).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn is_test(&self, c: usize) -> bool {
+        self.code.get(c).map(|&i| self.in_test[i]).unwrap_or(false)
+    }
+
+    /// Code index of the token matching the `open` delimiter at `open_c`.
+    fn match_close(&self, open_c: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut c = open_c;
+        while let Some(tok) = self.tok(c) {
+            match tok.kind {
+                TokenKind::Punct(p) if p == open => depth += 1,
+                TokenKind::Punct(p) if p == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+        None
+    }
+
+    // -- item outline -------------------------------------------------------
+
+    fn items(&self) -> Vec<RawItem> {
+        let mut out = Vec::new();
+        let mut c = 0usize;
+        while c < self.code.len() {
+            if !self.stmt_position(c) {
+                c += 1;
+                continue;
+            }
+            let Some(item) = self.parse_item(c) else {
+                c += 1;
+                continue;
+            };
+            if self.is_test(c) {
+                c = item.end_c.max(c + 1);
+                continue;
+            }
+            let next = match (item.kind, item.body) {
+                // Descend into namespace bodies; their members are items.
+                (ItemKind::Mod | ItemKind::Trait | ItemKind::Impl, Some((open, _))) => open + 1,
+                _ => item.end_c,
+            };
+            out.push(item);
+            c = next.max(c + 1);
+        }
+        out
+    }
+
+    /// Whether code index `c` can start an item: file start or right
+    /// after `{`, `}`, `;` or a closing attribute `]`.
+    fn stmt_position(&self, c: usize) -> bool {
+        match c.checked_sub(1) {
+            None => true,
+            Some(p) => matches!(self.punct(p), Some('{') | Some('}') | Some(';') | Some(']')),
+        }
+    }
+
+    fn parse_item(&self, c: usize) -> Option<RawItem> {
+        let mut k = c;
+        let mut is_pub = false;
+        if self.ident(k) == Some("pub") {
+            is_pub = true;
+            k += 1;
+            if self.punct(k) == Some('(') {
+                k = self.match_close(k, '(', ')')? + 1;
+                is_pub = false; // restricted visibility
+            }
+        }
+        // Skip qualifier tokens to reach the item keyword.
+        for _ in 0..4 {
+            match self.ident(k) {
+                Some("async") | Some("unsafe") | Some("default") => k += 1,
+                Some("extern") => {
+                    k += 1;
+                    if self.tok(k).map(|t| t.kind) == Some(TokenKind::Str) {
+                        k += 1;
+                    }
+                }
+                Some("const")
+                    if matches!(
+                        self.ident(k + 1),
+                        Some("fn") | Some("unsafe") | Some("async") | Some("extern")
+                    ) =>
+                {
+                    k += 1;
+                }
+                _ => break,
+            }
+        }
+        let kw = self.ident(k)?;
+        let kind = ItemKind::from_keyword(kw)?;
+        let line = self.line(k);
+        let name = self.item_name(kind, kw, k);
+        let mut scan_from = k + 1;
+        if kw == "macro_rules" {
+            // `macro_rules ! name { … }` — start the body scan at the name.
+            scan_from = k + 3;
+        }
+        let (sig_end_c, body) = self.item_extent(kind, scan_from)?;
+        let end_c = match body {
+            Some((_, close)) => close + 1,
+            None => sig_end_c,
+        };
+        Some(RawItem {
+            kind,
+            name,
+            line,
+            is_pub,
+            kw_c: k,
+            sig_end_c,
+            body,
+            end_c,
+        })
+    }
+
+    fn item_name(&self, kind: ItemKind, kw: &str, k: usize) -> String {
+        match kind {
+            ItemKind::Use => String::new(),
+            ItemKind::Impl => self.impl_name(k + 1),
+            ItemKind::Macro if kw == "macro_rules" => {
+                // `macro_rules` `!` `name`
+                self.ident(k + 2).unwrap_or("").to_string()
+            }
+            _ => self.ident(k + 1).unwrap_or("").to_string(),
+        }
+    }
+
+    /// The self type of an `impl` block: the last path ident before the
+    /// body, restarting after `for` (`impl Trait for Type`).
+    fn impl_name(&self, mut k: usize) -> String {
+        let mut name = String::new();
+        let mut guard = 0usize;
+        while let Some(tok) = self.tok(k) {
+            guard += 1;
+            if guard > 512 {
+                break;
+            }
+            match tok.kind {
+                TokenKind::Punct('{') | TokenKind::Punct(';') => break,
+                TokenKind::Punct('<') => {
+                    // Skip a generic-argument group by angle counting.
+                    let mut depth = 1i32;
+                    k += 1;
+                    while depth > 0 {
+                        match self.punct(k) {
+                            Some('<') => depth += 1,
+                            Some('>') => depth -= 1,
+                            None if self.tok(k).is_none() => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    continue;
+                }
+                TokenKind::Ident if tok.text == "where" => break,
+                TokenKind::Ident if tok.text == "for" => name.clear(),
+                TokenKind::Ident => name = tok.text.to_string(),
+                _ => {}
+            }
+            k += 1;
+        }
+        name
+    }
+
+    /// Finds where the item starting after its keyword ends: the code
+    /// index one past the terminating `;`, or the body brace pair.
+    fn item_extent(&self, kind: ItemKind, from: usize) -> Option<(usize, Option<(usize, usize)>)> {
+        let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+        let mut m = from;
+        while let Some(tok) = self.tok(m) {
+            match tok.kind {
+                TokenKind::Punct('(') => par += 1,
+                TokenKind::Punct(')') => par -= 1,
+                TokenKind::Punct('[') => brk += 1,
+                TokenKind::Punct(']') => brk -= 1,
+                TokenKind::Punct('{') => {
+                    if kind.takes_body() && par == 0 && brk == 0 && brc == 0 {
+                        let close = self.match_close(m, '{', '}')?;
+                        return Some((m, Some((m, close))));
+                    }
+                    brc += 1;
+                }
+                TokenKind::Punct('}') => brc -= 1,
+                TokenKind::Punct(';') if par == 0 && brk == 0 && brc == 0 => {
+                    return Some((m + 1, None));
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        // Unterminated item (malformed source): consume to EOF.
+        Some((self.code.len(), None))
+    }
+
+    // -- use imports --------------------------------------------------------
+
+    /// Expands the `use` item into leaf imports, appending to `out`;
+    /// returns the index the new leaves start at.
+    fn imports(&self, item: &RawItem, out: &mut Vec<UseImport>) -> usize {
+        let start = out.len();
+        let mut c = item.kw_c + 1;
+        // Tolerate a leading `::`.
+        while self.punct(c) == Some(':') {
+            c += 1;
+        }
+        let end = item.sig_end_c;
+        self.use_tree(&mut c, end, &Vec::new(), item, out);
+        start
+    }
+
+    fn use_tree(
+        &self,
+        c: &mut usize,
+        end: usize,
+        prefix: &[String],
+        item: &RawItem,
+        out: &mut Vec<UseImport>,
+    ) {
+        let mut segs: Vec<String> = prefix.to_vec();
+        let mut guard = 0usize;
+        while *c < end {
+            guard += 1;
+            if guard > 4096 {
+                return;
+            }
+            if let Some(text) = self.ident(*c) {
+                segs.push(text.to_string());
+                *c += 1;
+                if self.punct(*c) == Some(':') && self.punct(*c + 1) == Some(':') {
+                    *c += 2;
+                    continue;
+                }
+                let alias = if self.ident(*c) == Some("as") {
+                    let alias = self.ident(*c + 1).map(str::to_string);
+                    *c += 2;
+                    alias
+                } else {
+                    None
+                };
+                self.leaf(segs, alias, item, out);
+                return;
+            }
+            match self.punct(*c) {
+                Some('{') => {
+                    *c += 1;
+                    loop {
+                        self.use_tree(c, end, &segs, item, out);
+                        match self.punct(*c) {
+                            Some(',') => *c += 1,
+                            Some('}') => {
+                                *c += 1;
+                                return;
+                            }
+                            _ => return,
+                        }
+                    }
+                }
+                Some('*') => {
+                    segs.push("*".to_string());
+                    *c += 1;
+                    self.leaf(segs, None, item, out);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn leaf(
+        &self,
+        path: Vec<String>,
+        alias: Option<String>,
+        item: &RawItem,
+        out: &mut Vec<UseImport>,
+    ) {
+        if path.is_empty() {
+            return;
+        }
+        out.push(UseImport {
+            path,
+            alias,
+            line: item.line,
+            is_pub: item.is_pub,
+        });
+    }
+
+    // -- taint --------------------------------------------------------------
+
+    /// Scans an item's signature span for nondeterminism-source names.
+    /// Struct/enum bodies are deliberately excluded: private fields are
+    /// legitimate encapsulation, but a `pub fn` returning `Instant` (or a
+    /// `pub use` of it) hands the hazard to every importer.
+    fn signature_taint(&self, item: &RawItem, out: &mut Vec<TaintedExport>) {
+        for c in item.kw_c..item.sig_end_c {
+            let Some(text) = self.ident(c) else { continue };
+            if let Some(via) = taint_of(text) {
+                out.push(TaintedExport {
+                    item: item.name.clone(),
+                    via,
+                    line: item.line,
+                });
+                return;
+            }
+        }
+    }
+
+    // -- telemetry metrics --------------------------------------------------
+
+    /// String literals passed to `counter`/`gauge`/`histogram` calls.
+    fn metric_calls(&self, out: &mut Vec<MetricUse>) {
+        for c in 0..self.code.len() {
+            if self.is_test(c) {
+                continue;
+            }
+            let Some(text) = self.ident(c) else { continue };
+            let Some(kind) = MetricKind::from_method(text) else {
+                continue;
+            };
+            if self.punct(c + 1) != Some('(') {
+                continue;
+            }
+            let Some(lit) = self.tok(c + 2).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            out.push(MetricUse {
+                name: unquote(lit.text),
+                kind,
+                line: lit.line,
+            });
+        }
+    }
+
+    /// Every string literal inside a `mod metric_names` body — the
+    /// workspace's static name-table convention; entries are counters.
+    fn metric_table(&self, item: &RawItem, out: &mut Vec<MetricUse>) {
+        let Some((open, close)) = item.body else {
+            return;
+        };
+        for c in open + 1..close {
+            if self.is_test(c) {
+                continue;
+            }
+            if let Some(lit) = self.tok(c).filter(|t| t.kind == TokenKind::Str) {
+                out.push(MetricUse {
+                    name: unquote(lit.text),
+                    kind: MetricKind::Counter,
+                    line: lit.line,
+                });
+            }
+        }
+    }
+
+    // -- CLI flags ----------------------------------------------------------
+
+    /// Whole string literals shaped like `--flag` in a binary root.
+    fn flag_literals(&self, out: &mut Vec<FlagDef>) {
+        for c in 0..self.code.len() {
+            if self.is_test(c) {
+                continue;
+            }
+            let Some(lit) = self.tok(c).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            let text = unquote(lit.text);
+            if is_cli_flag(&text) {
+                out.push(FlagDef {
+                    flag: text,
+                    line: lit.line,
+                });
+            }
+        }
+    }
+
+    // -- lock facts ---------------------------------------------------------
+
+    /// Walks a fn body tracking lexically live lock guards; records
+    /// acquisition-order edges and guards held across blocking calls.
+    fn lock_facts(&self, crate_name: &str, item: &RawItem) -> Option<FnFacts> {
+        let (open, close) = item.body?;
+        struct Guard {
+            lock: String,
+            var: Option<String>,
+            line: u32,
+            depth: i32,
+            /// Guards of un-bound (temporary) acquisitions die at the
+            /// next `;` of their block rather than the block's end.
+            stmt_temp: bool,
+        }
+        let mut active: Vec<Guard> = Vec::new();
+        let mut edges = Vec::new();
+        let mut blocking = Vec::new();
+        let mut depth = 1i32;
+        let mut pending_let: Option<String> = None;
+        let mut c = open + 1;
+        while c < close {
+            let Some(tok) = self.tok(c) else { break };
+            match tok.kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    active.retain(|g| g.depth <= depth);
+                }
+                TokenKind::Punct(';') => {
+                    active.retain(|g| !(g.stmt_temp && g.depth == depth));
+                    pending_let = None;
+                }
+                TokenKind::Ident if tok.text == "let" => {
+                    let mut n = c + 1;
+                    if self.ident(n) == Some("mut") {
+                        n += 1;
+                    }
+                    pending_let = self.ident(n).map(str::to_string);
+                }
+                TokenKind::Ident
+                    if tok.text == "drop"
+                        && self.punct(c + 1) == Some('(')
+                        && self.punct(c + 3) == Some(')') =>
+                {
+                    if let Some(var) = self.ident(c + 2) {
+                        active.retain(|g| g.var.as_deref() != Some(var));
+                    }
+                }
+                TokenKind::Ident
+                    if c > 0
+                        && self.punct(c - 1) == Some('.')
+                        && self.punct(c + 1) == Some('(') =>
+                {
+                    let zero_arg = self.punct(c + 2) == Some(')');
+                    if LOCK_METHODS.contains(&tok.text) && zero_arg {
+                        let lock = format!("{crate_name}::{}", self.receiver(c));
+                        for g in &active {
+                            if g.lock != lock {
+                                edges.push(LockEdge {
+                                    held: g.lock.clone(),
+                                    held_line: g.line,
+                                    acquired: lock.clone(),
+                                    line: tok.line,
+                                });
+                            }
+                        }
+                        active.push(Guard {
+                            lock,
+                            var: pending_let.clone(),
+                            line: tok.line,
+                            depth,
+                            stmt_temp: pending_let.is_none(),
+                        });
+                    } else if let Some(call) = blocking_call(tok.text, zero_arg) {
+                        // Condvar waits consume (and re-acquire) the guard
+                        // passed as their first argument — only *other*
+                        // held guards are a hazard across them.
+                        let consumed = if matches!(tok.text, "wait" | "wait_timeout") {
+                            self.ident(c + 2).map(str::to_string)
+                        } else {
+                            None
+                        };
+                        for g in &active {
+                            if g.var.is_some() && g.var == consumed {
+                                continue;
+                            }
+                            blocking.push(BlockingCall {
+                                method: call.to_string(),
+                                line: tok.line,
+                                held: g.lock.clone(),
+                                held_line: g.line,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+        if edges.is_empty() && blocking.is_empty() {
+            return None;
+        }
+        Some(FnFacts {
+            name: item.name.clone(),
+            line: item.line,
+            edges,
+            blocking,
+        })
+    }
+
+    /// The receiver ident of the method call at code index `c` (the
+    /// token chain before the `.`), seeing through one call or index
+    /// suffix: `self.state.lock()` → `state`, `self.shard(k).lock()` →
+    /// `shard`.
+    fn receiver(&self, c: usize) -> String {
+        let Some(before_dot) = c.checked_sub(2) else {
+            return "<expr>".to_string();
+        };
+        let mut r = before_dot;
+        // `.lock()?` style chains interpose a `?` before the dot.
+        if self.punct(r) == Some('?') {
+            let Some(p) = r.checked_sub(1) else {
+                return "<expr>".to_string();
+            };
+            r = p;
+        }
+        match self.punct(r) {
+            Some(')') => match self.open_of(r, '(', ')') {
+                Some(open) if open > 0 => self.ident(open - 1).unwrap_or("<expr>").to_string(),
+                _ => "<expr>".to_string(),
+            },
+            Some(']') => match self.open_of(r, '[', ']') {
+                Some(open) if open > 0 => self.ident(open - 1).unwrap_or("<expr>").to_string(),
+                _ => "<expr>".to_string(),
+            },
+            _ => self.ident(r).unwrap_or("<expr>").to_string(),
+        }
+    }
+
+    /// Code index of the opening delimiter matching the closer at `c`.
+    fn open_of(&self, c: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut k = c;
+        loop {
+            match self.punct(k) {
+                Some(p) if p == close => depth += 1,
+                Some(p) if p == open => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+            k = k.checked_sub(1)?;
+        }
+    }
+}
+
+/// Potentially blocking method calls the lock-order rule watches.
+/// `join` only counts with zero arguments (so `PathBuf::join(p)` and
+/// `Vec::join(sep)` do not match).
+fn blocking_call(name: &str, zero_arg: bool) -> Option<&'static str> {
+    Some(match name {
+        "join" if zero_arg => ".join()",
+        "wait" => ".wait(…)",
+        "wait_timeout" => ".wait_timeout(…)",
+        "send" => ".send(…)",
+        "recv" => ".recv(…)",
+        "recv_timeout" => ".recv_timeout(…)",
+        _ => return None,
+    })
+}
+
+/// The inner text of a string-literal token (any flavour).
+fn unquote(text: &str) -> String {
+    let Some(first) = text.find('"') else {
+        return String::new();
+    };
+    let Some(last) = text.rfind('"') else {
+        return String::new();
+    };
+    if last > first {
+        text[first + 1..last].to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Whether `text` (a whole string literal) is a long CLI flag:
+/// `--` followed by lowercase alphanumerics and dashes.
+fn is_cli_flag(text: &str) -> bool {
+    let Some(body) = text.strip_prefix("--") else {
+        return false;
+    };
+    !body.is_empty()
+        && body.starts_with(|c: char| c.is_ascii_lowercase() || c.is_ascii_digit())
+        && !body.ends_with('-')
+        && body
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::from_source(
+            "pipedepth-serve",
+            "crates/serve/src/x.rs",
+            FileRole::Lib,
+            src,
+        )
+    }
+
+    #[test]
+    fn outlines_nested_items_but_not_fn_bodies() {
+        let src = "pub struct S;\nimpl S {\n    pub fn m(&self) { let inner = 1; }\n}\n\
+                   mod inner {\n    pub(crate) fn helper() {}\n}\n";
+        let m = model(src);
+        let names: Vec<(&str, ItemKind, bool)> = m
+            .items
+            .iter()
+            .map(|i| (i.name.as_str(), i.kind, i.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("S", ItemKind::Struct, true),
+                ("S", ItemKind::Impl, false),
+                ("m", ItemKind::Fn, true),
+                ("inner", ItemKind::Mod, false),
+                ("helper", ItemKind::Fn, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_names_the_type() {
+        let m = model("impl<T: Clone> Evaluator for Analytic<T> { fn go(&self) {} }\n");
+        assert_eq!(m.items[0].name, "Analytic");
+    }
+
+    #[test]
+    fn use_groups_expand_to_leaves() {
+        let m = model("use std::sync::{Mutex, atomic::{AtomicUsize, Ordering as O}};\n");
+        let leaves: Vec<&str> = m.imports.iter().map(|i| i.leaf()).collect();
+        assert_eq!(leaves, ["Mutex", "AtomicUsize", "O"]);
+        assert_eq!(m.imports[2].path, ["std", "sync", "atomic", "Ordering"]);
+    }
+
+    #[test]
+    fn pub_use_of_instant_is_a_tainted_export() {
+        let m = model("pub use std::time::Instant as Clock;\n");
+        assert_eq!(m.tainted_exports.len(), 1);
+        assert_eq!(m.tainted_exports[0].item, "Clock");
+        assert_eq!(m.tainted_exports[0].via, "Instant");
+    }
+
+    #[test]
+    fn pub_fn_returning_hashmap_is_tainted_but_private_struct_field_is_not() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn build() -> HashMap<u32, u32> { HashMap::new() }\n\
+                   pub struct W(std::time::Instant);\n";
+        let m = model(src);
+        let items: Vec<&str> = m.tainted_exports.iter().map(|t| t.item.as_str()).collect();
+        assert_eq!(items, ["build"], "tuple-struct bodies are not signatures");
+    }
+
+    #[test]
+    fn lock_edges_record_nesting_order() {
+        let src =
+            "fn f(a: &M, b: &M) {\n    let ga = a.inner.lock();\n    let gb = b.other.lock();\n}\n";
+        let m = model(src);
+        let e = &m.lock_facts[0].edges[0];
+        assert_eq!(e.held, "pipedepth-serve::inner");
+        assert_eq!(e.acquired, "pipedepth-serve::other");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close_and_drop() {
+        let src = "fn f(a: &M, b: &M) {\n    { let ga = a.inner.lock(); }\n    let gb = b.other.lock();\n}\n\
+                   fn g(a: &M, b: &M) {\n    let ga = a.inner.lock();\n    drop(ga);\n    let gb = b.other.lock();\n}\n";
+        let m = model(src);
+        assert!(
+            m.lock_facts.is_empty(),
+            "no guard overlaps: {:?}",
+            m.lock_facts
+        );
+    }
+
+    #[test]
+    fn join_under_guard_is_blocking_but_pathbuf_join_is_not() {
+        let src = "fn f(a: &M, h: H, p: &std::path::Path) {\n    let g = a.inner.lock();\n    let q = p.join(\"x\");\n    h.join();\n}\n";
+        let m = model(src);
+        let b = &m.lock_facts[0].blocking;
+        assert_eq!(b.len(), 1, "{b:?}");
+        assert_eq!(b[0].method, ".join()");
+        assert_eq!(b[0].held, "pipedepth-serve::inner");
+    }
+
+    #[test]
+    fn condvar_wait_consumes_its_guard_argument() {
+        let src = "fn f(&self) {\n    let mut state = self.state.lock();\n    \
+                   while !done {\n        state = self.cv.wait(state);\n    }\n}\n";
+        let m = model(src);
+        assert!(
+            m.lock_facts.is_empty(),
+            "waiting on the guard you pass in is the sanctioned pattern: {:?}",
+            m.lock_facts
+        );
+    }
+
+    #[test]
+    fn condvar_wait_flags_other_held_guards() {
+        let src = "fn f(&self) {\n    let g = self.other.lock();\n    let mut state = self.state.lock();\n    \
+                   state = self.cv.wait(state);\n}\n";
+        let m = model(src);
+        let b = &m.lock_facts[0].blocking;
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].held, "pipedepth-serve::other");
+    }
+
+    #[test]
+    fn metric_calls_and_name_tables_are_extracted() {
+        let src = "pub(crate) mod metric_names {\n    pub(crate) const T: [&str; 1] = [\"sim.x.events\"];\n}\n\
+                   fn f(t: &T) {\n    t.counter(\"sim.instructions\", 1);\n    t.gauge(\"sim.mips\", 2.0);\n}\n";
+        let m = model(src);
+        let got: Vec<(&str, MetricKind)> = m
+            .metrics
+            .iter()
+            .map(|u| (u.name.as_str(), u.kind))
+            .collect();
+        assert_eq!(
+            got,
+            [
+                ("sim.x.events", MetricKind::Counter),
+                ("sim.instructions", MetricKind::Counter),
+                ("sim.mips", MetricKind::Gauge),
+            ]
+        );
+    }
+
+    #[test]
+    fn flags_only_match_whole_flag_literals_in_binaries() {
+        let src = "fn main() {\n    let _ = (\"--quick\", \"--out\", \"try --quick first\", \"--\", \"--Bad\");\n}\n";
+        let m = FileModel::from_source(
+            "pipedepth-experiments",
+            "crates/experiments/src/bin/x.rs",
+            FileRole::Bin,
+            src,
+        );
+        let flags: Vec<&str> = m.flags.iter().map(|f| f.flag.as_str()).collect();
+        assert_eq!(flags, ["--quick", "--out"]);
+        let lib = model(src);
+        assert!(lib.flags.is_empty(), "flags only come from binary roots");
+    }
+
+    #[test]
+    fn cfg_test_items_are_invisible() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t(a: &M) { let g = a.x.lock(); a.h.join(); }\n}\n";
+        let m = model(src);
+        assert!(m.items.is_empty());
+        assert!(m.lock_facts.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! The checked-in telemetry registry: `telemetry.registry.toml`.
+//!
+//! Every metric name the workspace emits must be declared here with its
+//! instrument kind and owning crate; the `telemetry-contract` rule fails
+//! the scan on drift in either direction (an unregistered name in code, a
+//! dead registry entry, a kind mismatch, or an owner that never emits the
+//! metric). The format is the same tiny hand-parsed TOML subset the
+//! baseline uses:
+//!
+//! ```toml
+//! version = 1
+//!
+//! [[metric]]
+//! name = "serve.requests"
+//! kind = "counter"
+//! owner = "pipedepth-serve"
+//! ```
+
+use crate::model::{MetricKind, WorkspaceModel};
+use crate::rules::FileRole;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// The metric name as emitted.
+    pub name: String,
+    /// Instrument kind: `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// The crate that owns (emits) the metric.
+    pub owner: String,
+    /// 1-based line of the entry's `name =` key in the registry file.
+    pub line: u32,
+}
+
+/// The parsed registry, in file order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Registry {
+    /// Declared metrics.
+    pub entries: Vec<RegistryEntry>,
+}
+
+/// Parse state for one in-progress `[[metric]]` block:
+/// (name + its line, kind, owner), each `None` until seen.
+type PartialEntry = (Option<(String, u32)>, Option<String>, Option<String>);
+
+impl Registry {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Parses the registry file format. Unknown keys, duplicate names and
+    /// unknown kinds are rejected.
+    pub fn parse(text: &str) -> Result<Registry, String> {
+        let mut entries: Vec<RegistryEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+        let mut version_seen = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = (n + 1) as u32;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[metric]]" {
+                commit(&mut current, &mut entries, lineno)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (&mut current, key) {
+                (None, "version") => {
+                    if value != "1" {
+                        return Err(format!(
+                            "line {lineno}: unsupported registry version {value}"
+                        ));
+                    }
+                    version_seen = true;
+                }
+                (Some((name, _, _)), "name") => *name = Some((unquote(value, lineno)?, lineno)),
+                (Some((_, kind, _)), "kind") => {
+                    let k = unquote(value, lineno)?;
+                    if !matches!(k.as_str(), "counter" | "gauge" | "histogram") {
+                        return Err(format!(
+                            "line {lineno}: kind must be counter, gauge or histogram, got `{k}`"
+                        ));
+                    }
+                    *kind = Some(k);
+                }
+                (Some((_, _, owner)), "owner") => *owner = Some(unquote(value, lineno)?),
+                _ => return Err(format!("line {lineno}: unexpected key `{key}`")),
+            }
+        }
+        let last = text.lines().count() as u32;
+        commit(&mut current, &mut entries, last)?;
+        if !version_seen {
+            return Err("registry is missing `version = 1`".to_string());
+        }
+        Ok(Registry { entries })
+    }
+
+    /// Renders the registry in canonical name-sorted form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Telemetry metric registry for the pipedepth workspace.\n\
+             # Every metric name emitted in code must be declared here (and vice\n\
+             # versa) — the `telemetry-contract` rule fails the scan on drift.\n\
+             # Regenerate a draft with: cargo run -p pipedepth-analysis -- metrics\n\
+             version = 1\n",
+        );
+        let mut sorted: Vec<&RegistryEntry> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in sorted {
+            out.push_str(&format!(
+                "\n[[metric]]\nname = \"{}\"\nkind = \"{}\"\nowner = \"{}\"\n",
+                e.name, e.kind, e.owner
+            ));
+        }
+        out
+    }
+
+    /// Derives a registry draft from the scanned metric set: the kind of
+    /// a name's first use (file order) is canonical, the owner is the
+    /// lexicographically first emitting crate.
+    pub fn suggested(model: &WorkspaceModel) -> Registry {
+        let mut kinds: BTreeMap<&str, MetricKind> = BTreeMap::new();
+        let mut owners: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for file in &model.files {
+            if !matches!(file.role, FileRole::Lib | FileRole::Bin) {
+                continue;
+            }
+            for m in &file.metrics {
+                kinds.entry(m.name.as_str()).or_insert(m.kind);
+                owners
+                    .entry(m.name.as_str())
+                    .or_default()
+                    .insert(file.crate_name.as_str());
+            }
+        }
+        let entries = kinds
+            .iter()
+            .map(|(&name, &kind)| RegistryEntry {
+                name: name.to_string(),
+                kind: kind.as_str().to_string(),
+                owner: owners
+                    .get(name)
+                    .and_then(|s| s.iter().next())
+                    .copied()
+                    .unwrap_or("")
+                    .to_string(),
+                line: 0,
+            })
+            .collect();
+        Registry { entries }
+    }
+}
+
+fn commit(
+    current: &mut Option<PartialEntry>,
+    entries: &mut Vec<RegistryEntry>,
+    lineno: u32,
+) -> Result<(), String> {
+    let Some((name, kind, owner)) = current.take() else {
+        return Ok(());
+    };
+    match (name, kind, owner) {
+        (Some((name, line)), Some(kind), Some(owner)) => {
+            if entries.iter().any(|e| e.name == name) {
+                return Err(format!("duplicate registry entry for `{name}`"));
+            }
+            entries.push(RegistryEntry {
+                name,
+                kind,
+                owner,
+                line,
+            });
+            Ok(())
+        }
+        _ => Err(format!(
+            "entry ending near line {lineno} must set `name`, `kind` and `owner`"
+        )),
+    }
+}
+
+fn unquote(value: &str, lineno: u32) -> Result<String, String> {
+    let v = value.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+    v.map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let reg = Registry {
+            entries: vec![RegistryEntry {
+                name: "serve.requests".to_string(),
+                kind: "counter".to_string(),
+                owner: "pipedepth-serve".to_string(),
+                line: 0,
+            }],
+        };
+        let parsed = Registry::parse(&reg.render()).expect("round trip");
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(
+            parsed.get("serve.requests").map(|e| e.kind.as_str()),
+            Some("counter")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_duplicates() {
+        assert!(Registry::parse(
+            "version = 1\n[[metric]]\nname = \"x\"\nkind = \"timer\"\nowner = \"c\"\n"
+        )
+        .is_err());
+        assert!(Registry::parse(
+            "version = 1\n\
+             [[metric]]\nname = \"x\"\nkind = \"counter\"\nowner = \"c\"\n\
+             [[metric]]\nname = \"x\"\nkind = \"counter\"\nowner = \"c\"\n"
+        )
+        .is_err());
+    }
+}

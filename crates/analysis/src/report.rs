@@ -1,0 +1,148 @@
+//! Machine-readable output: a JSON report and GitHub workflow-command
+//! annotations. Both are rendered by hand (no dependencies) and are
+//! deterministic functions of the scan result, so byte-identical output
+//! across `--threads` settings follows from the engine's deterministic
+//! violation ordering.
+
+use crate::baseline::{Baseline, Ratchet, RatchetDelta};
+use crate::engine::AnalysisReport;
+use crate::rules::ALL_RULES;
+
+/// Renders the scan as a JSON document (schema version 1).
+///
+/// Every violation carries a `baselined` field telling whether a
+/// baseline grant covered it; the `ratchet` object mirrors the exit
+/// status (`clean`, plus the `new`/`stale` deltas).
+pub fn render_json(report: &AnalysisReport, recorded: &Baseline, ratchet: &Ratchet) -> String {
+    let covered = recorded.covered_mask(&report.violations);
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"summary\": {}}}{}\n",
+            json_str(rule.id),
+            json_str(rule.summary),
+            comma(i, ALL_RULES.len())
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"fingerprint\": {}, \
+             \"baselined\": {}, \"message\": {}}}{}\n",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&format!("{:016x}", v.fingerprint)),
+            covered.get(i).copied().unwrap_or(false),
+            json_str(&v.message),
+            comma(i, report.violations.len())
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ratchet\": {\n");
+    out.push_str(&format!("    \"clean\": {},\n", ratchet.is_clean()));
+    out.push_str("    \"new\": [\n");
+    render_deltas(&mut out, &ratchet.new);
+    out.push_str("    ],\n");
+    out.push_str("    \"stale\": [\n");
+    render_deltas(&mut out, &ratchet.stale);
+    out.push_str("    ]\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn render_deltas(out: &mut String, deltas: &[RatchetDelta]) {
+    for (i, d) in deltas.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"file\": {}, \"rule\": {}, \"fingerprint\": {}, \"line\": {}, \
+             \"actual\": {}, \"recorded\": {}}}{}\n",
+            json_str(&d.file),
+            json_str(&d.rule),
+            json_str(&format!("{:016x}", d.fingerprint)),
+            d.line,
+            d.actual,
+            d.recorded,
+            comma(i, deltas.len())
+        ));
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Renders GitHub workflow-command annotations: `::error` for every
+/// violation the baseline does not cover, `::warning` for stale grants.
+pub fn render_github(report: &AnalysisReport, recorded: &Baseline, ratchet: &Ratchet) -> String {
+    let mut out = String::new();
+    for v in recorded.unmatched(&report.violations) {
+        out.push_str(&format!(
+            "::error file={},line={},title=pipedepth-analysis {}::{}\n",
+            v.file,
+            v.line,
+            v.rule,
+            escape_property(&v.message)
+        ));
+    }
+    for d in &ratchet.stale {
+        out.push_str(&format!(
+            "::warning title=pipedepth-analysis stale baseline::{}\n",
+            escape_property(&format!(
+                "{d} — debt paid down; run `check --update-baseline` to ratchet"
+            ))
+        ));
+    }
+    out
+}
+
+/// Escapes a string for a GitHub workflow-command message position.
+fn escape_property(text: &str) -> String {
+    text.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Encodes a JSON string literal (quotes included).
+pub(crate) fn json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_escape_controls() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("em — dash"), "\"em — dash\"");
+    }
+
+    #[test]
+    fn github_messages_escape_newlines() {
+        assert_eq!(escape_property("a\nb%c"), "a%0Ab%25c");
+    }
+}

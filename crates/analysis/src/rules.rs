@@ -1,15 +1,22 @@
-//! The lint rules: determinism, panic paths, documentation.
+//! The per-file lint rules: determinism, panic paths, documentation.
 //!
 //! Every rule has a stable string id — the same id used in baseline
 //! entries and in escape comments (`// analysis: allow(<rule>) — reason`).
+//! The cross-file families (`lock-order`, `telemetry-contract`,
+//! `flag-doc-drift`, `determinism-taint`) live in the private `xrules` module but
+//! share this module's id registry.
 //!
 //! | id | enforces |
 //! |----|----------|
 //! | `hash-collections` | no `HashMap`/`HashSet` in non-test code — iteration order feeds artifacts |
 //! | `nondeterministic-time` | no `Instant`/`SystemTime` outside `pipedepth-telemetry` and the `repro` driver |
 //! | `panic-path` | no `.unwrap()`/`.expect()`/`panic!`/`todo!`/`unimplemented!` in library code |
-//! | `missing-docs` | every `pub` item of the root facade and `pipedepth-core` carries a doc comment |
+//! | `missing-docs` | every `pub` item of the documented crates carries a doc comment |
 //! | `escape-comment` | escape comments are well-formed, justified, and actually used |
+//! | `lock-order` | consistent workspace lock order; no guard held across blocking calls |
+//! | `telemetry-contract` | metric names in code ↔ `telemetry.registry.toml` |
+//! | `flag-doc-drift` | CLI flags in binaries ↔ EXPERIMENTS.md |
+//! | `determinism-taint` | no importing tainted `pub` signatures across crates |
 
 use crate::lexer::{Token, TokenKind};
 
@@ -37,6 +44,9 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
+    /// FNV-1a hash of the offending line's trimmed text (0 until the
+    /// engine attaches it) — the content key baseline entries match on.
+    pub fingerprint: u64,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -61,9 +71,17 @@ pub const PANIC_PATH: &str = "panic-path";
 pub const MISSING_DOCS: &str = "missing-docs";
 /// Escape-comment hygiene (malformed, unjustified or unused escapes).
 pub const ESCAPE_COMMENT: &str = "escape-comment";
+/// The workspace lock-acquisition-order rule.
+pub const LOCK_ORDER: &str = "lock-order";
+/// The metric-name ↔ registry reconciliation rule.
+pub const TELEMETRY_CONTRACT: &str = "telemetry-contract";
+/// The CLI-flag ↔ EXPERIMENTS.md reconciliation rule.
+pub const FLAG_DOC_DRIFT: &str = "flag-doc-drift";
+/// The cross-crate nondeterminism-taint rule.
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
 
 /// Every rule the engine knows, in reporting order.
-pub const ALL_RULES: [RuleInfo; 5] = [
+pub const ALL_RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: HASH_COLLECTIONS,
         summary: "forbid HashMap/HashSet (nondeterministic iteration order) outside tests",
@@ -84,6 +102,22 @@ pub const ALL_RULES: [RuleInfo; 5] = [
         id: ESCAPE_COMMENT,
         summary: "escape comments must name a known rule, give a reason, and suppress something",
     },
+    RuleInfo {
+        id: LOCK_ORDER,
+        summary: "forbid ABBA lock orders and guards held across join/wait/channel calls",
+    },
+    RuleInfo {
+        id: TELEMETRY_CONTRACT,
+        summary: "metric names must match telemetry.registry.toml in name, kind and owner",
+    },
+    RuleInfo {
+        id: FLAG_DOC_DRIFT,
+        summary: "CLI flags in binaries and EXPERIMENTS.md must agree in both directions",
+    },
+    RuleInfo {
+        id: DETERMINISM_TAINT,
+        summary: "forbid importing pub items whose signatures expose Instant/HashMap across crates",
+    },
 ];
 
 /// Whether `id` names a rule the engine knows.
@@ -99,12 +133,19 @@ const TIME_EXEMPT_CRATES: [&str; 1] = ["pipedepth-telemetry"];
 /// wall-clock phase timings into its (maskable) manifest fields.
 const TIME_EXEMPT_FILES: [&str; 1] = ["crates/experiments/src/bin/repro.rs"];
 
+/// Whether the time rule (and time-based determinism taint) exempts
+/// this crate/file pair.
+pub(crate) fn is_time_exempt(crate_name: &str, rel_path: &str) -> bool {
+    TIME_EXEMPT_CRATES.contains(&crate_name) || TIME_EXEMPT_FILES.contains(&rel_path)
+}
+
 /// Crates whose `pub` items must be documented.
-const DOC_CRATES: [&str; 4] = [
+const DOC_CRATES: [&str; 5] = [
     "pipedepth",
     "pipedepth-core",
     "pipedepth-sim",
     "pipedepth-serve",
+    "pipedepth-analysis",
 ];
 
 /// Everything the rules need to know about one file.
@@ -118,27 +159,31 @@ pub struct FileContext<'a> {
     pub role: FileRole,
 }
 
-/// Runs every applicable rule over one lexed file and resolves escape
-/// comments, returning the surviving violations.
+/// Runs every applicable per-file rule over one lexed file, returning
+/// raw (pre-escape-resolution) violations. The engine resolves escapes
+/// afterwards, once cross-file violations for the file are also known.
 ///
 /// Tests, benches and examples are exempt from every rule, escape
 /// validation included — fixture files under `tests/` may contain
 /// arbitrary (even deliberately malformed) source.
-pub fn lint_tokens(ctx: &FileContext<'_>, tokens: &[Token<'_>]) -> Vec<Violation> {
+pub(crate) fn per_file_violations(
+    ctx: &FileContext<'_>,
+    tokens: &[Token<'_>],
+    in_test: &[bool],
+) -> Vec<Violation> {
     if !matches!(ctx.role, FileRole::Lib | FileRole::Bin) {
         return Vec::new();
     }
-    let in_test = test_spans(tokens);
     let mut raw = Vec::new();
-    check_hash_collections(ctx, tokens, &in_test, &mut raw);
-    check_time_sources(ctx, tokens, &in_test, &mut raw);
+    check_hash_collections(ctx, tokens, in_test, &mut raw);
+    check_time_sources(ctx, tokens, in_test, &mut raw);
     if ctx.role == FileRole::Lib {
-        check_panic_paths(ctx, tokens, &in_test, &mut raw);
+        check_panic_paths(ctx, tokens, in_test, &mut raw);
         if DOC_CRATES.contains(&ctx.crate_name) {
-            check_missing_docs(ctx, tokens, &in_test, &mut raw);
+            check_missing_docs(ctx, tokens, in_test, &mut raw);
         }
     }
-    apply_escapes(ctx, tokens, raw)
+    raw
 }
 
 fn violation(ctx: &FileContext<'_>, rule: &'static str, line: u32, message: String) -> Violation {
@@ -146,6 +191,7 @@ fn violation(ctx: &FileContext<'_>, rule: &'static str, line: u32, message: Stri
         rule,
         file: ctx.rel_path.to_string(),
         line,
+        fingerprint: 0,
         message,
     }
 }
@@ -155,9 +201,10 @@ fn violation(ctx: &FileContext<'_>, rule: &'static str, line: u32, message: Stri
 // ---------------------------------------------------------------------------
 
 /// Marks every token that sits inside a `#[cfg(test)]`- or
-/// `#[test]`-gated item (the item's attributes included), so rules can
-/// exempt unit-test code embedded in library files.
-fn test_spans(tokens: &[Token<'_>]) -> Vec<bool> {
+/// `#[test]`-gated item (the item's attributes included), so rules and
+/// the semantic model can exempt unit-test code embedded in library
+/// files.
+pub(crate) fn test_spans(tokens: &[Token<'_>]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -302,7 +349,7 @@ fn check_time_sources(
     in_test: &[bool],
     out: &mut Vec<Violation>,
 ) {
-    if TIME_EXEMPT_CRATES.contains(&ctx.crate_name) || TIME_EXEMPT_FILES.contains(&ctx.rel_path) {
+    if is_time_exempt(ctx.crate_name, ctx.rel_path) {
         return;
     }
     for (i, tok) in tokens.iter().enumerate() {
@@ -499,130 +546,13 @@ fn has_doc_comment(tokens: &[Token<'_>], i: usize) -> bool {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Escape comments
-// ---------------------------------------------------------------------------
-
-/// A parsed `// analysis: allow(<rule>) — <reason>` comment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Escape {
-    rule: String,
-    line: u32,
-    /// Standalone comments (first token on their line) also cover the
-    /// next code line — intervening comment or blank lines (a wrapped
-    /// reason) do not break the association. Trailing comments cover
-    /// only their own line.
-    covers: Option<u32>,
-}
-
-/// Parses escape comments, suppresses matching violations, and emits
-/// `escape-comment` violations for malformed, unknown-rule, unjustified
-/// or unused escapes.
-fn apply_escapes(
-    ctx: &FileContext<'_>,
-    tokens: &[Token<'_>],
-    raw: Vec<Violation>,
-) -> Vec<Violation> {
-    let code_lines: std::collections::BTreeSet<u32> = tokens
-        .iter()
-        .filter(|t| !t.is_comment())
-        .map(|t| t.line)
-        .collect();
-    let mut escapes: Vec<Escape> = Vec::new();
-    let mut out: Vec<Violation> = Vec::new();
-    for tok in tokens {
-        if tok.kind != TokenKind::LineComment {
-            continue;
-        }
-        let body = tok.text.trim_start_matches('/').trim();
-        let Some(rest) = body.strip_prefix("analysis:") else {
-            continue;
-        };
-        match parse_escape(rest) {
-            Ok(rule) if !is_known_rule(&rule) => out.push(violation(
-                ctx,
-                ESCAPE_COMMENT,
-                tok.line,
-                format!("escape comment names unknown rule `{rule}`"),
-            )),
-            Ok(rule) => escapes.push(Escape {
-                rule,
-                line: tok.line,
-                covers: if tok.first_on_line {
-                    code_lines.range(tok.line + 1..).next().copied()
-                } else {
-                    None
-                },
-            }),
-            Err(why) => out.push(violation(ctx, ESCAPE_COMMENT, tok.line, why)),
-        }
-    }
-    let mut used = vec![false; escapes.len()];
-    for v in raw {
-        let suppressed = escapes
-            .iter()
-            .enumerate()
-            .find(|(_, e)| e.rule == v.rule && (e.line == v.line || e.covers == Some(v.line)));
-        match suppressed {
-            Some((idx, _)) => used[idx] = true,
-            None => out.push(v),
-        }
-    }
-    for (e, _) in escapes.iter().zip(&used).filter(|(_, &u)| !u) {
-        out.push(violation(
-            ctx,
-            ESCAPE_COMMENT,
-            e.line,
-            format!(
-                "escape comment for `{}` suppresses nothing on its line (or the next \
-                 code line); remove it",
-                e.rule
-            ),
-        ));
-    }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
-}
-
-/// Parses the tail of an escape comment after `analysis:`. The grammar is
-/// `allow(<rule>) — <reason>`; the separator may be `—`, `--` or `:`, and
-/// the reason must be non-empty.
-fn parse_escape(rest: &str) -> Result<String, String> {
-    let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix("allow(") else {
-        return Err("escape comment must read `analysis: allow(<rule>) — <reason>`".to_string());
-    };
-    let Some(close) = rest.find(')') else {
-        return Err("escape comment is missing `)` after the rule name".to_string());
-    };
-    let rule = rest[..close].trim().to_string();
-    let tail = rest[close + 1..].trim_start();
-    let reason = ["—", "--", ":"]
-        .iter()
-        .find_map(|sep| tail.strip_prefix(sep))
-        .map(str::trim)
-        .unwrap_or("");
-    if reason.is_empty() {
-        return Err(format!(
-            "escape for `{rule}` must give a reason: `analysis: allow({rule}) — <why>`"
-        ));
-    }
-    Ok(rule)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::engine::lint_source;
 
     fn lint(role: FileRole, crate_name: &str, src: &str) -> Vec<Violation> {
-        let tokens = lex(src);
-        let ctx = FileContext {
-            crate_name,
-            rel_path: "crates/x/src/lib.rs",
-            role,
-        };
-        lint_tokens(&ctx, &tokens)
+        lint_source(crate_name, "crates/x/src/lib.rs", role, src)
     }
 
     #[test]

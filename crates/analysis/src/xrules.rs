@@ -1,0 +1,402 @@
+//! Cross-file rule families over the [`crate::model::WorkspaceModel`].
+//!
+//! | id | enforces |
+//! |----|----------|
+//! | `lock-order` | a consistent workspace-wide lock acquisition order; no guard held across `.join()`/`wait`/channel calls |
+//! | `telemetry-contract` | metric names in code ↔ `telemetry.registry.toml`, with stable kinds and true owners |
+//! | `flag-doc-drift` | CLI flags in binaries ↔ flags documented in EXPERIMENTS.md |
+//! | `determinism-taint` | no importing another crate's `pub` items whose signatures expose `Instant`/`HashMap`/… |
+//!
+//! Each check is a pure function of extracted facts; the engine attaches
+//! escapes, fingerprints and ordering afterwards.
+
+use crate::model::{is_time_taint, MetricUse, WorkspaceModel};
+use crate::registry::Registry;
+use crate::rules::{
+    self, FileRole, Violation, DETERMINISM_TAINT, FLAG_DOC_DRIFT, LOCK_ORDER, TELEMETRY_CONTRACT,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn violation(rule: &'static str, file: &str, line: u32, message: String) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line,
+        fingerprint: 0,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+/// Flags (a) lock pairs acquired in both orders anywhere in the
+/// workspace — the classic ABBA deadlock shape — and (b) potentially
+/// blocking calls made while a guard is lexically live.
+pub(crate) fn check_lock_order(model: &WorkspaceModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (held, acquired) -> every site exhibiting that order.
+    type Site<'a> = (&'a str, &'a str, u32); // file, fn, line
+    let mut orders: BTreeMap<(&str, &str), Vec<Site<'_>>> = BTreeMap::new();
+    for file in &model.files {
+        for facts in &file.lock_facts {
+            for e in &facts.edges {
+                orders
+                    .entry((e.held.as_str(), e.acquired.as_str()))
+                    .or_default()
+                    .push((file.rel_path.as_str(), facts.name.as_str(), e.line));
+            }
+        }
+    }
+    for (&(a, b), sites) in &orders {
+        if a >= b {
+            continue; // visit each unordered pair once, from its (a<b) side
+        }
+        let Some(reverse) = orders.get(&(b, a)) else {
+            continue;
+        };
+        for &(file, fn_name, line) in sites {
+            let &(rfile, rfn, rline) = &reverse[0];
+            out.push(violation(
+                LOCK_ORDER,
+                file,
+                line,
+                format!(
+                    "fn `{fn_name}` acquires `{b}` while holding `{a}`, but fn `{rfn}` \
+                     ({rfile}:{rline}) acquires them in the opposite order — an ABBA \
+                     deadlock shape; pick one order or justify with an escape comment"
+                ),
+            ));
+        }
+        for &(file, fn_name, line) in reverse {
+            let &(rfile, rfn, rline) = &sites[0];
+            out.push(violation(
+                LOCK_ORDER,
+                file,
+                line,
+                format!(
+                    "fn `{fn_name}` acquires `{a}` while holding `{b}`, but fn `{rfn}` \
+                     ({rfile}:{rline}) acquires them in the opposite order — an ABBA \
+                     deadlock shape; pick one order or justify with an escape comment"
+                ),
+            ));
+        }
+    }
+    for file in &model.files {
+        for facts in &file.lock_facts {
+            for b in &facts.blocking {
+                out.push(violation(
+                    LOCK_ORDER,
+                    &file.rel_path,
+                    b.line,
+                    format!(
+                        "fn `{}` calls `{}` while the guard of `{}` (acquired at line {}) \
+                         is live; a thread needing that lock to make progress deadlocks — \
+                         drop the guard first or justify with an escape comment",
+                        facts.name, b.method, b.held, b.held_line
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// telemetry-contract
+// ---------------------------------------------------------------------------
+
+/// Reconciles metric names in code with the checked-in registry:
+/// unregistered names, dead entries, kind conflicts (in code or vs the
+/// registry) and owners that never emit the metric all fail.
+pub(crate) fn check_telemetry_contract(
+    model: &WorkspaceModel,
+    registry: &Registry,
+    registry_rel_path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // name -> uses in (file order, line order); plus the crates emitting it.
+    let mut uses: BTreeMap<&str, Vec<(&str, &MetricUse)>> = BTreeMap::new();
+    let mut emitters: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for file in &model.files {
+        for m in &file.metrics {
+            uses.entry(m.name.as_str())
+                .or_default()
+                .push((file.rel_path.as_str(), m));
+            emitters
+                .entry(m.name.as_str())
+                .or_default()
+                .insert(file.crate_name.as_str());
+        }
+    }
+    for (&name, sites) in &uses {
+        let (first_file, first) = sites[0];
+        for &(file, m) in &sites[1..] {
+            if m.kind != first.kind {
+                out.push(violation(
+                    TELEMETRY_CONTRACT,
+                    file,
+                    m.line,
+                    format!(
+                        "metric `{name}` is used as a {} here but as a {} at \
+                         {first_file}:{} — one name, one instrument kind",
+                        m.kind.as_str(),
+                        first.kind.as_str(),
+                        first.line
+                    ),
+                ));
+            }
+        }
+        match registry.get(name) {
+            None => out.push(violation(
+                TELEMETRY_CONTRACT,
+                first_file,
+                first.line,
+                format!(
+                    "metric `{name}` is not registered in {registry_rel_path}; add a \
+                     [[metric]] entry (draft one with `pipedepth-analysis metrics`)"
+                ),
+            )),
+            Some(entry) => {
+                if entry.kind != first.kind.as_str() {
+                    out.push(violation(
+                        TELEMETRY_CONTRACT,
+                        first_file,
+                        first.line,
+                        format!(
+                            "metric `{name}` is emitted as a {} but registered as a {} \
+                             in {registry_rel_path}:{}",
+                            first.kind.as_str(),
+                            entry.kind,
+                            entry.line
+                        ),
+                    ));
+                }
+                if !emitters
+                    .get(name)
+                    .map(|e| e.contains(entry.owner.as_str()))
+                    .unwrap_or(false)
+                {
+                    out.push(violation(
+                        TELEMETRY_CONTRACT,
+                        registry_rel_path,
+                        entry.line,
+                        format!(
+                            "registry owner `{}` never emits metric `{name}` (emitted by: {})",
+                            entry.owner,
+                            emitters
+                                .get(name)
+                                .map(|e| { e.iter().copied().collect::<Vec<_>>().join(", ") })
+                                .unwrap_or_default()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for entry in &registry.entries {
+        if !uses.contains_key(entry.name.as_str()) {
+            out.push(violation(
+                TELEMETRY_CONTRACT,
+                registry_rel_path,
+                entry.line,
+                format!(
+                    "registry entry `{}` matches no metric in the scanned source — \
+                     dead entry; remove it or restore the emission",
+                    entry.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// flag-doc-drift
+// ---------------------------------------------------------------------------
+
+/// Cargo's own flags, which may legitimately appear in EXPERIMENTS.md
+/// prose without any workspace binary defining them.
+const CARGO_FLAGS: [&str; 9] = [
+    "--release",
+    "--workspace",
+    "--no-default-features",
+    "--no-run",
+    "--no-deps",
+    "--all-targets",
+    "--check",
+    "--quiet",
+    "--features",
+];
+
+/// Flags every binary gets for free and nobody documents.
+const UNDOCUMENTED_OK: [&str; 1] = ["--help"];
+
+/// Reconciles CLI flag literals in binary roots with the flags mentioned
+/// in EXPERIMENTS.md, in both directions.
+pub(crate) fn check_flag_doc_drift(
+    model: &WorkspaceModel,
+    doc_text: &str,
+    doc_rel_path: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // flag -> first definition site across all binaries.
+    let mut defined: BTreeMap<&str, (&str, u32)> = BTreeMap::new();
+    for file in &model.files {
+        if file.role != FileRole::Bin {
+            continue;
+        }
+        for f in &file.flags {
+            defined
+                .entry(f.flag.as_str())
+                .or_insert((file.rel_path.as_str(), f.line));
+        }
+    }
+    let documented = doc_flags(doc_text);
+    for (&flag, &(file, line)) in &defined {
+        if UNDOCUMENTED_OK.contains(&flag) {
+            continue;
+        }
+        if !documented.contains_key(flag) {
+            out.push(violation(
+                FLAG_DOC_DRIFT,
+                file,
+                line,
+                format!("CLI flag `{flag}` is not documented in {doc_rel_path}"),
+            ));
+        }
+    }
+    for (flag, &line) in &documented {
+        if defined.contains_key(flag.as_str()) || CARGO_FLAGS.contains(&flag.as_str()) {
+            continue;
+        }
+        out.push(violation(
+            FLAG_DOC_DRIFT,
+            doc_rel_path,
+            line,
+            format!("{doc_rel_path} documents flag `{flag}`, which no workspace binary defines"),
+        ));
+    }
+    out
+}
+
+/// Extracts `--flag` mentions from the documentation, mapped to their
+/// first line. On lines invoking cargo (`cargo run …`), only text after a
+/// bare ` -- ` separator counts — flags before it belong to cargo, flags
+/// after it to the workspace binary.
+fn doc_flags(doc: &str) -> BTreeMap<String, u32> {
+    let mut out: BTreeMap<String, u32> = BTreeMap::new();
+    for (n, raw) in doc.lines().enumerate() {
+        let line = (n + 1) as u32;
+        let mut text = raw;
+        if raw.contains("cargo ") {
+            match raw.find(" -- ") {
+                Some(pos) => text = &raw[pos + 4..],
+                None => continue,
+            }
+        }
+        let bytes = text.as_bytes();
+        let mut i = 0usize;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b'-' && bytes[i + 1] == b'-' {
+                let before_ok =
+                    i == 0 || !(bytes[i - 1] == b'-' || bytes[i - 1].is_ascii_alphanumeric());
+                let mut j = i + 2;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_lowercase()
+                        || bytes[j].is_ascii_digit()
+                        || bytes[j] == b'-')
+                {
+                    j += 1;
+                }
+                let mut end = j;
+                while end > i + 2 && bytes[end - 1] == b'-' {
+                    end -= 1;
+                }
+                if before_ok && end > i + 2 {
+                    if let Ok(flag) = std::str::from_utf8(&bytes[i..end]) {
+                        out.entry(flag.to_string()).or_insert(line);
+                    }
+                }
+                i = j.max(i + 2);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+// ---------------------------------------------------------------------------
+
+/// Follows one hop of the use-graph: importing another crate's `pub`
+/// item whose signature exposes a nondeterminism source re-introduces
+/// the hazard the per-file rules would have caught locally.
+pub(crate) fn check_determinism_taint(model: &WorkspaceModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let workspace_crates: BTreeSet<&str> =
+        model.files.iter().map(|f| f.crate_name.as_str()).collect();
+    for file in &model.files {
+        if !matches!(file.role, FileRole::Lib | FileRole::Bin) {
+            continue;
+        }
+        for imp in &file.imports {
+            let source_crate = imp.crate_ref().replace('_', "-");
+            if source_crate == file.crate_name || !workspace_crates.contains(source_crate.as_str())
+            {
+                continue;
+            }
+            let leaf = imp.leaf();
+            for export in model.tainted_of(&source_crate) {
+                let matches_leaf = leaf == "*" || export.item == leaf;
+                if !matches_leaf {
+                    continue;
+                }
+                if is_time_taint(export.via)
+                    && rules::is_time_exempt(&file.crate_name, &file.rel_path)
+                {
+                    continue;
+                }
+                out.push(violation(
+                    DETERMINISM_TAINT,
+                    &file.rel_path,
+                    imp.line,
+                    format!(
+                        "`use {}` imports `{}`, whose public signature in `{source_crate}` \
+                         exposes nondeterministic `{}` — tainted helpers must not cross \
+                         into deterministic crates",
+                        imp.path.join("::"),
+                        export.item,
+                        export.via
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_flags_respect_cargo_separator() {
+        let doc = "Run `cargo run --release -p x -- --quick --out d`.\n\
+                   The server takes `--port` and `--threads`.\n\
+                   cargo build --workspace\n";
+        let flags = doc_flags(doc);
+        let names: Vec<&str> = flags.keys().map(String::as_str).collect();
+        assert_eq!(names, ["--out", "--port", "--quick", "--threads"]);
+    }
+
+    #[test]
+    fn doc_flags_ignore_em_dashes_and_separators() {
+        let flags = doc_flags("a — b, and a bare -- separator, then --real-flag\n");
+        let names: Vec<&str> = flags.keys().map(String::as_str).collect();
+        assert_eq!(names, ["--real-flag"]);
+    }
+}

@@ -1,8 +1,12 @@
 //! The ratchet contract: recorded debt passes, new debt fails, paid-off
-//! debt fails until the baseline is regenerated, and regeneration is a
-//! parse/render round trip.
+//! debt fails until the baseline is regenerated, regeneration is a
+//! parse/render round trip — and, because grants are keyed by the
+//! offending line's content fingerprint, edits elsewhere in a file do
+//! not churn the ledger.
 
-use pipedepth_analysis::{lint_source, AnalysisReport, Baseline, FileRole};
+use pipedepth_analysis::{
+    fingerprint_line, lint_source, AnalysisReport, Baseline, FileRole, WorkspaceModel,
+};
 
 fn report_of(sources: &[(&str, &str)]) -> AnalysisReport {
     let mut violations = Vec::new();
@@ -12,6 +16,7 @@ fn report_of(sources: &[(&str, &str)]) -> AnalysisReport {
     AnalysisReport {
         files_scanned: sources.len(),
         violations,
+        model: WorkspaceModel::default(),
     }
 }
 
@@ -32,9 +37,9 @@ fn new_debt_fails_even_in_an_already_dirty_file() {
     let two = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
     let after = report_of(&[("crates/sim/src/a.rs", two)]);
     let ratchet = after.ratchet(&recorded);
-    assert_eq!(ratchet.new.len(), 1);
-    assert_eq!(ratchet.new[0].actual, 2);
-    assert_eq!(ratchet.new[0].recorded, 1);
+    assert_eq!(ratchet.new.len(), 1, "the HashSet line is a new grant key");
+    assert_eq!(ratchet.new[0].actual, 1);
+    assert_eq!(ratchet.new[0].recorded, 0);
     assert!(ratchet.stale.is_empty());
 }
 
@@ -62,6 +67,40 @@ fn debt_moving_between_files_is_both_new_and_stale() {
 }
 
 #[test]
+fn inserting_lines_above_a_baselined_violation_does_not_churn() {
+    let recorded = report_of(&[("crates/sim/src/a.rs", DIRTY)]).to_baseline();
+    // The violation drifts from line 1 to line 3; its text is unchanged,
+    // so the fingerprint-keyed grant still covers it.
+    let shifted = "//! Module docs.\npub fn clean() {}\nuse std::collections::HashMap;\n";
+    let after = report_of(&[("crates/sim/src/a.rs", shifted)]);
+    assert_eq!(after.violations[0].line, 3, "the violation really moved");
+    assert!(
+        after.ratchet(&recorded).is_clean(),
+        "a pure line shift must not invalidate the grant"
+    );
+}
+
+#[test]
+fn changing_the_offending_line_text_is_new_debt() {
+    let recorded = report_of(&[("crates/sim/src/a.rs", DIRTY)]).to_baseline();
+    // Same file, same rule, same line number — different line text.
+    let rewritten = "use std::collections::HashMap as Cache;\n";
+    let after = report_of(&[("crates/sim/src/a.rs", rewritten)]);
+    let ratchet = after.ratchet(&recorded);
+    assert_eq!(ratchet.new.len(), 1, "a rewritten line is a new grant key");
+    assert_eq!(ratchet.stale.len(), 1, "and the old grant is revoked");
+}
+
+#[test]
+fn violations_carry_their_lines_content_fingerprint() {
+    let report = report_of(&[("crates/sim/src/a.rs", DIRTY)]);
+    assert_eq!(
+        report.violations[0].fingerprint,
+        fingerprint_line("use std::collections::HashMap;")
+    );
+}
+
+#[test]
 fn baseline_file_round_trips_through_render_and_parse() {
     let report = report_of(&[
         ("crates/sim/src/a.rs", DIRTY),
@@ -74,4 +113,13 @@ fn baseline_file_round_trips_through_render_and_parse() {
     let parsed = Baseline::parse(&baseline.render()).expect("canonical render parses");
     assert_eq!(parsed, baseline);
     assert!(report.ratchet(&parsed).is_clean());
+}
+
+#[test]
+fn legacy_count_keyed_baselines_are_rejected_with_guidance() {
+    let legacy = "version = 1\n\n[[grant]]\nfile = \"crates/sim/src/a.rs\"\n\
+                  rule = \"hash-collections\"\ncount = 1\n";
+    let err = Baseline::parse(legacy).expect_err("v1 must not parse");
+    assert!(err.contains("legacy"), "unhelpful error: {err}");
+    assert!(err.contains("--update-baseline"), "unhelpful error: {err}");
 }

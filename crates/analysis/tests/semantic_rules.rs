@@ -1,0 +1,445 @@
+//! Fixture suites for the four cross-file rule families, run through the
+//! in-memory workspace so each case states its whole world: sources,
+//! registry, documentation. Every family gets a positive case (the rule
+//! fires), a negative case (a near miss stays clean) and an escape case
+//! (a justified `// analysis: allow(...)` suppresses the finding).
+
+use pipedepth_analysis::{analyze_sources, FileRole, MemSource, MemWorkspace, Violation};
+
+fn lib(crate_name: &str, rel_path: &str, text: &str) -> MemSource {
+    MemSource {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        role: FileRole::Lib,
+        text: text.to_string(),
+    }
+}
+
+fn bin(crate_name: &str, rel_path: &str, text: &str) -> MemSource {
+    MemSource {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        role: FileRole::Bin,
+        text: text.to_string(),
+    }
+}
+
+fn scan(ws: &MemWorkspace) -> Vec<Violation> {
+    analyze_sources(ws)
+        .expect("in-memory scan succeeds")
+        .violations
+        .into_iter()
+        .collect()
+}
+
+fn of<'a>(violations: &'a [Violation], rule: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+const ABBA: &str = "\
+pub fn forward(s: &S) {
+    let a = s.slots.lock();
+    let b = s.queue.lock();
+    drop(b);
+    drop(a);
+}
+pub fn backward(s: &S) {
+    let b = s.queue.lock();
+    let a = s.slots.lock();
+    drop(a);
+    drop(b);
+}
+";
+
+#[test]
+fn lock_order_flags_abba_pairs_across_functions() {
+    let ws = MemWorkspace {
+        sources: vec![lib("pipedepth-serve", "crates/serve/src/batch.rs", ABBA)],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "lock-order");
+    assert_eq!(hits.len(), 2, "one finding per conflicting site: {vs:?}");
+    assert!(
+        hits[0].message.contains("opposite order"),
+        "{}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn lock_order_is_quiet_for_consistent_nesting() {
+    let consistent = "\
+pub fn one(s: &S) { let a = s.slots.lock(); let b = s.queue.lock(); drop(b); drop(a); }
+pub fn two(s: &S) { let a = s.slots.lock(); let b = s.queue.lock(); drop(b); drop(a); }
+";
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/batch.rs",
+            consistent,
+        )],
+        ..MemWorkspace::default()
+    };
+    assert!(of(&scan(&ws), "lock-order").is_empty());
+}
+
+#[test]
+fn lock_order_flags_join_under_a_live_guard() {
+    let src = "\
+pub fn drain(s: &S, h: std::thread::JoinHandle<()>) {
+    let g = s.slots.lock();
+    h.join();
+    drop(g);
+}
+";
+    let ws = MemWorkspace {
+        sources: vec![lib("pipedepth-serve", "crates/serve/src/batch.rs", src)],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "lock-order");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert!(hits[0].message.contains("join"), "{}", hits[0].message);
+}
+
+#[test]
+fn lock_order_escape_comment_suppresses_the_finding() {
+    let src = "\
+pub fn drain(s: &S, h: std::thread::JoinHandle<()>) {
+    let g = s.slots.lock();
+    // analysis: allow(lock-order) — worker thread never takes this lock
+    h.join();
+    drop(g);
+}
+";
+    let ws = MemWorkspace {
+        sources: vec![lib("pipedepth-serve", "crates/serve/src/batch.rs", src)],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    assert!(of(&vs, "lock-order").is_empty(), "{vs:?}");
+    assert!(
+        of(&vs, "escape-comment").is_empty(),
+        "escape must count as used: {vs:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// telemetry-contract
+// ---------------------------------------------------------------------------
+
+const EMITTER: &str = "pub fn go(t: &T) { t.counter(\"serve.requests\", 1); }\n";
+const REGISTERED: &str = "\
+version = 1
+[[metric]]
+name = \"serve.requests\"
+kind = \"counter\"
+owner = \"pipedepth-serve\"
+";
+
+#[test]
+fn telemetry_contract_accepts_a_registered_metric() {
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/service.rs",
+            EMITTER,
+        )],
+        registry_toml: REGISTERED.to_string(),
+        ..MemWorkspace::default()
+    };
+    assert!(of(&scan(&ws), "telemetry-contract").is_empty());
+}
+
+#[test]
+fn telemetry_contract_flags_an_unregistered_metric() {
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/service.rs",
+            EMITTER,
+        )],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "telemetry-contract");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert!(hits[0].message.contains("serve.requests"));
+    assert_eq!(hits[0].file, "crates/serve/src/service.rs");
+}
+
+#[test]
+fn telemetry_contract_flags_a_dead_registry_entry() {
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/service.rs",
+            "pub fn go() {}\n",
+        )],
+        registry_toml: REGISTERED.to_string(),
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "telemetry-contract");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert!(
+        hits[0].message.contains("dead entry"),
+        "{}",
+        hits[0].message
+    );
+    assert_eq!(hits[0].file, "telemetry.registry.toml");
+}
+
+#[test]
+fn telemetry_contract_flags_a_kind_conflict_with_the_registry() {
+    let gauge_emitter = "pub fn go(t: &T) { t.gauge(\"serve.requests\", 1.0); }\n";
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/service.rs",
+            gauge_emitter,
+        )],
+        registry_toml: REGISTERED.to_string(),
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "telemetry-contract");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert!(hits[0].message.contains("counter"), "{}", hits[0].message);
+    assert!(hits[0].message.contains("gauge"), "{}", hits[0].message);
+}
+
+#[test]
+fn telemetry_contract_flags_conflicting_kinds_between_call_sites() {
+    let two_kinds = "\
+pub fn a(t: &T) { t.counter(\"serve.mixed\", 1); }
+pub fn b(t: &T) { t.histogram(\"serve.mixed\", 2.0); }
+";
+    let registry = "\
+version = 1
+[[metric]]
+name = \"serve.mixed\"
+kind = \"counter\"
+owner = \"pipedepth-serve\"
+";
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-serve",
+            "crates/serve/src/service.rs",
+            two_kinds,
+        )],
+        registry_toml: registry.to_string(),
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    assert!(
+        !of(&vs, "telemetry-contract").is_empty(),
+        "same name used as counter and histogram must fail: {vs:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// flag-doc-drift
+// ---------------------------------------------------------------------------
+
+const FLAG_BIN: &str = "\
+pub fn parse(args: &[String]) -> bool {
+    args.iter().any(|a| a == \"--fast-mode\")
+}
+fn main() {}
+";
+
+#[test]
+fn flag_doc_drift_accepts_a_documented_flag() {
+    let ws = MemWorkspace {
+        sources: vec![bin(
+            "pipedepth-experiments",
+            "crates/experiments/src/bin/x.rs",
+            FLAG_BIN,
+        )],
+        experiments_md: "Use `--fast-mode` to skip warmup.\n".to_string(),
+        ..MemWorkspace::default()
+    };
+    assert!(of(&scan(&ws), "flag-doc-drift").is_empty());
+}
+
+#[test]
+fn flag_doc_drift_flags_an_undocumented_flag_at_its_definition() {
+    let ws = MemWorkspace {
+        sources: vec![bin(
+            "pipedepth-experiments",
+            "crates/experiments/src/bin/x.rs",
+            FLAG_BIN,
+        )],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "flag-doc-drift");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert_eq!(hits[0].file, "crates/experiments/src/bin/x.rs");
+    assert!(hits[0].message.contains("--fast-mode"));
+}
+
+#[test]
+fn flag_doc_drift_flags_a_documented_ghost_flag_at_its_doc_line() {
+    let ws = MemWorkspace {
+        sources: vec![bin(
+            "pipedepth-experiments",
+            "crates/experiments/src/bin/x.rs",
+            FLAG_BIN,
+        )],
+        experiments_md: "Use `--fast-mode`.\n\nAlso try `--turbo`.\n".to_string(),
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "flag-doc-drift");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert_eq!(hits[0].file, "EXPERIMENTS.md");
+    assert_eq!(hits[0].line, 3);
+    assert!(hits[0].message.contains("--turbo"));
+}
+
+#[test]
+fn flag_doc_drift_ignores_cargo_flags_before_the_separator() {
+    let doc = "Run `cargo run --release -p pipedepth-experiments -- --fast-mode`.\n";
+    let ws = MemWorkspace {
+        sources: vec![bin(
+            "pipedepth-experiments",
+            "crates/experiments/src/bin/x.rs",
+            FLAG_BIN,
+        )],
+        experiments_md: doc.to_string(),
+        ..MemWorkspace::default()
+    };
+    assert!(
+        of(&scan(&ws), "flag-doc-drift").is_empty(),
+        "--release belongs to cargo, --fast-mode is documented"
+    );
+}
+
+#[test]
+fn flag_doc_drift_flags_in_library_files_do_not_count_as_definitions() {
+    let ws = MemWorkspace {
+        sources: vec![lib(
+            "pipedepth-experiments",
+            "crates/experiments/src/lib.rs",
+            FLAG_BIN,
+        )],
+        ..MemWorkspace::default()
+    };
+    assert!(
+        of(&scan(&ws), "flag-doc-drift").is_empty(),
+        "only binary roots define CLI flags"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// determinism-taint
+// ---------------------------------------------------------------------------
+
+const TAINTED_EXPORTER: &str = "\
+/// Re-exported clock — fine inside the exempt telemetry crate.
+pub use std::time::Instant as Clock;
+";
+
+#[test]
+fn determinism_taint_flags_importing_a_tainted_reexport() {
+    let consumer = "use pipedepth_telemetry::Clock;\npub fn f() {}\n";
+    let ws = MemWorkspace {
+        sources: vec![
+            lib(
+                "pipedepth-telemetry",
+                "crates/telemetry/src/lib.rs",
+                TAINTED_EXPORTER,
+            ),
+            lib("pipedepth-sim", "crates/sim/src/engine.rs", consumer),
+        ],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let hits = of(&vs, "determinism-taint");
+    assert_eq!(hits.len(), 1, "{vs:?}");
+    assert_eq!(hits[0].file, "crates/sim/src/engine.rs");
+    assert!(hits[0].message.contains("Instant"), "{}", hits[0].message);
+}
+
+#[test]
+fn determinism_taint_allows_untainted_imports_and_exempt_consumers() {
+    let clean_export = "/// A plain helper.\npub fn now_label() -> &'static str { \"t\" }\n";
+    let consumer = "use pipedepth_telemetry::now_label;\npub fn f() {}\n";
+    let exempt_consumer = "use pipedepth_telemetry::Clock;\npub fn g() {}\n";
+    let ws = MemWorkspace {
+        sources: vec![
+            lib(
+                "pipedepth-telemetry",
+                "crates/telemetry/src/lib.rs",
+                TAINTED_EXPORTER,
+            ),
+            lib(
+                "pipedepth-telemetry",
+                "crates/telemetry/src/capture.rs",
+                clean_export,
+            ),
+            lib("pipedepth-sim", "crates/sim/src/engine.rs", consumer),
+            // The telemetry crate itself is time-exempt; its own modules
+            // may pass the tainted alias around freely.
+            lib(
+                "pipedepth-telemetry",
+                "crates/telemetry/src/snapshot.rs",
+                exempt_consumer,
+            ),
+        ],
+        ..MemWorkspace::default()
+    };
+    assert!(of(&scan(&ws), "determinism-taint").is_empty());
+}
+
+#[test]
+fn determinism_taint_escape_comment_suppresses_the_finding() {
+    let consumer = "\
+// analysis: allow(determinism-taint) — wall-clock used for progress display only
+use pipedepth_telemetry::Clock;
+pub fn f() {}
+";
+    let ws = MemWorkspace {
+        sources: vec![
+            lib(
+                "pipedepth-telemetry",
+                "crates/telemetry/src/lib.rs",
+                TAINTED_EXPORTER,
+            ),
+            lib("pipedepth-sim", "crates/sim/src/engine.rs", consumer),
+        ],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    assert!(of(&vs, "determinism-taint").is_empty(), "{vs:?}");
+    assert!(of(&vs, "escape-comment").is_empty(), "{vs:?}");
+}
+
+// ---------------------------------------------------------------------------
+// ordering and fingerprints hold for cross-file findings too
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cross_file_findings_sort_with_per_file_findings_and_carry_fingerprints() {
+    let dirty = "\
+use std::collections::HashMap;
+fn go(t: &T) { t.counter(\"serve.requests\", 1); }
+";
+    let ws = MemWorkspace {
+        sources: vec![lib("pipedepth-serve", "crates/serve/src/service.rs", dirty)],
+        ..MemWorkspace::default()
+    };
+    let vs = scan(&ws);
+    let rules: Vec<&str> = vs.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, ["hash-collections", "telemetry-contract"], "{vs:?}");
+    assert!(vs.iter().all(|v| v.fingerprint != 0), "{vs:?}");
+    let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+    assert_eq!(lines, [1, 2]);
+}

@@ -1,17 +1,26 @@
 //! `cargo test` itself enforces the lint gate: scanning the real
 //! workspace must come out clean against the committed baseline. This is
 //! the same check CI runs via `cargo run -p pipedepth-analysis -- check`.
+//! On top of the gate, the real scan pins the engine's output contracts:
+//! the JSON report parses (through `pipedepth-serve`'s own parser), the
+//! semantic model sees the workspace's actual locks/metrics/flags, and
+//! output is byte-identical across thread counts.
 
-use pipedepth_analysis::{analyze_workspace, Baseline};
-use std::path::Path;
+use pipedepth_analysis::engine::{analyze_workspace_with, ScanOptions};
+use pipedepth_analysis::{analyze_workspace, render_json, Baseline, Registry};
+use std::path::{Path, PathBuf};
 
-#[test]
-fn workspace_is_clean_against_the_committed_baseline() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("crates/analysis sits two levels below the root")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_against_the_committed_baseline() {
+    let root = workspace_root();
     let baseline_path = root.join("analysis.baseline.toml");
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
@@ -38,4 +47,122 @@ fn workspace_is_clean_against_the_committed_baseline() {
          --update-baseline`:\n{}",
         lines.join("\n")
     );
+}
+
+#[test]
+fn committed_registry_matches_the_live_metric_inventory() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("telemetry.registry.toml"))
+        .expect("telemetry.registry.toml is committed");
+    let committed = Registry::parse(&text).expect("committed registry parses");
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let drafted = Registry::suggested(&report.model);
+    // Canonical renders compare the contract; entry line hints differ by
+    // construction (parsed entries carry file positions, drafts do not).
+    assert_eq!(
+        committed.render(),
+        drafted.render(),
+        "telemetry.registry.toml has drifted from the code; regenerate \
+         with `cargo run -p pipedepth-analysis -- metrics`"
+    );
+    assert!(!drafted.entries.is_empty(), "the workspace emits metrics");
+}
+
+#[test]
+fn model_sees_the_workspaces_real_locks_metrics_and_flags() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let model = &report.model;
+
+    let batch = model
+        .file("crates/serve/src/batch.rs")
+        .expect("serve batch module is scanned");
+    assert!(!batch.items.is_empty(), "batch module outline is populated");
+    // The serve batch queue takes one lock at a time and its condvar
+    // waits consume their guard, so the lock-order fact table is empty
+    // by design — the workspace's concurrency hygiene, pinned.
+    assert!(
+        model.files.iter().all(|f| f.lock_facts.is_empty()),
+        "a nested-lock or blocking-under-guard site appeared; if it is \
+         deliberate, escape it and update this pin"
+    );
+    let metric_count: usize = model.files.iter().map(|f| f.metrics.len()).sum();
+    assert!(metric_count > 20, "only {metric_count} metric uses seen");
+    let repro = model
+        .file("crates/experiments/src/bin/repro.rs")
+        .expect("repro driver is scanned");
+    assert!(
+        repro.flags.iter().any(|f| f.flag == "--only"),
+        "repro's flags must be extracted: {:?}",
+        repro.flags
+    );
+}
+
+#[test]
+fn json_report_parses_and_round_trips_key_fields() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace scan succeeds");
+    let recorded = Baseline::parse(
+        &std::fs::read_to_string(root.join("analysis.baseline.toml")).expect("baseline exists"),
+    )
+    .expect("baseline parses");
+    let ratchet = report.ratchet(&recorded);
+
+    let json = render_json(&report, &recorded, &ratchet);
+    let doc = pipedepth_serve::json::parse(&json).expect("report is valid JSON");
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("files_scanned").and_then(|v| v.as_u64()),
+        Some(report.files_scanned as u64)
+    );
+    let violations = doc
+        .get("violations")
+        .and_then(|v| v.as_array())
+        .expect("violations array");
+    assert_eq!(violations.len(), report.violations.len());
+    for (parsed, v) in violations.iter().zip(&report.violations) {
+        assert_eq!(parsed.get("rule").and_then(|x| x.as_str()), Some(v.rule));
+        assert_eq!(
+            parsed.get("file").and_then(|x| x.as_str()),
+            Some(v.file.as_str())
+        );
+        assert_eq!(
+            parsed.get("line").and_then(|x| x.as_u64()),
+            Some(u64::from(v.line))
+        );
+        assert_eq!(
+            parsed.get("fingerprint").and_then(|x| x.as_str()),
+            Some(format!("{:016x}", v.fingerprint).as_str())
+        );
+        assert_eq!(
+            parsed.get("baselined").and_then(|x| x.as_bool()),
+            Some(true),
+            "a clean tree's violations are all baselined"
+        );
+    }
+    assert_eq!(
+        doc.get("ratchet")
+            .and_then(|r| r.get("clean"))
+            .and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let rules = doc.get("rules").and_then(|v| v.as_array()).expect("rules");
+    assert_eq!(rules.len(), 9, "all nine rules are advertised");
+}
+
+#[test]
+fn scan_output_is_byte_identical_across_thread_counts() {
+    let root = workspace_root();
+    let recorded = Baseline::default();
+    let renders: Vec<String> = [1usize, 4, 13]
+        .iter()
+        .map(|&threads| {
+            let report = analyze_workspace_with(&root, ScanOptions { threads })
+                .expect("workspace scan succeeds");
+            let ratchet = report.ratchet(&recorded);
+            render_json(&report, &recorded, &ratchet)
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 4 threads diverged");
+    assert_eq!(renders[0], renders[2], "1 vs 13 threads diverged");
 }

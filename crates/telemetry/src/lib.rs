@@ -25,6 +25,13 @@
 //! their names end in `_us` so consumers (the golden-manifest test) can
 //! mask them.
 //!
+//! Metric names form a workspace-wide contract: every name emitted in
+//! non-test code must be declared in the top-level
+//! `telemetry.registry.toml` with its instrument kind and owning crate.
+//! The `telemetry-contract` rule in `pipedepth-analysis` fails the lint
+//! gate on drift in either direction; regenerate a registry draft with
+//! `cargo run -p pipedepth-analysis -- metrics`.
+//!
 //! # Examples
 //!
 //! ```
