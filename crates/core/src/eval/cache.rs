@@ -242,6 +242,28 @@ impl<S: PartialEq, V> ShardedCache<S, V> {
     }
 }
 
+impl<S: Clone, V> ShardedCache<S, V> {
+    /// A point-in-time snapshot of every entry, in deterministic
+    /// (shard-index, key) order — the export path for persistence tiers.
+    /// Each shard is locked briefly in turn; the copy is fully detached
+    /// before this returns, so callers never hold a shard guard while
+    /// doing I/O with the result.
+    pub fn entries(&self) -> Vec<(S, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for bucket in shard.values() {
+                out.extend(
+                    bucket
+                        .iter()
+                        .map(|(spec, value)| (spec.clone(), Arc::clone(value))),
+                );
+            }
+        }
+        out
+    }
+}
+
 impl<S: PartialEq + Send + Sync, V: Send + Sync> EvalCache<S, V> for ShardedCache<S, V> {
     fn get(&self, key: u64, spec: &S) -> Option<Arc<V>> {
         ShardedCache::get(self, key, spec)

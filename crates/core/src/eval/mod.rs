@@ -34,11 +34,17 @@
 //! workspace — every figure is scale-free or normalised — so outcomes are
 //! comparable *within* a backend and, for CPI/throughput, across backends.
 
+/// Binary codecs for persisting evaluation rows through `pipedepth-store`.
+pub mod blob;
 /// The sharded, backend-agnostic result cache.
 pub mod cache;
+/// The two-tier (memory + warm disk image) cache built on [`cache`].
+pub mod tiered;
 
 /// The cache trait and its sharded implementation (see [`cache`]).
 pub use cache::{CacheStats, EvalCache, ShardedCache};
+/// The tiered cache with promote-on-hit from a warm disk image.
+pub use tiered::TieredCache;
 
 /// Evaluation failures, re-exported from the crate error surface.
 pub use crate::error::EvalError;

@@ -90,7 +90,7 @@ pub use error::{Error, EvalError};
 /// shared result cache, and the closed-form backend.
 pub use eval::{
     AnalyticModel, CacheStats, CellSpec, EvalCache, EvalOutcome, Evaluator, ShardedCache,
-    WorkloadProfile,
+    TieredCache, WorkloadProfile,
 };
 /// The top-level model combining performance, power and the metric.
 pub use metric::PipelineModel;

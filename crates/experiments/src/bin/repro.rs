@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p pipedepth-experiments --bin repro -- \
 //!     [--quick] [--out DIR] [--only fig4,fig6] [--list] [--threads N] \
-//!     [--backend sim|model|both] [--timing-details]
+//!     [--backend sim|model|both] [--timing-details] [--store DIR]
 //! ```
 //!
 //! The binary is a thin driver over the experiment registry: it selects
@@ -19,6 +19,7 @@ use pipedepth_experiments::experiment::{registry, select_experiments, Context, E
 use pipedepth_experiments::manifest::{Manifest, PhaseTiming};
 use pipedepth_experiments::paper;
 use pipedepth_experiments::runner::Runner;
+use pipedepth_experiments::store::RunStore;
 use pipedepth_experiments::sweep::RunConfig;
 use pipedepth_telemetry::{MetricValue, Snapshot, Telemetry};
 use pipedepth_workloads::suite;
@@ -39,6 +40,7 @@ struct Options {
     out_dir: PathBuf,
     only: Option<Vec<String>>,
     backend: Backend,
+    store: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -54,6 +56,7 @@ fn parse_args() -> Options {
         out_dir: PathBuf::from("results"),
         only: None,
         backend: Backend::Sim,
+        store: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -95,12 +98,17 @@ fn parse_args() -> Options {
                 });
                 i += 1;
             }
+            "--store" => {
+                opts.store = Some(PathBuf::from(value(&args, i, "--store")));
+                i += 1;
+            }
+            "--no-store" => opts.store = None,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: repro [--quick] [--out DIR] [--only a,b] [--list] [--threads N] \
                      [--backend sim|model|both] [--timing-details] [--no-arena] [--no-cache] \
-                     [--no-sweep-kernel]"
+                     [--no-sweep-kernel] [--store DIR] [--no-store]"
                 );
                 exit(2);
             }
@@ -156,7 +164,26 @@ fn main() -> io::Result<()> {
     if opts.no_sweep_kernel {
         runner = runner.without_sweep_kernel();
     }
+    // The persistent store warm-starts the run: previously computed cells
+    // become the warm tier of the runner's cache, previously computed
+    // annotations seed the sweep kernel — both before any fan-out.
+    let mut store = None;
+    if let Some(dir) = opts.store.as_deref() {
+        let mut s = RunStore::open(dir, &config, &telemetry);
+        let warm = s.load_reports();
+        println!(
+            "store: {} report(s) loaded from {}",
+            warm.len(),
+            dir.display()
+        );
+        runner = runner.with_warm_reports(warm);
+        store = Some(s);
+    }
     let ctx = Context::with_backend(config, runner, opts.backend);
+    if let Some(store) = store.as_mut() {
+        let seeded = ctx.runner.seed_annotations(store.load_annotations());
+        println!("store: {seeded} annotation(s) seeded");
+    }
     println!(
         "pipedepth repro — {} instructions/depth after {} warmup, depths {:?}, {} worker(s), \
          {} backend",
@@ -193,6 +220,13 @@ fn main() -> io::Result<()> {
             name: "suite sweep".to_string(),
             wall: elapsed,
         });
+        // Snapshot after the dominant phase: a crash mid-run still leaves
+        // the suite sweep warm for the next start. Write-behind, so the
+        // next phase starts immediately.
+        if let Some(store) = store.as_mut() {
+            store.flush_reports_if_grown(ctx.runner.export_reports());
+            store.flush_annotations_if_grown(ctx.runner.export_annotations());
+        }
     }
 
     for exp in &selected {
@@ -206,6 +240,10 @@ fn main() -> io::Result<()> {
         print!("{}", out.summary);
         for artifact in &out.artifacts {
             fs::write(opts.out_dir.join(&artifact.filename), &artifact.contents)?;
+        }
+        if let Some(store) = store.as_mut() {
+            store.flush_reports_if_grown(ctx.runner.export_reports());
+            store.flush_annotations_if_grown(ctx.runner.export_annotations());
         }
     }
 
@@ -277,6 +315,21 @@ fn main() -> io::Result<()> {
             .to_string(),
     };
     let _ = writeln!(report, "\n{kernel_line}");
+    // Drain the store's write-behind worker *before* the telemetry
+    // snapshot, so the manifest records the final flush counters.
+    let store_stats = store.map(|mut s| {
+        s.record_warm(ctx.runner.warm_report_stats());
+        s.finish()
+    });
+    let store_line = match &store_stats {
+        Some(s) => format!(
+            "persistent store: {} report(s) + {} annotation(s) loaded, {} cell(s) served warm, \
+             {} snapshot(s) published ({} records), {} rejected namespace(s)",
+            s.reports_loaded, s.annotations_loaded, s.hits, s.flushes, s.records_flushed, s.invalid
+        ),
+        None => "persistent store: disabled; run started cold and left no snapshot".to_string(),
+    };
+    let _ = writeln!(report, "\n{store_line}");
 
     let snapshot = telemetry.snapshot();
     report.push_str(&telemetry_section(&snapshot));
@@ -288,6 +341,7 @@ fn main() -> io::Result<()> {
         cache: stats,
         arena,
         sweep_kernel: kernel,
+        store: store_stats,
         metrics: snapshot,
         total_wall: t0.elapsed(),
     };
@@ -301,6 +355,7 @@ fn main() -> io::Result<()> {
     println!("\n{cache_line}");
     println!("{arena_line}");
     println!("{kernel_line}");
+    println!("{store_line}");
     println!("data written to {}", opts.out_dir.display());
     println!("total time: {:.1?}", manifest.total_wall);
     Ok(())

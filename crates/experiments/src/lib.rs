@@ -18,6 +18,8 @@
 //!   queue sizing, issue policy);
 //! * [`manifest`] — the schema-versioned `manifest.json` run manifest
 //!   (config digest, phase timings, telemetry snapshot);
+//! * [`store`] — the persistent evaluation store behind `--store`,
+//!   warm-starting runs from the snapshots a previous run published;
 //! * [`report`] — ASCII tables and CSV rendering.
 //!
 //! The `repro` binary runs everything and emits the full comparison
@@ -35,6 +37,7 @@ pub mod plot;
 pub mod report;
 pub mod runner;
 pub mod series;
+pub mod store;
 pub mod sweep;
 
 pub use eval::{
@@ -49,6 +52,7 @@ pub use extract::{
 };
 pub use manifest::{Manifest, PhaseTiming, SCHEMA_VERSION};
 pub use runner::{CacheStats, CellSpec, Runner, SimCache};
+pub use store::{RunStore, StoreStats};
 pub use sweep::{
     sweep_all, sweep_workload, sweep_workload_with, DepthPoint, RunConfig, WorkloadCurve,
 };

@@ -12,6 +12,7 @@
 //! rest across thread counts.
 
 use crate::runner::CacheStats;
+use crate::store::StoreStats;
 use crate::sweep::RunConfig;
 use pipedepth_sim::AnnotateStats;
 use pipedepth_telemetry::{json, Snapshot};
@@ -25,8 +26,11 @@ use std::time::Duration;
 /// is disabled via `--no-arena`). Version 3 added the single-line
 /// `sweep_kernel` section (annotation-store counters, or `null` when the
 /// kernel is disabled via `--no-sweep-kernel`) — kept to one line so
-/// kernel-A/B consumers can drop it wholesale.
-pub const SCHEMA_VERSION: u32 = 3;
+/// kernel-A/B consumers can drop it wholesale. Version 4 added the
+/// single-line `store` section (persistent-store counters of a `--store`
+/// run, or `null` without one), one line for the same reason: warm-vs-cold
+/// manifest comparisons drop it with a line filter.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Wall time of one named phase of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +59,8 @@ pub struct Manifest {
     /// Annotation-store counters of the sweep kernel; `None` when the
     /// kernel was disabled (`--no-sweep-kernel`).
     pub sweep_kernel: Option<AnnotateStats>,
+    /// Persistent-store counters; `None` when the run had no `--store`.
+    pub store: Option<StoreStats>,
     /// Snapshot of every telemetry metric (empty when telemetry is
     /// disabled or compiled out).
     pub metrics: Snapshot,
@@ -156,6 +162,27 @@ impl Manifest {
             }
             None => out.push_str("  \"sweep_kernel\": null,\n"),
         }
+        // Same one-line contract as `sweep_kernel`: warm-vs-cold manifest
+        // comparisons delete every line containing `store` and nothing
+        // else, so the section must never span lines.
+        match &self.store {
+            Some(stats) => {
+                let _ = writeln!(
+                    out,
+                    "  \"store\": {{\"enabled\": true, \"hits\": {}, \"misses\": {}, \
+                     \"reports_loaded\": {}, \"annotations_loaded\": {}, \"invalid\": {}, \
+                     \"flushes\": {}, \"records_flushed\": {}}},",
+                    stats.hits,
+                    stats.misses,
+                    stats.reports_loaded,
+                    stats.annotations_loaded,
+                    stats.invalid,
+                    stats.flushes,
+                    stats.records_flushed
+                );
+            }
+            None => out.push_str("  \"store\": null,\n"),
+        }
         out.push_str("  \"metrics\": {\n");
         for (i, metric) in self.metrics.metrics.iter().enumerate() {
             let comma = if i + 1 == self.metrics.metrics.len() {
@@ -208,6 +235,15 @@ mod tests {
                 misses: 2,
                 instructions_annotated: 12_000,
             }),
+            store: Some(StoreStats {
+                hits: 5,
+                misses: 7,
+                reports_loaded: 5,
+                annotations_loaded: 2,
+                invalid: 0,
+                flushes: 3,
+                records_flushed: 21,
+            }),
             metrics: Snapshot::default(),
             total_wall: Duration::from_micros(2000),
         }
@@ -223,7 +259,7 @@ mod tests {
     #[test]
     fn renders_schema_version_and_sections() {
         let rendered = manifest().to_json();
-        assert!(rendered.starts_with("{\n  \"schema_version\": 3,\n"));
+        assert!(rendered.starts_with("{\n  \"schema_version\": 4,\n"));
         for needle in [
             "\"config\": {",
             "\"digest\": ",
@@ -233,6 +269,8 @@ mod tests {
             "\"instructions_materialized\": 30000",
             "\"sweep_kernel\": {\"enabled\": true",
             "\"instructions_annotated\": 12000",
+            "\"store\": {\"enabled\": true",
+            "\"records_flushed\": 21",
             "\"metrics\": {",
             "\"hit_rate\": 0.25",
             "\"hit_rate\": 0.9",
@@ -274,6 +312,33 @@ mod tests {
         let strip = |s: &str| {
             s.lines()
                 .filter(|l| !l.contains("sweep_kernel"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&enabled), strip(&disabled));
+    }
+
+    #[test]
+    fn store_section_stays_on_one_line() {
+        // Warm-vs-cold manifest comparisons delete every line containing
+        // `store`; the section must therefore never span lines, enabled
+        // or disabled.
+        let enabled = manifest().to_json();
+        let mut m = manifest();
+        m.store = None;
+        let disabled = m.to_json();
+        for rendered in [&enabled, &disabled] {
+            assert_eq!(
+                rendered.lines().filter(|l| l.contains("\"store\"")).count(),
+                1,
+                "store must occupy exactly one line"
+            );
+        }
+        assert!(disabled.contains("\"store\": null,"));
+        // Dropping that one line makes the two manifests identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("\"store\""))
                 .collect::<Vec<_>>()
                 .join("\n")
         };

@@ -30,8 +30,11 @@ pub use cell::CellSpec;
 
 use crate::extract::extract_from_report;
 use crate::sweep::{DepthPoint, RunConfig, WorkloadCurve};
+use pipedepth_core::eval::TieredCache;
 use pipedepth_power::metric;
-use pipedepth_sim::{replay_sweep, AnnotatedTrace, AnnotationStore, SimConfig, SimReport};
+use pipedepth_sim::{
+    replay_sweep, AnnotatedTrace, AnnotationKey, AnnotationStore, SimConfig, SimReport,
+};
 use pipedepth_telemetry::{Stopwatch, Telemetry, DEFAULT_TIME_BUCKETS_US};
 use pipedepth_trace::{ArenaStats, Instruction, TraceArena, TraceRequest};
 use pipedepth_workloads::Workload;
@@ -62,9 +65,11 @@ enum WorkItem {
 #[derive(Debug)]
 pub struct Runner {
     threads: usize,
-    /// Shared result cache; `None` re-simulates every cell, every batch
-    /// (the `--no-cache` escape hatch). In-batch duplicates still coalesce.
-    cache: Option<SimCache>,
+    /// Shared result cache — a memory tier with an optional warm tier
+    /// loaded from a persistent store; `None` re-simulates every cell,
+    /// every batch (the `--no-cache` escape hatch). In-batch duplicates
+    /// still coalesce.
+    cache: Option<TieredCache<CellSpec, SimReport>>,
     telemetry: Telemetry,
     /// Shared trace store; `None` routes every cell through the streaming
     /// path (the `--no-arena` escape hatch).
@@ -94,7 +99,7 @@ impl Runner {
         };
         Runner {
             threads,
-            cache: Some(SimCache::new()),
+            cache: Some(TieredCache::new()),
             telemetry: Telemetry::disabled(),
             arena: Some(TraceArena::new()),
             sweep_kernel: true,
@@ -137,6 +142,18 @@ impl Runner {
         self
     }
 
+    /// Attaches a warm tier of finished reports — the decoded image of a
+    /// previous run's persistent snapshot. Memory misses then probe the
+    /// warm tier and promote hits, so previously computed cells skip
+    /// simulation entirely. No-op under `--no-cache`: a disabled cache
+    /// means *no* reuse, warm or hot.
+    pub fn with_warm_reports(mut self, warm: SimCache) -> Self {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.attach_warm(warm);
+        }
+        self
+    }
+
     /// Disables the annotate/replay sweep kernel: every cell runs the full
     /// stage engine, as before the kernel existed. The `--no-sweep-kernel`
     /// escape hatch, and the A/B lever the equivalence CI check flips —
@@ -153,8 +170,51 @@ impl Runner {
     }
 
     /// Cache hit/miss counters so far; `None` when the cache is disabled.
+    /// These are the memory-tier classification counters the runner has
+    /// always reported — attaching a warm tier does not change them.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(SimCache::stats)
+        self.cache.as_ref().map(TieredCache::stats)
+    }
+
+    /// Warm-tier probe counters (`None` when the cache is disabled or no
+    /// warm tier is attached): `hits` = cells served from the loaded
+    /// snapshot instead of simulation.
+    pub fn warm_report_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().and_then(TieredCache::warm_stats)
+    }
+
+    /// A deterministic snapshot of every finished cell in the memory tier,
+    /// for the persistence layer to encode and publish. Empty under
+    /// `--no-cache`.
+    pub fn export_reports(&self) -> Vec<(CellSpec, Arc<SimReport>)> {
+        self.cache
+            .as_ref()
+            .map(TieredCache::entries)
+            .unwrap_or_default()
+    }
+
+    /// Seeds the annotation store from a persistent snapshot, so warm
+    /// sweep groups skip the annotate pass. Counter-neutral (seeded
+    /// entries count neither hits nor misses); returns how many entries
+    /// were actually inserted. No-op without the sweep kernel — the store
+    /// would never be consulted.
+    pub fn seed_annotations(
+        &self,
+        seeds: impl IntoIterator<Item = (AnnotationKey, Arc<AnnotatedTrace>)>,
+    ) -> u64 {
+        if !self.sweep_kernel {
+            return 0;
+        }
+        seeds
+            .into_iter()
+            .filter(|(key, notes)| self.annotations.seed(*key, Arc::clone(notes)))
+            .count() as u64
+    }
+
+    /// A deterministic snapshot of every annotation in the store, for the
+    /// persistence layer to encode and publish.
+    pub fn export_annotations(&self) -> Vec<(AnnotationKey, Arc<AnnotatedTrace>)> {
+        self.annotations.export()
     }
 
     /// Arena service counters so far; `None` when the arena is disabled.

@@ -113,8 +113,12 @@ fn quick_artifacts_are_deterministic_and_well_formed() {
         masked_manifest(&dir_b),
         "masked manifest must not depend on the thread count"
     );
-    assert!(masked.contains("\"schema_version\": 3"));
+    assert!(masked.contains("\"schema_version\": 4"));
     assert!(masked.contains("\"sweep_kernel\": {\"enabled\": true"));
+    assert!(
+        masked.contains("\"store\": null"),
+        "a run without --store must record a null store section"
+    );
     assert!(masked.contains("\"digest\": "));
     assert!(masked.contains("\"hit_rate\": "));
     #[cfg(feature = "telemetry")]

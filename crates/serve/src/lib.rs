@@ -26,6 +26,9 @@
 //!   the repro driver's runner uses), and deadline handling: `auto`
 //!   requests degrade to the closed-form model when the budget rules
 //!   simulation out;
+//! * [`store`] — the persistent outcome store behind `--store`: a
+//!   restarted server warm-starts its simulation cache from the snapshot
+//!   the previous process published at drain;
 //! * [`http`] + [`server`] — a minimal bounded HTTP/1.1 front end with
 //!   ordered graceful shutdown.
 //!
@@ -53,6 +56,8 @@ pub mod json;
 pub mod server;
 /// Backends, caching, deadlines and dispatch.
 pub mod service;
+/// The persistent outcome store behind `--store` (warm restarts).
+pub mod store;
 /// Versioned wire request/response types.
 pub mod wire;
 

@@ -21,10 +21,13 @@
 //! threads that loop on [`EvalService::dispatch_loop`].
 
 use crate::batch::{BatchQueue, Shed};
+use crate::store::OutcomeStore;
 use crate::wire::v1::{
     CellResult, EvaluateRequest, EvaluateResponse, OptimumResponse, WireBackend,
 };
-use pipedepth_core::eval::{AnalyticModel, CellSpec, EvalOutcome, Evaluator, ShardedCache};
+use pipedepth_core::eval::{
+    AnalyticModel, CellSpec, EvalOutcome, Evaluator, ShardedCache, TieredCache,
+};
 use pipedepth_core::EvalError;
 use pipedepth_experiments::eval::{cell_for, fitted_profile, SimBackend};
 use pipedepth_experiments::runner::Runner;
@@ -63,6 +66,12 @@ pub struct ServiceConfig {
     pub backend: Option<WireBackend>,
     /// Whether the outcome cache (and the runner's report cache) are on.
     pub cache: bool,
+    /// When set, the directory of the persistent outcome store: the
+    /// simulation cache warm-starts from its snapshot and the service
+    /// snapshots back into it (periodically and at drain). Ignored when
+    /// `cache` is off — the store is a tier below the cache, not a
+    /// replacement for it.
+    pub store: Option<std::path::PathBuf>,
     /// Template run configuration: sizing and power calibration for cells
     /// that do not override them.
     pub run: RunConfig,
@@ -78,16 +87,26 @@ impl Default for ServiceConfig {
             deadline_ms: 0,
             backend: None,
             cache: true,
+            store: None,
             run: RunConfig::quick(),
         }
     }
 }
 
+/// How many simulation-outcome inserts accumulate between periodic store
+/// snapshots. Deterministic (a count, not a timer) so tests can force a
+/// snapshot by answering exactly this many distinct cells.
+pub const STORE_FLUSH_EVERY: u64 = 64;
+
 /// Per-backend outcome caches. Split by backend so an `auto` request that
-/// degraded to the model can never satisfy a later `sim` request.
+/// degraded to the model can never satisfy a later `sim` request. The
+/// simulation side is tiered: its optional warm tier is the persistent
+/// store's decoded snapshot, probed on memory misses with promote-on-hit.
+/// The model side stays purely in-memory — analytic answers cost
+/// microseconds and are never persisted.
 #[derive(Debug)]
 struct OutcomeCache {
-    sim: ShardedCache<CellSpec, EvalOutcome>,
+    sim: TieredCache<CellSpec, EvalOutcome>,
     model: ShardedCache<CellSpec, EvalOutcome>,
 }
 
@@ -105,6 +124,12 @@ pub struct EvalService {
     /// Observed simulation throughput in instructions per microsecond,
     /// stored as `f64` bits; 0 until the first dispatch completes.
     rate_bits: AtomicU64,
+    /// The persistent outcome store (`--store`), when configured with the
+    /// cache on. All its runtime methods take `&self`, so the `Arc`'d
+    /// service snapshots and syncs without extra locking.
+    store: Option<OutcomeStore>,
+    /// Simulation-outcome inserts since the last periodic store snapshot.
+    store_pending: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalService {
@@ -127,11 +152,23 @@ impl EvalService {
             runner = runner.without_cache();
         }
         let workloads = suite();
+        // The persistent store is a tier below the outcome cache: open it
+        // (and warm-start the simulation tier from its snapshot) only when
+        // the cache exists to sit on top of it.
+        let mut store = None;
+        let mut sim_cache = TieredCache::new();
+        if config.cache {
+            if let Some(dir) = config.store.as_deref() {
+                let mut s = OutcomeStore::open(dir, &config.run, &telemetry);
+                sim_cache.attach_warm(s.load());
+                store = Some(s);
+            }
+        }
         EvalService {
             sim: SimBackend::new(Arc::new(runner)),
             model: AnalyticModel::paper(),
             cache: config.cache.then(|| OutcomeCache {
-                sim: ShardedCache::new(),
+                sim: sim_cache,
                 model: ShardedCache::new(),
             }),
             queue: BatchQueue::new(config.queue_cap, config.batch_max),
@@ -144,6 +181,8 @@ impl EvalService {
             default_deadline_ms: config.deadline_ms,
             backend_override: config.backend,
             rate_bits: AtomicU64::new(0),
+            store,
+            store_pending: AtomicU64::new(0),
         }
     }
 
@@ -452,11 +491,27 @@ impl EvalService {
             // coalescing index: `submit_with` probes the cache under the
             // queue lock, so a live-index miss there must already see
             // these results.
+            let mut inserted = 0u64;
             if let Some(cache) = &self.cache {
                 for (spec, result) in specs.iter().zip(&results) {
                     if let Ok(out) = result {
-                        cache.sim.insert(spec.key(), spec.clone(), Arc::new(*out));
+                        if cache.sim.insert(spec.key(), spec.clone(), Arc::new(*out)) {
+                            inserted += 1;
+                        }
                     }
+                }
+            }
+            if inserted > 0 && self.store.is_some() {
+                // Deterministic periodic snapshotting: every
+                // `STORE_FLUSH_EVERY` distinct new outcomes, publish the
+                // memory tier write-behind. Racing dispatchers may both
+                // cross the threshold — an extra snapshot is harmless
+                // (last-writer-wins on one file), a missed one is caught
+                // by the drain-time snapshot.
+                let pending = self.store_pending.fetch_add(inserted, Ordering::Relaxed) + inserted;
+                if pending >= STORE_FLUSH_EVERY {
+                    self.store_pending.store(0, Ordering::Relaxed);
+                    self.snapshot_store();
                 }
             }
             let work: f64 = specs
@@ -543,6 +598,42 @@ impl EvalService {
         self.queue.close();
     }
 
+    /// Publishes one write-behind snapshot of the simulation cache's
+    /// memory tier. The entries are snapshotted here, on the calling
+    /// thread, with every shard guard already dropped — the flusher job
+    /// owns its data outright (lock-order discipline).
+    fn snapshot_store(&self) {
+        if let (Some(store), Some(cache)) = (&self.store, &self.cache) {
+            store.flush(cache.sim.entries());
+        }
+    }
+
+    /// Drain-time store finalisation: one last snapshot of everything the
+    /// server answered, the lifetime warm-tier probe counters, and a sync
+    /// that blocks until the backlog is durably published. The server
+    /// calls this after the dispatch workers have joined and before the
+    /// stats line, so a drained process is always restartable from its
+    /// final state and the line reports true flush counts. A no-op
+    /// without `--store`.
+    pub fn finish_store(&self) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        // Only publish if outcomes arrived since the last periodic
+        // snapshot — a fully warm session (every answer from the loaded
+        // tier) re-encodes nothing and leaves the superset snapshot on
+        // disk untouched.
+        if self.store_pending.swap(0, Ordering::Relaxed) > 0 {
+            self.snapshot_store();
+        }
+        if let Some(cache) = &self.cache {
+            if let Some(stats) = cache.sim.warm_stats() {
+                store.record_warm(stats);
+            }
+        }
+        store.sync();
+    }
+
     /// Current instructions-per-microsecond estimate (0 before the first
     /// dispatch).
     fn rate(&self) -> f64 {
@@ -587,7 +678,7 @@ impl EvalService {
     /// shutdown.
     pub fn stats_line(&self) -> String {
         let snap = self.telemetry.snapshot();
-        format!(
+        let mut line = format!(
             "serve: {} requests, {} cells ({} cache hits, {} coalesced, {} degraded, {} shed) \
              over {} dispatches",
             snap.counter("serve.requests"),
@@ -597,7 +688,16 @@ impl EvalService {
             snap.counter("serve.degraded"),
             snap.counter("serve.shed"),
             snap.counter("serve.dispatches"),
-        )
+        );
+        if let Some(store) = &self.store {
+            line.push_str(&format!(
+                "; store: {} outcome(s) loaded, {} warm hit(s), {} snapshot(s) published",
+                store.loaded(),
+                snap.counter("store.hits"),
+                store.flushes(),
+            ));
+        }
+        line
     }
 }
 
@@ -914,5 +1014,95 @@ mod tests {
         let line = svc.stats_line();
         assert!(line.contains("1 requests"), "{line}");
         assert!(line.contains("1 cells"), "{line}");
+    }
+
+    /// A fresh scratch directory per test (std-only; no tempdir crate).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "pipedepth-serve-svc-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn store_restart_answers_from_disk_without_dispatch() {
+        let dir = scratch("warm");
+        let mut config = quick_config();
+        config.store = Some(dir.clone());
+        let cells = vec![
+            WireCell::new("legacy-00", 8),
+            WireCell::new("legacy-00", 12),
+            WireCell::new("specint-00", 10),
+        ];
+
+        // First server: simulate, then drain (final snapshot + sync).
+        let svc = service(config.clone());
+        let first = with_workers(&svc, || {
+            svc.evaluate(&request(WireBackend::Sim, None, cells.clone()))
+                .expect("admitted")
+        });
+        svc.finish_store();
+        assert!(
+            svc.stats_line().contains("snapshot(s) published"),
+            "stats line reports the store"
+        );
+
+        // Restarted server: every cell answers from the warm tier, with
+        // no dispatch worker running at all.
+        let warm = service(config);
+        let resp = warm
+            .evaluate(&request(WireBackend::Sim, None, cells))
+            .expect("pure warm-cache answers need no queue");
+        for (a, b) in resp.results.iter().zip(&first.results) {
+            assert_eq!(a.outcome, b.outcome, "warm answers are bit-identical");
+            assert_eq!(a.backend, "sim");
+        }
+        let snap = warm.telemetry().snapshot();
+        assert_eq!(snap.counter("serve.dispatches"), 0, "nothing re-simulated");
+        assert_eq!(snap.counter("store.outcomes_loaded"), 3);
+        assert_eq!(snap.counter("serve.cache_hits"), 3);
+        warm.finish_store();
+        let snap = warm.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("store.hits"),
+            3,
+            "all three from the warm tier"
+        );
+        assert_eq!(snap.counter("store.invalid"), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_disables_the_store_entirely() {
+        let dir = scratch("nocache");
+        let mut config = quick_config();
+        config.store = Some(dir.clone());
+        config.cache = false;
+        let svc = service(config);
+        let resp = with_workers(&svc, || {
+            svc.evaluate(&request(
+                WireBackend::Sim,
+                None,
+                vec![WireCell::new("fp-01", 9)],
+            ))
+            .expect("admitted")
+        });
+        assert!(resp.results[0].outcome.is_ok());
+        svc.finish_store();
+        assert!(
+            !svc.stats_line().contains("store:"),
+            "no store section without a cache to warm"
+        );
+        assert!(
+            !dir.join("outcomes.pds").exists(),
+            "nothing published without a cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

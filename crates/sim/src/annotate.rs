@@ -231,18 +231,32 @@ impl AnnotateStats {
 }
 
 /// Full identity of one resident annotation (collision resolution for the
-/// store's hash buckets).
+/// store's hash buckets, and the persisted record key of the annotation
+/// namespace in an on-disk store).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct StoreKey {
+pub struct AnnotationKey {
     /// The stream's arena key ([`pipedepth_trace::TraceRequest::key`]).
-    trace_key: u64,
+    pub trace_key: u64,
     /// Stream length (a second identity check alongside the key).
-    len: usize,
-    cache: CacheConfig,
-    predictor: PredictorConfig,
+    pub len: usize,
+    /// Cache configuration the annotation was computed under.
+    pub cache: CacheConfig,
+    /// Predictor configuration the annotation was computed under.
+    pub predictor: PredictorConfig,
 }
 
-type Bucket = Vec<(StoreKey, Arc<AnnotatedTrace>)>;
+impl AnnotationKey {
+    /// The key's bucket hash inside an [`AnnotationStore`].
+    fn hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.trace_key)
+            .write_u64(self.len as u64)
+            .write_u64(annotation_fingerprint(&self.cache, &self.predictor));
+        h.finish()
+    }
+}
+
+type Bucket = Vec<(AnnotationKey, Arc<AnnotatedTrace>)>;
 
 /// Content-addressed store of annotations, the companion of
 /// [`pipedepth_trace::TraceArena`]: one annotation pass per distinct
@@ -295,17 +309,13 @@ impl AnnotationStore {
         cache: CacheConfig,
         predictor: PredictorConfig,
     ) -> Result<Arc<AnnotatedTrace>, ConfigError> {
-        let key = StoreKey {
+        let key = AnnotationKey {
             trace_key,
             len: trace.len(),
             cache,
             predictor,
         };
-        let mut h = Fnv64::new();
-        h.write_u64(trace_key)
-            .write_u64(trace.len() as u64)
-            .write_u64(annotation_fingerprint(&cache, &predictor));
-        let hash = h.finish();
+        let hash = key.hash();
         let mut buckets = self
             .buckets
             .lock()
@@ -326,6 +336,39 @@ impl AnnotationStore {
         self.annotated_counter.add(trace.len() as u64);
         bucket.push((key, Arc::clone(&notes)));
         Ok(notes)
+    }
+
+    /// A point-in-time snapshot of every resident annotation, in
+    /// deterministic bucket-hash order — the export path for a
+    /// persistent store. Does not touch the service counters.
+    pub fn export(&self) -> Vec<(AnnotationKey, Arc<AnnotatedTrace>)> {
+        let buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        buckets
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(key, notes)| (*key, Arc::clone(notes))))
+            .collect()
+    }
+
+    /// Installs an annotation computed by a previous run (a warm-store
+    /// load). Counter-neutral: seeding is not a service request, so the
+    /// hit/miss statistics stay exactly what this process's own requests
+    /// produce. Returns whether the annotation was actually installed
+    /// (false when an equal key was already resident).
+    pub fn seed(&self, key: AnnotationKey, notes: Arc<AnnotatedTrace>) -> bool {
+        let hash = key.hash();
+        let mut buckets = self
+            .buckets
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let bucket = buckets.entry(hash).or_default();
+        if bucket.iter().any(|(k, _)| k == &key) {
+            return false;
+        }
+        bucket.push((key, notes));
+        true
     }
 
     /// Number of distinct annotations resident.

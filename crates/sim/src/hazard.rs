@@ -114,6 +114,27 @@ impl HazardStats {
     }
 }
 
+// The persistence codec lives here because the per-kind arrays are
+// private: a decoded report must reproduce them exactly, which `record`
+// (episode-granular, zero-suppressing) cannot.
+impl pipedepth_store::Blob for HazardStats {
+    fn encode(&self, w: &mut pipedepth_store::ByteWriter) {
+        for &n in self.events.iter().chain(&self.stall_cycles) {
+            w.put_u64(n);
+        }
+    }
+
+    fn decode(
+        r: &mut pipedepth_store::ByteReader<'_>,
+    ) -> Result<Self, pipedepth_store::DecodeError> {
+        let mut stats = HazardStats::new();
+        for slot in stats.events.iter_mut().chain(&mut stats.stall_cycles) {
+            *slot = r.take_u64()?;
+        }
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

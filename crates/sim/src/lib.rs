@@ -41,6 +41,8 @@
 
 /// The annotate pass: depth-invariant event classification, once per trace.
 pub mod annotate;
+/// Binary codecs for persisting configs, reports and annotations.
+pub mod blob;
 /// The two-level cache hierarchy and its access bookkeeping.
 pub mod cache;
 /// Simulator configuration: stage plans, feature toggles, the builder.
@@ -61,7 +63,7 @@ pub mod stage;
 /// The annotate-once surface: the SoA annotation, the one-pass classifier
 /// and the content-addressed store.
 pub use annotate::{
-    annotate, annotation_fingerprint, AnnotateStats, AnnotatedTrace, AnnotationStore,
+    annotate, annotation_fingerprint, AnnotateStats, AnnotatedTrace, AnnotationKey, AnnotationStore,
 };
 /// Configuration surface: `SimConfig`, its builder, and the plan types.
 pub use config::{

@@ -1,0 +1,460 @@
+//! The binary codec: little-endian primitive framing plus the [`Blob`]
+//! trait consumer crates implement for their spec and value types.
+//!
+//! The encoding is deliberately boring — fixed-width little-endian
+//! integers, IEEE-754 bit patterns for floats, `u32` length prefixes for
+//! byte strings — because the durability story lives one layer up
+//! ([`crate::file`]): checksums and version headers decide whether bytes
+//! are trusted at all, and the codec only has to be deterministic and
+//! exact. Floats round-trip by bit pattern, so a decoded spec compares
+//! equal to the one that was encoded (the property the content-addressed
+//! lookup relies on for collision resolution).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a decode was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// Bytes were left over after the outermost value was decoded.
+    Trailing,
+    /// A value was framed correctly but semantically impossible
+    /// (e.g. a length that cannot fit in memory, an unknown enum tag).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record truncated"),
+            DecodeError::Trailing => write!(f, "trailing bytes after record"),
+            DecodeError::Invalid(what) => write!(f, "invalid record field: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// An append-only encode buffer with little-endian primitive writers.
+///
+/// # Examples
+///
+/// ```
+/// use pipedepth_store::{ByteReader, ByteWriter};
+///
+/// let mut w = ByteWriter::new();
+/// w.put_u32(7).put_f64(2.5).put_str("alpha");
+/// let bytes = w.into_bytes();
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.take_u32().unwrap(), 7);
+/// assert_eq!(r.take_f64().unwrap(), 2.5);
+/// assert_eq!(r.take_str().unwrap(), "alpha");
+/// assert!(r.finish().is_ok());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.put_u64(v.to_bits())
+    }
+
+    /// Appends a bool as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.put_u8(u8::from(v))
+    }
+
+    /// Appends a `u32`-length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        debug_assert!(v.len() <= u32::MAX as usize, "blob field over 4 GiB");
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends raw bytes with no length prefix (framing headers).
+    pub fn put_raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True while nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// A view of the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A cursor over an encoded byte slice; every `take_*` either yields the
+/// value or reports [`DecodeError::Truncated`] — no panics, no partial
+/// reads.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a bool; any byte other than `0`/`1` is invalid.
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool")),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.take_bytes()?).map_err(|_| DecodeError::Invalid("utf-8"))
+    }
+
+    /// Reads `n` raw bytes with no length prefix (framing headers).
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only when the buffer was consumed exactly.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Trailing)
+        }
+    }
+}
+
+/// A type with an exact, deterministic binary encoding.
+///
+/// Consumer crates implement this for their spec and value types (next to
+/// those types' private fields); the store itself only ever moves opaque
+/// record payloads produced by [`Blob::to_record`].
+pub trait Blob: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Decodes one value from the reader, leaving it positioned after the
+    /// value's last byte.
+    ///
+    /// # Errors
+    ///
+    /// Any framing or validity failure is a [`DecodeError`]; decoding
+    /// must never panic on arbitrary bytes.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+
+    /// This value encoded as a standalone record payload.
+    fn to_record(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a standalone record payload, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`DecodeError`] of [`Blob::decode`], plus
+    /// [`DecodeError::Trailing`] when the payload is longer than the
+    /// value.
+    fn from_record(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+}
+
+impl Blob for u8 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.take_u8()
+    }
+}
+
+impl Blob for u32 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.take_u32()
+    }
+}
+
+impl Blob for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.take_u64()
+    }
+}
+
+impl Blob for f64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.take_f64()
+    }
+}
+
+impl Blob for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.take_bool()
+    }
+}
+
+impl Blob for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take_str()?.to_owned())
+    }
+}
+
+impl<T: Blob> Blob for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => {
+                w.put_u8(0);
+            }
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<T: Blob> Blob for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        debug_assert!(self.len() <= u32::MAX as usize, "blob sequence over 2^32");
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = r.take_u32()? as usize;
+        // A corrupt length prefix must not trigger a huge allocation:
+        // every element occupies at least one byte, so cap by what the
+        // buffer could possibly hold.
+        if n > r.remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Blob, B: Blob> Blob for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_exactly() {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(0xAB)
+            .put_u32(u32::MAX)
+            .put_u64(0x0123_4567_89AB_CDEF)
+            .put_f64(-0.0)
+            .put_f64(f64::NAN)
+            .put_bool(true)
+            .put_bytes(b"\x00\x01\x02")
+            .put_str("π ≈ 3");
+        assert!(!w.is_empty());
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert_eq!(r.take_u32().unwrap(), u32::MAX);
+        assert_eq!(r.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.take_f64().unwrap().is_nan(), "NaN bit pattern survives");
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_bytes().unwrap(), b"\x00\x01\x02");
+        assert_eq!(r.take_str().unwrap(), "π ≈ 3");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = ByteWriter::new().put_u64(7).as_bytes().to_vec();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(r.take_u64(), Err(DecodeError::Truncated));
+        let mut r = ByteReader::new(&[]);
+        assert_eq!(r.take_u8(), Err(DecodeError::Truncated));
+        assert_eq!(r.take_str(), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let bytes = ByteWriter::new().put_u32(1).put_u8(9).as_bytes().to_vec();
+        assert_eq!(u32::from_record(&bytes), Err(DecodeError::Trailing));
+        assert_eq!(u32::from_record(&bytes[..4]), Ok(1));
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert_eq!(bool::from_record(&[2]), Err(DecodeError::Invalid("bool")));
+        assert_eq!(
+            Option::<u8>::from_record(&[9]),
+            Err(DecodeError::Invalid("option tag"))
+        );
+        assert!(String::from_record(&[2, 0, 0, 0, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn compound_blobs_round_trip() {
+        let value: (Option<String>, Vec<u64>) = (Some("cell".into()), vec![1, 2, 3]);
+        let bytes = value.to_record();
+        assert_eq!(<(Option<String>, Vec<u64>)>::from_record(&bytes), Ok(value));
+        let none: Option<String> = None;
+        assert_eq!(Option::<String>::from_record(&none.to_record()), Ok(None));
+    }
+
+    #[test]
+    fn corrupt_vec_length_cannot_allocate_unbounded() {
+        // 4-byte length prefix claiming 2^32-1 elements, no payload.
+        let bytes = ByteWriter::new().put_u32(u32::MAX).as_bytes().to_vec();
+        assert_eq!(Vec::<u64>::from_record(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(DecodeError::Truncated.to_string(), "record truncated");
+        assert_eq!(
+            DecodeError::Invalid("bool").to_string(),
+            "invalid record field: bool"
+        );
+    }
+}

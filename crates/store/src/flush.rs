@@ -1,0 +1,211 @@
+//! The write-behind flusher: one worker thread draining snapshot jobs so
+//! publishing never blocks a simulation loop.
+//!
+//! Consumers build each job as a closure that already owns everything it
+//! needs (the encoded records, the target directory, its own telemetry
+//! handles) and hand it to [`Flusher::submit`]; the hot path's only cost
+//! is the channel send. [`Flusher::shutdown`] — also run on drop —
+//! closes the channel and joins the worker, so every accepted snapshot
+//! reaches disk before the process exits.
+//!
+//! Locking discipline: the flusher owns no locks at all, and jobs run on
+//! the worker thread with no caller state. Callers must snapshot their
+//! data *before* submitting — never submit while holding a cache shard
+//! guard — which keeps the workspace's lock-order rules trivially
+//! satisfied on both sides of the channel.
+
+use std::sync::mpsc;
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A single background worker executing flush jobs in submission order.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use pipedepth_store::Flusher;
+///
+/// let ran = Arc::new(AtomicU32::new(0));
+/// let mut flusher = Flusher::new();
+/// let r = Arc::clone(&ran);
+/// flusher.submit(move || {
+///     r.fetch_add(1, Ordering::SeqCst);
+/// });
+/// flusher.shutdown(); // drains: the job has run once shutdown returns
+/// assert_eq!(ran.load(Ordering::SeqCst), 1);
+/// ```
+pub struct Flusher {
+    sender: Option<mpsc::Sender<Job>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Starts the worker thread. If the thread cannot be spawned (fd or
+    /// thread exhaustion), the flusher still works — jobs then run
+    /// inline on the submitting thread, trading latency for durability.
+    pub fn new() -> Self {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let worker = thread::Builder::new()
+            .name("pipedepth-store-flush".into())
+            .spawn(move || {
+                // Runs until every sender is dropped *and* the queue is
+                // empty: `recv` returns the backlog first, then errors.
+                while let Ok(job) = receiver.recv() {
+                    job();
+                }
+            });
+        match worker {
+            Ok(handle) => Flusher {
+                sender: Some(sender),
+                worker: Some(handle),
+            },
+            Err(_) => Flusher {
+                sender: None,
+                worker: None,
+            },
+        }
+    }
+
+    /// Queues a flush job. Jobs run in submission order on the worker;
+    /// after [`shutdown`](Flusher::shutdown) (or if the worker could not
+    /// start) the job runs inline instead of being dropped — a submitted
+    /// snapshot is never silently lost.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        match &self.sender {
+            Some(sender) => {
+                if let Err(returned) = sender.send(Box::new(job)) {
+                    // The worker is gone; run the returned job inline.
+                    (returned.0)();
+                }
+            }
+            None => job(),
+        }
+    }
+
+    /// True while the background worker is accepting queued jobs; false
+    /// after shutdown (or if it never started), when jobs run inline.
+    pub fn is_running(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    /// Waits until every job submitted before this call has finished,
+    /// without closing the queue. Jobs run in submission order, so a
+    /// marker job observed complete means the whole backlog is on disk.
+    /// Unlike [`shutdown`](Flusher::shutdown) this needs only `&self`,
+    /// letting shared owners (an `Arc`'d service at drain time) force
+    /// durability without exclusive access.
+    pub fn sync(&self) {
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        self.submit(move || {
+            let _ = done_tx.send(());
+        });
+        // If the worker is gone the marker already ran inline and the
+        // sender is dropped either way, so this never hangs.
+        let _ = done_rx.recv();
+    }
+
+    /// Closes the queue and waits for every queued job to finish.
+    /// Idempotent; also performed on drop.
+    pub fn shutdown(&mut self) {
+        drop(self.sender.take());
+        if let Some(worker) = self.worker.take() {
+            // The worker only ends by draining the closed channel; a
+            // panicking job is contained to the job, not the process.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Default for Flusher {
+    fn default() -> Self {
+        Flusher::new()
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Flusher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flusher")
+            .field("running", &self.is_running())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_in_order_and_drain_on_shutdown() {
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut flusher = Flusher::new();
+        for i in 0..16u32 {
+            let log = Arc::clone(&log);
+            flusher.submit(move || {
+                log.lock().unwrap().push(i);
+            });
+        }
+        flusher.shutdown();
+        assert_eq!(*log.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_late_jobs_run_inline() {
+        let ran = Arc::new(AtomicU32::new(0));
+        let mut flusher = Flusher::new();
+        flusher.shutdown();
+        flusher.shutdown();
+        assert!(!flusher.is_running());
+        let r = Arc::clone(&ran);
+        flusher.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "late job ran inline");
+    }
+
+    #[test]
+    fn sync_waits_for_the_backlog_without_closing_the_queue() {
+        let ran = Arc::new(AtomicU32::new(0));
+        let flusher = Flusher::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&ran);
+            flusher.submit(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        flusher.sync();
+        assert_eq!(ran.load(Ordering::SeqCst), 8, "backlog drained");
+        assert!(flusher.is_running(), "queue stays open after sync");
+        let r = Arc::clone(&ran);
+        flusher.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        flusher.sync();
+        assert_eq!(ran.load(Ordering::SeqCst), 9, "later jobs still accepted");
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        let ran = Arc::new(AtomicU32::new(0));
+        {
+            let flusher = Flusher::new();
+            for _ in 0..8 {
+                let r = Arc::clone(&ran);
+                flusher.submit(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,155 @@
+//! Binary codecs ([`Blob`]) for the workload-model family, so experiment
+//! cell specs embedding a [`WorkloadModel`] can be persisted through
+//! `pipedepth-store`.
+//!
+//! Every field is encoded — floats by IEEE-754 bit pattern — so a
+//! decoded model compares equal to the original and reproduces the same
+//! content fingerprint; that exactness is what lets the on-disk result
+//! tier resolve key collisions by full spec comparison. Any change to
+//! these field lists must be accompanied by a `schema_version` bump in
+//! the consuming store namespace.
+
+use crate::model::{BranchModel, InstructionMix, MemoryModel, PhaseModel, WorkloadModel};
+use pipedepth_store::{Blob, ByteReader, ByteWriter, DecodeError};
+
+impl Blob for InstructionMix {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.alu_rr)
+            .put_f64(self.alu_rx)
+            .put_f64(self.load)
+            .put_f64(self.store)
+            .put_f64(self.branch)
+            .put_f64(self.fp)
+            .put_f64(self.fp_long);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(InstructionMix {
+            alu_rr: r.take_f64()?,
+            alu_rx: r.take_f64()?,
+            load: r.take_f64()?,
+            store: r.take_f64()?,
+            branch: r.take_f64()?,
+            fp: r.take_f64()?,
+            fp_long: r.take_f64()?,
+        })
+    }
+}
+
+impl Blob for BranchModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.static_sites)
+            .put_f64(self.biased_fraction)
+            .put_f64(self.bias)
+            .put_u64(self.code_footprint);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(BranchModel {
+            static_sites: r.take_u32()?,
+            biased_fraction: r.take_f64()?,
+            bias: r.take_f64()?,
+            code_footprint: r.take_u64()?,
+        })
+    }
+}
+
+impl Blob for MemoryModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.working_set)
+            .put_f64(self.spatial_locality)
+            .put_u64(self.stride)
+            .put_u64(self.hot_set)
+            .put_f64(self.hot_probability);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(MemoryModel {
+            working_set: r.take_u64()?,
+            spatial_locality: r.take_f64()?,
+            stride: r.take_u64()?,
+            hot_set: r.take_u64()?,
+            hot_probability: r.take_f64()?,
+        })
+    }
+}
+
+impl Blob for PhaseModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.period);
+        self.memory.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(PhaseModel {
+            period: r.take_u64()?,
+            memory: MemoryModel::decode(r)?,
+        })
+    }
+}
+
+impl Blob for WorkloadModel {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.mix.encode(w);
+        w.put_f64(self.mean_dep_distance).put_f64(self.dep_density);
+        self.branches.encode(w);
+        self.memory.encode(w);
+        w.put_f64(self.serial_fraction);
+        self.phases.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(WorkloadModel {
+            mix: InstructionMix::decode(r)?,
+            mean_dep_distance: r.take_f64()?,
+            dep_density: r.take_f64()?,
+            branches: BranchModel::decode(r)?,
+            memory: MemoryModel::decode(r)?,
+            serial_fraction: r.take_f64()?,
+            phases: Option::<PhaseModel>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_models_round_trip_with_fingerprints() {
+        for model in [
+            WorkloadModel::spec_int_like(),
+            WorkloadModel::spec_fp_like(),
+        ] {
+            let decoded = WorkloadModel::from_record(&model.to_record()).expect("decodes");
+            assert_eq!(decoded, model);
+            assert_eq!(
+                decoded.fingerprint(),
+                model.fingerprint(),
+                "content fingerprint survives the disk round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn phased_models_round_trip() {
+        let mut model = WorkloadModel::spec_fp_like();
+        model.phases = Some(PhaseModel {
+            period: 10_000,
+            memory: model.memory,
+        });
+        let decoded = WorkloadModel::from_record(&model.to_record()).expect("decodes");
+        assert_eq!(decoded, model);
+    }
+
+    #[test]
+    fn truncated_models_fail_cleanly() {
+        let bytes = WorkloadModel::spec_int_like().to_record();
+        for keep in [0, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                WorkloadModel::from_record(&bytes[..keep]).is_err(),
+                "{keep}"
+            );
+        }
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod arena;
+pub mod blob;
 pub mod codec;
 pub mod generator;
 pub mod hash;
